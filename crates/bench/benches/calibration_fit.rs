@@ -1,0 +1,55 @@
+//! Calibration-time costs: the linear regression and the exhaustive
+//! threshold search behind the Figure-4 piecewise fit. The paper argues
+//! these are cheap enough to run "statically, just once for each
+//! platform" — these benches show they are cheap enough to run anywhere.
+
+use calibration::paragon::{fit_linear, fit_piecewise, PingPongPoint};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use simcore::stats::LinearFit;
+
+/// Synthetic ping-pong sweep resembling a real measurement.
+fn points(n: usize) -> Vec<PingPongPoint> {
+    (1..=n)
+        .map(|i| {
+            let words = (i * 4096 / n) as u64 + 1;
+            let per_msg = if words <= 1024 {
+                1.6e-3 + words as f64 / 79_000.0
+            } else {
+                5.6e-3 + words as f64 / 104_000.0
+            };
+            PingPongPoint { words, burst_time: 1000.0 * per_msg }
+        })
+        .collect()
+}
+
+fn linear_fit(c: &mut Criterion) {
+    let xy: Vec<(f64, f64)> = points(64)
+        .iter()
+        .map(|p| (p.words as f64, p.per_message(1000)))
+        .collect();
+    c.bench_function("calibration/linear_fit_64pts", |b| {
+        b.iter(|| LinearFit::fit(black_box(&xy)))
+    });
+    let pts = points(64);
+    c.bench_function("calibration/fit_linear_model", |b| {
+        b.iter(|| fit_linear(black_box(&pts), 1000))
+    });
+}
+
+fn threshold_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("calibration/threshold_search");
+    for n in [12usize, 32, 128] {
+        let pts = points(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| fit_piecewise(black_box(pts), 1000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::quick_config();
+    targets = linear_fit, threshold_search
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! The paper's complexity claims for the `pcompᵢ`/`pcommᵢ` dynamic
+//! program: `O(p²)` full generation, `O(p)` incremental arrival, `O(p)`
+//! slowdown evaluation — "the overhead imposed by its calculation is
+//! negligible". These benches put numbers on that.
+
+use contention_model::delay::CommDelayTable;
+use contention_model::mix::WorkloadMix;
+use contention_model::paragon::comm_slowdown;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn fracs(p: usize) -> Vec<f64> {
+    (0..p).map(|i| (i as f64 * 0.37 + 0.11).fract()).collect()
+}
+
+/// Full O(p²) generation across p.
+fn generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mix/generate_full");
+    for p in [4usize, 16, 64, 256] {
+        let f = fracs(p);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &f, |b, f| {
+            b.iter(|| WorkloadMix::from_fracs(black_box(f)))
+        });
+    }
+    g.finish();
+}
+
+/// O(p) incremental arrival across p.
+fn add(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mix/incremental_add");
+    for p in [4usize, 16, 64, 256] {
+        let base = WorkloadMix::from_fracs(&fracs(p));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &base, |b, base| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.add(black_box(0.42));
+                m
+            })
+        });
+    }
+    g.finish();
+}
+
+/// O(p) deconvolution removal across p (vs. the O(p²) regenerate).
+fn remove(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mix/remove");
+    for p in [4usize, 16, 64, 256] {
+        let base = WorkloadMix::from_fracs(&fracs(p));
+        g.bench_with_input(BenchmarkId::new("deconvolve", p), &base, |b, base| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.remove(black_box(p / 2));
+                m
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("regenerate", p), &base, |b, base| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.regenerate();
+                m
+            })
+        });
+    }
+    g.finish();
+}
+
+/// O(p) slowdown evaluation across p.
+fn slowdown_eval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mix/slowdown_eval");
+    for p in [4usize, 16, 64, 256] {
+        let mix = WorkloadMix::from_fracs(&fracs(p));
+        let delays = CommDelayTable::new(vec![0.4; p], vec![0.3; p]);
+        g.bench_with_input(BenchmarkId::from_parameter(p), &mix, |b, mix| {
+            b.iter(|| comm_slowdown(black_box(mix), black_box(&delays)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::quick_config();
+    targets = generate, add, remove, slowdown_eval
+}
+criterion_main!(benches);

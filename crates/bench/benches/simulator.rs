@@ -1,0 +1,110 @@
+//! Simulator throughput on the scenarios behind the "actual" curves,
+//! plus the PS-vs-RR front-end scheduler ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetload::apps::{burst_app, cm2_matrix_transfer_app, cm2_program_app, sun_task_app};
+use hetload::costs::Cm2ProgramParams;
+use hetload::generators::{CommGenerator, CpuHog, GenDirection};
+use hetload::programs::gauss_program;
+use hetplat::config::{FrontendParams, PlatformConfig, SchedulerKind};
+use hetplat::phase::Direction;
+use hetplat::platform::Platform;
+use simcore::time::{SimDuration, SimTime};
+
+fn ps_cfg() -> PlatformConfig {
+    let mut c = PlatformConfig::default();
+    c.frontend = FrontendParams::processor_sharing();
+    c
+}
+
+/// The Figure-1 scenario: a matrix transfer against three hogs.
+fn fig1_scenario(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/fig1_cm2_transfer");
+    g.sample_size(20);
+    g.bench_function("m300_p3", |b| {
+        b.iter(|| {
+            let mut p = Platform::new(ps_cfg(), 1);
+            for i in 0..3 {
+                p.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
+            }
+            let id = p.spawn(Box::new(cm2_matrix_transfer_app("probe", 300)));
+            p.run_until_done(id).expect("stalled")
+        })
+    });
+    g.finish();
+}
+
+/// The Figure-3 scenario: Gaussian elimination instruction stream.
+fn fig3_scenario(c: &mut Criterion) {
+    let params = Cm2ProgramParams::default();
+    let mut g = c.benchmark_group("sim/fig3_gauss_cm2");
+    g.sample_size(20);
+    for m in [100u64, 300] {
+        let prog = gauss_program(m, &params);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &prog, |b, prog| {
+            b.iter(|| {
+                let mut p = Platform::new(ps_cfg(), 1);
+                for i in 0..3 {
+                    p.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
+                }
+                let id = p.spawn(Box::new(cm2_program_app("ge", prog.clone())));
+                p.run_until_done(id).expect("stalled")
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The Figure-5 scenario: a contended Paragon burst.
+fn fig5_scenario(c: &mut Criterion) {
+    let cfg = ps_cfg();
+    let mut g = c.benchmark_group("sim/fig5_contended_burst");
+    g.sample_size(10);
+    g.bench_function("200msgs_200w_2gens", |b| {
+        b.iter(|| {
+            let mut p = Platform::new(cfg, 1);
+            p.spawn(Box::new(CommGenerator::new("g25", 0.25, 200, GenDirection::Alternate, &cfg)));
+            p.spawn(Box::new(CommGenerator::new("g76", 0.76, 200, GenDirection::Alternate, &cfg)));
+            let id = p.spawn_at(
+                Box::new(burst_app("probe", 200, 200, Direction::ToParagon)),
+                SimTime::ZERO + SimDuration::from_secs(1),
+            );
+            p.run_until_done(id).expect("stalled")
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: identical contended-compute scenario on the processor-sharing
+/// vs the quantum round-robin front-end.
+fn scheduler_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim/scheduler_ablation");
+    g.sample_size(20);
+    for kind in [SchedulerKind::ProcessorSharing, SchedulerKind::RoundRobin] {
+        let mut cfg = PlatformConfig::default();
+        cfg.frontend.scheduler = kind;
+        let name = match kind {
+            SchedulerKind::ProcessorSharing => "processor_sharing",
+            SchedulerKind::RoundRobin => "round_robin",
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = Platform::new(cfg, 1);
+                for i in 0..3 {
+                    p.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
+                }
+                let id =
+                    p.spawn(Box::new(sun_task_app("probe", SimDuration::from_secs(5))));
+                p.run_until_done(id).expect("stalled")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::quick_config();
+    targets = fig1_scenario, fig3_scenario, fig5_scenario, scheduler_ablation
+}
+criterion_main!(benches);

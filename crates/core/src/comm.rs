@@ -1,0 +1,170 @@
+//! Dedicated-mode communication cost models.
+//!
+//! Both platforms model the dedicated time to move data sets across the
+//! link as a startup-plus-bandwidth law per message,
+//!
+//! ```text
+//! dcomm = Σᵢ Nᵢ × (α + sizeᵢ / β)
+//! ```
+//!
+//! with `α` the startup time (seconds) and `β` the effective bandwidth
+//! (words/second). The Sun/Paragon platform refines this into a
+//! **piecewise-linear** function of message size with a calibrated
+//! `threshold`: one `(α, β)` pair for messages of at most `threshold` words
+//! and another for larger ones (1024 words on the real platform).
+//!
+//! Dedicated costs depend only on the `<application, problem-size,
+//! platform>` triple — they are computed once and never at run time.
+
+use crate::dataset::DataSet;
+use serde::{Deserialize, Serialize};
+
+/// Single-piece startup/bandwidth model: `t(msg) = α + words/β`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearCommModel {
+    /// Per-message startup time, seconds (`α`).
+    pub alpha: f64,
+    /// Effective bandwidth, words per second (`β`).
+    pub beta: f64,
+}
+
+impl LinearCommModel {
+    /// Builds a model; `beta` must be positive, `alpha` non-negative.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(alpha >= 0.0, "negative startup time");
+        assert!(beta > 0.0, "bandwidth must be positive");
+        LinearCommModel { alpha, beta }
+    }
+
+    /// Builds a model from a regression fit. Unlike [`Self::new`], a
+    /// negative intercept is allowed: a fitted piece is an empirical
+    /// approximation valid on its own size range, and convex cost curves
+    /// (e.g. buffer-overflow regimes) produce large-message pieces whose
+    /// extrapolated intercept is below zero.
+    pub fn from_fit(alpha: f64, beta: f64) -> Self {
+        assert!(beta > 0.0, "bandwidth must be positive");
+        LinearCommModel { alpha, beta }
+    }
+
+    /// Dedicated time for one message of `words` words.
+    pub fn message_time(&self, words: u64) -> f64 {
+        self.alpha + words as f64 / self.beta
+    }
+
+    /// Dedicated time for one data set.
+    pub fn dataset_time(&self, set: DataSet) -> f64 {
+        set.messages as f64 * self.message_time(set.words)
+    }
+
+    /// Dedicated time for a collection of data sets — the paper's `dcomm`.
+    pub fn dcomm(&self, sets: &[DataSet]) -> f64 {
+        sets.iter().map(|&s| self.dataset_time(s)).sum()
+    }
+}
+
+/// Piecewise-linear model: one `(α, β)` pair per side of `threshold`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseCommModel {
+    /// Piece boundary in words; messages with `words <= threshold` use
+    /// `small`, larger ones use `large`.
+    pub threshold: u64,
+    /// Model for messages of at most `threshold` words (`α₁`, `β₁`).
+    pub small: LinearCommModel,
+    /// Model for messages of more than `threshold` words (`α₂`, `β₂`).
+    pub large: LinearCommModel,
+}
+
+impl PiecewiseCommModel {
+    /// Builds a piecewise model from its two pieces.
+    pub fn new(threshold: u64, small: LinearCommModel, large: LinearCommModel) -> Self {
+        PiecewiseCommModel { threshold, small, large }
+    }
+
+    /// A degenerate piecewise model that uses `model` everywhere — handy
+    /// for comparing single-piece vs piecewise accuracy (ablation).
+    pub fn uniform(model: LinearCommModel) -> Self {
+        PiecewiseCommModel { threshold: u64::MAX, small: model, large: model }
+    }
+
+    /// The piece governing a message of `words` words.
+    pub fn piece(&self, words: u64) -> &LinearCommModel {
+        if words <= self.threshold {
+            &self.small
+        } else {
+            &self.large
+        }
+    }
+
+    /// Dedicated time for one message of `words` words.
+    pub fn message_time(&self, words: u64) -> f64 {
+        self.piece(words).message_time(words)
+    }
+
+    /// Dedicated time for one data set (all messages share one piece).
+    pub fn dataset_time(&self, set: DataSet) -> f64 {
+        set.messages as f64 * self.message_time(set.words)
+    }
+
+    /// Dedicated time for a collection of data sets — the paper's
+    /// two-term `dcomm` with `{data sets}₁` and `{data sets}₂` split at
+    /// `threshold`.
+    pub fn dcomm(&self, sets: &[DataSet]) -> f64 {
+        sets.iter().map(|&s| self.dataset_time(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_message_time() {
+        let m = LinearCommModel::new(1e-3, 1e6);
+        // 1000 words at 10^6 words/s = 1 ms, plus 1 ms startup.
+        assert!((m.message_time(1000) - 2e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dcomm_sums_over_sets() {
+        let m = LinearCommModel::new(0.5, 2.0);
+        let sets = [DataSet::new(2, 4), DataSet::new(3, 2)];
+        // 2*(0.5 + 2) + 3*(0.5 + 1) = 5 + 4.5 = 9.5
+        assert!((m.dcomm(&sets) - 9.5).abs() < 1e-12);
+        assert_eq!(m.dcomm(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_rejected() {
+        LinearCommModel::new(0.0, 0.0);
+    }
+
+    #[test]
+    fn piecewise_selects_piece_inclusively() {
+        let small = LinearCommModel::new(1.0, 10.0);
+        let large = LinearCommModel::new(5.0, 100.0);
+        let m = PiecewiseCommModel::new(1024, small, large);
+        // At the threshold: small piece (paper: "threshold or less words").
+        assert!((m.message_time(1024) - (1.0 + 102.4)).abs() < 1e-9);
+        // Just above: large piece.
+        assert!((m.message_time(1025) - (5.0 + 10.25)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piecewise_dcomm_splits_sets() {
+        let small = LinearCommModel::new(1.0, 1.0);
+        let large = LinearCommModel::new(2.0, 2.0);
+        let m = PiecewiseCommModel::new(10, small, large);
+        let sets = [DataSet::new(1, 10), DataSet::new(1, 20)];
+        // small: 1 + 10 = 11; large: 2 + 10 = 12.
+        assert!((m.dcomm(&sets) - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_matches_single_piece() {
+        let base = LinearCommModel::new(0.25, 8.0);
+        let m = PiecewiseCommModel::uniform(base);
+        let sets = [DataSet::new(7, 3), DataSet::new(2, 1_000_000)];
+        assert!((m.dcomm(&sets) - base.dcomm(&sets)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,261 @@
+//! Workload-mix probabilities `pcompᵢ` / `pcommᵢ`.
+//!
+//! Each of the `p` contending applications alternates computation with
+//! communication; application `k` communicates a fraction `fₖ` of the time.
+//! Treating the applications' instantaneous states as independent
+//! Bernoulli variables, the probability that **exactly `i`** of them are
+//! communicating is a Poisson–binomial distribution. The paper computes all
+//! `pcommᵢ` (and symmetrically `pcompᵢ`) with a dynamic program:
+//!
+//! * full generation: `O(p²)`,
+//! * adding an application: `O(p)` (one convolution step),
+//! * removing one: the paper regenerates in `O(p²)`; this implementation
+//!   also offers an `O(p)` deconvolution (numerically guarded).
+//!
+//! `pcompᵢ = pcomm₍p−i₎` because every application is in exactly one of the
+//! two states at any instant, so a single distribution serves both.
+
+use serde::{Deserialize, Serialize};
+
+/// Tolerance for the deconvolution fallback and invariant checks.
+const EPS: f64 = 1e-9;
+
+/// The set of contending applications on the front-end, tracked as the
+/// distribution of how many are communicating simultaneously.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Communication fraction per contender, in `[0, 1]`.
+    fracs: Vec<f64>,
+    /// `comm_dist[i]` = probability exactly `i` contenders communicate.
+    comm_dist: Vec<f64>,
+}
+
+impl Default for WorkloadMix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WorkloadMix {
+    /// An empty mix (dedicated machine, `p = 0`).
+    pub fn new() -> Self {
+        WorkloadMix { fracs: Vec::new(), comm_dist: vec![1.0] }
+    }
+
+    /// Builds a mix from communication fractions.
+    pub fn from_fracs(fracs: &[f64]) -> Self {
+        let mut m = WorkloadMix::new();
+        for &f in fracs {
+            m.add(f);
+        }
+        m
+    }
+
+    /// Number of contending applications, `p`.
+    pub fn p(&self) -> usize {
+        self.fracs.len()
+    }
+
+    /// The communication fractions, in insertion order.
+    pub fn fracs(&self) -> &[f64] {
+        &self.fracs
+    }
+
+    /// Adds a contender that communicates a fraction `frac` of the time.
+    /// `O(p)` — the paper's incremental arrival update.
+    pub fn add(&mut self, frac: f64) {
+        assert!((0.0..=1.0).contains(&frac), "communication fraction {frac} outside [0,1]");
+        let n = self.comm_dist.len();
+        let mut next = vec![0.0; n + 1];
+        for (i, &c) in self.comm_dist.iter().enumerate() {
+            next[i] += c * (1.0 - frac);
+            next[i + 1] += c * frac;
+        }
+        self.comm_dist = next;
+        self.fracs.push(frac);
+    }
+
+    /// Removes the contender at `index` by `O(p)` deconvolution, falling
+    /// back to `O(p²)` regeneration when the division is ill-conditioned.
+    /// Returns the removed fraction, or `None` if out of range.
+    pub fn remove(&mut self, index: usize) -> Option<f64> {
+        if index >= self.fracs.len() {
+            return None;
+        }
+        let f = self.fracs.remove(index);
+        // Deconvolve: comm_dist = old ⊛ [1-f, f]  =>  recover old. Each
+        // step divides by (1 - f), amplifying rounding error by up to
+        // (1/(1-f))^p overall, so fall back to regeneration (the paper's
+        // O(p²) path) unless the division is comfortably conditioned.
+        let n = self.comm_dist.len() - 1;
+        if 1.0 - f > 0.1 {
+            let mut old = vec![0.0; n];
+            let mut carry = 0.0;
+            let mut ok = true;
+            for i in 0..n {
+                let v = (self.comm_dist[i] - carry * f) / (1.0 - f);
+                if !(-EPS..=1.0 + EPS).contains(&v) {
+                    ok = false;
+                    break;
+                }
+                old[i] = v.clamp(0.0, 1.0);
+                carry = old[i];
+            }
+            if ok {
+                self.comm_dist = old;
+                return Some(f);
+            }
+        } else if (1.0 - f).abs() <= EPS {
+            // f == 1: the contender always communicates; old dist is a
+            // left shift.
+            self.comm_dist = self.comm_dist[1..].to_vec();
+            return Some(f);
+        }
+        // Ill-conditioned: regenerate as in the paper.
+        self.regenerate();
+        Some(f)
+    }
+
+    /// Rebuilds the distribution from scratch — the paper's `O(p²)` path.
+    pub fn regenerate(&mut self) {
+        let fracs = std::mem::take(&mut self.fracs);
+        *self = WorkloadMix::from_fracs(&fracs);
+    }
+
+    /// Probability that exactly `i` contenders are communicating
+    /// (`pcommᵢ`). Zero outside `0..=p`.
+    pub fn pcomm(&self, i: usize) -> f64 {
+        self.comm_dist.get(i).copied().unwrap_or(0.0)
+    }
+
+    /// Probability that exactly `i` contenders are computing (`pcompᵢ`).
+    /// Equals `pcomm₍p−i₎`.
+    pub fn pcomp(&self, i: usize) -> f64 {
+        if i > self.p() {
+            0.0
+        } else {
+            self.comm_dist[self.p() - i]
+        }
+    }
+
+    /// The full communicating-count distribution, indices `0..=p`.
+    pub fn comm_dist(&self) -> &[f64] {
+        &self.comm_dist
+    }
+
+    /// Expected number of communicating contenders (diagnostic).
+    pub fn expected_communicating(&self) -> f64 {
+        self.comm_dist
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| i as f64 * c)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn empty_mix_is_certainly_idle() {
+        let m = WorkloadMix::new();
+        assert_eq!(m.p(), 0);
+        assert!(close(m.pcomm(0), 1.0));
+        assert!(close(m.pcomp(0), 1.0));
+        assert_eq!(m.pcomm(1), 0.0);
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // p = 2; one app communicates 20% / computes 80%, the other 30%/70%.
+        let m = WorkloadMix::from_fracs(&[0.2, 0.3]);
+        assert!(close(m.pcomm(1), 0.2 * 0.7 + 0.3 * 0.8), "pcomm1 = {}", m.pcomm(1));
+        assert!(close(m.pcomm(2), 0.2 * 0.3));
+        assert!(close(m.pcomp(1), 0.2 * 0.7 + 0.3 * 0.8));
+        assert!(close(m.pcomp(2), 0.7 * 0.8));
+        // And the leftover mass:
+        assert!(close(m.pcomm(0), 0.8 * 0.7));
+        assert!(close(m.pcomp(0), 0.2 * 0.3));
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let m = WorkloadMix::from_fracs(&[0.1, 0.5, 0.9, 0.33, 0.66]);
+        let total: f64 = m.comm_dist().iter().sum();
+        assert!(close(total, 1.0));
+    }
+
+    #[test]
+    fn pcomp_is_mirror_of_pcomm() {
+        let m = WorkloadMix::from_fracs(&[0.25, 0.76]);
+        for i in 0..=m.p() {
+            assert!(close(m.pcomp(i), m.pcomm(m.p() - i)));
+        }
+    }
+
+    #[test]
+    fn remove_inverts_add() {
+        let mut m = WorkloadMix::from_fracs(&[0.2, 0.5, 0.8]);
+        let before = WorkloadMix::from_fracs(&[0.2, 0.8]);
+        assert_eq!(m.remove(1), Some(0.5));
+        assert_eq!(m.p(), 2);
+        for i in 0..=2 {
+            assert!(
+                (m.pcomm(i) - before.pcomm(i)).abs() < 1e-9,
+                "i={i}: {} vs {}",
+                m.pcomm(i),
+                before.pcomm(i)
+            );
+        }
+    }
+
+    #[test]
+    fn remove_handles_always_communicating() {
+        let mut m = WorkloadMix::from_fracs(&[1.0, 0.5]);
+        assert_eq!(m.remove(0), Some(1.0));
+        assert!(close(m.pcomm(0), 0.5));
+        assert!(close(m.pcomm(1), 0.5));
+    }
+
+    #[test]
+    fn remove_out_of_range() {
+        let mut m = WorkloadMix::from_fracs(&[0.5]);
+        assert_eq!(m.remove(3), None);
+        assert_eq!(m.p(), 1);
+    }
+
+    #[test]
+    fn regenerate_matches_incremental() {
+        let mut m = WorkloadMix::from_fracs(&[0.12, 0.34, 0.56, 0.78]);
+        let snapshot = m.clone();
+        m.regenerate();
+        for i in 0..=m.p() {
+            assert!(close(m.pcomm(i), snapshot.pcomm(i)));
+        }
+    }
+
+    #[test]
+    fn expected_value_is_sum_of_fracs() {
+        let fracs = [0.2, 0.3, 0.5];
+        let m = WorkloadMix::from_fracs(&fracs);
+        assert!(close(m.expected_communicating(), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn invalid_fraction_rejected() {
+        WorkloadMix::from_fracs(&[1.5]);
+    }
+
+    #[test]
+    fn all_certain_states() {
+        let m = WorkloadMix::from_fracs(&[0.0, 0.0, 1.0]);
+        assert!(close(m.pcomm(1), 1.0));
+        assert!(close(m.pcomp(2), 1.0));
+    }
+}

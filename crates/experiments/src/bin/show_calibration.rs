@@ -1,0 +1,38 @@
+//! Prints the calibrated system parameters (the "system test suite"
+//! output): dedicated transfer models and delay tables.
+//!
+//! ```text
+//! show_calibration [--full]
+//! ```
+
+use experiments::setup::{cm2_predictor, paragon_predictor, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let cm2 = cm2_predictor(scale);
+    println!("== Sun/CM2 dedicated transfer models");
+    println!("  sun→cm2: alpha = {:.6}s, beta = {:.0} words/s", cm2.comm_to.alpha, cm2.comm_to.beta);
+    println!(
+        "  cm2→sun: alpha = {:.6}s, beta = {:.0} words/s",
+        cm2.comm_from.alpha, cm2.comm_from.beta
+    );
+
+    let p = paragon_predictor(scale);
+    println!("== Sun/Paragon dedicated transfer models (piecewise)");
+    for (name, m) in [("sun→paragon", &p.comm_to), ("paragon→sun", &p.comm_from)] {
+        println!(
+            "  {name}: threshold = {} words; small: alpha {:.6}s beta {:.0}; \
+             large: alpha {:.6}s beta {:.0}",
+            m.threshold, m.small.alpha, m.small.beta, m.large.alpha, m.large.beta
+        );
+    }
+    println!("== delay tables (relative extra time)");
+    println!("  delay_comp^i  (i computing contenders → communication): {:?}", p.comm_delays.by_computing);
+    println!("  delay_comm^i  (i communicating contenders → communication): {:?}", p.comm_delays.by_communicating);
+    for (b, row) in p.comp_delays.delays.iter().enumerate() {
+        println!(
+            "  delay_comm^(i,{:>4}) (→ computation): {row:?}",
+            p.comp_delays.buckets[b]
+        );
+    }
+}

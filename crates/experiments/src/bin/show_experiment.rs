@@ -1,0 +1,35 @@
+//! Runs a single experiment at quick scale and prints its table —
+//! convenient while iterating on platform parameters.
+//!
+//! ```text
+//! show_experiment <tab1-4|fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|syncm2|synpar> [--full]
+//! ```
+
+use experiments::setup::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("fig1");
+    let scale = if args.iter().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
+    let e = match which {
+        "tab1-4" => experiments::tables_intro::run(),
+        "fig1" => experiments::fig1::run(scale),
+        "fig2" => experiments::fig2::run(),
+        "fig3" => experiments::fig3::run(scale),
+        "fig4" => experiments::fig4::run(scale),
+        "fig5" => experiments::fig56::run_fig5(scale),
+        "fig6" => experiments::fig56::run_fig6(scale),
+        "fig7" => experiments::fig78::run_fig7(scale),
+        "fig8" => experiments::fig78::run_fig8(scale),
+        "syncm2" => experiments::synthetic::run_cm2(scale),
+        "synpar" => experiments::synthetic::run_paragon(scale),
+        "loadchars" => experiments::load_chars::run(),
+        "phased" => experiments::phased_load::run(),
+        "ranking" => experiments::ranking::run(scale),
+        other => {
+            eprintln!("unknown experiment {other:?}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", e.render_text());
+}

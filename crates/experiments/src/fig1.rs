@@ -1,0 +1,89 @@
+//! Figure 1: Sun ↔ CM2 matrix transfer, dedicated (p = 0) and
+//! non-dedicated (p = 3).
+//!
+//! The probe moves an `M × M` matrix to the CM2 and back (the data motion
+//! of an off-loaded SOR). *Modeled* is the calibrated
+//! `dcomm × (p + 1)`; *actual* is the simulated platform with `p`
+//! CPU-bound contenders on the round-robin front-end.
+
+use crate::report::{Experiment, Row, Series};
+use crate::scenarios::{run_with_hogs, transfer_seconds};
+use crate::setup::{cm2_predictor, platform_config, Scale, SEED};
+use contention_model::dataset::DataSet;
+use hetload::apps::cm2_matrix_transfer_app;
+
+/// Matrix sizes swept.
+pub fn sizes(scale: Scale) -> Vec<u64> {
+    scale.pick(vec![100, 300, 500], vec![100, 200, 300, 400, 500, 600, 700, 800])
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Experiment {
+    let cfg = platform_config();
+    let pred = cm2_predictor(scale);
+    let mut e = Experiment::new(
+        "fig1",
+        "Communication between the Sun and the CM2, dedicated and non-dedicated",
+        "M",
+    );
+    for &p in &[0u32, 3] {
+        let mut rows = Vec::new();
+        for &m in &sizes(scale) {
+            let sets = [DataSet::matrix_rows(m, m)];
+            let modeled = pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p);
+            let (plat, id) =
+                run_with_hogs(cfg, cm2_matrix_transfer_app("probe", m), p as usize, SEED ^ m);
+            let actual = transfer_seconds(&plat, id);
+            rows.push(Row { x: m as f64, modeled, actual });
+        }
+        let s = Series::new(format!("p={p}"), rows);
+        e.note(format!("p={p}: MAPE {:.2}% (paper: within 11% avg / 15% overall)", s.mape()));
+        e.push_series(s);
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_actual_within_paper_band() {
+        let e = run(Scale::Quick);
+        for s in &e.series {
+            assert!(
+                s.mape() < 15.0,
+                "{}: MAPE {:.2}% exceeds the paper's 15% band",
+                s.name,
+                s.mape()
+            );
+        }
+    }
+
+    #[test]
+    fn contention_slows_transfers_roughly_four_times() {
+        let e = run(Scale::Quick);
+        let ded = &e.series[0].rows;
+        let loaded = &e.series[1].rows;
+        for (d, l) in ded.iter().zip(loaded) {
+            let ratio = l.actual / d.actual;
+            assert!(
+                (3.2..4.8).contains(&ratio),
+                "M={}: actual slowdown {ratio}",
+                d.x
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_time_grows_quadratically_in_m() {
+        let e = run(Scale::Quick);
+        let rows = &e.series[0].rows;
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        let m_ratio = last.x / first.x;
+        let t_ratio = last.actual / first.actual;
+        // Between linear (startup-dominated) and quadratic (bandwidth).
+        assert!(t_ratio > m_ratio && t_ratio < m_ratio * m_ratio * 1.2);
+    }
+}

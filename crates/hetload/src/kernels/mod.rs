@@ -1,0 +1,4 @@
+//! Real numeric kernels behind the paper's benchmarks.
+
+pub mod gauss;
+pub mod sor;

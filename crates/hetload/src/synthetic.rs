@@ -1,0 +1,132 @@
+//! Synthetic benchmark generation.
+//!
+//! The paper verifies model generality on "synthetic benchmarks which
+//! employ a representative subset of the operations provided by the CM2"
+//! and on "different sets of contention generators". These constructors
+//! produce randomized instances of both from a seed.
+
+use crate::costs::Cm2ProgramParams;
+use crate::generators::{CommGenerator, GenDirection};
+use hetplat::config::PlatformConfig;
+use hetplat::phase::{Cm2Instr, Cm2Program};
+use rand::Rng;
+use simcore::rng::SimRng;
+
+/// A random CM2 program: `steps` algorithm steps, each with serial
+/// bookkeeping, 1–3 parallel array operations over `min_elems..max_elems`
+/// elements, and an occasional scalar reduction the host must wait on.
+pub fn random_cm2_program(
+    rng: &mut SimRng,
+    steps: usize,
+    min_elems: u64,
+    max_elems: u64,
+    p: &Cm2ProgramParams,
+) -> Cm2Program {
+    assert!(min_elems <= max_elems && max_elems > 0);
+    let mut instrs = Vec::new();
+    for _ in 0..steps {
+        let serial = p.serial_per_step.mul_f64(rng.gen_range(0.2..2.0));
+        instrs.push(Cm2Instr::Serial(serial));
+        let ops = rng.gen_range(1..=3);
+        for _ in 0..ops {
+            let elems = rng.gen_range(min_elems..=max_elems);
+            instrs.push(Cm2Instr::Parallel(p.elim_time(elems)));
+        }
+        if rng.gen_bool(0.2) {
+            let elems = rng.gen_range(min_elems..=max_elems);
+            instrs.push(Cm2Instr::Parallel(p.reduce_time(elems)));
+            instrs.push(Cm2Instr::Sync);
+        }
+    }
+    instrs.push(Cm2Instr::Sync);
+    Cm2Program::new(instrs)
+}
+
+/// Description of one synthetic contender.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorSpec {
+    /// Fraction of time spent communicating.
+    pub comm_frac: f64,
+    /// Message size in words.
+    pub msg_words: u64,
+    /// Direction pattern.
+    pub dir: GenDirection,
+}
+
+/// Draws `count` random contender specs: communication fractions in
+/// `0.1..0.9`, message sizes log-uniform in `1..=2000` words, alternating
+/// directions.
+pub fn random_generator_specs(rng: &mut SimRng, count: usize) -> Vec<GeneratorSpec> {
+    (0..count)
+        .map(|_| {
+            let comm_frac = rng.gen_range(0.1..0.9);
+            let log = rng.gen_range(0.0..=f64::ln(2000.0));
+            let msg_words = log.exp().round().max(1.0) as u64;
+            GeneratorSpec { comm_frac, msg_words, dir: GenDirection::Alternate }
+        })
+        .collect()
+}
+
+/// Materializes specs into generator processes.
+pub fn build_generators(specs: &[GeneratorSpec], cfg: &PlatformConfig) -> Vec<CommGenerator> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| CommGenerator::new(format!("gen{i}"), s.comm_frac, s.msg_words, s.dir, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::rng::root_rng;
+    use simcore::time::SimDuration;
+
+    #[test]
+    fn random_program_is_well_formed() {
+        let mut rng = root_rng(3);
+        let p = Cm2ProgramParams::default();
+        let prog = random_cm2_program(&mut rng, 20, 100, 10_000, &p);
+        assert!(prog.parallel_count() >= 20);
+        assert!(prog.serial_instr_total() > SimDuration::ZERO);
+        assert!(matches!(prog.instrs.last(), Some(Cm2Instr::Sync)));
+    }
+
+    #[test]
+    fn random_programs_differ_across_seeds() {
+        let p = Cm2ProgramParams::default();
+        let a = random_cm2_program(&mut root_rng(1), 10, 10, 1000, &p);
+        let b = random_cm2_program(&mut root_rng(2), 10, 10, 1000, &p);
+        assert_ne!(a.instrs, b.instrs);
+    }
+
+    #[test]
+    fn random_programs_reproducible() {
+        let p = Cm2ProgramParams::default();
+        let a = random_cm2_program(&mut root_rng(9), 10, 10, 1000, &p);
+        let b = random_cm2_program(&mut root_rng(9), 10, 10, 1000, &p);
+        assert_eq!(a.instrs, b.instrs);
+    }
+
+    #[test]
+    fn specs_within_documented_ranges() {
+        let mut rng = root_rng(4);
+        let specs = random_generator_specs(&mut rng, 50);
+        assert_eq!(specs.len(), 50);
+        for s in &specs {
+            assert!((0.1..0.9).contains(&s.comm_frac));
+            assert!((1..=2000).contains(&s.msg_words));
+        }
+    }
+
+    #[test]
+    fn build_generators_names_uniquely() {
+        let cfg = PlatformConfig::default();
+        let mut rng = root_rng(5);
+        let specs = random_generator_specs(&mut rng, 3);
+        let gens = build_generators(&specs, &cfg);
+        use hetplat::phase::AppProcess;
+        let names: Vec<&str> = gens.iter().map(|g| g.name()).collect();
+        assert_eq!(names, vec!["gen0", "gen1", "gen2"]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Schedule evaluation and search.
+//!
+//! A schedule assigns each task of the chain to a machine. Its cost is the
+//! chain's end-to-end time with every term adjusted by the environment's
+//! slowdown factors — the contention model's output. Small instances are
+//! solved exactly by enumeration (`mᵏ` schedules for `k` tasks); larger
+//! ones use a dynamic program over the chain that is exact for chain
+//! workflows and runs in `O(k·m²)`.
+
+use crate::task::{Environment, Workflow};
+use serde::{Deserialize, Serialize};
+
+/// A schedule with its predicted end-to-end time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Machine index per task.
+    pub assignment: Vec<usize>,
+    /// Predicted end-to-end time under the given environment.
+    pub makespan: f64,
+}
+
+/// Predicted end-to-end time of `assignment` under `env`: slowed
+/// execution of every task plus slowed transfers between consecutive
+/// tasks on different machines.
+pub fn evaluate(wf: &Workflow, assignment: &[usize], env: &Environment) -> f64 {
+    assert_eq!(assignment.len(), wf.len(), "assignment length mismatch");
+    let mut total = 0.0;
+    for (i, task) in wf.tasks.iter().enumerate() {
+        let m = assignment[i];
+        assert!(m < wf.machines(), "machine index out of range");
+        total += task.exec[m] * env.comp_slowdown[m];
+        if let Some(comm) = &task.comm_to_next {
+            let next = assignment[i + 1];
+            if next != m {
+                total += comm.get(m, next) * env.link_slowdown.get(m, next);
+            }
+        }
+    }
+    total
+}
+
+/// Exhaustive search over all `mᵏ` schedules. Exact; use only for small
+/// instances (`mᵏ ≤ ~10⁶`).
+pub fn best_exhaustive(wf: &Workflow, env: &Environment) -> Schedule {
+    let m = wf.machines();
+    let k = wf.len();
+    let combos = (m as u64).checked_pow(k as u32).expect("instance too large");
+    assert!(combos <= 10_000_000, "exhaustive search too large; use best_chain_dp");
+    let mut best: Option<Schedule> = None;
+    let mut assignment = vec![0usize; k];
+    for mut code in 0..combos {
+        for slot in assignment.iter_mut() {
+            *slot = (code % m as u64) as usize;
+            code /= m as u64;
+        }
+        let cost = evaluate(wf, &assignment, env);
+        if best.as_ref().is_none_or(|b| cost < b.makespan) {
+            best = Some(Schedule { assignment: assignment.clone(), makespan: cost });
+        }
+    }
+    best.expect("at least one schedule")
+}
+
+/// Exact dynamic program over the chain: `dp[m]` = best cost of the
+/// prefix with the latest task on machine `m`. `O(k·m²)` and exact for
+/// chain workflows (which is the workflow shape this crate models).
+pub fn best_chain_dp(wf: &Workflow, env: &Environment) -> Schedule {
+    let m = wf.machines();
+    // dp cost and backpointers.
+    let mut dp: Vec<f64> = (0..m)
+        .map(|mach| wf.tasks[0].exec[mach] * env.comp_slowdown[mach])
+        .collect();
+    let mut back: Vec<Vec<usize>> = Vec::with_capacity(wf.len());
+    for i in 1..wf.len() {
+        let comm = wf.tasks[i - 1].comm_to_next.as_ref().expect("interior edge");
+        let mut next_dp = vec![f64::INFINITY; m];
+        let mut next_back = vec![0usize; m];
+        for to in 0..m {
+            let exec = wf.tasks[i].exec[to] * env.comp_slowdown[to];
+            for from in 0..m {
+                let link = if from == to {
+                    0.0
+                } else {
+                    comm.get(from, to) * env.link_slowdown.get(from, to)
+                };
+                let cost = dp[from] + link + exec;
+                if cost < next_dp[to] {
+                    next_dp[to] = cost;
+                    next_back[to] = from;
+                }
+            }
+        }
+        dp = next_dp;
+        back.push(next_back);
+    }
+    // Trace back the best final machine.
+    let (mut mach, &makespan) = dp
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+        .expect("nonempty dp");
+    let mut assignment = vec![0usize; wf.len()];
+    assignment[wf.len() - 1] = mach;
+    for i in (0..back.len()).rev() {
+        mach = back[i][mach];
+        assignment[i] = mach;
+    }
+    Schedule { assignment, makespan }
+}
+
+/// Ranks every schedule of a small instance, best first — useful for
+/// inspecting how contention reorders the candidates.
+pub fn rank_all(wf: &Workflow, env: &Environment) -> Vec<Schedule> {
+    let m = wf.machines();
+    let k = wf.len();
+    let combos = (m as u64).pow(k as u32);
+    assert!(combos <= 100_000, "too many schedules to rank");
+    let mut all = Vec::with_capacity(combos as usize);
+    let mut assignment = vec![0usize; k];
+    for mut code in 0..combos {
+        for slot in assignment.iter_mut() {
+            *slot = (code % m as u64) as usize;
+            code /= m as u64;
+        }
+        all.push(Schedule {
+            assignment: assignment.clone(),
+            makespan: evaluate(wf, &assignment, env),
+        });
+    }
+    all.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).expect("finite"));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Matrix, Task};
+
+    fn two_task_wf() -> Workflow {
+        let comm = Matrix::from_rows(&[vec![0.0, 7.0], vec![8.0, 0.0]]);
+        Workflow::new(vec![
+            Task::with_edge("A", vec![12.0, 18.0], comm),
+            Task::terminal("B", vec![4.0, 30.0]),
+        ])
+    }
+
+    #[test]
+    fn evaluate_dedicated() {
+        let wf = two_task_wf();
+        let env = Environment::dedicated(2);
+        assert_eq!(evaluate(&wf, &[0, 0], &env), 16.0);
+        assert_eq!(evaluate(&wf, &[1, 0], &env), 18.0 + 8.0 + 4.0);
+        assert_eq!(evaluate(&wf, &[0, 1], &env), 12.0 + 7.0 + 30.0);
+        assert_eq!(evaluate(&wf, &[1, 1], &env), 48.0);
+    }
+
+    #[test]
+    fn exhaustive_finds_dedicated_optimum() {
+        let wf = two_task_wf();
+        let best = best_exhaustive(&wf, &Environment::dedicated(2));
+        assert_eq!(best.assignment, vec![0, 0]);
+        assert_eq!(best.makespan, 16.0);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_random_instances() {
+        // Deterministic pseudo-random chain instances.
+        let mut s = 12345u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        };
+        for machines in 2..=4 {
+            for tasks in 1..=6 {
+                let mut v = Vec::new();
+                for i in 0..tasks {
+                    let exec: Vec<f64> = (0..machines).map(|_| next() + 0.1).collect();
+                    if i + 1 < tasks {
+                        let mut comm = Matrix::filled(machines, 0.0);
+                        for a in 0..machines {
+                            for b in 0..machines {
+                                if a != b {
+                                    comm.set(a, b, next());
+                                }
+                            }
+                        }
+                        v.push(Task::with_edge(format!("t{i}"), exec, comm));
+                    } else {
+                        v.push(Task::terminal(format!("t{i}"), exec));
+                    }
+                }
+                let wf = Workflow::new(v);
+                let mut env = Environment::dedicated(machines);
+                for f in env.comp_slowdown.iter_mut() {
+                    *f = 1.0 + next() / 5.0;
+                }
+                let ex = best_exhaustive(&wf, &env);
+                let dp = best_chain_dp(&wf, &env);
+                assert!(
+                    (ex.makespan - dp.makespan).abs() < 1e-9,
+                    "machines={machines} tasks={tasks}: {} vs {}",
+                    ex.makespan,
+                    dp.makespan
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_all_sorted_and_complete() {
+        let wf = two_task_wf();
+        let ranked = rank_all(&wf, &Environment::dedicated(2));
+        assert_eq!(ranked.len(), 4);
+        assert!(ranked.windows(2).all(|w| w[0].makespan <= w[1].makespan));
+        assert_eq!(ranked[0].assignment, vec![0, 0]);
+    }
+
+    #[test]
+    fn slowdown_reorders_schedules() {
+        let wf = two_task_wf();
+        let mut env = Environment::dedicated(2);
+        env.comp_slowdown[0] = 3.0;
+        let best = best_exhaustive(&wf, &env);
+        // A moves to M2, B stays on the slowed M1 (the paper's Table 3).
+        assert_eq!(best.assignment, vec![1, 0]);
+        assert_eq!(best.makespan, 18.0 + 8.0 + 12.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "assignment length")]
+    fn evaluate_checks_length() {
+        let wf = two_task_wf();
+        evaluate(&wf, &[0], &Environment::dedicated(2));
+    }
+}

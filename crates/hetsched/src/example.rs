@@ -1,0 +1,100 @@
+//! The paper's introductory worked example (Tables 1–4).
+//!
+//! Two tasks `A → B` on machines `M1`, `M2`, with dedicated times from
+//! Table 1/2. Three environments show how contention flips the best
+//! allocation:
+//!
+//! 1. **Dedicated** — both tasks on `M1`, 16 time units.
+//! 2. **`M1` CPU-bound ×3** (Table 3) — `A` moves to `M2`, `B` stays on
+//!    `M1`: 38 units (10 less than keeping both on `M1`).
+//! 3. **CPU ×3 and link ×3** (Tables 3+4) — the slowed link outweighs
+//!    `A`'s gain on `M2`; both tasks return to `M1`: 48 units.
+
+use crate::eval::{best_exhaustive, Schedule};
+use crate::task::{Environment, Matrix, Task, Workflow};
+
+/// The example's workflow: Tables 1 and 2.
+pub fn workflow() -> Workflow {
+    let comm = Matrix::from_rows(&[vec![0.0, 7.0], vec![8.0, 0.0]]);
+    Workflow::new(vec![
+        Task::with_edge("A", vec![12.0, 18.0], comm),
+        Task::terminal("B", vec![4.0, 30.0]),
+    ])
+}
+
+/// Scenario 1: the dedicated environment.
+pub fn env_dedicated() -> Environment {
+    Environment::dedicated(2)
+}
+
+/// Scenario 2: CPU-bound contenders slow `M1` by 3 (Table 3).
+pub fn env_cpu_contention() -> Environment {
+    let mut env = Environment::dedicated(2);
+    env.comp_slowdown[0] = 3.0;
+    env
+}
+
+/// Scenario 3: contenders also slow the `M1↔M2` link by 3 (Table 4).
+pub fn env_cpu_and_link_contention() -> Environment {
+    let mut env = env_cpu_contention();
+    env.link_slowdown.set(0, 1, 3.0);
+    env.link_slowdown.set(1, 0, 3.0);
+    env
+}
+
+/// Solves all three scenarios; returns (dedicated, cpu, cpu+link).
+pub fn solve_all() -> (Schedule, Schedule, Schedule) {
+    let wf = workflow();
+    (
+        best_exhaustive(&wf, &env_dedicated()),
+        best_exhaustive(&wf, &env_cpu_contention()),
+        best_exhaustive(&wf, &env_cpu_and_link_contention()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+
+    #[test]
+    fn dedicated_puts_both_on_m1_in_16_units() {
+        let (d, _, _) = solve_all();
+        assert_eq!(d.assignment, vec![0, 0]);
+        assert_eq!(d.makespan, 16.0);
+    }
+
+    #[test]
+    fn cpu_contention_splits_tasks_at_38_units() {
+        let (_, c, _) = solve_all();
+        assert_eq!(c.assignment, vec![1, 0], "A on M2, B on M1");
+        assert_eq!(c.makespan, 38.0);
+        // The paper: "10 units less than if both tasks were executed on M1".
+        let both_m1 = evaluate(&workflow(), &[0, 0], &env_cpu_contention());
+        assert_eq!(both_m1 - c.makespan, 10.0);
+    }
+
+    #[test]
+    fn link_contention_pulls_both_back_to_m1_at_48_units() {
+        let (_, _, l) = solve_all();
+        assert_eq!(l.assignment, vec![0, 0]);
+        assert_eq!(l.makespan, 48.0);
+        // The split schedule now costs 18 + 24 + 12 = 54.
+        let split = evaluate(&workflow(), &[1, 0], &env_cpu_and_link_contention());
+        assert_eq!(split, 54.0);
+    }
+
+    #[test]
+    fn non_dedicated_tables_match_paper() {
+        // Table 3: execution times under CPU contention.
+        let wf = workflow();
+        let env = env_cpu_contention();
+        assert_eq!(wf.tasks[0].exec[0] * env.comp_slowdown[0], 36.0);
+        assert_eq!(wf.tasks[1].exec[0] * env.comp_slowdown[0], 12.0);
+        // Table 4: communication under link contention.
+        let env = env_cpu_and_link_contention();
+        let comm = wf.tasks[0].comm_to_next.as_ref().unwrap();
+        assert_eq!(comm.get(0, 1) * env.link_slowdown.get(0, 1), 21.0);
+        assert_eq!(comm.get(1, 0) * env.link_slowdown.get(1, 0), 24.0);
+    }
+}

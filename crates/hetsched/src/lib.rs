@@ -1,0 +1,37 @@
+//! # hetsched — contention-aware task allocation
+//!
+//! The consumer of the contention model: rank candidate allocations of a
+//! coarse-grained task chain onto a heterogeneous platform using
+//! slowdown-adjusted cost predictions, as motivated by the paper's
+//! introductory example (Tables 1–4, reproduced in [`example`]).
+//!
+//! * [`task`] — workflows, per-machine dedicated costs, environments;
+//! * [`eval`] — schedule evaluation, exhaustive search, and an exact
+//!   `O(k·m²)` chain dynamic program (the paper's "straightforward"
+//!   generalization to more than two machines);
+//! * [`adapt`] — building environments from contention-model outputs;
+//! * [`example`] — the paper's worked example with its exact numbers;
+//! * [`dag`] — DAG workflows with HEFT-style list scheduling (beyond the
+//!   paper's chains);
+//! * [`migrate`] — stay-vs-migrate decisions when the mix changes mid-run
+//!   (the paper's §4 future work).
+
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod dag;
+pub mod eval;
+pub mod example;
+pub mod migrate;
+pub mod task;
+
+/// Commonly used items, re-exported.
+pub mod prelude {
+    pub use crate::adapt::{cm2_environment, paragon_environment};
+    pub use crate::dag::{Dag, DagTask};
+    pub use crate::eval::{best_chain_dp, best_exhaustive, evaluate, rank_all, Schedule};
+    pub use crate::migrate::{decide as decide_migration, InFlightTask, MigrationDecision};
+    pub use crate::task::{Environment, Matrix, Task, Workflow};
+}
+
+pub use prelude::*;

@@ -1,0 +1,129 @@
+//! Task migration under changing load (paper §4, future work).
+//!
+//! "Since system load may vary during the execution of an application,
+//! the slowdown factors should be recalculated when the job mix changes,
+//! and task migration should be considered."
+//!
+//! When the mix changes mid-run, a running task has three options:
+//! finish where it is, or migrate to the other machine (paying a state
+//! transfer) and finish there. This module evaluates the options with the
+//! phased-load extension of the core model.
+
+use contention_model::phased::LoadTimeline;
+use serde::{Deserialize, Serialize};
+
+/// A task in flight at the moment the job mix changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InFlightTask {
+    /// Remaining *dedicated* work on the current machine, seconds.
+    pub remaining_here: f64,
+    /// Remaining dedicated work if executed on the other machine (the
+    /// algorithms may differ, as the paper notes for library codes).
+    pub remaining_there: f64,
+    /// One-time cost of moving the task's state across the link under
+    /// the *current* conditions, seconds.
+    pub migration_cost: f64,
+}
+
+/// What to do with an in-flight task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MigrationDecision {
+    /// Finish on the current machine.
+    Stay {
+        /// Predicted remaining wall-clock time.
+        finish_in: f64,
+    },
+    /// Move and finish on the other machine.
+    Migrate {
+        /// Predicted remaining wall-clock time including the transfer.
+        finish_in: f64,
+    },
+}
+
+impl MigrationDecision {
+    /// Predicted remaining time of the chosen option.
+    pub fn finish_in(&self) -> f64 {
+        match *self {
+            MigrationDecision::Stay { finish_in } | MigrationDecision::Migrate { finish_in } => {
+                finish_in
+            }
+        }
+    }
+}
+
+/// Evaluates stay-vs-migrate. `here`/`there` are the load profiles of the
+/// two machines *from the decision instant onward*; the migration itself
+/// delays the remote start by `migration_cost` (during which the remote
+/// timeline advances).
+pub fn decide(task: &InFlightTask, here: &LoadTimeline, there: &LoadTimeline) -> MigrationDecision {
+    let stay = here.completion_time(task.remaining_here, 0.0);
+    let migrate =
+        task.migration_cost + there.completion_time(task.remaining_there, task.migration_cost);
+    if migrate < stay {
+        MigrationDecision::Migrate { finish_in: migrate }
+    } else {
+        MigrationDecision::Stay { finish_in: stay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_model::phased::LoadPhase;
+
+    #[test]
+    fn stays_when_local_is_unloaded() {
+        let task = InFlightTask { remaining_here: 10.0, remaining_there: 8.0, migration_cost: 5.0 };
+        let here = LoadTimeline::dedicated();
+        let there = LoadTimeline::dedicated();
+        let d = decide(&task, &here, &there);
+        assert_eq!(d, MigrationDecision::Stay { finish_in: 10.0 });
+    }
+
+    #[test]
+    fn migrates_away_from_heavy_contention() {
+        // Local machine just picked up 4 hogs (slowdown 5); remote idle.
+        let task = InFlightTask { remaining_here: 10.0, remaining_there: 12.0, migration_cost: 3.0 };
+        let here = LoadTimeline::constant(5.0);
+        let there = LoadTimeline::dedicated();
+        let d = decide(&task, &here, &there);
+        assert_eq!(d, MigrationDecision::Migrate { finish_in: 15.0 });
+        assert!(d.finish_in() < 50.0);
+    }
+
+    #[test]
+    fn migration_cost_can_tip_the_balance() {
+        let here = LoadTimeline::constant(2.0);
+        let there = LoadTimeline::dedicated();
+        let cheap = InFlightTask { remaining_here: 10.0, remaining_there: 10.0, migration_cost: 1.0 };
+        assert!(matches!(decide(&cheap, &here, &there), MigrationDecision::Migrate { .. }));
+        let dear = InFlightTask { remaining_here: 10.0, remaining_there: 10.0, migration_cost: 11.0 };
+        assert!(matches!(decide(&dear, &here, &there), MigrationDecision::Stay { .. }));
+    }
+
+    #[test]
+    fn transient_remote_load_is_waited_out() {
+        // The remote machine is busy for 2 s then free; migration takes
+        // 3 s, so the task lands after the burst and runs dedicated.
+        let task = InFlightTask { remaining_here: 20.0, remaining_there: 6.0, migration_cost: 3.0 };
+        let here = LoadTimeline::constant(3.0);
+        let there = LoadTimeline::new(vec![
+            LoadPhase::new(2.0, 10.0),
+            LoadPhase::new(f64::INFINITY, 1.0),
+        ]);
+        let d = decide(&task, &here, &there);
+        // Migrate: 3 + 6 = 9 (the loaded phase ends before arrival);
+        // stay: 60.
+        assert_eq!(d, MigrationDecision::Migrate { finish_in: 9.0 });
+    }
+
+    #[test]
+    fn asymmetric_remaining_work_matters() {
+        // The remote algorithm is far slower on the remaining piece.
+        let task =
+            InFlightTask { remaining_here: 5.0, remaining_there: 40.0, migration_cost: 0.5 };
+        let here = LoadTimeline::constant(4.0);
+        let there = LoadTimeline::dedicated();
+        assert!(matches!(decide(&task, &here, &there), MigrationDecision::Stay { .. }));
+    }
+}

@@ -1,0 +1,456 @@
+//! Time-shared CPU models.
+//!
+//! Two interchangeable schedulers stand behind the [`Cpu`] trait:
+//!
+//! * [`PsCpu`] — ideal processor sharing: `n` active jobs each progress at
+//!   rate `1/n`. This is the idealization behind the paper's `slowdown = p+1`
+//!   law for equal-priority CPU-bound competitors.
+//! * [`RrCpu`] — quantum-based round-robin with a per-dispatch context-switch
+//!   overhead. This is what the "actual" platform simulations use; over long
+//!   runs it converges to processor sharing but exhibits the quantum
+//!   granularity and switching costs that make measured times deviate from
+//!   the model by a few percent, as on the real machines.
+//!
+//! ## Event protocol
+//!
+//! The CPU owns no event queue. After *any* call that mutates the CPU
+//! (`arrive`, `cancel`, `on_event`), the caller re-queries [`Cpu::next_event`]
+//! and schedules a completion event carrying the returned generation stamp.
+//! When that event fires the caller passes it to [`Cpu::on_event`]; a stale
+//! generation is ignored, so superseded events need no cancellation.
+
+use crate::ids::JobId;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Generation stamp distinguishing live completion events from stale ones.
+pub type Gen = u64;
+
+/// A time-shared CPU holding a set of jobs with fixed service demands.
+pub trait Cpu {
+    /// Adds a job with `work` seconds of dedicated CPU demand.
+    ///
+    /// Panics if `id` is already active.
+    fn arrive(&mut self, now: SimTime, id: JobId, work: SimDuration) {
+        self.arrive_weighted(now, id, work, 1.0);
+    }
+
+    /// Adds a job with a scheduling weight. Under processor sharing a
+    /// job's rate is `wᵢ / Σw(active)`: weights above 1 model
+    /// kernel-priority work (network receive processing) that preempts
+    /// ordinary timesharing jobs. The round-robin scheduler ignores
+    /// weights.
+    fn arrive_weighted(&mut self, now: SimTime, id: JobId, work: SimDuration, weight: f64);
+
+    /// Removes a job before completion; returns its remaining demand,
+    /// or `None` if the job is not active.
+    fn cancel(&mut self, now: SimTime, id: JobId) -> Option<SimDuration>;
+
+    /// The next instant at which a job may complete, stamped with the
+    /// current generation. `None` when the CPU is idle.
+    fn next_event(&self) -> Option<(SimTime, Gen)>;
+
+    /// Delivers a completion event. Returns the jobs that completed at
+    /// `now` (empty if the generation is stale or nothing finished).
+    fn on_event(&mut self, now: SimTime, gen: Gen) -> Vec<JobId>;
+
+    /// Number of active jobs.
+    fn active(&self) -> usize;
+
+    /// True if `id` is currently active.
+    fn contains(&self, id: JobId) -> bool;
+}
+
+// ---------------------------------------------------------------------------
+// Ideal processor sharing
+// ---------------------------------------------------------------------------
+
+/// Ideal processor-sharing CPU: each of `n` active jobs runs at rate `1/n`.
+#[derive(Debug, Clone)]
+pub struct PsCpu {
+    /// (id, remaining demand in nanoseconds, weight). `p` is small on
+    /// these platforms, so a linear scan beats any indexed structure.
+    jobs: Vec<(JobId, f64, f64)>,
+    last_update: SimTime,
+    generation: Gen,
+}
+
+impl Default for PsCpu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PsCpu {
+    /// An idle processor-sharing CPU.
+    pub fn new() -> Self {
+        PsCpu { jobs: Vec::new(), last_update: SimTime::ZERO, generation: 0 }
+    }
+
+    /// Advances the fluid state to `now`, draining each job's share of
+    /// the elapsed time (`wᵢ / Σw`).
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_update, "PsCpu time went backwards");
+        let total_w: f64 = self.jobs.iter().map(|&(_, _, w)| w).sum();
+        if total_w > 0.0 {
+            let elapsed = (now - self.last_update).as_nanos() as f64;
+            for (_, rem, w) in &mut self.jobs {
+                *rem = (*rem - elapsed * *w / total_w).max(0.0);
+            }
+        }
+        self.last_update = now;
+    }
+
+    /// Remaining demand of `id` as of the last update (test/diagnostic).
+    pub fn remaining(&self, id: JobId) -> Option<SimDuration> {
+        self.jobs
+            .iter()
+            .find(|(j, _, _)| *j == id)
+            .map(|(_, rem, _)| SimDuration(rem.ceil() as u64))
+    }
+}
+
+impl Cpu for PsCpu {
+    fn arrive_weighted(&mut self, now: SimTime, id: JobId, work: SimDuration, weight: f64) {
+        assert!(!self.contains(id), "job {id} already on CPU");
+        assert!(weight > 0.0, "weight must be positive");
+        self.advance(now);
+        self.jobs.push((id, work.as_nanos() as f64, weight));
+        self.generation += 1;
+    }
+
+    fn cancel(&mut self, now: SimTime, id: JobId) -> Option<SimDuration> {
+        self.advance(now);
+        let pos = self.jobs.iter().position(|(j, _, _)| *j == id)?;
+        let (_, rem, _) = self.jobs.swap_remove(pos);
+        self.generation += 1;
+        Some(SimDuration(rem.ceil() as u64))
+    }
+
+    fn next_event(&self) -> Option<(SimTime, Gen)> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let total_w: f64 = self.jobs.iter().map(|&(_, _, w)| w).sum();
+        // Completion of the job that finishes first at the current rates.
+        // Round up so the event never fires before the fluid model
+        // finishes the job.
+        let eta_ns = self
+            .jobs
+            .iter()
+            .map(|&(_, rem, w)| rem * total_w / w)
+            .fold(f64::INFINITY, f64::min);
+        let eta = SimDuration(eta_ns.ceil() as u64);
+        Some((self.last_update + eta, self.generation))
+    }
+
+    fn on_event(&mut self, now: SimTime, gen: Gen) -> Vec<JobId> {
+        if gen != self.generation {
+            return Vec::new();
+        }
+        self.advance(now);
+        // Sub-nanosecond residue from ceil-rounding counts as done.
+        let done: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, rem, _)| *rem < 1.0)
+            .map(|(id, _, _)| *id)
+            .collect();
+        if !done.is_empty() {
+            self.jobs.retain(|(_, rem, _)| *rem >= 1.0);
+            self.generation += 1;
+        }
+        done
+    }
+
+    fn active(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn contains(&self, id: JobId) -> bool {
+        self.jobs.iter().any(|(j, _, _)| *j == id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Quantum round-robin
+// ---------------------------------------------------------------------------
+
+/// Round-robin CPU: the head of the run queue executes one quantum (or its
+/// remaining demand, whichever is shorter) and rotates to the back. Each
+/// dispatch that switches between different jobs pays `ctx_switch`.
+#[derive(Debug, Clone)]
+pub struct RrCpu {
+    quantum: SimDuration,
+    ctx_switch: SimDuration,
+    /// Run queue; the head is the running job when `slice_end` is set.
+    queue: VecDeque<(JobId, SimDuration)>,
+    /// End instant of the slice in flight, if any.
+    slice_end: Option<SimTime>,
+    /// Start instant of the slice in flight (after context switch).
+    slice_start: SimTime,
+    /// Job that last held the CPU, to decide whether a switch is charged.
+    last_ran: Option<JobId>,
+    generation: Gen,
+}
+
+impl RrCpu {
+    /// A round-robin CPU with the given quantum and context-switch cost.
+    pub fn new(quantum: SimDuration, ctx_switch: SimDuration) -> Self {
+        assert!(!quantum.is_zero(), "quantum must be positive");
+        RrCpu {
+            quantum,
+            ctx_switch,
+            queue: VecDeque::new(),
+            slice_end: None,
+            slice_start: SimTime::ZERO,
+            last_ran: None,
+            generation: 0,
+        }
+    }
+
+    /// Dispatches the head of the run queue, if idle and non-empty.
+    fn dispatch(&mut self, now: SimTime) {
+        if self.slice_end.is_some() {
+            return;
+        }
+        let Some(&(id, rem)) = self.queue.front() else { return };
+        let switch = if self.last_ran == Some(id) { SimDuration::ZERO } else { self.ctx_switch };
+        let slice = rem.min(self.quantum);
+        self.slice_start = now + switch;
+        self.slice_end = Some(self.slice_start + slice);
+        self.generation += 1;
+    }
+
+    /// Remaining demand of `id` (test/diagnostic). For the running job this
+    /// is the demand as of its slice start.
+    pub fn remaining(&self, id: JobId) -> Option<SimDuration> {
+        self.queue.iter().find(|(j, _)| *j == id).map(|&(_, rem)| rem)
+    }
+}
+
+impl Cpu for RrCpu {
+    /// Round-robin ignores weights: every job gets the same quantum.
+    fn arrive_weighted(&mut self, now: SimTime, id: JobId, work: SimDuration, _weight: f64) {
+        assert!(!self.contains(id), "job {id} already on CPU");
+        // Zero-demand jobs still take one trip through the queue (one
+        // dispatch), which mirrors a real zero-work process wakeup.
+        self.queue.push_back((id, work));
+        self.dispatch(now);
+    }
+
+    fn cancel(&mut self, now: SimTime, id: JobId) -> Option<SimDuration> {
+        let pos = self.queue.iter().position(|(j, _)| *j == id)?;
+        let (_, mut rem) = self.queue.remove(pos).expect("position just found");
+        if pos == 0 && self.slice_end.is_some() {
+            // The job is mid-slice: credit the time it already ran.
+            let ran = if now > self.slice_start { now - self.slice_start } else { SimDuration::ZERO };
+            rem = rem.saturating_sub(ran);
+            self.slice_end = None;
+            self.last_ran = Some(id);
+            self.generation += 1;
+            self.dispatch(now);
+        }
+        Some(rem)
+    }
+
+    fn next_event(&self) -> Option<(SimTime, Gen)> {
+        self.slice_end.map(|t| (t, self.generation))
+    }
+
+    fn on_event(&mut self, now: SimTime, gen: Gen) -> Vec<JobId> {
+        if gen != self.generation || self.slice_end != Some(now) {
+            return Vec::new();
+        }
+        self.slice_end = None;
+        let (id, rem) = self.queue.pop_front().expect("slice without a running job");
+        self.last_ran = Some(id);
+        let ran = now - self.slice_start;
+        let left = rem.saturating_sub(ran);
+        let mut done = Vec::new();
+        if left.is_zero() {
+            done.push(id);
+        } else {
+            self.queue.push_back((id, left));
+        }
+        self.generation += 1;
+        self.dispatch(now);
+        done
+    }
+
+    fn active(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn contains(&self, id: JobId) -> bool {
+        self.queue.iter().any(|(j, _)| *j == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives a CPU to completion, returning (job, completion time) pairs.
+    fn drain(cpu: &mut dyn Cpu) -> Vec<(JobId, SimTime)> {
+        let mut out = Vec::new();
+        while let Some((t, gen)) = cpu.next_event() {
+            for id in cpu.on_event(t, gen) {
+                out.push((id, t));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ps_single_job_runs_at_full_speed() {
+        let mut cpu = PsCpu::new();
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(5));
+        let done = drain(&mut cpu);
+        assert_eq!(done, vec![(JobId(1), SimTime::ZERO + SimDuration::from_secs(5))]);
+    }
+
+    #[test]
+    fn ps_two_equal_jobs_halve_speed() {
+        let mut cpu = PsCpu::new();
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(5));
+        cpu.arrive(SimTime::ZERO, JobId(2), SimDuration::from_secs(5));
+        let done = drain(&mut cpu);
+        // Both finish at t = 10 (5s of demand at rate 1/2).
+        assert_eq!(done.len(), 2);
+        for (_, t) in done {
+            let err = (t.as_secs_f64() - 10.0).abs();
+            assert!(err < 1e-6, "finish at {t}");
+        }
+    }
+
+    #[test]
+    fn ps_p_plus_one_slowdown_law() {
+        // A 1-second job against p long-lived hogs finishes in ~p+1 seconds:
+        // exactly the paper's Sun/CM2 slowdown.
+        for p in 0..6u64 {
+            let mut cpu = PsCpu::new();
+            for i in 0..p {
+                cpu.arrive(SimTime::ZERO, JobId(100 + i), SimDuration::from_secs(1000));
+            }
+            cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(1));
+            let (t, gen) = cpu.next_event().unwrap();
+            let done = cpu.on_event(t, gen);
+            assert_eq!(done, vec![JobId(1)]);
+            let expect = (p + 1) as f64;
+            assert!(
+                (t.as_secs_f64() - expect).abs() < 1e-6,
+                "p={p}: finished at {t}, expected {expect}s"
+            );
+        }
+    }
+
+    #[test]
+    fn ps_late_arrival_shares_from_arrival_only() {
+        let mut cpu = PsCpu::new();
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(4));
+        // After 2s alone, job1 has 2s left; job2 arrives.
+        cpu.arrive(SimTime::ZERO + SimDuration::from_secs(2), JobId(2), SimDuration::from_secs(1));
+        let done = drain(&mut cpu);
+        // job2 (1s demand) at rate 1/2 finishes at t=4; job1's last 2s run
+        // 2s shared (1s progress) + 1s alone => t=5.
+        let t2 = done.iter().find(|(id, _)| *id == JobId(2)).unwrap().1;
+        let t1 = done.iter().find(|(id, _)| *id == JobId(1)).unwrap().1;
+        assert!((t2.as_secs_f64() - 4.0).abs() < 1e-6, "job2 at {t2}");
+        assert!((t1.as_secs_f64() - 5.0).abs() < 1e-6, "job1 at {t1}");
+    }
+
+    #[test]
+    fn ps_cancel_returns_remaining() {
+        let mut cpu = PsCpu::new();
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(4));
+        cpu.arrive(SimTime::ZERO, JobId(2), SimDuration::from_secs(4));
+        let rem = cpu
+            .cancel(SimTime::ZERO + SimDuration::from_secs(2), JobId(1))
+            .unwrap();
+        // Ran 2s at rate 1/2 = 1s progress; 3s left.
+        assert!((rem.as_secs_f64() - 3.0).abs() < 1e-6);
+        assert_eq!(cpu.active(), 1);
+        assert!(cpu.cancel(SimTime::ZERO + SimDuration::from_secs(2), JobId(9)).is_none());
+    }
+
+    #[test]
+    fn ps_stale_generation_ignored() {
+        let mut cpu = PsCpu::new();
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(2));
+        let (t, gen) = cpu.next_event().unwrap();
+        cpu.arrive(SimTime::ZERO + SimDuration::from_secs(1), JobId(2), SimDuration::from_secs(2));
+        // The old event is now stale and must be ignored.
+        assert!(cpu.on_event(t, gen).is_empty());
+        assert_eq!(cpu.active(), 2);
+    }
+
+    #[test]
+    fn rr_single_job_exact() {
+        let mut cpu = RrCpu::new(SimDuration::from_millis(10), SimDuration::ZERO);
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_millis(35));
+        let done = drain(&mut cpu);
+        assert_eq!(done, vec![(JobId(1), SimTime::ZERO + SimDuration::from_millis(35))]);
+    }
+
+    #[test]
+    fn rr_two_jobs_interleave_and_finish_near_double() {
+        let q = SimDuration::from_millis(10);
+        let mut cpu = RrCpu::new(q, SimDuration::ZERO);
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_millis(100));
+        cpu.arrive(SimTime::ZERO, JobId(2), SimDuration::from_millis(100));
+        let done = drain(&mut cpu);
+        let t_last = done.iter().map(|&(_, t)| t).max().unwrap();
+        assert_eq!(t_last, SimTime::ZERO + SimDuration::from_millis(200));
+        // First finisher completes within one quantum of the other.
+        let t_first = done.iter().map(|&(_, t)| t).min().unwrap();
+        assert!(t_last - t_first <= q);
+    }
+
+    #[test]
+    fn rr_context_switch_inflates_makespan() {
+        let q = SimDuration::from_millis(10);
+        let cs = SimDuration::from_micros(100);
+        let mut cpu = RrCpu::new(q, cs);
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_millis(100));
+        cpu.arrive(SimTime::ZERO, JobId(2), SimDuration::from_millis(100));
+        let done = drain(&mut cpu);
+        let t_last = done.iter().map(|&(_, t)| t).max().unwrap();
+        // 20 slices, each a switch between different jobs: +20 * 0.1ms.
+        assert_eq!(t_last, SimTime::ZERO + SimDuration::from_millis(202));
+    }
+
+    #[test]
+    fn rr_no_switch_cost_when_alone() {
+        let cs = SimDuration::from_millis(1);
+        let mut cpu = RrCpu::new(SimDuration::from_millis(10), cs);
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_millis(50));
+        let done = drain(&mut cpu);
+        // One switch on first dispatch only; subsequent slices re-dispatch
+        // the same job without paying again.
+        assert_eq!(done[0].1, SimTime::ZERO + SimDuration::from_millis(51));
+    }
+
+    #[test]
+    fn rr_cancel_running_job_credits_partial_slice() {
+        let mut cpu = RrCpu::new(SimDuration::from_millis(10), SimDuration::ZERO);
+        cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_millis(100));
+        // Cancel 4ms into the first slice.
+        let rem = cpu.cancel(SimTime::ZERO + SimDuration::from_millis(4), JobId(1)).unwrap();
+        assert_eq!(rem, SimDuration::from_millis(96));
+        assert_eq!(cpu.active(), 0);
+        assert!(cpu.next_event().is_none());
+    }
+
+    #[test]
+    fn rr_long_run_matches_ps_rate() {
+        // Over many quanta, RR's per-job throughput approaches PS's 1/n.
+        let mut cpu = RrCpu::new(SimDuration::from_millis(10), SimDuration::ZERO);
+        for i in 0..4 {
+            cpu.arrive(SimTime::ZERO, JobId(i), SimDuration::from_secs(1));
+        }
+        let done = drain(&mut cpu);
+        let t_last = done.iter().map(|&(_, t)| t).max().unwrap();
+        assert!((t_last.as_secs_f64() - 4.0).abs() < 0.05, "makespan {t_last}");
+    }
+}

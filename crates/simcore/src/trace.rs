@@ -1,0 +1,180 @@
+//! Execution tracing and text Gantt rendering.
+//!
+//! Used to reproduce the paper's Figure 2 — the interleaving of serial
+//! instructions on the front-end with parallel instructions on the CM2 —
+//! and generally useful when debugging platform scenarios.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One traced activity interval on a named lane.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Span {
+    /// Lane (machine/resource) this span belongs to.
+    pub lane: String,
+    /// Activity label, e.g. `serial`, `parallel`, `idle`, `xfer`.
+    pub label: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant.
+    pub end: SimTime,
+}
+
+/// Collects spans during a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Tracer {
+    spans: Vec<Span>,
+    enabled: bool,
+}
+
+impl Tracer {
+    /// A tracer that records nothing (zero overhead beyond the branch).
+    pub fn disabled() -> Self {
+        Tracer { spans: Vec::new(), enabled: false }
+    }
+
+    /// A tracer that records every span.
+    pub fn enabled() -> Self {
+        Tracer { spans: Vec::new(), enabled: true }
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one interval; ignored when disabled or empty.
+    pub fn record(&mut self, lane: &str, label: &str, start: SimTime, end: SimTime) {
+        if !self.enabled || end <= start {
+            return;
+        }
+        self.spans.push(Span {
+            lane: lane.to_string(),
+            label: label.to_string(),
+            start,
+            end,
+        });
+    }
+
+    /// All recorded spans in recording order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans on one lane, ordered by start time.
+    pub fn lane(&self, lane: &str) -> Vec<&Span> {
+        let mut v: Vec<&Span> = self.spans.iter().filter(|s| s.lane == lane).collect();
+        v.sort_by_key(|s| s.start);
+        v
+    }
+
+    /// Total time a lane spends in spans with the given label.
+    pub fn lane_label_time(&self, lane: &str, label: &str) -> SimDuration {
+        self.spans
+            .iter()
+            .filter(|s| s.lane == lane && s.label == label)
+            .map(|s| s.end - s.start)
+            .fold(SimDuration::ZERO, |a, b| a + b)
+    }
+
+    /// Renders an ASCII Gantt chart with `width` character columns spanning
+    /// the full traced interval. Each lane is one row; span labels are
+    /// abbreviated to their first character.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let mut out = String::new();
+        if self.spans.is_empty() {
+            out.push_str("(empty trace)\n");
+            return out;
+        }
+        let t0 = self.spans.iter().map(|s| s.start).min().expect("nonempty");
+        let t1 = self.spans.iter().map(|s| s.end).max().expect("nonempty");
+        let total = (t1 - t0).as_secs_f64().max(1e-12);
+
+        let mut lanes: Vec<String> = Vec::new();
+        for s in &self.spans {
+            if !lanes.contains(&s.lane) {
+                lanes.push(s.lane.clone());
+            }
+        }
+        let name_w = lanes.iter().map(|l| l.len()).max().unwrap_or(4).max(4);
+
+        let _ = writeln!(
+            out,
+            "{:name_w$} |{}| {:.6}s .. {:.6}s",
+            "lane",
+            "-".repeat(width),
+            t0.as_secs_f64(),
+            t1.as_secs_f64()
+        );
+        for lane in &lanes {
+            let mut row = vec![b'.'; width];
+            for s in self.spans.iter().filter(|s| &s.lane == lane) {
+                let a = (((s.start - t0).as_secs_f64() / total) * width as f64) as usize;
+                let b = (((s.end - t0).as_secs_f64() / total) * width as f64).ceil() as usize;
+                let ch = s.label.bytes().next().unwrap_or(b'?');
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = ch;
+                }
+            }
+            let _ = writeln!(out, "{:name_w$} |{}|", lane, String::from_utf8_lossy(&row));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut tr = Tracer::disabled();
+        tr.record("sun", "serial", t(0), t(1));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn records_and_filters_lanes() {
+        let mut tr = Tracer::enabled();
+        tr.record("sun", "serial", t(0), t(2));
+        tr.record("cm2", "parallel", t(1), t(3));
+        tr.record("sun", "idle", t(2), t(3));
+        assert_eq!(tr.spans().len(), 3);
+        assert_eq!(tr.lane("sun").len(), 2);
+        assert_eq!(tr.lane_label_time("sun", "serial"), SimDuration::from_secs(2));
+        assert_eq!(tr.lane_label_time("cm2", "parallel"), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn empty_spans_dropped() {
+        let mut tr = Tracer::enabled();
+        tr.record("sun", "serial", t(1), t(1));
+        assert!(tr.spans().is_empty());
+    }
+
+    #[test]
+    fn gantt_renders_all_lanes() {
+        let mut tr = Tracer::enabled();
+        tr.record("sun", "serial", t(0), t(5));
+        tr.record("cm2", "parallel", t(5), t(10));
+        let g = tr.render_gantt(20);
+        assert!(g.contains("sun"));
+        assert!(g.contains("cm2"));
+        // First half of sun row is 's', second half of cm2 row is 'p'.
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("ssss"));
+        assert!(lines[2].contains("pppp"));
+    }
+
+    #[test]
+    fn gantt_empty_trace() {
+        let tr = Tracer::enabled();
+        assert!(tr.render_gantt(10).contains("empty"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Task migration under changing load (the paper's §4 future work).
+//!
+//! A long solve is running on the front-end when a batch of CPU-bound
+//! jobs arrives. The migration module weighs finishing in place (slowed
+//! by the new mix, possibly until the batch departs) against paying a
+//! state transfer to continue on the idle back-end. The load profiles
+//! come from the phased extension; the slowdown factors from the base
+//! model.
+//!
+//! ```text
+//! cargo run --example migration
+//! ```
+
+use hetero_contention::model::phased::cm2_timeline;
+use hetero_contention::prelude::*;
+use hetsched::migrate::{decide, InFlightTask, MigrationDecision};
+
+fn main() {
+    // The task was placed locally while the machine was idle. Halfway
+    // through, 3 CPU-bound jobs arrive and are expected to run for a
+    // while (the resource manager knows the batch queue, as the paper
+    // assumes).
+    let remaining_local = 30.0; // dedicated seconds left here
+    let remaining_remote = 9.0; // the back-end algorithm is faster
+    // Migration ships a 2 M-word state over the link.
+    let link = LinearCommModel::new(1.6e-3, 79_000.0);
+    let migration_cost = link.dcomm(&[DataSet::burst(2_000, 1_000)]);
+
+    println!("remaining work: {remaining_local:.0}s local / {remaining_remote:.0}s remote");
+    println!("migration cost: {migration_cost:.1}s\n");
+    println!(
+        "{:<44} {:>10} {:>10}  verdict",
+        "scenario (hog batch on the front-end)", "stay", "migrate"
+    );
+
+    let scenarios: Vec<(&str, LoadTimeline)> = vec![
+        ("no contention", LoadTimeline::dedicated()),
+        ("3 hogs, indefinitely", cm2_timeline(&[(f64::INFINITY, 3)])),
+        ("3 hogs for 10s, then idle", cm2_timeline(&[(10.0, 3), (f64::INFINITY, 0)])),
+        ("3 hogs for 60s, then idle", cm2_timeline(&[(60.0, 3), (f64::INFINITY, 0)])),
+        (
+            "load ramps: 1 hog 10s, 3 hogs 20s, idle",
+            cm2_timeline(&[(10.0, 1), (20.0, 3), (f64::INFINITY, 0)]),
+        ),
+    ];
+
+    let remote = LoadTimeline::dedicated(); // the back-end partition is ours
+    for (what, here) in scenarios {
+        let task = InFlightTask {
+            remaining_here: remaining_local,
+            remaining_there: remaining_remote,
+            migration_cost,
+        };
+        let stay = here.completion_time(task.remaining_here, 0.0);
+        let mig = task.migration_cost
+            + remote.completion_time(task.remaining_there, task.migration_cost);
+        let d = decide(&task, &here, &remote);
+        let verdict = match d {
+            MigrationDecision::Stay { .. } => "stay",
+            MigrationDecision::Migrate { .. } => "MIGRATE",
+        };
+        println!("{what:<44} {stay:>9.1}s {mig:>9.1}s  {verdict}");
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end Sun/CM2 off-load decision, validated against simulation.
+//!
+//! The workload is Gaussian elimination (the paper's benchmark; think of
+//! the molecular-structure or climate codes the introduction cites). The
+//! pipeline is the paper's own:
+//!
+//! 1. calibrate the dedicated transfer models with the system test suite;
+//! 2. decompose the task's dedicated costs (front-end time, CM2 pipeline,
+//!    serial stream, data sets);
+//! 3. predict `T_sun` vs `T_cm2 + C` under the current load and decide;
+//! 4. (here) validate by actually simulating both placements.
+//!
+//! ```text
+//! cargo run --release --example offload_decision
+//! ```
+
+use hetero_contention::prelude::*;
+
+fn main() {
+    let cfg = {
+        let mut c = PlatformConfig::sun_cm2();
+        c.frontend = FrontendParams::processor_sharing();
+        c
+    };
+    let seed = 42;
+
+    // 1. System test suite → dedicated transfer models.
+    let spec = Cm2CalibrationSpec { bandwidth_elements: 200_000, startup_count: 10_000 };
+    let predictor = calibrate_cm2(cfg, spec, seed);
+    println!(
+        "calibrated: α = {:.1} µs, β_sun = {:.0} w/s, β_cm2 = {:.0} w/s\n",
+        predictor.comm_to.alpha * 1e6,
+        predictor.comm_to.beta,
+        predictor.comm_from.beta
+    );
+
+    let rates = MachineRates::default();
+    let params = Cm2ProgramParams::default();
+
+    println!(
+        "{:>5} {:>3} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "M", "p", "pred local", "pred offld", "decision", "sim best", "agree"
+    );
+    for m in [100u64, 200, 300] {
+        for p in [0u32, 3] {
+            let program = gauss_program(m, &params);
+
+            // 2. Dedicated cost decomposition. The serial/parallel split
+            // comes from the program structure; didle from one dedicated
+            // simulation (a calibration-time activity).
+            let dserial = program.serial_total(cfg.cm2.instr_dispatch).as_secs_f64();
+            let dcomp_cm2 = program.parallel_total().as_secs_f64();
+            let t_ded = simulate(cfg, seed, cm2_program_app("ge", program.clone()), 0);
+            let didle = (t_ded - dcomp_cm2).max(0.0).min(dserial);
+            let task = Cm2Task {
+                costs: Cm2TaskCosts::new(
+                    rates.gauss_sun_demand(m).as_secs_f64(),
+                    dcomp_cm2,
+                    didle,
+                    dserial,
+                ),
+                to_backend: vec![DataSet::matrix_rows(m, m + 1)],
+                from_backend: vec![DataSet::single(m)],
+            };
+
+            // 3. Predict and decide.
+            let d = predictor.decide(&task, p);
+            let pred_local = d.t_front;
+            let pred_off = d.t_back + d.c_to + d.c_from;
+
+            // 4. Validate: simulate both placements under p hogs.
+            let sim_local = simulate(
+                cfg,
+                seed ^ m,
+                sun_task_app("local", rates.gauss_sun_demand(m)),
+                p,
+            );
+            let sim_off = simulate(
+                cfg,
+                seed ^ m ^ 1,
+                cm2_offloaded_task("offld", (m, m + 1), program, (1, m)),
+                p,
+            );
+            let sim_best = if sim_local < sim_off { Placement::FrontEnd } else { Placement::BackEnd };
+            println!(
+                "{m:>5} {p:>3} {pred_local:>12.2} {pred_off:>12.2} {:>10} {:>12.2} {:>10}",
+                label(d.placement),
+                sim_local.min(sim_off),
+                if d.placement == sim_best { "yes" } else { "NO" }
+            );
+        }
+    }
+}
+
+fn label(p: Placement) -> &'static str {
+    match p {
+        Placement::FrontEnd => "local",
+        Placement::BackEnd => "offload",
+    }
+}
+
+/// Simulates one app against `p` CPU hogs; returns its elapsed seconds.
+fn simulate(cfg: PlatformConfig, seed: u64, app: ScriptedApp, p: u32) -> f64 {
+    let mut plat = Platform::new(cfg, seed);
+    for i in 0..p {
+        plat.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
+    }
+    let start = if p == 0 {
+        SimTime::ZERO
+    } else {
+        SimTime::ZERO + SimDuration::from_secs(1)
+    };
+    let id = plat.spawn_at(Box::new(app), start);
+    plat.run_until_done(id).expect("stalled");
+    plat.elapsed(id).expect("finished").as_secs_f64()
+}

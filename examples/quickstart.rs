@@ -1,0 +1,91 @@
+//! Quickstart: the contention model in five minutes.
+//!
+//! Builds predictors from hand-set parameters (no simulation) and shows
+//! how contention flips an off-load decision — the paper's core story.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hetero_contention::prelude::*;
+
+fn main() {
+    // -- Sun/CM2 ---------------------------------------------------------
+    // Dedicated transfer models (α in seconds, β in words/second) — in a
+    // real deployment these come from `calibration::calibrate_cm2`.
+    let cm2 = Cm2Predictor {
+        comm_to: LinearCommModel::new(500e-6, 500_000.0),
+        comm_from: LinearCommModel::new(800e-6, 250_000.0),
+    };
+
+    // A task: 30 s on the workstation, or 4 s of CM2 pipeline plus a
+    // 0.5 s serial stream, moving a 600×600 matrix each way.
+    let task = Cm2Task {
+        costs: Cm2TaskCosts::new(30.0, 3.8, 0.2, 0.5),
+        to_backend: vec![DataSet::matrix_rows(600, 600)],
+        from_backend: vec![DataSet::matrix_rows(600, 600)],
+    };
+
+    println!("Sun/CM2 off-load decision vs. front-end load:");
+    println!("{:>3} {:>10} {:>10} {:>10} {:>10}  verdict", "p", "T_sun", "T_cm2", "C_to", "C_from");
+    for p in 0..=5 {
+        let d = cm2.decide(&task, p);
+        println!(
+            "{p:>3} {:>10.2} {:>10.2} {:>10.2} {:>10.2}  {:?}",
+            d.t_front, d.t_back, d.c_to, d.c_from, d.placement
+        );
+    }
+
+    // -- Sun/Paragon -------------------------------------------------------
+    // Piecewise dedicated models plus measured delay tables (here made up;
+    // `calibration::calibrate_paragon` produces real ones).
+    let paragon = ParagonPredictor {
+        comm_to: PiecewiseCommModel::new(
+            1024,
+            LinearCommModel::new(1.6e-3, 79_000.0),
+            LinearCommModel::new(5.6e-3, 104_000.0),
+        ),
+        comm_from: PiecewiseCommModel::new(
+            1024,
+            LinearCommModel::new(1.5e-3, 149_000.0),
+            LinearCommModel::new(1.0e-3, 83_000.0),
+        ),
+        comm_delays: CommDelayTable::new(vec![0.27, 0.61, 1.02], vec![0.19, 0.49, 0.81]),
+        comp_delays: CompDelayTable::new(
+            vec![1, 500, 1000],
+            vec![vec![0.22, 0.37, 0.37], vec![0.66, 1.15, 1.59], vec![1.68, 3.59, 5.52]],
+        ),
+    };
+
+    // The run-time workload description: two other applications share the
+    // front-end, communicating 25% and 76% of the time with 200-word
+    // messages. O(p) to extend when another job arrives.
+    let mut mix = WorkloadMix::from_fracs(&[0.25, 0.76]);
+    let j_words = 200;
+
+    let task = ParagonTask {
+        dcomp_sun: 12.0,
+        t_paragon: 1.5,
+        to_backend: vec![DataSet::burst(1000, 512)],
+        from_backend: vec![DataSet::burst(1000, 512)],
+    };
+    let d = paragon.decide(&task, &mix, j_words);
+    println!("\nSun/Paragon under the 25%/76% mix:");
+    println!(
+        "  T_sun = {:.2}s, T_p + C = {:.2}s  → {:?}",
+        d.t_front,
+        d.t_back + d.c_to + d.c_from,
+        d.placement
+    );
+
+    // A third, communication-heavy job arrives: update in O(p) and re-rank.
+    mix.add(0.9);
+    let d = paragon.decide(&task, &mix, j_words);
+    println!("After a 90%-communication job arrives (p = {}):", mix.p());
+    println!(
+        "  T_sun = {:.2}s, T_p + C = {:.2}s  → {:?}",
+        d.t_front,
+        d.t_back + d.c_to + d.c_from,
+        d.placement
+    );
+}

@@ -1,0 +1,51 @@
+//! # hetero-contention
+//!
+//! A reproduction of *"Modeling the Effects of Contention on the
+//! Performance of Heterogeneous Applications"* (Figueira & Berman,
+//! HPDC 1996) as a Rust workspace:
+//!
+//! * [`model`] (crate `contention-model`) — the paper's analytical
+//!   contention model: slowdown factors for non-dedicated two-machine
+//!   heterogeneous platforms;
+//! * [`simcore`] — a deterministic discrete-event kernel;
+//! * [`hetplat`] — simulated Sun/CM2 and Sun/Paragon platforms (the
+//!   substrate standing in for the 1996 hardware);
+//! * [`hetload`] — kernels, benchmarks, and contention generators;
+//! * [`calibration`] — the system test suite producing the model's
+//!   system-dependent parameters;
+//! * [`hetsched`] — contention-aware task allocation;
+//! * [`experiments`] — regeneration of every table and figure.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use calibration;
+pub use contention_model as model;
+pub use experiments;
+pub use hetload;
+pub use hetplat;
+pub use hetsched;
+pub use simcore;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use calibration::{
+        calibrate_cm2, calibrate_paragon, Cm2CalibrationSpec, DelaySpec, PingPongSpec,
+    };
+    pub use contention_model::prelude::*;
+    pub use hetload::prelude::*;
+    pub use hetplat::prelude::*;
+    pub use hetsched::prelude::*;
+    pub use simcore::prelude::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn umbrella_reexports_compile() {
+        use crate::prelude::*;
+        let mix = WorkloadMix::from_fracs(&[0.25, 0.76]);
+        assert_eq!(mix.p(), 2);
+        let _cfg = PlatformConfig::sun_cm2();
+        assert_eq!(cm2_slowdown(3), 4.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end Sun/CM2: calibrate → predict → simulate → compare.
+
+use hetero_contention::prelude::*;
+
+fn ps_cfg() -> PlatformConfig {
+    let mut c = PlatformConfig::sun_cm2();
+    c.frontend = FrontendParams::processor_sharing();
+    c
+}
+
+fn quick_calibration(cfg: PlatformConfig) -> Cm2Predictor {
+    calibrate_cm2(
+        cfg,
+        Cm2CalibrationSpec { bandwidth_elements: 200_000, startup_count: 5_000 },
+        7,
+    )
+}
+
+/// Simulates one app against `p` hogs; returns elapsed seconds.
+fn simulate(cfg: PlatformConfig, seed: u64, app: ScriptedApp, p: u32) -> f64 {
+    let mut plat = Platform::new(cfg, seed);
+    for i in 0..p {
+        plat.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
+    }
+    let start =
+        if p == 0 { SimTime::ZERO } else { SimTime::ZERO + SimDuration::from_secs(1) };
+    let id = plat.spawn_at(Box::new(app), start);
+    plat.run_until_done(id).expect("stalled");
+    plat.elapsed(id).expect("finished").as_secs_f64()
+}
+
+#[test]
+fn calibrated_transfer_predictions_track_simulation() {
+    let cfg = ps_cfg();
+    let pred = quick_calibration(cfg);
+    for m in [150u64, 400] {
+        for p in [0u32, 2, 4] {
+            let sets = [DataSet::matrix_rows(m, m)];
+            let modeled = pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p);
+            let actual = simulate(cfg, 11 ^ m, cm2_matrix_transfer_app("probe", m), p);
+            let err = (modeled - actual).abs() / actual;
+            assert!(
+                err < 0.15,
+                "M={m} p={p}: modeled {modeled:.3} vs actual {actual:.3} ({:.1}%)",
+                err * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn gauss_offload_prediction_tracks_simulation() {
+    let cfg = ps_cfg();
+    let params = Cm2ProgramParams::default();
+    let rates = MachineRates::default();
+    for m in [100u64, 250] {
+        let program = gauss_program(m, &params);
+        let dserial = program.serial_total(cfg.cm2.instr_dispatch).as_secs_f64();
+        let dcomp = program.parallel_total().as_secs_f64();
+        let t_ded = simulate(cfg, 5, cm2_program_app("ge", program.clone()), 0);
+        let didle = (t_ded - dcomp).max(0.0).min(dserial);
+        let costs = Cm2TaskCosts::new(
+            rates.gauss_sun_demand(m).as_secs_f64(),
+            dcomp,
+            didle,
+            dserial,
+        );
+        for p in [1u32, 3] {
+            let predicted = costs.t_cm2(p);
+            let actual = simulate(cfg, 5 ^ m ^ p as u64, cm2_program_app("ge", program.clone()), p);
+            let err = (predicted - actual).abs() / actual;
+            assert!(
+                err < 0.15,
+                "M={m} p={p}: predicted {predicted:.3} vs actual {actual:.3}"
+            );
+        }
+    }
+}
+
+#[test]
+fn placement_decision_agrees_with_simulated_ground_truth() {
+    let cfg = ps_cfg();
+    let pred = quick_calibration(cfg);
+    let rates = MachineRates::default();
+    let params = Cm2ProgramParams::default();
+    // Two sizes spanning the interesting region, three load levels.
+    for m in [150u64, 300] {
+        for p in [0u32, 2, 4] {
+            let program = gauss_program(m, &params);
+            let dserial = program.serial_total(cfg.cm2.instr_dispatch).as_secs_f64();
+            let dcomp = program.parallel_total().as_secs_f64();
+            let t_ded = simulate(cfg, 3, cm2_program_app("ge", program.clone()), 0);
+            let didle = (t_ded - dcomp).max(0.0).min(dserial);
+            let task = Cm2Task {
+                costs: Cm2TaskCosts::new(
+                    rates.gauss_sun_demand(m).as_secs_f64(),
+                    dcomp,
+                    didle,
+                    dserial,
+                ),
+                to_backend: vec![DataSet::matrix_rows(m, m + 1)],
+                from_backend: vec![DataSet::single(m)],
+            };
+            let decision = pred.decide(&task, p);
+
+            let sim_local =
+                simulate(cfg, 77 ^ m, sun_task_app("l", rates.gauss_sun_demand(m)), p);
+            let sim_off = simulate(
+                cfg,
+                78 ^ m,
+                cm2_offloaded_task("o", (m, m + 1), program, (1, m)),
+                p,
+            );
+            // When the margin is comfortable (>10%), prediction and
+            // simulation must agree on the placement.
+            let margin = (sim_local - sim_off).abs() / sim_local.min(sim_off);
+            if margin > 0.10 {
+                let sim_best =
+                    if sim_local < sim_off { Placement::FrontEnd } else { Placement::BackEnd };
+                assert_eq!(
+                    decision.placement, sim_best,
+                    "M={m} p={p}: sim local {sim_local:.2} vs off {sim_off:.2}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cm2_transfer_slowdown_follows_p_plus_one_on_rr_scheduler_too() {
+    // The realistic quantum round-robin scheduler preserves the p+1 law
+    // for the (continuous, CPU-bound) CM2 transfers within a few percent.
+    let cfg = PlatformConfig::sun_cm2(); // RR by default
+    let t0 = simulate(cfg, 9, cm2_matrix_transfer_app("probe", 300), 0);
+    let t3 = simulate(cfg, 9, cm2_matrix_transfer_app("probe", 300), 3);
+    let ratio = t3 / t0;
+    assert!((3.6..4.4).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn sequencer_serializes_competing_cm2_tasks() {
+    let cfg = ps_cfg();
+    let params = Cm2ProgramParams::default();
+    let program = gauss_program(80, &params);
+    let mut plat = Platform::new(cfg, 1);
+    let a = plat.spawn(Box::new(cm2_program_app("a", program.clone())));
+    let b = plat.spawn(Box::new(cm2_program_app("b", program)));
+    let ta = plat.run_until_done(a).expect("a stalled");
+    let tb = plat.run_until_done(b).expect("b stalled");
+    // b can only start after a releases the sequencer.
+    assert!(tb.as_secs_f64() > 1.9 * ta.as_secs_f64());
+}

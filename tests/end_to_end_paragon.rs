@@ -1,0 +1,165 @@
+//! End-to-end Sun/Paragon: calibrate → predict under load → simulate.
+
+use hetero_contention::prelude::*;
+
+fn ps_cfg() -> PlatformConfig {
+    let mut c = PlatformConfig::sun_paragon();
+    c.frontend = FrontendParams::processor_sharing();
+    c
+}
+
+fn quick_predictor(cfg: PlatformConfig) -> ParagonPredictor {
+    let pingpong = PingPongSpec {
+        sizes: vec![1, 64, 256, 512, 768, 1024, 1536, 2048, 4096],
+        burst: 100,
+    };
+    let delays = DelaySpec {
+        p_max: 2,
+        probe_burst: 100,
+        probe_sizes: vec![64, 512],
+        comp_probe: SimDuration::from_secs(2),
+        buckets: vec![1, 500, 1000],
+        warmup: SimDuration::from_secs(1),
+    };
+    calibrate_paragon(cfg, &pingpong, &delays, 23)
+}
+
+fn run_probe_with_gens(
+    cfg: PlatformConfig,
+    probe: ScriptedApp,
+    gens: Vec<CommGenerator>,
+    seed: u64,
+) -> (Platform, simcore::ids::ProcId) {
+    let mut plat = Platform::new(cfg, seed);
+    for g in gens {
+        plat.spawn(Box::new(g));
+    }
+    let id = plat.spawn_at(Box::new(probe), SimTime::ZERO + SimDuration::from_secs(2));
+    plat.run_until_done(id).expect("stalled");
+    (plat, id)
+}
+
+#[test]
+fn dedicated_piecewise_model_is_accurate() {
+    let cfg = ps_cfg();
+    let pred = quick_predictor(cfg);
+    let mix = WorkloadMix::new();
+    for words in [100u64, 900, 3000] {
+        let sets = [DataSet::burst(100, words)];
+        let modeled = pred.comm_cost_to(&sets, &mix);
+        let (plat, id) = run_probe_with_gens(
+            cfg,
+            burst_app("probe", 100, words, Direction::ToParagon),
+            Vec::new(),
+            31 ^ words,
+        );
+        let actual = plat.phase_time(id, PhaseKind::Send).as_secs_f64();
+        let err = (modeled - actual).abs() / actual;
+        assert!(err < 0.10, "{words} words: modeled {modeled:.3} actual {actual:.3}");
+    }
+}
+
+#[test]
+fn contended_communication_within_the_papers_stress_band() {
+    let cfg = ps_cfg();
+    let pred = quick_predictor(cfg);
+    let mix = WorkloadMix::from_fracs(&[0.25, 0.76]);
+    let gens = || {
+        vec![
+            CommGenerator::new("g25", 0.25, 200, GenDirection::Alternate, &cfg),
+            CommGenerator::new("g76", 0.76, 200, GenDirection::Alternate, &cfg),
+        ]
+    };
+    for words in [100u64, 400] {
+        let sets = [DataSet::burst(200, words)];
+        let modeled = pred.comm_cost_to(&sets, &mix);
+        let (plat, id) = run_probe_with_gens(
+            cfg,
+            burst_app("probe", 200, words, Direction::ToParagon),
+            gens(),
+            37 ^ words,
+        );
+        let actual = plat.phase_time(id, PhaseKind::Send).as_secs_f64();
+        let err = (modeled - actual).abs() / actual;
+        // Paper: 12% typical, ≤30% when contenders communicate heavily.
+        assert!(
+            err < 0.30,
+            "{words} words: modeled {modeled:.3} actual {actual:.3} ({:.0}%)",
+            err * 100.0
+        );
+        // Contention must actually bite (sanity that the scenario works).
+        let dedicated = pred.comm_to.dcomm(&sets);
+        assert!(actual > dedicated * 1.1, "{words} words: no visible contention");
+    }
+}
+
+#[test]
+fn contended_computation_with_size_aware_j_is_accurate() {
+    let cfg = ps_cfg();
+    let pred = quick_predictor(cfg);
+    let mix = WorkloadMix::from_fracs(&[0.5, 0.5]);
+    let gens = vec![
+        CommGenerator::new("a", 0.5, 500, GenDirection::Alternate, &cfg),
+        CommGenerator::new("b", 0.5, 500, GenDirection::Alternate, &cfg),
+    ];
+    let demand = SimDuration::from_secs(4);
+    let modeled = pred.t_sun(demand.as_secs_f64(), &mix, 500);
+    let (plat, id) = run_probe_with_gens(cfg, sun_task_app("probe", demand), gens, 41);
+    let actual = plat.elapsed(id).expect("finished").as_secs_f64();
+    let err = (modeled - actual).abs() / actual;
+    assert!(err < 0.20, "modeled {modeled:.3} actual {actual:.3} ({:.0}%)", err * 100.0);
+    // And the undersized j = 1 must be clearly worse (the paper's point).
+    let modeled_j1 = pred.t_sun(demand.as_secs_f64(), &mix, 1);
+    let err_j1 = (modeled_j1 - actual).abs() / actual;
+    assert!(err_j1 > err, "j=1 ({err_j1:.3}) should be worse than j=500 ({err:.3})");
+}
+
+#[test]
+fn two_hops_path_calibrates_and_predicts() {
+    let mut cfg = ps_cfg();
+    cfg.paragon.path = CommPath::TwoHops;
+    let pingpong = PingPongSpec {
+        sizes: vec![1, 128, 512, 1024, 2048, 4096],
+        burst: 50,
+    };
+    let (to, _from) = calibration::calibrate_paragon_comm(cfg, &pingpong, 3);
+    let mix = WorkloadMix::new();
+    let sets = [DataSet::burst(50, 700)];
+    let modeled = contention_model::paragon::comm_cost(
+        to.dcomm(&sets),
+        &mix,
+        &CommDelayTable::new(vec![], vec![]),
+    );
+    let (plat, id) = run_probe_with_gens(
+        cfg,
+        burst_app("probe", 50, 700, Direction::ToParagon),
+        Vec::new(),
+        51,
+    );
+    let actual = plat.phase_time(id, PhaseKind::Send).as_secs_f64();
+    let err = (modeled - actual).abs() / actual;
+    assert!(err < 0.10, "modeled {modeled:.3} actual {actual:.3}");
+}
+
+#[test]
+fn slowdown_recomputation_is_fast_enough_for_scheduling() {
+    // The paper stresses that the run-time slowdown calculation must be
+    // cheap. Guard the complexity: 10k full evaluations at p = 8 well
+    // under a second even in debug builds.
+    let pred_delays = CommDelayTable::new(vec![0.3; 8], vec![0.2; 8]);
+    let comp = CompDelayTable::new(vec![1, 500, 1000], vec![vec![0.2; 8], vec![0.9; 8], vec![1.8; 8]]);
+    let start = std::time::Instant::now();
+    let mut acc = 0.0;
+    for i in 0..10_000 {
+        let mut mix = WorkloadMix::from_fracs(&[0.1, 0.3, 0.5, 0.7, 0.2, 0.4, 0.6]);
+        mix.add((i % 100) as f64 / 100.0);
+        acc += paragon_comm_slowdown(&mix, &pred_delays);
+        acc += paragon_comp_slowdown(&mix, &comp, 500);
+    }
+    assert!(acc > 0.0);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "slowdown evaluation too slow: {:?}",
+        start.elapsed()
+    );
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the §4 future-work extensions working together:
+//! time-varying load, memory constraints, migration, and DAG scheduling.
+
+use hetero_contention::model::phased::cm2_timeline;
+use hetero_contention::prelude::*;
+use hetsched::dag::{Dag, DagTask};
+use hetsched::migrate::{decide, InFlightTask, MigrationDecision};
+
+#[test]
+fn phased_prediction_matches_simulation_with_timed_hogs() {
+    // Hogs during [2s, 8s); probe needs 6s of dedicated work.
+    let mut cfg = PlatformConfig::sun_cm2();
+    cfg.frontend = FrontendParams::processor_sharing();
+    let mut plat = Platform::new(cfg, 3);
+    for i in 0..2 {
+        plat.spawn_at(
+            Box::new(TimedCpuHog::new(format!("hog{i}"), SimTime::ZERO + SimDuration::from_secs(8))),
+            SimTime::ZERO + SimDuration::from_secs(2),
+        );
+    }
+    let probe = plat.spawn(Box::new(sun_task_app("probe", SimDuration::from_secs(6))));
+    let actual = plat.run_until_done(probe).expect("stalled").as_secs_f64();
+
+    let timeline = cm2_timeline(&[(2.0, 0), (6.0, 2), (f64::INFINITY, 0)]);
+    let predicted = timeline.completion_time(6.0, 0.0);
+    let err = (predicted - actual).abs() / actual;
+    assert!(err < 0.05, "predicted {predicted:.2} vs actual {actual:.2}");
+}
+
+#[test]
+fn memory_pressure_changes_the_placement_decision() {
+    // A task that would normally stay local gets pushed to the back-end
+    // once the front-end's memory is overcommitted.
+    let pred = Cm2Predictor {
+        comm_to: LinearCommModel::new(1e-3, 500_000.0),
+        comm_from: LinearCommModel::new(1e-3, 250_000.0),
+    };
+    let task = Cm2Task {
+        costs: Cm2TaskCosts::new(10.0, 9.5, 0.1, 0.2),
+        to_backend: vec![DataSet::single(100_000)],
+        from_backend: vec![DataSet::single(100_000)],
+    };
+    let p = 0;
+    let base = pred.decide(&task, p);
+    assert_eq!(base.placement, Placement::FrontEnd);
+
+    // Resident working sets overflow memory by 60%: paging multiplies the
+    // front-end slowdown.
+    let mem = MemoryModel::new(8_000_000, 4.0);
+    let sets = [9_000_000u64, 3_800_000];
+    assert!(!mem.fits(&sets));
+    let paged_slowdown = mem.adjust_slowdown(cm2_slowdown(p), &sets);
+    let t_front_paged = task.costs.dcomp_sun * paged_slowdown;
+    let remote = base.t_back + base.c_to + base.c_from;
+    assert!(
+        t_front_paged > remote,
+        "paged local {t_front_paged:.1}s should exceed remote {remote:.1}s"
+    );
+}
+
+#[test]
+fn migration_decision_consistent_with_phased_predictions() {
+    // Validate the migrate module against direct timeline arithmetic.
+    let here = cm2_timeline(&[(30.0, 4), (f64::INFINITY, 0)]);
+    let there = LoadTimeline::dedicated();
+    let task = InFlightTask { remaining_here: 12.0, remaining_there: 10.0, migration_cost: 4.0 };
+    let d = decide(&task, &here, &there);
+    let stay_direct = here.completion_time(12.0, 0.0);
+    let migrate_direct = 4.0 + there.completion_time(10.0, 4.0);
+    match d {
+        MigrationDecision::Stay { finish_in } => {
+            assert_eq!(finish_in, stay_direct);
+            assert!(stay_direct <= migrate_direct);
+        }
+        MigrationDecision::Migrate { finish_in } => {
+            assert_eq!(finish_in, migrate_direct);
+            assert!(migrate_direct < stay_direct);
+        }
+    }
+    // With these numbers migration must win: staying costs 12×5 = 60.
+    assert!(matches!(d, MigrationDecision::Migrate { .. }));
+}
+
+#[test]
+fn dag_scheduler_consumes_model_environments() {
+    // A diamond DAG scheduled under a contention-model environment.
+    let comm_delays = CommDelayTable::new(vec![0.3, 0.7], vec![0.2, 0.5]);
+    let comp_delays =
+        CompDelayTable::new(vec![1, 1000], vec![vec![0.2, 0.4], vec![1.5, 3.0]]);
+    let mix = WorkloadMix::from_fracs(&[0.5, 0.5]);
+    let env = hetsched::adapt::paragon_environment(&mix, &comm_delays, &comp_delays, 1000);
+
+    let mut comm = Matrix::filled(2, 0.0);
+    comm.set(0, 1, 1.0);
+    comm.set(1, 0, 1.0);
+    let dag = Dag::new(vec![
+        DagTask { name: "src".into(), exec: vec![1.0, 2.0], deps: vec![] },
+        DagTask { name: "l".into(), exec: vec![6.0, 3.0], deps: vec![(0, comm.clone())] },
+        DagTask { name: "r".into(), exec: vec![6.0, 3.0], deps: vec![(0, comm.clone())] },
+        DagTask {
+            name: "sink".into(),
+            exec: vec![1.0, 2.0],
+            deps: vec![(1, comm.clone()), (2, comm)],
+        },
+    ]);
+    let (assignment, heft) = dag.schedule_heft(&env);
+    let (_, best) = dag.best_exhaustive(&env);
+    assert!(heft >= best - 1e-9);
+    assert!(heft <= best * 1.3, "heft {heft} vs best {best}");
+    // The loaded front-end (slowdown > 2) should repel the heavy tasks.
+    assert_eq!(assignment[1], 1);
+    assert_eq!(assignment[2], 1);
+}
+
+#[test]
+fn memory_aware_admission_uses_headroom() {
+    let mem = MemoryModel::new(10_000_000, 3.0);
+    let resident = [4_000_000u64, 3_000_000];
+    let headroom = mem.headroom(&resident);
+    assert_eq!(headroom, 3_000_000);
+    // Admitting within headroom stays penalty-free; beyond it pages.
+    let mut with_ok = resident.to_vec();
+    with_ok.push(headroom);
+    assert_eq!(mem.paging_multiplier(&with_ok), 1.0);
+    let mut with_over = resident.to_vec();
+    with_over.push(headroom + 5_000_000);
+    assert!(mem.paging_multiplier(&with_over) > 1.0);
+}

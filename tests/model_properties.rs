@@ -1,0 +1,310 @@
+//! Property-based tests on the contention model's invariants.
+
+use hetero_contention::prelude::*;
+use proptest::prelude::*;
+
+/// Brute-force Poisson–binomial: enumerate all 2^p state combinations.
+fn brute_force_pcomm(fracs: &[f64], i: usize) -> f64 {
+    let p = fracs.len();
+    let mut total = 0.0;
+    for mask in 0..(1u32 << p) {
+        if mask.count_ones() as usize != i {
+            continue;
+        }
+        let mut prob = 1.0;
+        for (k, &f) in fracs.iter().enumerate() {
+            prob *= if mask & (1 << k) != 0 { f } else { 1.0 - f };
+        }
+        total += prob;
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mix_dp_matches_brute_force(fracs in prop::collection::vec(0.0f64..=1.0, 0..8)) {
+        let mix = WorkloadMix::from_fracs(&fracs);
+        for i in 0..=fracs.len() {
+            let expected = brute_force_pcomm(&fracs, i);
+            prop_assert!((mix.pcomm(i) - expected).abs() < 1e-9,
+                "pcomm({i}) = {} vs brute force {expected}", mix.pcomm(i));
+        }
+    }
+
+    #[test]
+    fn mix_distribution_is_a_distribution(fracs in prop::collection::vec(0.0f64..=1.0, 0..10)) {
+        let mix = WorkloadMix::from_fracs(&fracs);
+        let sum: f64 = mix.comm_dist().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(mix.comm_dist().iter().all(|&c| (-1e-12..=1.0 + 1e-9).contains(&c)));
+    }
+
+    #[test]
+    fn mix_remove_inverts_add(
+        fracs in prop::collection::vec(0.0f64..=1.0, 1..8),
+        extra in 0.0f64..=1.0,
+        idx_seed in 0usize..100,
+    ) {
+        let mut mix = WorkloadMix::from_fracs(&fracs);
+        let before = mix.clone();
+        mix.add(extra);
+        let idx = fracs.len(); // remove the one just added
+        let _ = idx_seed;
+        mix.remove(idx);
+        for i in 0..=fracs.len() {
+            prop_assert!((mix.pcomm(i) - before.pcomm(i)).abs() < 1e-7,
+                "pcomm({i}) drifted: {} vs {}", mix.pcomm(i), before.pcomm(i));
+        }
+    }
+
+    #[test]
+    fn mix_incremental_equals_regenerated(fracs in prop::collection::vec(0.0f64..=1.0, 0..8)) {
+        let incremental = WorkloadMix::from_fracs(&fracs);
+        let mut regen = incremental.clone();
+        regen.regenerate();
+        for i in 0..=fracs.len() {
+            prop_assert!((incremental.pcomm(i) - regen.pcomm(i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn paragon_slowdowns_at_least_one_and_monotone_in_delays(
+        fracs in prop::collection::vec(0.0f64..=1.0, 0..6),
+        base in 0.0f64..3.0,
+    ) {
+        let mix = WorkloadMix::from_fracs(&fracs);
+        let lo = CommDelayTable::new(vec![base; 6], vec![base; 6]);
+        let hi = CommDelayTable::new(vec![base + 1.0; 6], vec![base + 1.0; 6]);
+        let s_lo = paragon_comm_slowdown(&mix, &lo);
+        let s_hi = paragon_comm_slowdown(&mix, &hi);
+        prop_assert!(s_lo >= 1.0 - 1e-12);
+        prop_assert!(s_hi >= s_lo - 1e-12);
+    }
+
+    #[test]
+    fn comp_slowdown_reduces_to_cpu_splitting_without_comm(
+        p in 0usize..6,
+        j in prop::sample::select(vec![1u64, 100, 500, 1000, 5000]),
+    ) {
+        // All contenders compute 100% of the time: slowdown must be p + 1
+        // regardless of j.
+        let mix = WorkloadMix::from_fracs(&vec![0.0; p]);
+        let table = CompDelayTable::new(
+            vec![1, 500, 1000],
+            vec![vec![0.5; 6], vec![1.0; 6], vec![2.0; 6]],
+        );
+        let s = paragon_comp_slowdown(&mix, &table, j);
+        prop_assert!((s - (p as f64 + 1.0)).abs() < 1e-9, "p={p}: {s}");
+    }
+
+    #[test]
+    fn dcomm_is_additive_and_monotone(
+        msgs in prop::collection::vec((1u64..100, 1u64..5000), 1..10),
+        alpha in 0.0f64..0.01,
+        beta in 1000.0f64..1e6,
+    ) {
+        let model = LinearCommModel::new(alpha, beta);
+        let sets: Vec<DataSet> = msgs.iter().map(|&(n, w)| DataSet::new(n, w)).collect();
+        let total = model.dcomm(&sets);
+        let sum: f64 = sets.iter().map(|&s| model.dcomm(&[s])).sum();
+        prop_assert!((total - sum).abs() < 1e-9 * sum.max(1.0));
+        // Adding a set can only increase the cost.
+        let mut bigger = sets.clone();
+        bigger.push(DataSet::new(1, 1));
+        prop_assert!(model.dcomm(&bigger) > total);
+    }
+
+    #[test]
+    fn piecewise_dcomm_between_its_pieces(
+        words in 1u64..10_000,
+        n in 1u64..100,
+    ) {
+        let small = LinearCommModel::new(0.002, 50_000.0);
+        let large = LinearCommModel::new(0.006, 120_000.0);
+        let pw = PiecewiseCommModel::new(1024, small, large);
+        let sets = [DataSet::new(n, words)];
+        let v = pw.dcomm(&sets);
+        let lo = small.dcomm(&sets).min(large.dcomm(&sets));
+        let hi = small.dcomm(&sets).max(large.dcomm(&sets));
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn cm2_t_cm2_monotone_in_p_and_bounded_below(
+        dcomp in 0.0f64..100.0,
+        didle_frac in 0.0f64..=1.0,
+        dserial in 0.0f64..50.0,
+        p in 0u32..8,
+    ) {
+        let didle = dserial * didle_frac;
+        let costs = Cm2TaskCosts::new(0.0, dcomp, didle, dserial);
+        let t_p = costs.t_cm2(p);
+        let t_next = costs.t_cm2(p + 1);
+        prop_assert!(t_next >= t_p - 1e-12);
+        prop_assert!(t_p >= dcomp + didle - 1e-12);
+        prop_assert!(t_p >= dserial * (p as f64 + 1.0) - 1e-12);
+    }
+
+    #[test]
+    fn placement_best_time_is_min_of_both_options(
+        dcomp_sun in 0.1f64..100.0,
+        t_back in 0.1f64..100.0,
+        words in 1u64..100_000,
+    ) {
+        let pred = Cm2Predictor {
+            comm_to: LinearCommModel::new(1e-3, 1e6),
+            comm_from: LinearCommModel::new(1e-3, 1e6),
+        };
+        let task = Cm2Task {
+            costs: Cm2TaskCosts::new(dcomp_sun, t_back, 0.0, 0.0),
+            to_backend: vec![DataSet::single(words)],
+            from_backend: vec![],
+        };
+        for p in [0u32, 3] {
+            let d = pred.decide(&task, p);
+            let local = d.t_front;
+            let remote = d.t_back + d.c_to + d.c_from;
+            prop_assert!((d.best_time() - local.min(remote)).abs() < 1e-9);
+            match d.placement {
+                Placement::FrontEnd => prop_assert!(local <= remote + 1e-12),
+                Placement::BackEnd => prop_assert!(remote < local),
+            }
+        }
+    }
+
+    #[test]
+    fn chain_dp_matches_exhaustive(
+        tasks in 1usize..6,
+        machines in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        // Random chain instance from the seed.
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0 + 0.01
+        };
+        let mut v = Vec::new();
+        for i in 0..tasks {
+            let exec: Vec<f64> = (0..machines).map(|_| next()).collect();
+            if i + 1 < tasks {
+                let mut comm = Matrix::filled(machines, 0.0);
+                for a in 0..machines {
+                    for b in 0..machines {
+                        if a != b {
+                            comm.set(a, b, next());
+                        }
+                    }
+                }
+                v.push(Task::with_edge(format!("t{i}"), exec, comm));
+            } else {
+                v.push(Task::terminal(format!("t{i}"), exec));
+            }
+        }
+        let wf = Workflow::new(v);
+        let mut env = Environment::dedicated(machines);
+        for f in env.comp_slowdown.iter_mut() {
+            *f = 1.0 + next() / 10.0;
+        }
+        let ex = best_exhaustive(&wf, &env);
+        let dp = best_chain_dp(&wf, &env);
+        prop_assert!((ex.makespan - dp.makespan).abs() < 1e-9);
+        prop_assert!((evaluate(&wf, &dp.assignment, &env) - dp.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comp_delay_bucket_selection_total(words in 0u64..2_000_000) {
+        let t = CompDelayTable::new(
+            vec![1, 500, 1000],
+            vec![vec![0.1], vec![0.5], vec![0.9]],
+        );
+        let b = t.bucket_for(words);
+        prop_assert!(b < 3);
+        // The j = 1 bucket only ever serves genuinely small messages.
+        if b == 0 {
+            prop_assert!(words < SMALL_MESSAGE_CUTOFF_WORDS);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §4 extension invariants
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Completing d1 then d2 equals completing d1+d2 (timeline integration
+    /// is consistent).
+    #[test]
+    fn timeline_completion_is_additive(
+        durs in prop::collection::vec((0.1f64..20.0, 1.0f64..6.0), 1..6),
+        d1 in 0.0f64..30.0,
+        d2 in 0.0f64..30.0,
+    ) {
+        let phases: Vec<LoadPhase> =
+            durs.iter().map(|&(d, s)| LoadPhase::new(d, s)).collect();
+        let tl = LoadTimeline::new(phases);
+        let whole = tl.completion_time(d1 + d2, 0.0);
+        let first = tl.completion_time(d1, 0.0);
+        let second = tl.completion_time(d2, first);
+        prop_assert!((whole - (first + second)).abs() < 1e-6,
+            "whole {whole} vs split {}", first + second);
+    }
+
+    /// Effective slowdown always lies within the phase extremes.
+    #[test]
+    fn timeline_effective_slowdown_bounded(
+        durs in prop::collection::vec((0.1f64..20.0, 1.0f64..6.0), 1..6),
+        demand in 0.01f64..100.0,
+        start in 0.0f64..10.0,
+    ) {
+        let phases: Vec<LoadPhase> =
+            durs.iter().map(|&(d, s)| LoadPhase::new(d, s)).collect();
+        let lo = durs.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
+        let hi = durs.iter().map(|&(_, s)| s).fold(1.0, f64::max);
+        let tl = LoadTimeline::new(phases);
+        let eff = tl.effective_slowdown(demand, start);
+        prop_assert!(eff >= lo - 1e-9 && eff <= hi + 1e-9, "eff {eff} outside [{lo}, {hi}]");
+    }
+
+    /// Completion time is monotone in demand and in start offset delay
+    /// never helps a task on a monotone-nondecreasing-load prefix.
+    #[test]
+    fn timeline_completion_monotone_in_demand(
+        durs in prop::collection::vec((0.1f64..20.0, 1.0f64..6.0), 1..6),
+        d_small in 0.0f64..50.0,
+        extra in 0.0f64..50.0,
+    ) {
+        let phases: Vec<LoadPhase> =
+            durs.iter().map(|&(d, s)| LoadPhase::new(d, s)).collect();
+        let tl = LoadTimeline::new(phases);
+        let t1 = tl.completion_time(d_small, 0.0);
+        let t2 = tl.completion_time(d_small + extra, 0.0);
+        prop_assert!(t2 >= t1 - 1e-9);
+        // Wall time is never less than dedicated demand.
+        prop_assert!(t1 >= d_small - 1e-9);
+    }
+
+    /// Paging multiplier: 1 below capacity, monotone in demand, and the
+    /// adjusted slowdown preserves the base factor ordering.
+    #[test]
+    fn memory_model_invariants(
+        capacity in 1_000u64..10_000_000,
+        sets in prop::collection::vec(0u64..5_000_000, 0..6),
+        thrash in 0.0f64..10.0,
+        s1 in 1.0f64..5.0,
+        s2 in 1.0f64..5.0,
+    ) {
+        let m = MemoryModel::new(capacity, thrash);
+        let mult = m.paging_multiplier(&sets);
+        prop_assert!(mult >= 1.0);
+        if m.fits(&sets) {
+            prop_assert!((mult - 1.0).abs() < 1e-12);
+        }
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(m.adjust_slowdown(lo, &sets) <= m.adjust_slowdown(hi, &sets) + 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the simulation substrate's invariants.
+
+use hetero_contention::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Work conservation: on a PS CPU with all jobs arriving at t = 0, the
+    /// last completion equals the total demand (nanosecond rounding aside).
+    #[test]
+    fn ps_cpu_conserves_work(demands in prop::collection::vec(1u64..5_000_000, 1..8)) {
+        let mut cpu = PsCpu::new();
+        for (i, &d) in demands.iter().enumerate() {
+            cpu.arrive(SimTime::ZERO, JobId(i as u64), SimDuration::from_nanos(d));
+        }
+        let mut last = SimTime::ZERO;
+        let mut completed = 0;
+        while let Some((t, gen)) = cpu.next_event() {
+            let done = cpu.on_event(t, gen);
+            completed += done.len();
+            last = t;
+        }
+        prop_assert_eq!(completed, demands.len());
+        let total: u64 = demands.iter().sum();
+        let err = (last.0 as i64 - total as i64).abs();
+        prop_assert!(err <= demands.len() as i64 * 2, "end {} vs total {}", last.0, total);
+    }
+
+    /// Under PS, job completion order follows demand order for equal
+    /// arrivals (smaller jobs finish no later).
+    #[test]
+    fn ps_cpu_completion_order_is_demand_order(demands in prop::collection::vec(1u64..1_000_000, 2..8)) {
+        let mut cpu = PsCpu::new();
+        for (i, &d) in demands.iter().enumerate() {
+            cpu.arrive(SimTime::ZERO, JobId(i as u64), SimDuration::from_nanos(d));
+        }
+        let mut finish = vec![SimTime::ZERO; demands.len()];
+        while let Some((t, gen)) = cpu.next_event() {
+            for id in cpu.on_event(t, gen) {
+                finish[id.0 as usize] = t;
+            }
+        }
+        for a in 0..demands.len() {
+            for b in 0..demands.len() {
+                if demands[a] < demands[b] {
+                    prop_assert!(finish[a] <= finish[b]);
+                }
+            }
+        }
+    }
+
+    /// RR and PS agree on total makespan for equal-arrival batches (work
+    /// conservation holds for both schedulers).
+    #[test]
+    fn rr_and_ps_agree_on_makespan(demands in prop::collection::vec(1u64..200, 1..6)) {
+        let run = |mut cpu: Box<dyn Cpu>| -> SimTime {
+            for (i, &d) in demands.iter().enumerate() {
+                cpu.arrive(SimTime::ZERO, JobId(i as u64), SimDuration::from_millis(d));
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((t, gen)) = cpu.next_event() {
+                cpu.on_event(t, gen);
+                last = t;
+            }
+            last
+        };
+        let ps_end = run(Box::new(PsCpu::new()));
+        let rr_end = run(Box::new(RrCpu::new(SimDuration::from_millis(10), SimDuration::ZERO)));
+        prop_assert_eq!(ps_end, rr_end);
+    }
+
+    /// FIFO conserves busy time and never reorders.
+    #[test]
+    fn fifo_is_work_conserving(services in prop::collection::vec(1u64..1_000_000, 1..20)) {
+        let mut s = FifoServer::new();
+        for (i, &d) in services.iter().enumerate() {
+            s.enqueue(SimTime::ZERO, XferId(i as u64), SimDuration::from_nanos(d));
+        }
+        let mut order = Vec::new();
+        let mut last = SimTime::ZERO;
+        while let Some((t, gen)) = s.next_event() {
+            if let Some(id) = s.on_event(t, gen) {
+                order.push(id.0);
+                last = t;
+            }
+        }
+        let expected: Vec<u64> = (0..services.len() as u64).collect();
+        prop_assert_eq!(order, expected);
+        prop_assert_eq!(last.0, services.iter().sum::<u64>());
+    }
+
+    /// The platform is deterministic: identical configuration and seed
+    /// produce identical completion times.
+    #[test]
+    fn platform_runs_are_deterministic(seed in 0u64..500, words in 50u64..500) {
+        let run = || {
+            let mut cfg = PlatformConfig::sun_paragon();
+            cfg.frontend = FrontendParams::processor_sharing();
+            let mut plat = Platform::new(cfg, seed);
+            plat.spawn(Box::new(CommGenerator::new(
+                "g", 0.5, words, GenDirection::Alternate, &cfg,
+            )));
+            let id = plat.spawn_at(
+                Box::new(burst_app("probe", 50, words, Direction::ToParagon)),
+                SimTime::ZERO + SimDuration::from_millis(500),
+            );
+            plat.run_until_done(id).expect("stalled")
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Slowdown of a compute probe under p hogs is p+1 on PS for any
+    /// demand (the law the whole CM2 model rests on).
+    #[test]
+    fn compute_slowdown_is_exactly_p_plus_one(
+        p in 0usize..5,
+        demand_ms in 10u64..2_000,
+    ) {
+        let mut cfg = PlatformConfig::sun_cm2();
+        cfg.frontend = FrontendParams::processor_sharing();
+        let mut plat = Platform::new(cfg, 1);
+        for i in 0..p {
+            plat.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
+        }
+        let id = plat.spawn(Box::new(sun_task_app(
+            "probe",
+            SimDuration::from_millis(demand_ms),
+        )));
+        let end = plat.run_until_done(id).expect("stalled");
+        let expect = demand_ms as f64 / 1e3 * (p as f64 + 1.0);
+        let err = (end.as_secs_f64() - expect).abs() / expect;
+        prop_assert!(err < 0.02, "end {end} expect {expect}");
+    }
+
+    /// Burst phases deliver every message exactly once: phase time grows
+    /// linearly in count for dedicated stop-and-wait sends.
+    #[test]
+    fn send_burst_time_linear_in_count(count in 1u64..200, words in 1u64..2000) {
+        let mut cfg = PlatformConfig::sun_paragon();
+        cfg.frontend = FrontendParams::processor_sharing();
+        let mut plat = Platform::new(cfg, 1);
+        let id = plat.spawn(Box::new(burst_app("probe", count, words, Direction::ToParagon)));
+        plat.run_until_done(id).expect("stalled");
+        let t = plat.phase_time(id, PhaseKind::Send).as_secs_f64();
+        let per = (cfg.paragon.conv_demand_out(words)
+            + cfg.paragon.wire_service(words)
+            + cfg.paragon.node_overhead)
+            .as_secs_f64();
+        let expect = count as f64 * per;
+        prop_assert!((t - expect).abs() / expect < 0.01, "t {t} expect {expect}");
+    }
+}
