@@ -1,0 +1,63 @@
+//! Batched prediction throughput: per-call [`decide`] (which re-folds the
+//! mix into slowdown factors on every prediction) against
+//! [`decide_batch`] over a cached [`SlowdownProfile`] (which folds once
+//! and reuses the factors for every task).
+//!
+//! [`decide`]: contention_model::predict::ParagonPredictor::decide
+//! [`decide_batch`]: contention_model::predict::ParagonPredictor::decide_batch
+
+use bench::paragon_predictor;
+use contention_model::dataset::DataSet;
+use contention_model::mix::WorkloadMix;
+use contention_model::predict::ParagonTask;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A deterministic batch of placement candidates with varied costs and
+/// message sizes.
+fn tasks(n: usize) -> Vec<ParagonTask> {
+    (0..n)
+        .map(|i| ParagonTask {
+            dcomp_sun: 5.0 + (i % 17) as f64,
+            t_paragon: 0.8 + (i % 5) as f64 * 0.3,
+            to_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
+            from_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
+        })
+        .collect()
+}
+
+/// A mix big enough that the per-prediction `O(p)` fold is visible.
+fn mix() -> WorkloadMix {
+    let fracs: Vec<f64> = (0..24).map(|i| (i as f64 * 0.37 + 0.11).fract()).collect();
+    WorkloadMix::from_fracs(&fracs)
+}
+
+fn batch_predict(c: &mut Criterion) {
+    let pred = paragon_predictor();
+    let m = mix();
+    let mut g = c.benchmark_group("batch_predict");
+    for n in [16usize, 256, 4096] {
+        let ts = tasks(n);
+        g.bench_with_input(BenchmarkId::new("per_call", n), &ts, |b, ts| {
+            b.iter(|| {
+                ts.iter()
+                    .map(|t| pred.decide(black_box(t), black_box(&m), black_box(512)))
+                    .collect::<Vec<_>>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cached_profile", n), &ts, |b, ts| {
+            b.iter(|| {
+                // Fold the mix once per batch, as a scheduler would.
+                let profile = pred.profile(black_box(&m));
+                pred.decide_batch(black_box(ts), &profile, black_box(512))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = bench::quick_config();
+    targets = batch_predict
+}
+criterion_main!(benches);

@@ -23,13 +23,9 @@ fn points(n: usize) -> Vec<PingPongPoint> {
 }
 
 fn linear_fit(c: &mut Criterion) {
-    let xy: Vec<(f64, f64)> = points(64)
-        .iter()
-        .map(|p| (p.words as f64, p.per_message(1000)))
-        .collect();
-    c.bench_function("calibration/linear_fit_64pts", |b| {
-        b.iter(|| LinearFit::fit(black_box(&xy)))
-    });
+    let xy: Vec<(f64, f64)> =
+        points(64).iter().map(|p| (p.words as f64, p.per_message(1000))).collect();
+    c.bench_function("calibration/linear_fit_64pts", |b| b.iter(|| LinearFit::fit(black_box(&xy))));
     let pts = points(64);
     c.bench_function("calibration/fit_linear_model", |b| {
         b.iter(|| fit_linear(black_box(&pts), 1000))

@@ -3,9 +3,10 @@
 //! slowdown evaluation — "the overhead imposed by its calculation is
 //! negligible". These benches put numbers on that.
 
-use contention_model::delay::CommDelayTable;
+use contention_model::delay::{CommDelayTable, CompDelayTable};
 use contention_model::mix::WorkloadMix;
 use contention_model::paragon::comm_slowdown;
+use contention_model::profile::ProfileCache;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fracs(p: usize) -> Vec<f64> {
@@ -76,9 +77,32 @@ fn slowdown_eval(c: &mut Criterion) {
     g.finish();
 }
 
+/// Epoch-keyed profile cache hit vs. re-folding the mix every time.
+fn profile_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mix/profile");
+    for p in [4usize, 16, 64, 256] {
+        let mix = WorkloadMix::from_fracs(&fracs(p));
+        let comm = CommDelayTable::new(vec![0.4; p], vec![0.3; p]);
+        let comp =
+            CompDelayTable::new(vec![1, 500, 1000], vec![vec![0.2; p], vec![0.6; p], vec![0.9; p]]);
+        g.bench_with_input(BenchmarkId::new("direct_fold", p), &mix, |b, mix| {
+            b.iter(|| comm_slowdown(black_box(mix), black_box(&comm)))
+        });
+        let mut cache = ProfileCache::new();
+        g.bench_with_input(BenchmarkId::new("cached_hit", p), &mix, |b, mix| {
+            b.iter(|| {
+                cache
+                    .profile_for(black_box(mix), black_box(&comm), black_box(&comp))
+                    .comm_slowdown()
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = bench::quick_config();
-    targets = generate, add, remove, slowdown_eval
+    targets = generate, add, remove, slowdown_eval, profile_cache
 }
 criterion_main!(benches);

@@ -7,23 +7,82 @@ use contention_model::dataset::DataSet;
 use contention_model::mix::WorkloadMix;
 use contention_model::paragon::{comp_slowdown, comp_slowdown_at_bucket};
 use contention_model::predict::{Cm2Task, ParagonTask};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use hetsched::eval::{best_chain_dp, best_exhaustive, rank_all};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetsched::eval::{
+    best_chain_dp, best_exhaustive, best_exhaustive_oracle, best_exhaustive_with, rank_all,
+    rank_all_oracle, SearchScratch,
+};
 use hetsched::example;
+use hetsched::task::{Environment, Matrix, Task, Workflow};
 
 /// Tables 1–4: evaluating and ranking every schedule of the intro example.
 fn tab_intro(c: &mut Criterion) {
     let wf = example::workflow();
     let env = example::env_cpu_and_link_contention();
-    c.bench_function("tab1-4/rank_all", |b| {
-        b.iter(|| rank_all(black_box(&wf), black_box(&env)))
-    });
+    c.bench_function("tab1-4/rank_all", |b| b.iter(|| rank_all(black_box(&wf), black_box(&env))));
     c.bench_function("tab1-4/best_exhaustive", |b| {
         b.iter(|| best_exhaustive(black_box(&wf), black_box(&env)))
     });
     c.bench_function("tab1-4/best_chain_dp", |b| {
         b.iter(|| best_chain_dp(black_box(&wf), black_box(&env)))
     });
+}
+
+/// A deterministic chain instance of `tasks` tasks over `machines`
+/// machines, with contended compute and link factors.
+fn chain_instance(machines: usize, tasks: usize) -> (Workflow, Environment) {
+    let mut s = 7u64;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+    };
+    let mut v = Vec::new();
+    for i in 0..tasks {
+        let exec: Vec<f64> = (0..machines).map(|_| next() + 0.1).collect();
+        if i + 1 < tasks {
+            let mut comm = Matrix::filled(machines, 0.0);
+            for a in 0..machines {
+                for b in 0..machines {
+                    if a != b {
+                        comm.set(a, b, next());
+                    }
+                }
+            }
+            v.push(Task::with_edge(format!("t{i}"), exec, comm));
+        } else {
+            v.push(Task::terminal(format!("t{i}"), exec));
+        }
+    }
+    let mut env = Environment::dedicated(machines);
+    for f in env.comp_slowdown.iter_mut() {
+        *f = 1.0 + next() / 5.0;
+    }
+    (Workflow::new(v), env)
+}
+
+/// Gray-code delta-evaluated search against the seed's full-re-evaluation
+/// oracle, across instance sizes.
+fn search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("search");
+    for &(machines, tasks) in &[(3usize, 6usize), (4, 8), (3, 10)] {
+        let (wf, env) = chain_instance(machines, tasks);
+        let label = format!("{machines}m{tasks}t");
+        g.bench_with_input(BenchmarkId::new("oracle", &label), &wf, |b, wf| {
+            b.iter(|| best_exhaustive_oracle(black_box(wf), black_box(&env)))
+        });
+        let mut scratch = SearchScratch::new();
+        g.bench_with_input(BenchmarkId::new("gray", &label), &wf, |b, wf| {
+            b.iter(|| best_exhaustive_with(black_box(wf), black_box(&env), &mut scratch))
+        });
+    }
+    let (wf, env) = chain_instance(4, 8); // 65536 schedules, rankable
+    g.bench_with_input(BenchmarkId::new("rank_all_oracle", "4m8t"), &wf, |b, wf| {
+        b.iter(|| rank_all_oracle(black_box(wf), black_box(&env)))
+    });
+    g.bench_with_input(BenchmarkId::new("rank_all_gray", "4m8t"), &wf, |b, wf| {
+        b.iter(|| rank_all(black_box(wf), black_box(&env)))
+    });
+    g.finish();
 }
 
 /// Figure 1: CM2 transfer prediction across the matrix sweep.
@@ -134,6 +193,6 @@ fn placement(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = bench::quick_config();
-    targets = tab_intro, fig1, fig3, fig4, fig56, fig78, placement
+    targets = tab_intro, search, fig1, fig3, fig4, fig56, fig78, placement
 }
 criterion_main!(benches);

@@ -12,9 +12,7 @@ use hetplat::platform::Platform;
 use simcore::time::{SimDuration, SimTime};
 
 fn ps_cfg() -> PlatformConfig {
-    let mut c = PlatformConfig::default();
-    c.frontend = FrontendParams::processor_sharing();
-    c
+    PlatformConfig { frontend: FrontendParams::processor_sharing(), ..Default::default() }
 }
 
 /// The Figure-1 scenario: a matrix transfer against three hogs.
@@ -93,8 +91,7 @@ fn scheduler_ablation(c: &mut Criterion) {
                 for i in 0..3 {
                     p.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
                 }
-                let id =
-                    p.spawn(Box::new(sun_task_app("probe", SimDuration::from_secs(5))));
+                let id = p.spawn(Box::new(sun_task_app("probe", SimDuration::from_secs(5))));
                 p.run_until_done(id).expect("stalled")
             })
         });

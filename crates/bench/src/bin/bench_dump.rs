@@ -1,0 +1,146 @@
+//! Headline performance numbers as machine-readable JSON.
+//!
+//! A tiny, self-timed (no criterion) summary of the prediction engine's
+//! before/after comparisons, written to `BENCH_model_eval.json` at the
+//! repository root so CI can archive the numbers per commit:
+//!
+//! * per-call `decide` vs `decide_batch` over a cached profile,
+//! * brute-force exhaustive search vs the Gray-code delta-evaluated walk,
+//! * refolding the mix vs an epoch-keyed `ProfileCache` hit.
+
+use bench::paragon_predictor;
+use contention_model::dataset::DataSet;
+use contention_model::mix::WorkloadMix;
+use contention_model::paragon::comm_slowdown;
+use contention_model::predict::ParagonTask;
+use contention_model::profile::ProfileCache;
+use hetsched::eval::{best_exhaustive_oracle, best_exhaustive_with, SearchScratch};
+use hetsched::task::{Environment, Matrix, Task, Workflow};
+use serde::Value;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median-of-5 wall time of `iters` runs of `f`, in nanoseconds per run.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters.div_ceil(5) {
+        f(); // warm-up
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    samples[2]
+}
+
+fn tasks(n: usize) -> Vec<ParagonTask> {
+    (0..n)
+        .map(|i| ParagonTask {
+            dcomp_sun: 5.0 + (i % 17) as f64,
+            t_paragon: 0.8 + (i % 5) as f64 * 0.3,
+            to_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
+            from_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
+        })
+        .collect()
+}
+
+fn chain_instance(machines: usize, n_tasks: usize) -> (Workflow, Environment) {
+    let mut s = 7u64;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+    };
+    let mut v = Vec::new();
+    for i in 0..n_tasks {
+        let exec: Vec<f64> = (0..machines).map(|_| next() + 0.1).collect();
+        if i + 1 < n_tasks {
+            let mut comm = Matrix::filled(machines, 0.0);
+            for a in 0..machines {
+                for b in 0..machines {
+                    if a != b {
+                        comm.set(a, b, next());
+                    }
+                }
+            }
+            v.push(Task::with_edge(format!("t{i}"), exec, comm));
+        } else {
+            v.push(Task::terminal(format!("t{i}"), exec));
+        }
+    }
+    let mut env = Environment::dedicated(machines);
+    for f in env.comp_slowdown.iter_mut() {
+        *f = 1.0 + next() / 5.0;
+    }
+    (Workflow::new(v), env)
+}
+
+fn comparison(baseline_ns: f64, engine_ns: f64) -> Value {
+    Value::Map(vec![
+        ("baseline_ns".to_string(), Value::Float(baseline_ns)),
+        ("engine_ns".to_string(), Value::Float(engine_ns)),
+        ("speedup".to_string(), Value::Float(baseline_ns / engine_ns)),
+    ])
+}
+
+fn main() {
+    let pred = paragon_predictor();
+
+    // Batched predictions: 256 tasks, one profile fold per batch.
+    let mix = WorkloadMix::from_fracs(
+        &(0..24).map(|i| (i as f64 * 0.37 + 0.11).fract()).collect::<Vec<_>>(),
+    );
+    let batch = tasks(256);
+    let per_call = time_ns(200, || {
+        black_box(
+            batch
+                .iter()
+                .map(|t| pred.decide(black_box(t), black_box(&mix), 512))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let batched = time_ns(200, || {
+        let profile = pred.profile(black_box(&mix));
+        black_box(pred.decide_batch(black_box(&batch), &profile, 512));
+    });
+
+    // Exhaustive search: 4 machines x 8 tasks = 65536 schedules.
+    let (wf, env) = chain_instance(4, 8);
+    let oracle = time_ns(20, || {
+        black_box(best_exhaustive_oracle(black_box(&wf), black_box(&env)));
+    });
+    let mut scratch = SearchScratch::new();
+    let gray = time_ns(20, || {
+        black_box(best_exhaustive_with(black_box(&wf), black_box(&env), &mut scratch));
+    });
+
+    // Slowdown factors at p = 64: direct fold vs cached hit.
+    let big = WorkloadMix::from_fracs(
+        &(0..64).map(|i| (i as f64 * 0.37 + 0.11).fract()).collect::<Vec<_>>(),
+    );
+    let direct = time_ns(20_000, || {
+        black_box(comm_slowdown(black_box(&big), black_box(&pred.comm_delays)));
+    });
+    let mut cache = ProfileCache::new();
+    let cached = time_ns(20_000, || {
+        black_box(
+            cache
+                .profile_for(black_box(&big), &pred.comm_delays, &pred.comp_delays)
+                .comm_slowdown(),
+        );
+    });
+
+    let report = Value::Map(vec![
+        ("batch_predict_256".to_string(), comparison(per_call, batched)),
+        ("best_exhaustive_4m8t".to_string(), comparison(oracle, gray)),
+        ("slowdown_factors_p64".to_string(), comparison(direct, cached)),
+    ]);
+    let json = serde_json::to_string_pretty(&report).expect("serializable");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_model_eval.json");
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_model_eval.json");
+    println!("{json}");
+}

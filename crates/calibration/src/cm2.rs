@@ -71,9 +71,7 @@ mod tests {
     use hetplat::config::FrontendParams;
 
     fn cfg() -> PlatformConfig {
-        let mut c = PlatformConfig::default();
-        c.frontend = FrontendParams::processor_sharing();
-        c
+        PlatformConfig { frontend: FrontendParams::processor_sharing(), ..Default::default() }
     }
 
     fn small_spec() -> Cm2CalibrationSpec {

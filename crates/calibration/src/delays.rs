@@ -96,11 +96,7 @@ fn run_comm_probe(
 /// Mean relative delay of `contended` over `dedicated`, element-wise.
 fn mean_rel_delay(contended: &[f64], dedicated: &[f64]) -> f64 {
     assert_eq!(contended.len(), dedicated.len());
-    contended
-        .iter()
-        .zip(dedicated)
-        .map(|(&c, &d)| rel_delay(c, d))
-        .sum::<f64>()
+    contended.iter().zip(dedicated).map(|(&c, &d)| rel_delay(c, d)).sum::<f64>()
         / dedicated.len() as f64
 }
 
@@ -157,20 +153,11 @@ pub fn measure_comm_delays(cfg: PlatformConfig, spec: &DelaySpec, seed: u64) -> 
         by_computing.push(mean_rel_delay(&t_comp, &t0));
         // The paper averages the delay from generators pushing one-word
         // messages in each direction.
-        let t_out = run_comm_probe(
-            cfg,
-            &|| comm_gens(i, 1, GenDirection::Outbound, &cfg),
-            spec,
-            seed,
-        );
-        let t_in = run_comm_probe(
-            cfg,
-            &|| comm_gens(i, 1, GenDirection::Inbound, &cfg),
-            spec,
-            seed,
-        );
-        by_communicating
-            .push((mean_rel_delay(&t_out, &t0) + mean_rel_delay(&t_in, &t0)) / 2.0);
+        let t_out =
+            run_comm_probe(cfg, &|| comm_gens(i, 1, GenDirection::Outbound, &cfg), spec, seed);
+        let t_in =
+            run_comm_probe(cfg, &|| comm_gens(i, 1, GenDirection::Inbound, &cfg), spec, seed);
+        by_communicating.push((mean_rel_delay(&t_out, &t0) + mean_rel_delay(&t_in, &t0)) / 2.0);
     }
     CommDelayTable::new(by_computing, by_communicating)
 }
@@ -182,8 +169,10 @@ pub fn measure_comp_delays(cfg: PlatformConfig, spec: &DelaySpec, seed: u64) -> 
     for &j in &spec.buckets {
         let mut row = Vec::with_capacity(spec.p_max);
         for i in 1..=spec.p_max {
-            let t_out = run_comp_probe(cfg, comm_gens(i, j, GenDirection::Outbound, &cfg), spec, seed);
-            let t_in = run_comp_probe(cfg, comm_gens(i, j, GenDirection::Inbound, &cfg), spec, seed);
+            let t_out =
+                run_comp_probe(cfg, comm_gens(i, j, GenDirection::Outbound, &cfg), spec, seed);
+            let t_in =
+                run_comp_probe(cfg, comm_gens(i, j, GenDirection::Inbound, &cfg), spec, seed);
             row.push((rel_delay(t_out, t0) + rel_delay(t_in, t0)) / 2.0);
         }
         delays.push(row);
@@ -197,9 +186,7 @@ mod tests {
     use hetplat::config::FrontendParams;
 
     fn cfg() -> PlatformConfig {
-        let mut c = PlatformConfig::default();
-        c.frontend = FrontendParams::processor_sharing();
-        c
+        PlatformConfig { frontend: FrontendParams::processor_sharing(), ..Default::default() }
     }
 
     fn quick_spec() -> DelaySpec {

@@ -140,16 +140,11 @@ mod tests {
     use hetplat::config::FrontendParams;
 
     fn cfg() -> PlatformConfig {
-        let mut c = PlatformConfig::default();
-        c.frontend = FrontendParams::processor_sharing();
-        c
+        PlatformConfig { frontend: FrontendParams::processor_sharing(), ..Default::default() }
     }
 
     fn quick_spec() -> PingPongSpec {
-        PingPongSpec {
-            sizes: vec![1, 64, 256, 512, 768, 1024, 1536, 2048, 4096],
-            burst: 100,
-        }
+        PingPongSpec { sizes: vec![1, 64, 256, 512, 768, 1024, 1536, 2048, 4096], burst: 100 }
     }
 
     #[test]

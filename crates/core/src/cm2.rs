@@ -106,7 +106,7 @@ mod tests {
         let big_parallel = Cm2TaskCosts::new(0.0, 100.0, 5.0, 6.0);
         assert_eq!(big_parallel.t_cm2(0), 105.0);
         assert_eq!(big_parallel.t_cm2(3), 105.0); // contention invisible
-        // Serial-dominated under contention.
+                                                  // Serial-dominated under contention.
         let serial_heavy = Cm2TaskCosts::new(0.0, 10.0, 2.0, 8.0);
         assert_eq!(serial_heavy.t_cm2(0), 12.0); // 10+2 > 8
         assert_eq!(serial_heavy.t_cm2(3), 32.0); // 8*4 > 12

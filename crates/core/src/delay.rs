@@ -80,10 +80,7 @@ impl CompDelayTable {
         assert_eq!(buckets.len(), delays.len(), "one delay row per bucket");
         assert!(!buckets.is_empty(), "at least one bucket required");
         assert!(buckets.windows(2).all(|w| w[0] < w[1]), "buckets must ascend");
-        assert!(
-            delays.iter().flatten().all(|d| *d >= 0.0),
-            "delays must be non-negative"
-        );
+        assert!(delays.iter().flatten().all(|d| *d >= 0.0), "delays must be non-negative");
         CompDelayTable { buckets, delays }
     }
 
@@ -92,26 +89,7 @@ impl CompDelayTable {
     /// only eligible for messages under [`SMALL_MESSAGE_CUTOFF_WORDS`];
     /// sizes beyond the largest bucket saturate to it.
     pub fn bucket_for(&self, j_words: u64) -> usize {
-        let eligible = |idx: usize| self.buckets[idx] != 1 || j_words < SMALL_MESSAGE_CUTOFF_WORDS;
-        let mut best: Option<(usize, u64)> = None;
-        for idx in 0..self.buckets.len() {
-            if !eligible(idx) {
-                continue;
-            }
-            let dist = self.buckets[idx].abs_diff(j_words);
-            // Ties go to the larger bucket (the conservative choice: delays
-            // grow with message size).
-            let better = match best {
-                None => true,
-                Some((bi, bd)) => dist < bd || (dist == bd && self.buckets[idx] > self.buckets[bi]),
-            };
-            if better {
-                best = Some((idx, dist));
-            }
-        }
-        // All buckets ineligible can only happen when the table is just
-        // `[1]` and the message is large; saturate to the last bucket.
-        best.map(|(i, _)| i).unwrap_or(self.buckets.len() - 1)
+        select_bucket(&self.buckets, j_words)
     }
 
     /// `delay_commⁱʲ` for `i` contenders sending `j_words`-word messages;
@@ -124,6 +102,32 @@ impl CompDelayTable {
     pub fn delay_at_bucket(&self, i: usize, bucket: usize) -> f64 {
         lookup_saturating(&self.delays[bucket], i)
     }
+}
+
+/// Bucket-selection rule shared by [`CompDelayTable::bucket_for`] and the
+/// cached [`crate::profile::SlowdownProfile`]: the nearest measured bucket
+/// to `j_words`, except that the `j = 1` bucket is only eligible for
+/// messages under [`SMALL_MESSAGE_CUTOFF_WORDS`]; ties go to the larger
+/// bucket (the conservative choice: delays grow with message size).
+pub fn select_bucket(buckets: &[u64], j_words: u64) -> usize {
+    let eligible = |idx: usize| buckets[idx] != 1 || j_words < SMALL_MESSAGE_CUTOFF_WORDS;
+    let mut best: Option<(usize, u64)> = None;
+    for idx in 0..buckets.len() {
+        if !eligible(idx) {
+            continue;
+        }
+        let dist = buckets[idx].abs_diff(j_words);
+        let better = match best {
+            None => true,
+            Some((bi, bd)) => dist < bd || (dist == bd && buckets[idx] > buckets[bi]),
+        };
+        if better {
+            best = Some((idx, dist));
+        }
+    }
+    // All buckets ineligible can only happen when the table is just
+    // `[1]` and the message is large; saturate to the last bucket.
+    best.map(|(i, _)| i).unwrap_or(buckets.len() - 1)
 }
 
 /// Index `table` by contender count `i` (1-based); 0 for `i = 0`,
@@ -175,7 +179,7 @@ mod tests {
         assert_eq!(t.bucket_for(200), 1);
         assert_eq!(t.bucket_for(500), 1);
         assert_eq!(t.bucket_for(700), 1); // nearest of {500, 1000} → 500
-        // Tie at 750 goes to the larger bucket.
+                                          // Tie at 750 goes to the larger bucket.
         assert_eq!(t.bucket_for(750), 2);
         assert_eq!(t.bucket_for(800), 2);
         assert_eq!(t.bucket_for(1200), 2);

@@ -23,6 +23,7 @@
 //! | `pcompᵢ` / `pcommᵢ` dynamic program | [`mix`] |
 //! | `delay_compⁱ`, `delay_commⁱ`, `delay_commⁱʲ` | [`delay`] |
 //! | Sun/Paragon slowdown formulas | [`paragon`] |
+//! | Cached slowdown factors (batch engine) | [`profile`] |
 //! | Inequality (1) and placement | [`predict`] |
 //! | §4 future work: time-varying load | [`phased`] |
 //! | §4 future work: memory constraints | [`memory`] |
@@ -61,6 +62,7 @@ pub mod mix;
 pub mod paragon;
 pub mod phased;
 pub mod predict;
+pub mod profile;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
@@ -70,14 +72,15 @@ pub mod prelude {
     pub use crate::delay::{CommDelayTable, CompDelayTable, SMALL_MESSAGE_CUTOFF_WORDS};
     pub use crate::memory::MemoryModel;
     pub use crate::mix::WorkloadMix;
-    pub use crate::phased::{cm2_timeline, LoadPhase, LoadTimeline};
     pub use crate::paragon::{
         comm_cost as paragon_comm_cost, comm_slowdown as paragon_comm_slowdown,
         comp_cost as paragon_comp_cost, comp_slowdown as paragon_comp_slowdown,
     };
+    pub use crate::phased::{cm2_timeline, LoadPhase, LoadTimeline};
     pub use crate::predict::{
         Cm2Predictor, Cm2Task, ParagonPredictor, ParagonTask, Placement, PlacementDecision,
     };
+    pub use crate::profile::{ProfileCache, SlowdownProfile};
 }
 
 pub use prelude::*;

@@ -14,20 +14,47 @@
 //!
 //! `pcompᵢ = pcomm₍p−i₎` because every application is in exactly one of the
 //! two states at any instant, so a single distribution serves both.
+//!
+//! All updates mutate the distribution **in place** — steady-state `add`
+//! and `remove` perform no heap allocation beyond `Vec` growth — and bump
+//! a globally unique [`epoch`](WorkloadMix::epoch), which downstream
+//! caches (see [`crate::profile`]) use to detect staleness in O(1).
 
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Tolerance for the deconvolution fallback and invariant checks.
 const EPS: f64 = 1e-9;
 
+/// Monotone source of mix epochs. Starts at 1 so 0 can mean "never built"
+/// in downstream caches.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
+
 /// The set of contending applications on the front-end, tracked as the
 /// distribution of how many are communicating simultaneously.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorkloadMix {
     /// Communication fraction per contender, in `[0, 1]`.
     fracs: Vec<f64>,
     /// `comm_dist[i]` = probability exactly `i` contenders communicate.
     comm_dist: Vec<f64>,
+    /// Version stamp, replaced with a globally fresh value on every
+    /// mutation. Two mixes with equal epochs hold identical
+    /// distributions (clones that have not diverged); the converse does
+    /// not hold.
+    epoch: u64,
+}
+
+/// Equality is distribution equality; the epoch is a cache key, not state.
+impl PartialEq for WorkloadMix {
+    fn eq(&self, other: &Self) -> bool {
+        self.fracs == other.fracs && self.comm_dist == other.comm_dist
+    }
 }
 
 impl Default for WorkloadMix {
@@ -39,15 +66,17 @@ impl Default for WorkloadMix {
 impl WorkloadMix {
     /// An empty mix (dedicated machine, `p = 0`).
     pub fn new() -> Self {
-        WorkloadMix { fracs: Vec::new(), comm_dist: vec![1.0] }
+        WorkloadMix { fracs: Vec::new(), comm_dist: vec![1.0], epoch: next_epoch() }
     }
 
     /// Builds a mix from communication fractions.
     pub fn from_fracs(fracs: &[f64]) -> Self {
-        let mut m = WorkloadMix::new();
-        for &f in fracs {
-            m.add(f);
-        }
+        let mut m = WorkloadMix {
+            fracs: fracs.to_vec(),
+            comm_dist: Vec::with_capacity(fracs.len() + 1),
+            epoch: 0,
+        };
+        m.regenerate();
         m
     }
 
@@ -61,35 +90,57 @@ impl WorkloadMix {
         &self.fracs
     }
 
+    /// The mix's version stamp. Bumped to a globally unique value by
+    /// every mutation ([`add`](Self::add), [`remove`](Self::remove),
+    /// [`regenerate`](Self::regenerate)), so a cached derivation tagged
+    /// with this value can be revalidated in O(1).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// Adds a contender that communicates a fraction `frac` of the time.
-    /// `O(p)` — the paper's incremental arrival update.
+    /// `O(p)` — the paper's incremental arrival update. The convolution
+    /// runs in place; no allocation happens beyond amortized `Vec` growth.
     pub fn add(&mut self, frac: f64) {
         assert!((0.0..=1.0).contains(&frac), "communication fraction {frac} outside [0,1]");
-        let n = self.comm_dist.len();
-        let mut next = vec![0.0; n + 1];
-        for (i, &c) in self.comm_dist.iter().enumerate() {
-            next[i] += c * (1.0 - frac);
-            next[i + 1] += c * frac;
-        }
-        self.comm_dist = next;
+        self.convolve_in_place(frac);
         self.fracs.push(frac);
+        self.epoch = next_epoch();
+    }
+
+    /// One convolution step with `[1-f, f]`, entirely within `comm_dist`.
+    /// Walking top-down lets each slot read its old value and its left
+    /// neighbor's old value before either is overwritten.
+    fn convolve_in_place(&mut self, frac: f64) {
+        let d = &mut self.comm_dist;
+        d.push(0.0);
+        for i in (1..d.len()).rev() {
+            d[i] = d[i] * (1.0 - frac) + d[i - 1] * frac;
+        }
+        d[0] *= 1.0 - frac;
     }
 
     /// Removes the contender at `index` by `O(p)` deconvolution, falling
     /// back to `O(p²)` regeneration when the division is ill-conditioned.
-    /// Returns the removed fraction, or `None` if out of range.
+    /// Runs in place (the fallback reuses the existing buffer). Returns
+    /// the removed fraction, or `None` if out of range.
     pub fn remove(&mut self, index: usize) -> Option<f64> {
         if index >= self.fracs.len() {
             return None;
         }
         let f = self.fracs.remove(index);
+        self.epoch = next_epoch();
         // Deconvolve: comm_dist = old ⊛ [1-f, f]  =>  recover old. Each
         // step divides by (1 - f), amplifying rounding error by up to
         // (1/(1-f))^p overall, so fall back to regeneration (the paper's
         // O(p²) path) unless the division is comfortably conditioned.
         let n = self.comm_dist.len() - 1;
         if 1.0 - f > 0.1 {
-            let mut old = vec![0.0; n];
+            // Forward pass overwrites comm_dist[i] with the recovered
+            // old[i]; slot i only needs the not-yet-touched comm_dist[i]
+            // and the already-recovered carry, so in place is safe. A
+            // bail-out mid-pass leaves the buffer partially overwritten,
+            // which is fine: the fallback rebuilds it from `fracs`.
             let mut carry = 0.0;
             let mut ok = true;
             for i in 0..n {
@@ -98,17 +149,17 @@ impl WorkloadMix {
                     ok = false;
                     break;
                 }
-                old[i] = v.clamp(0.0, 1.0);
-                carry = old[i];
+                carry = v.clamp(0.0, 1.0);
+                self.comm_dist[i] = carry;
             }
             if ok {
-                self.comm_dist = old;
+                self.comm_dist.truncate(n);
                 return Some(f);
             }
         } else if (1.0 - f).abs() <= EPS {
             // f == 1: the contender always communicates; old dist is a
             // left shift.
-            self.comm_dist = self.comm_dist[1..].to_vec();
+            self.comm_dist.remove(0);
             return Some(f);
         }
         // Ill-conditioned: regenerate as in the paper.
@@ -117,9 +168,16 @@ impl WorkloadMix {
     }
 
     /// Rebuilds the distribution from scratch — the paper's `O(p²)` path.
+    /// Reuses the existing buffer; allocation-free once capacity exists.
     pub fn regenerate(&mut self) {
-        let fracs = std::mem::take(&mut self.fracs);
-        *self = WorkloadMix::from_fracs(&fracs);
+        self.comm_dist.clear();
+        self.comm_dist.push(1.0);
+        for k in 0..self.fracs.len() {
+            let f = self.fracs[k];
+            assert!((0.0..=1.0).contains(&f), "communication fraction {f} outside [0,1]");
+            self.convolve_in_place(f);
+        }
+        self.epoch = next_epoch();
     }
 
     /// Probability that exactly `i` contenders are communicating
@@ -145,11 +203,32 @@ impl WorkloadMix {
 
     /// Expected number of communicating contenders (diagnostic).
     pub fn expected_communicating(&self) -> f64 {
-        self.comm_dist
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| i as f64 * c)
-            .sum()
+        self.comm_dist.iter().enumerate().map(|(i, &c)| i as f64 * c).sum()
+    }
+}
+
+// The epoch is process-local, so it is excluded from the wire format and
+// reassigned fresh on deserialization (a stored epoch could collide with
+// a live one and confuse epoch-keyed caches).
+impl Serialize for WorkloadMix {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("fracs".to_string(), self.fracs.to_value()),
+            ("comm_dist".to_string(), self.comm_dist.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WorkloadMix {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            v.get(name).ok_or_else(|| serde::Error::msg(format!("missing field `{name}`")))
+        };
+        Ok(WorkloadMix {
+            fracs: Vec::<f64>::from_value(field("fracs")?)?,
+            comm_dist: Vec::<f64>::from_value(field("comm_dist")?)?,
+            epoch: next_epoch(),
+        })
     }
 }
 
@@ -257,5 +336,66 @@ mod tests {
         let m = WorkloadMix::from_fracs(&[0.0, 0.0, 1.0]);
         assert!(close(m.pcomm(1), 1.0));
         assert!(close(m.pcomp(2), 1.0));
+    }
+
+    #[test]
+    fn epochs_are_unique_and_bump_on_mutation() {
+        let a = WorkloadMix::new();
+        let b = WorkloadMix::new();
+        assert_ne!(a.epoch(), b.epoch(), "fresh mixes get distinct epochs");
+
+        let mut m = WorkloadMix::from_fracs(&[0.2]);
+        let e0 = m.epoch();
+        m.add(0.5);
+        let e1 = m.epoch();
+        assert_ne!(e0, e1, "add bumps the epoch");
+        m.remove(0);
+        let e2 = m.epoch();
+        assert_ne!(e1, e2, "remove bumps the epoch");
+        m.regenerate();
+        assert_ne!(e2, m.epoch(), "regenerate bumps the epoch");
+    }
+
+    #[test]
+    fn clones_share_epoch_until_divergence() {
+        let m = WorkloadMix::from_fracs(&[0.3, 0.6]);
+        let mut c = m.clone();
+        assert_eq!(m.epoch(), c.epoch());
+        c.add(0.1);
+        assert_ne!(m.epoch(), c.epoch());
+    }
+
+    #[test]
+    fn equality_ignores_epoch() {
+        let a = WorkloadMix::from_fracs(&[0.2, 0.4]);
+        let b = WorkloadMix::from_fracs(&[0.2, 0.4]);
+        assert_ne!(a.epoch(), b.epoch());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn steady_state_updates_do_not_allocate() {
+        // After one add at peak size, capacity suffices for any
+        // add/remove cycle at or below that size.
+        let mut m = WorkloadMix::from_fracs(&[0.2, 0.4, 0.6]);
+        m.add(0.5);
+        m.remove(3);
+        let cap_dist = m.comm_dist.capacity();
+        let cap_fracs = m.fracs.capacity();
+        for _ in 0..100 {
+            m.add(0.5);
+            m.remove(3);
+        }
+        assert_eq!(m.comm_dist.capacity(), cap_dist);
+        assert_eq!(m.fracs.capacity(), cap_fracs);
+    }
+
+    #[test]
+    fn serde_roundtrip_refreshes_epoch() {
+        let m = WorkloadMix::from_fracs(&[0.25, 0.76]);
+        let v = m.to_value();
+        let back = WorkloadMix::from_value(&v).unwrap();
+        assert_eq!(m, back);
+        assert_ne!(m.epoch(), back.epoch());
     }
 }

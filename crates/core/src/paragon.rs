@@ -116,11 +116,8 @@ mod tests {
         // Paper's example mix: 20% and 30% communication.
         let mix = WorkloadMix::from_fracs(&[0.2, 0.3]);
         let t = comm_table();
-        let expect = 1.0
-            + mix.pcomp(1) * 1.0
-            + mix.pcomp(2) * 2.0
-            + mix.pcomm(1) * 0.6
-            + mix.pcomm(2) * 1.1;
+        let expect =
+            1.0 + mix.pcomp(1) * 1.0 + mix.pcomp(2) * 2.0 + mix.pcomm(1) * 0.6 + mix.pcomm(2) * 1.1;
         assert!((comm_slowdown(&mix, &t) - expect).abs() < 1e-12);
     }
 

@@ -134,10 +134,7 @@ impl LoadTimeline {
 /// counts: `(duration, p)` pairs.
 pub fn cm2_timeline(segments: &[(f64, u32)]) -> LoadTimeline {
     LoadTimeline::new(
-        segments
-            .iter()
-            .map(|&(d, p)| LoadPhase::new(d, crate::cm2::slowdown(p)))
-            .collect(),
+        segments.iter().map(|&(d, p)| LoadPhase::new(d, crate::cm2::slowdown(p))).collect(),
     )
 }
 
@@ -163,10 +160,8 @@ mod tests {
     fn load_drops_midway() {
         // 10 s of slowdown 3, then dedicated. A 6 s task does 10/3 s of
         // work in the first phase, the rest at full speed.
-        let tl = LoadTimeline::new(vec![
-            LoadPhase::new(10.0, 3.0),
-            LoadPhase::new(f64::INFINITY, 1.0),
-        ]);
+        let tl =
+            LoadTimeline::new(vec![LoadPhase::new(10.0, 3.0), LoadPhase::new(f64::INFINITY, 1.0)]);
         let done_in_phase1 = 10.0 / 3.0;
         let expect = 10.0 + (6.0 - done_in_phase1);
         assert!((tl.completion_time(6.0, 0.0) - expect).abs() < 1e-12);
@@ -176,10 +171,8 @@ mod tests {
 
     #[test]
     fn start_offset_skips_earlier_phases() {
-        let tl = LoadTimeline::new(vec![
-            LoadPhase::new(10.0, 5.0),
-            LoadPhase::new(f64::INFINITY, 1.0),
-        ]);
+        let tl =
+            LoadTimeline::new(vec![LoadPhase::new(10.0, 5.0), LoadPhase::new(f64::INFINITY, 1.0)]);
         // Starting after the loaded phase: dedicated speed.
         assert_eq!(tl.completion_time(4.0, 10.0), 4.0);
         // Starting halfway through it: 5 s at 1/5 rate = 1 s done.
@@ -189,10 +182,8 @@ mod tests {
 
     #[test]
     fn effective_slowdown_between_phase_extremes() {
-        let tl = LoadTimeline::new(vec![
-            LoadPhase::new(8.0, 4.0),
-            LoadPhase::new(f64::INFINITY, 1.0),
-        ]);
+        let tl =
+            LoadTimeline::new(vec![LoadPhase::new(8.0, 4.0), LoadPhase::new(f64::INFINITY, 1.0)]);
         for demand in [0.5, 2.0, 5.0, 50.0] {
             let s = tl.effective_slowdown(demand, 0.0);
             assert!((1.0..=4.0).contains(&s), "demand {demand}: {s}");

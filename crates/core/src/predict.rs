@@ -16,6 +16,7 @@ use crate::dataset::DataSet;
 use crate::delay::{CommDelayTable, CompDelayTable};
 use crate::mix::WorkloadMix;
 use crate::paragon;
+use crate::profile::SlowdownProfile;
 use serde::{Deserialize, Serialize};
 
 /// Where a task should run.
@@ -44,11 +45,8 @@ pub struct PlacementDecision {
 
 impl PlacementDecision {
     fn decide(t_front: f64, t_back: f64, c_to: f64, c_from: f64) -> Self {
-        let placement = if t_front > t_back + c_to + c_from {
-            Placement::BackEnd
-        } else {
-            Placement::FrontEnd
-        };
+        let placement =
+            if t_front > t_back + c_to + c_from { Placement::BackEnd } else { Placement::FrontEnd };
         PlacementDecision { t_front, t_back, c_to, c_from, placement }
     }
 
@@ -166,6 +164,71 @@ impl ParagonPredictor {
             self.comm_cost_from(&task.from_backend, mix),
         )
     }
+
+    // -- Cached-profile fast path ------------------------------------------
+
+    /// Folds `mix` into a reusable [`SlowdownProfile`] against this
+    /// predictor's delay tables. One `O(p·buckets)` evaluation amortized
+    /// over every subsequent `*_with` call.
+    pub fn profile(&self, mix: &WorkloadMix) -> SlowdownProfile {
+        SlowdownProfile::compute(mix, &self.comm_delays, &self.comp_delays)
+    }
+
+    /// `C_sun→p` using cached slowdown factors.
+    pub fn comm_cost_to_with(&self, sets: &[DataSet], profile: &SlowdownProfile) -> f64 {
+        self.comm_to.dcomm(sets) * profile.comm_slowdown()
+    }
+
+    /// `C_p→sun` using cached slowdown factors.
+    pub fn comm_cost_from_with(&self, sets: &[DataSet], profile: &SlowdownProfile) -> f64 {
+        self.comm_from.dcomm(sets) * profile.comm_slowdown()
+    }
+
+    /// `T_sun` using cached slowdown factors.
+    pub fn t_sun_with(&self, dcomp_sun: f64, profile: &SlowdownProfile, j_words: u64) -> f64 {
+        dcomp_sun * profile.comp_slowdown(j_words)
+    }
+
+    /// Placement decision using cached slowdown factors. Agrees exactly
+    /// with [`decide`](Self::decide) when `profile` was computed from the
+    /// same mix and tables.
+    pub fn decide_with(
+        &self,
+        task: &ParagonTask,
+        profile: &SlowdownProfile,
+        j_words: u64,
+    ) -> PlacementDecision {
+        PlacementDecision::decide(
+            self.t_sun_with(task.dcomp_sun, profile, j_words),
+            task.t_paragon,
+            self.comm_cost_to_with(&task.to_backend, profile),
+            self.comm_cost_from_with(&task.from_backend, profile),
+        )
+    }
+
+    /// Decides a whole batch of tasks against one contention state. The
+    /// mix is folded once; each task then costs only the `dcomm` walks
+    /// and three multiplies, instead of re-evaluating the `O(p)` slowdown
+    /// sums per task.
+    pub fn decide_batch(
+        &self,
+        tasks: &[ParagonTask],
+        profile: &SlowdownProfile,
+        j_words: u64,
+    ) -> Vec<PlacementDecision> {
+        let comp_slowdown = profile.comp_slowdown(j_words);
+        tasks
+            .iter()
+            .map(|task| {
+                PlacementDecision::decide(
+                    task.dcomp_sun * comp_slowdown,
+                    task.t_paragon,
+                    self.comm_cost_to_with(&task.to_backend, profile),
+                    self.comm_cost_from_with(&task.from_backend, profile),
+                )
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +337,63 @@ mod tests {
         let mix = WorkloadMix::from_fracs(&[0.0, 0.0]);
         // Two pure CPU hogs: slowdown = 1 + 2 = 3.
         assert!((pred.t_sun(5.0, &mix, 1000) - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decide_with_matches_decide_exactly() {
+        let pred = paragon_predictor();
+        let mix = WorkloadMix::from_fracs(&[0.25, 0.76]);
+        let profile = pred.profile(&mix);
+        let task = ParagonTask {
+            dcomp_sun: 7.3,
+            t_paragon: 1.9,
+            to_backend: vec![DataSet::burst(40, 900)],
+            from_backend: vec![DataSet::burst(10, 30)],
+        };
+        for j in [1u64, 94, 95, 500, 750, 2000] {
+            let direct = pred.decide(&task, &mix, j);
+            let cached = pred.decide_with(&task, &profile, j);
+            assert_eq!(direct, cached, "j = {j}");
+        }
+    }
+
+    #[test]
+    fn decide_batch_matches_per_call_decide() {
+        let pred = paragon_predictor();
+        let mix = WorkloadMix::from_fracs(&[0.4, 0.1, 0.9]);
+        let profile = pred.profile(&mix);
+        let tasks: Vec<ParagonTask> = (1..20)
+            .map(|k| ParagonTask {
+                dcomp_sun: k as f64 * 0.7,
+                t_paragon: (20 - k) as f64 * 0.3,
+                to_backend: vec![DataSet::burst(k, 100 * k)],
+                from_backend: vec![DataSet::single(50 * k)],
+            })
+            .collect();
+        let batch = pred.decide_batch(&tasks, &profile, 512);
+        assert_eq!(batch.len(), tasks.len());
+        for (task, got) in tasks.iter().zip(&batch) {
+            assert_eq!(*got, pred.decide(task, &mix, 512));
+        }
+    }
+
+    #[test]
+    fn stale_profile_is_detectable() {
+        let pred = paragon_predictor();
+        let mut mix = WorkloadMix::from_fracs(&[0.5]);
+        let profile = pred.profile(&mix);
+        assert!(profile.is_current(&mix));
+        mix.add(0.25);
+        assert!(!profile.is_current(&mix));
+        // Refreshing restores agreement.
+        let fresh = pred.profile(&mix);
+        let task = ParagonTask {
+            dcomp_sun: 3.0,
+            t_paragon: 1.0,
+            to_backend: vec![],
+            from_backend: vec![],
+        };
+        assert_eq!(pred.decide_with(&task, &fresh, 500), pred.decide(&task, &mix, 500));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property tests for the batched prediction engine: the cached
+//! [`SlowdownProfile`] path must agree with the direct per-call slowdown
+//! evaluation to 1e-12 on arbitrary mixes, delay tables, and tasks.
+
+use contention_model::comm::{LinearCommModel, PiecewiseCommModel};
+use contention_model::dataset::DataSet;
+use contention_model::delay::{CommDelayTable, CompDelayTable};
+use contention_model::mix::WorkloadMix;
+use contention_model::paragon;
+use contention_model::predict::{ParagonPredictor, ParagonTask};
+use contention_model::profile::{ProfileCache, SlowdownProfile};
+use proptest::prelude::*;
+
+/// A fixed calibrated predictor (values from a real calibration run);
+/// only the mix and the tasks vary per case.
+fn predictor() -> ParagonPredictor {
+    ParagonPredictor {
+        comm_to: PiecewiseCommModel::new(
+            1024,
+            LinearCommModel::new(1.6e-3, 79_000.0),
+            LinearCommModel::new(5.6e-3, 104_000.0),
+        ),
+        comm_from: PiecewiseCommModel::new(
+            1024,
+            LinearCommModel::new(1.5e-3, 149_000.0),
+            LinearCommModel::new(2.0e-3, 83_000.0),
+        ),
+        comm_delays: CommDelayTable::new(
+            vec![0.27, 0.61, 1.02, 1.40],
+            vec![0.19, 0.49, 0.81, 1.10],
+        ),
+        comp_delays: CompDelayTable::new(
+            vec![1, 500, 1000],
+            vec![
+                vec![0.22, 0.37, 0.37, 0.37],
+                vec![0.66, 1.15, 1.59, 1.90],
+                vec![1.68, 3.59, 5.52, 7.00],
+            ],
+        ),
+    }
+}
+
+/// A [`CompDelayTable`] whose rows scale with the bucket, built from one
+/// generated row.
+fn comp_table(row: &[f64]) -> CompDelayTable {
+    CompDelayTable::new(
+        vec![1, 500, 1000],
+        vec![
+            row.to_vec(),
+            row.iter().map(|d| d * 2.0).collect(),
+            row.iter().map(|d| d * 3.0).collect(),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    fn cached_profile_matches_direct_path(
+        fracs in prop::collection::vec(0.01f64..0.99, 1..10),
+        comp_on_comm in prop::collection::vec(0.0f64..3.0, 1..6),
+        comm_on_comm in prop::collection::vec(0.0f64..3.0, 1..6),
+        row in prop::collection::vec(0.0f64..3.0, 1..6),
+        j in 1u64..5000,
+    ) {
+        let mix = WorkloadMix::from_fracs(&fracs);
+        let comm_t = CommDelayTable::new(comp_on_comm, comm_on_comm);
+        let comp_t = comp_table(&row);
+        let profile = SlowdownProfile::compute(&mix, &comm_t, &comp_t);
+        prop_assert!(
+            (profile.comm_slowdown() - paragon::comm_slowdown(&mix, &comm_t)).abs() <= 1e-12
+        );
+        prop_assert!(
+            (profile.comp_slowdown(j) - paragon::comp_slowdown(&mix, &comp_t, j)).abs() <= 1e-12
+        );
+        for b in 0..profile.bucket_count() {
+            prop_assert!(
+                (profile.comp_slowdown_at_bucket(b)
+                    - paragon::comp_slowdown_at_bucket(&mix, &comp_t, b))
+                .abs()
+                    <= 1e-12
+            );
+        }
+    }
+
+    fn cache_stays_consistent_across_mutations(
+        fracs in prop::collection::vec(0.01f64..0.99, 2..8),
+        extra in 0.01f64..0.99,
+        comp_on_comm in prop::collection::vec(0.0f64..3.0, 1..6),
+        comm_on_comm in prop::collection::vec(0.0f64..3.0, 1..6),
+        row in prop::collection::vec(0.0f64..3.0, 1..6),
+    ) {
+        let comm_t = CommDelayTable::new(comp_on_comm, comm_on_comm);
+        let comp_t = comp_table(&row);
+        let mut mix = WorkloadMix::from_fracs(&fracs);
+        let mut cache = ProfileCache::new();
+        // After every in-place mutation the cache must serve a profile
+        // that agrees with a fresh direct evaluation.
+        cache.profile_for(&mix, &comm_t, &comp_t);
+        mix.add(extra);
+        let after_add = cache.profile_for(&mix, &comm_t, &comp_t).comm_slowdown();
+        prop_assert!((after_add - paragon::comm_slowdown(&mix, &comm_t)).abs() <= 1e-12);
+        mix.remove(0);
+        let after_remove = cache.profile_for(&mix, &comm_t, &comp_t).comm_slowdown();
+        prop_assert!((after_remove - paragon::comm_slowdown(&mix, &comm_t)).abs() <= 1e-12);
+    }
+
+    fn batched_decisions_match_per_call(
+        fracs in prop::collection::vec(0.01f64..0.99, 1..8),
+        dcomp in 0.1f64..50.0,
+        tpar in 0.1f64..20.0,
+        words in 1u64..4096,
+    ) {
+        let pred = predictor();
+        let mix = WorkloadMix::from_fracs(&fracs);
+        let tasks: Vec<ParagonTask> = (0..4)
+            .map(|i| ParagonTask {
+                dcomp_sun: dcomp + i as f64,
+                t_paragon: tpar,
+                to_backend: vec![DataSet::burst(100, words)],
+                from_backend: vec![DataSet::burst(100, words)],
+            })
+            .collect();
+        let profile = pred.profile(&mix);
+        let batched = pred.decide_batch(&tasks, &profile, words);
+        prop_assert_eq!(batched.len(), tasks.len());
+        for (task, got) in tasks.iter().zip(&batched) {
+            let direct = pred.decide(task, &mix, words);
+            prop_assert_eq!(got.placement, direct.placement);
+            prop_assert!((got.t_front - direct.t_front).abs() <= 1e-12);
+            prop_assert!((got.t_back - direct.t_back).abs() <= 1e-12);
+            prop_assert!((got.c_to - direct.c_to).abs() <= 1e-12);
+            prop_assert!((got.c_from - direct.c_from).abs() <= 1e-12);
+        }
+    }
+}

@@ -11,7 +11,10 @@ fn main() {
     let scale = if std::env::args().any(|a| a == "--full") { Scale::Full } else { Scale::Quick };
     let cm2 = cm2_predictor(scale);
     println!("== Sun/CM2 dedicated transfer models");
-    println!("  sun→cm2: alpha = {:.6}s, beta = {:.0} words/s", cm2.comm_to.alpha, cm2.comm_to.beta);
+    println!(
+        "  sun→cm2: alpha = {:.6}s, beta = {:.0} words/s",
+        cm2.comm_to.alpha, cm2.comm_to.beta
+    );
     println!(
         "  cm2→sun: alpha = {:.6}s, beta = {:.0} words/s",
         cm2.comm_from.alpha, cm2.comm_from.beta
@@ -27,12 +30,15 @@ fn main() {
         );
     }
     println!("== delay tables (relative extra time)");
-    println!("  delay_comp^i  (i computing contenders → communication): {:?}", p.comm_delays.by_computing);
-    println!("  delay_comm^i  (i communicating contenders → communication): {:?}", p.comm_delays.by_communicating);
+    println!(
+        "  delay_comp^i  (i computing contenders → communication): {:?}",
+        p.comm_delays.by_computing
+    );
+    println!(
+        "  delay_comm^i  (i communicating contenders → communication): {:?}",
+        p.comm_delays.by_communicating
+    );
     for (b, row) in p.comp_delays.delays.iter().enumerate() {
-        println!(
-            "  delay_comm^(i,{:>4}) (→ computation): {row:?}",
-            p.comp_delays.buckets[b]
-        );
+        println!("  delay_comm^(i,{:>4}) (→ computation): {row:?}", p.comp_delays.buckets[b]);
     }
 }

@@ -6,6 +6,7 @@
 //! `dcomm × (p + 1)`; *actual* is the simulated platform with `p`
 //! CPU-bound contenders on the round-robin front-end.
 
+use crate::par::ordered_map;
 use crate::report::{Experiment, Row, Series};
 use crate::scenarios::{run_with_hogs, transfer_seconds};
 use crate::setup::{cm2_predictor, platform_config, Scale, SEED};
@@ -27,15 +28,16 @@ pub fn run(scale: Scale) -> Experiment {
         "M",
     );
     for &p in &[0u32, 3] {
-        let mut rows = Vec::new();
-        for &m in &sizes(scale) {
+        // Each sweep point simulates an independent platform with its own
+        // derived seed — fanned out by `ordered_map` under `par`.
+        let rows = ordered_map(sizes(scale), |m| {
             let sets = [DataSet::matrix_rows(m, m)];
             let modeled = pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p);
             let (plat, id) =
                 run_with_hogs(cfg, cm2_matrix_transfer_app("probe", m), p as usize, SEED ^ m);
             let actual = transfer_seconds(&plat, id);
-            rows.push(Row { x: m as f64, modeled, actual });
-        }
+            Row { x: m as f64, modeled, actual }
+        });
         let s = Series::new(format!("p={p}"), rows);
         e.note(format!("p={p}: MAPE {:.2}% (paper: within 11% avg / 15% overall)", s.mape()));
         e.push_series(s);
@@ -67,11 +69,7 @@ mod tests {
         let loaded = &e.series[1].rows;
         for (d, l) in ded.iter().zip(loaded) {
             let ratio = l.actual / d.actual;
-            assert!(
-                (3.2..4.8).contains(&ratio),
-                "M={}: actual slowdown {ratio}",
-                d.x
-            );
+            assert!((3.2..4.8).contains(&ratio), "M={}: actual slowdown {ratio}", d.x);
         }
     }
 

@@ -18,21 +18,14 @@ use hetload::programs::gauss_program;
 
 /// Matrix sizes swept.
 pub fn sizes(scale: Scale) -> Vec<u64> {
-    scale.pick(
-        vec![50, 150, 250, 400],
-        vec![50, 100, 150, 200, 250, 300, 350, 400, 500],
-    )
+    scale.pick(vec![50, 150, 250, 400], vec![50, 100, 150, 200, 250, 300, 350, 400, 500])
 }
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Experiment {
     let cfg = platform_config();
     let params = Cm2ProgramParams::default();
-    let mut e = Experiment::new(
-        "fig3",
-        "Gaussian elimination on the CM2: dedicated vs p = 3",
-        "M",
-    );
+    let mut e = Experiment::new("fig3", "Gaussian elimination on the CM2: dedicated vs p = 3", "M");
     let mut ded_rows = Vec::new();
     let mut loaded_rows = Vec::new();
     let mut crossover: Option<u64> = None;

@@ -8,6 +8,7 @@
 //! *actual* is the simulated burst. Figure 5 is Sun→Paragon, Figure 6 the
 //! reverse.
 
+use crate::par::ordered_map;
 use crate::report::{Experiment, Row, Series};
 use crate::scenarios::run_with_generators;
 use crate::setup::{paragon_predictor, platform_config, Scale, SEED};
@@ -46,31 +47,34 @@ fn run_direction(outbound: bool, scale: Scale) -> Experiment {
     let pred = paragon_predictor(scale);
     let m = mix();
     let (id, title, dir, kind) = if outbound {
-        ("fig5", "Bursts Sun→Paragon, non-dedicated (25% & 76% contenders)", Direction::ToParagon, PhaseKind::Send)
+        (
+            "fig5",
+            "Bursts Sun→Paragon, non-dedicated (25% & 76% contenders)",
+            Direction::ToParagon,
+            PhaseKind::Send,
+        )
     } else {
-        ("fig6", "Bursts Paragon→Sun, non-dedicated (25% & 76% contenders)", Direction::FromParagon, PhaseKind::Recv)
+        (
+            "fig6",
+            "Bursts Paragon→Sun, non-dedicated (25% & 76% contenders)",
+            Direction::FromParagon,
+            PhaseKind::Recv,
+        )
     };
     let mut e = Experiment::new(id, title, "words");
     let n = burst(scale);
-    let mut rows = Vec::new();
-    for &words in &sizes(scale) {
+    // Independent simulation per message size — fanned out under `par`.
+    let rows = ordered_map(sizes(scale), |words| {
         let sets = [DataSet::burst(n, words)];
-        let modeled = if outbound {
-            pred.comm_cost_to(&sets, &m)
-        } else {
-            pred.comm_cost_from(&sets, &m)
-        };
+        let modeled =
+            if outbound { pred.comm_cost_to(&sets, &m) } else { pred.comm_cost_from(&sets, &m) };
         let probe = burst_app("probe", n, words, dir);
         let (plat, pid) = run_with_generators(cfg, probe, contenders(&cfg), SEED ^ words);
         let actual = plat.phase_time(pid, kind).as_secs_f64();
-        rows.push(Row { x: words as f64, modeled, actual });
-    }
+        Row { x: words as f64, modeled, actual }
+    });
     let s = Series::new("modeled vs actual", rows);
-    e.note(format!(
-        "MAPE {:.2}% (paper: within {}%)",
-        s.mape(),
-        if outbound { 12 } else { 14 }
-    ));
+    e.note(format!("MAPE {:.2}% (paper: within {}%)", s.mape(), if outbound { 12 } else { 14 }));
     e.push_series(s);
     e
 }

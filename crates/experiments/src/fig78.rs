@@ -9,6 +9,7 @@
 //! contenders' message size is what makes the prediction accurate
 //! (Fig. 7: best at `j = 1000`, Fig. 8: best at `j = 500`).
 
+use crate::par::ordered_map;
 use crate::report::{Experiment, Row, Series};
 use crate::scenarios::run_with_generators;
 use crate::setup::{paragon_predictor, platform_config, Scale, SEED};
@@ -36,10 +37,9 @@ fn run_sor(id: &str, title: &str, specs: [Spec; 2], scale: Scale) -> Experiment 
     let mix = WorkloadMix::from_fracs(&[specs[0].1, specs[1].1]);
     let mut e = Experiment::new(id, title, "M");
 
-    // Actual runs (plus the dedicated baseline).
-    let mut actual = Vec::new();
-    let mut dedicated = Vec::new();
-    for &m in &sizes(scale) {
+    // Actual runs (plus the dedicated baseline), one independent
+    // simulation pair per grid size — fanned out under `par`.
+    let runs = ordered_map(sizes(scale), |m| {
         let demand = rates.sor_sun_demand(m, SWEEPS);
         let gens = specs
             .iter()
@@ -48,11 +48,14 @@ fn run_sor(id: &str, title: &str, specs: [Spec; 2], scale: Scale) -> Experiment 
             })
             .collect();
         let (plat, pid) = run_with_generators(cfg, sun_task_app("sor", demand), gens, SEED ^ m);
-        actual.push((m, plat.elapsed(pid).expect("finished").as_secs_f64()));
+        let loaded = plat.elapsed(pid).expect("finished").as_secs_f64();
         let (plat0, pid0) =
             run_with_generators(cfg, sun_task_app("sor", demand), Vec::new(), SEED ^ m);
-        dedicated.push((m, plat0.elapsed(pid0).expect("finished").as_secs_f64()));
-    }
+        let ded = plat0.elapsed(pid0).expect("finished").as_secs_f64();
+        (m, loaded, ded)
+    });
+    let actual: Vec<(u64, f64)> = runs.iter().map(|&(m, loaded, _)| (m, loaded)).collect();
+    let dedicated: Vec<(u64, f64)> = runs.iter().map(|&(m, _, ded)| (m, ded)).collect();
 
     e.push_series(Series::new(
         "dedicated",
@@ -82,17 +85,11 @@ fn run_sor(id: &str, title: &str, specs: [Spec; 2], scale: Scale) -> Experiment 
         errors.push((j, s.mape()));
         e.push_series(s);
     }
-    let best = errors
-        .iter()
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-        .expect("nonempty");
+    let best =
+        errors.iter().min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite")).expect("nonempty");
     e.note(format!(
         "errors by j: {} — best at j={}",
-        errors
-            .iter()
-            .map(|(j, err)| format!("j={j}: {err:.1}%"))
-            .collect::<Vec<_>>()
-            .join(", "),
+        errors.iter().map(|(j, err)| format!("j={j}: {err:.1}%")).collect::<Vec<_>>().join(", "),
         best.0
     ));
     e.note(

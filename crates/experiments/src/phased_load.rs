@@ -49,16 +49,8 @@ pub fn run() -> Experiment {
     let mut constant_dedicated = Vec::new();
     for demand in [2.0f64, 6.0, 10.0, 20.0, 40.0] {
         let actual = simulate(demand, SEED ^ demand as u64);
-        phased.push(Row {
-            x: demand,
-            modeled: timeline.completion_time(demand, 0.0),
-            actual,
-        });
-        constant_loaded.push(Row {
-            x: demand,
-            modeled: demand * (HOGS as f64 + 1.0),
-            actual,
-        });
+        phased.push(Row { x: demand, modeled: timeline.completion_time(demand, 0.0), actual });
+        constant_loaded.push(Row { x: demand, modeled: demand * (HOGS as f64 + 1.0), actual });
         constant_dedicated.push(Row { x: demand, modeled: demand, actual });
     }
     let s_phased = Series::new("phased timeline model", phased);

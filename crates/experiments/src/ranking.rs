@@ -37,11 +37,8 @@ const PLACEMENTS: [(usize, usize); 4] = [(0, 0), (0, 1), (1, 0), (1, 1)];
 fn script(chain: &Chain, (ma, mb): (usize, usize)) -> ScriptedApp {
     const MSG_WORDS: u64 = 512;
     let mut phases = Vec::new();
-    let burst = |words: u64, dir| Phase::Send {
-        count: words.div_ceil(MSG_WORDS),
-        words: MSG_WORDS,
-        dir,
-    };
+    let burst =
+        |words: u64, dir| Phase::Send { count: words.div_ceil(MSG_WORDS), words: MSG_WORDS, dir };
     let recv = |words: u64| Phase::Recv {
         count: words.div_ceil(MSG_WORDS),
         words: MSG_WORDS,
@@ -73,7 +70,13 @@ fn script(chain: &Chain, (ma, mb): (usize, usize)) -> ScriptedApp {
 }
 
 /// The model's prediction for one placement under `mix`.
-fn predict(chain: &Chain, (ma, mb): (usize, usize), mix: &WorkloadMix, j: u64, scale: Scale) -> f64 {
+fn predict(
+    chain: &Chain,
+    (ma, mb): (usize, usize),
+    mix: &WorkloadMix,
+    j: u64,
+    scale: Scale,
+) -> f64 {
     const MSG_WORDS: u64 = 512;
     let pred = paragon_predictor(scale);
     let sets = |words: u64| [DataSet::new(words.div_ceil(MSG_WORDS), MSG_WORDS)];

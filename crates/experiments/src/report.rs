@@ -70,7 +70,11 @@ pub struct Experiment {
 
 impl Experiment {
     /// Builds an experiment shell.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, x_label: impl Into<String>) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> Self {
         Experiment {
             id: id.into(),
             title: title.into(),
@@ -112,12 +116,7 @@ impl Experiment {
                 );
             }
             if !s.rows.is_empty() {
-                let _ = writeln!(
-                    out,
-                    "   (MAPE {:.2}%  max {:.2}%)",
-                    s.mape(),
-                    s.max_ape()
-                );
+                let _ = writeln!(out, "   (MAPE {:.2}%  max {:.2}%)", s.mape(), s.max_ape());
             }
         }
         for n in &self.notes {

@@ -60,9 +60,7 @@ mod tests {
     #[test]
     fn hog_run_slows_probe() {
         let cfg = PlatformConfig::default();
-        let probe = || {
-            ScriptedApp::new("probe", vec![Phase::Compute(SimDuration::from_secs(1))])
-        };
+        let probe = || ScriptedApp::new("probe", vec![Phase::Compute(SimDuration::from_secs(1))]);
         let (p0, id0) = run_with_hogs(cfg, probe(), 0, 1);
         let (p3, id3) = run_with_hogs(cfg, probe(), 3, 1);
         let t0 = p0.elapsed(id0).unwrap().as_secs_f64();

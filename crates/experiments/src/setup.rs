@@ -40,9 +40,10 @@ impl Scale {
 /// a daemon-noise process (see `scenarios`), so measurements deviate from
 /// the model the way production systems do.
 pub fn platform_config() -> PlatformConfig {
-    let mut c = PlatformConfig::default();
-    c.frontend = hetplat::config::FrontendParams::processor_sharing();
-    c
+    PlatformConfig {
+        frontend: hetplat::config::FrontendParams::processor_sharing(),
+        ..Default::default()
+    }
 }
 
 /// The 2-HOPS variant.
@@ -55,10 +56,9 @@ pub fn platform_config_two_hops() -> PlatformConfig {
 /// Calibration sizes per scale.
 pub fn pingpong_spec(scale: Scale) -> PingPongSpec {
     match scale {
-        Scale::Quick => PingPongSpec {
-            sizes: vec![1, 64, 256, 512, 768, 1024, 1536, 2048, 4096],
-            burst: 100,
-        },
+        Scale::Quick => {
+            PingPongSpec { sizes: vec![1, 64, 256, 512, 768, 1024, 1536, 2048, 4096], burst: 100 }
+        }
         Scale::Full => PingPongSpec::default(),
     }
 }

@@ -39,13 +39,11 @@ pub fn run_cm2(scale: Scale) -> Experiment {
         let prog = random_cm2_program(&mut rng, steps, 1_000, 200_000, &params);
         let dserial = prog.serial_total(cfg.cm2.instr_dispatch).as_secs_f64();
         let dcomp = prog.parallel_total().as_secs_f64();
-        let (plat0, id0) =
-            run_with_hogs(cfg, cm2_program_app("syn", prog.clone()), 0, SEED ^ inst);
+        let (plat0, id0) = run_with_hogs(cfg, cm2_program_app("syn", prog.clone()), 0, SEED ^ inst);
         let t_ded = plat0.elapsed(id0).expect("finished").as_secs_f64();
         let didle = (t_ded - dcomp).max(0.0);
         let costs = Cm2TaskCosts::new(0.0, dcomp, didle.min(dserial), dserial);
-        let (plat, id) =
-            run_with_hogs(cfg, cm2_program_app("syn", prog), p as usize, SEED ^ inst);
+        let (plat, id) = run_with_hogs(cfg, cm2_program_app("syn", prog), p as usize, SEED ^ inst);
         comp_rows.push(Row {
             x: inst as f64,
             modeled: costs.t_cm2(p),
@@ -95,9 +93,7 @@ pub fn run_paragon(scale: Scale) -> Experiment {
     for inst in 0..instances {
         let p = rng.gen_range(2..=3usize);
         let specs = random_generator_specs(&mut rng, p);
-        let mix = WorkloadMix::from_fracs(
-            &specs.iter().map(|s| s.comm_frac).collect::<Vec<_>>(),
-        );
+        let mix = WorkloadMix::from_fracs(&specs.iter().map(|s| s.comm_frac).collect::<Vec<_>>());
         let j = specs.iter().map(|s| s.msg_words).max().unwrap_or(1);
 
         // Communication probe: a 200-message burst of 200-word messages.
@@ -109,9 +105,7 @@ pub fn run_paragon(scale: Scale) -> Experiment {
         comm_rows.push(Row {
             x: inst as f64,
             modeled,
-            actual: plat
-                .phase_time(id, hetplat::phase::PhaseKind::Send)
-                .as_secs_f64(),
+            actual: plat.phase_time(id, hetplat::phase::PhaseKind::Send).as_secs_f64(),
         });
 
         // Computation probe: 5 seconds of dedicated CPU demand. Modeled
@@ -128,11 +122,7 @@ pub fn run_paragon(scale: Scale) -> Experiment {
         let best = (0..pred.comp_delays.buckets.len())
             .map(|b| {
                 demand.as_secs_f64()
-                    * contention_model::paragon::comp_slowdown_at_bucket(
-                        &mix,
-                        &pred.comp_delays,
-                        b,
-                    )
+                    * contention_model::paragon::comp_slowdown_at_bucket(&mix, &pred.comp_delays, b)
             })
             .min_by(|a, b| {
                 simcore::stats::ape(*a, actual)

@@ -114,9 +114,10 @@ mod tests {
     use hetplat::platform::Platform;
 
     fn ps_cfg() -> PlatformConfig {
-        let mut c = PlatformConfig::default();
-        c.frontend = hetplat::config::FrontendParams::processor_sharing();
-        c
+        PlatformConfig {
+            frontend: hetplat::config::FrontendParams::processor_sharing(),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -162,8 +163,8 @@ mod tests {
         let probe = p.spawn(Box::new(cm2_startup_probe("st", 1000)));
         p.run_until_done(probe).unwrap();
         let cfg = ps_cfg();
-        let expect_send = 1000.0
-            * (cfg.cm2.xfer_alpha_to + cfg.cm2.xfer_per_word_to * 1).as_secs_f64();
+        let expect_send =
+            1000.0 * (cfg.cm2.xfer_alpha_to + cfg.cm2.xfer_per_word_to * 1).as_secs_f64();
         let send = p.phase_time(probe, PhaseKind::Send).as_secs_f64();
         assert!((send - expect_send).abs() < 1e-9);
     }
@@ -174,12 +175,7 @@ mod tests {
         use crate::programs::gauss_program;
         let prog = gauss_program(20, &Cm2ProgramParams::default());
         let mut p = Platform::new(ps_cfg(), 0);
-        let probe = p.spawn(Box::new(cm2_offloaded_task(
-            "task",
-            (20, 21),
-            prog,
-            (1, 20),
-        )));
+        let probe = p.spawn(Box::new(cm2_offloaded_task("task", (20, 21), prog, (1, 20))));
         p.run_until_done(probe).unwrap();
         let kinds: Vec<PhaseKind> = p.records(probe).iter().map(|r| r.kind).collect();
         assert_eq!(kinds, vec![PhaseKind::Send, PhaseKind::Cm2Program, PhaseKind::Recv]);

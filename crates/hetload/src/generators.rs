@@ -147,9 +147,7 @@ impl AppProcess for IoHog {
     fn next_phase(&mut self, _now: SimTime, rng: &mut SimRng) -> Phase {
         self.do_io_next = !self.do_io_next;
         if self.do_io_next {
-            Phase::DiskIo {
-                words: ((self.io_words as f64) * jitter_factor(rng, 0.3)) as u64,
-            }
+            Phase::DiskIo { words: ((self.io_words as f64) * jitter_factor(rng, 0.3)) as u64 }
         } else {
             Phase::Compute(self.cpu_slice.mul_f64(jitter_factor(rng, 0.3)))
         }
@@ -196,10 +194,8 @@ pub fn message_estimate(cfg: &PlatformConfig, words: u64, dir: Direction) -> Sim
         }
         Direction::FromParagon => {
             let pg = &cfg.paragon;
-            let mut stage = pg
-                .conv_demand_in(words)
-                .max(pg.wire_service(words))
-                .max(pg.node_emit_gap);
+            let mut stage =
+                pg.conv_demand_in(words).max(pg.wire_service(words)).max(pg.node_emit_gap);
             if pg.path == hetplat::config::CommPath::TwoHops {
                 stage = stage.max(pg.nx_service(words));
             }
@@ -326,9 +322,10 @@ mod tests {
     use simcore::rng::root_rng;
 
     fn ps_cfg() -> PlatformConfig {
-        let mut c = PlatformConfig::default();
-        c.frontend = hetplat::config::FrontendParams::processor_sharing();
-        c
+        PlatformConfig {
+            frontend: hetplat::config::FrontendParams::processor_sharing(),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -388,17 +385,14 @@ mod tests {
         let cfg = ps_cfg();
         for target in [0.25, 0.5, 0.76] {
             let mut p = Platform::new(cfg, 7);
-            let g = CommGenerator::new("g", target, 200, GenDirection::Outbound, &cfg)
-                .with_jitter(0.0);
+            let g =
+                CommGenerator::new("g", target, 200, GenDirection::Outbound, &cfg).with_jitter(0.0);
             let id = p.spawn(Box::new(g));
             p.run_until(SimTime::ZERO + SimDuration::from_secs(60));
             let comm = p.phase_time(id, PhaseKind::Send).as_secs_f64();
             let comp = p.phase_time(id, PhaseKind::Compute).as_secs_f64();
             let frac = comm / (comm + comp);
-            assert!(
-                (frac - target).abs() < 0.08,
-                "target {target}: measured {frac}"
-            );
+            assert!((frac - target).abs() < 0.08, "target {target}: measured {frac}");
         }
     }
 
@@ -413,12 +407,9 @@ mod tests {
     #[test]
     fn message_estimate_monotone_in_words() {
         let cfg = ps_cfg();
-        for dir in [
-            Direction::ToCm2,
-            Direction::FromCm2,
-            Direction::ToParagon,
-            Direction::FromParagon,
-        ] {
+        for dir in
+            [Direction::ToCm2, Direction::FromCm2, Direction::ToParagon, Direction::FromParagon]
+        {
             let small = message_estimate(&cfg, 10, dir);
             let large = message_estimate(&cfg, 10_000, dir);
             assert!(large > small, "{dir:?}");

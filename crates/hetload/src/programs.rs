@@ -68,10 +68,7 @@ mod tests {
 
     #[test]
     fn gauss_parallel_work_scales_cubically() {
-        let p = Cm2ProgramParams {
-            instr_alpha: SimDuration::ZERO,
-            ..Default::default()
-        };
+        let p = Cm2ProgramParams { instr_alpha: SimDuration::ZERO, ..Default::default() };
         let w100 = gauss_program(100, &p).parallel_total().as_secs_f64();
         let w200 = gauss_program(200, &p).parallel_total().as_secs_f64();
         assert!((w200 / w100 - 8.0).abs() < 0.4, "ratio {}", w200 / w100);
@@ -92,7 +89,7 @@ mod tests {
         let prog = sor_program(100, 10, 5, &p);
         let syncs = prog.instrs.iter().filter(|i| matches!(i, Cm2Instr::Sync)).count();
         assert_eq!(syncs, 2); // sweeps 5 and 10
-        // Every sweep has two half-sweeps + per-check reductions.
+                              // Every sweep has two half-sweeps + per-check reductions.
         assert_eq!(prog.parallel_count(), 22);
     }
 

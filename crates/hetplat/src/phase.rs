@@ -92,10 +92,7 @@ impl Cm2Program {
 
     /// Number of parallel instructions.
     pub fn parallel_count(&self) -> u64 {
-        self.instrs
-            .iter()
-            .filter(|i| matches!(i, Cm2Instr::Parallel(_)))
-            .count() as u64
+        self.instrs.iter().filter(|i| matches!(i, Cm2Instr::Parallel(_))).count() as u64
     }
 }
 
@@ -276,11 +273,7 @@ mod tests {
     fn phase_kind_mapping() {
         assert_eq!(Phase::Compute(SimDuration::ZERO).kind(), PhaseKind::Compute);
         assert_eq!(Phase::Done.kind(), PhaseKind::Done);
-        let r = PhaseRecord {
-            kind: PhaseKind::Send,
-            start: SimTime(10),
-            end: SimTime(30),
-        };
+        let r = PhaseRecord { kind: PhaseKind::Send, start: SimTime(10), end: SimTime(30) };
         assert_eq!(r.elapsed(), SimDuration(20));
     }
 }

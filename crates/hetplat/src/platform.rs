@@ -16,8 +16,8 @@
 //! phases against these resources and records per-phase timings.
 
 use crate::config::{CommPath, PlatformConfig, SchedulerKind};
-use crate::phase::{AppProcess, Cm2Instr, Phase, PhaseKind, PhaseRecord};
 use crate::phase::Direction;
+use crate::phase::{AppProcess, Cm2Instr, Phase, PhaseKind, PhaseRecord};
 use simcore::cpu::{Cpu, Gen, PsCpu, RrCpu};
 use simcore::engine::{Engine, Model};
 use simcore::fifo::FifoServer;
@@ -96,7 +96,16 @@ struct BurstState {
 
 impl BurstState {
     fn new(dir: Direction, total: u64, words: u64) -> Self {
-        BurstState { dir, total, words, issued: 0, conv_done: 0, delivered: 0, backlog: 0, conv_busy: false }
+        BurstState {
+            dir,
+            total,
+            words,
+            issued: 0,
+            conv_done: 0,
+            delivered: 0,
+            backlog: 0,
+            conv_busy: false,
+        }
     }
 }
 
@@ -975,9 +984,10 @@ mod tests {
     use crate::phase::ScriptedApp;
 
     fn cfg_ps() -> PlatformConfig {
-        let mut c = PlatformConfig::default();
-        c.frontend = crate::config::FrontendParams::processor_sharing();
-        c
+        PlatformConfig {
+            frontend: crate::config::FrontendParams::processor_sharing(),
+            ..Default::default()
+        }
     }
 
     fn secs(d: SimDuration) -> f64 {
@@ -1012,10 +1022,7 @@ mod tests {
             )));
             let end = p.run_until_done(probe).unwrap();
             let expect = (p_extra + 1) as f64;
-            assert!(
-                (end.as_secs_f64() - expect).abs() < 1e-6,
-                "p={p_extra}: {end} vs {expect}"
-            );
+            assert!((end.as_secs_f64() - expect).abs() < 1e-6, "p={p_extra}: {end} vs {expect}");
         }
     }
 
@@ -1029,8 +1036,8 @@ mod tests {
         )));
         p.run_until_done(probe).unwrap();
         let t = secs(p.phase_time(probe, PhaseKind::Send));
-        let per_msg = cfg.cm2.xfer_alpha_to.as_secs_f64()
-            + 500.0 * cfg.cm2.xfer_per_word_to.as_secs_f64();
+        let per_msg =
+            cfg.cm2.xfer_alpha_to.as_secs_f64() + 500.0 * cfg.cm2.xfer_per_word_to.as_secs_f64();
         assert!((t - 100.0 * per_msg).abs() < 1e-6, "t={t}");
     }
 
@@ -1070,10 +1077,7 @@ mod tests {
         let mut cfg = cfg_ps();
         cfg.cm2.instr_dispatch = SimDuration::ZERO;
         let mut p = Platform::new(cfg, 1);
-        let probe = p.spawn(Box::new(ScriptedApp::new(
-            "probe",
-            vec![Phase::Cm2Program(prog)],
-        )));
+        let probe = p.spawn(Box::new(ScriptedApp::new("probe", vec![Phase::Cm2Program(prog)])));
         let end = p.run_until_done(probe).unwrap();
         // 10 (serial) + 30 (parallel) + 10 (serial) = 50ms.
         assert!((end.as_secs_f64() - 0.050).abs() < 1e-9, "end {end}");
@@ -1231,10 +1235,7 @@ mod tests {
             p.run_until_done(probe).unwrap();
             secs(p.phase_time(probe, PhaseKind::Send))
         };
-        assert!(
-            contended > 1.8 * solo,
-            "contended {contended} vs solo {solo}"
-        );
+        assert!(contended > 1.8 * solo, "contended {contended} vs solo {solo}");
     }
 
     #[test]
@@ -1326,19 +1327,18 @@ mod disk_tests {
     use crate::phase::ScriptedApp;
 
     fn cfg_ps() -> PlatformConfig {
-        let mut c = PlatformConfig::default();
-        c.frontend = crate::config::FrontendParams::processor_sharing();
-        c
+        PlatformConfig {
+            frontend: crate::config::FrontendParams::processor_sharing(),
+            ..Default::default()
+        }
     }
 
     #[test]
     fn disk_io_takes_seek_plus_transfer() {
         let cfg = cfg_ps();
         let mut p = Platform::new(cfg, 1);
-        let probe = p.spawn(Box::new(ScriptedApp::new(
-            "probe",
-            vec![Phase::DiskIo { words: 1_000_000 }],
-        )));
+        let probe =
+            p.spawn(Box::new(ScriptedApp::new("probe", vec![Phase::DiskIo { words: 1_000_000 }])));
         let end = p.run_until_done(probe).unwrap();
         let expect = cfg.disk.service(1_000_000).as_secs_f64();
         assert!((end.as_secs_f64() - expect).abs() < 1e-9, "end {end}");
@@ -1364,10 +1364,7 @@ mod disk_tests {
         // running beside a disk-heavy process finishes at dedicated speed.
         let cfg = cfg_ps();
         let mut p = Platform::new(cfg, 1);
-        p.spawn(Box::new(ScriptedApp::new(
-            "io",
-            vec![Phase::DiskIo { words: 10_000_000 }],
-        )));
+        p.spawn(Box::new(ScriptedApp::new("io", vec![Phase::DiskIo { words: 10_000_000 }])));
         let probe = p.spawn(Box::new(ScriptedApp::new(
             "probe",
             vec![Phase::Compute(SimDuration::from_secs(1))],

@@ -88,11 +88,8 @@ impl Dag {
             let mut ready = 0.0f64;
             for &(dep, ref comm) in &t.deps {
                 let dm = assignment[dep];
-                let link = if dm == m {
-                    0.0
-                } else {
-                    comm.get(dm, m) * env.link_slowdown.get(dm, m)
-                };
+                let link =
+                    if dm == m { 0.0 } else { comm.get(dm, m) * env.link_slowdown.get(dm, m) };
                 ready = ready.max(finish[dep] + link);
             }
             let start = ready.max(machine_free[m]);
@@ -127,11 +124,7 @@ impl Dag {
     /// Mean slowdown-adjusted execution time of a task (HEFT's `w̄ᵢ`).
     fn mean_exec(&self, i: usize, env: &Environment) -> f64 {
         let t = &self.tasks[i];
-        t.exec
-            .iter()
-            .zip(&env.comp_slowdown)
-            .map(|(e, s)| e * s)
-            .sum::<f64>()
+        t.exec.iter().zip(&env.comp_slowdown).map(|(e, s)| e * s).sum::<f64>()
             / self.machines as f64
     }
 
@@ -188,19 +181,16 @@ impl Dag {
             // strictly decrease along edges (rank(dep) ≥ w̄ + rank(i)).
             let t = &self.tasks[i];
             let mut best: Option<(usize, f64, f64)> = None; // (machine, start, end)
-            for m in 0..self.machines {
+            for (m, &free) in machine_free.iter().enumerate() {
                 let mut ready = 0.0f64;
                 for &(dep, ref comm) in &t.deps {
                     debug_assert!(assignment[dep] != usize::MAX, "dep not yet scheduled");
                     let dm = assignment[dep];
-                    let link = if dm == m {
-                        0.0
-                    } else {
-                        comm.get(dm, m) * env.link_slowdown.get(dm, m)
-                    };
+                    let link =
+                        if dm == m { 0.0 } else { comm.get(dm, m) * env.link_slowdown.get(dm, m) };
                     ready = ready.max(finish[dep] + link);
                 }
-                let start = ready.max(machine_free[m]);
+                let start = ready.max(free);
                 let end = start + t.exec[m] * env.comp_slowdown[m];
                 if best.is_none() || end < best.expect("some").2 {
                     best = Some((m, start, end));
@@ -227,11 +217,7 @@ impl Dag {
                 .zip(&env.comp_slowdown)
                 .map(|(e, s)| e * s)
                 .fold(f64::INFINITY, f64::min);
-            let ready = t
-                .deps
-                .iter()
-                .map(|&(dep, _)| longest[dep])
-                .fold(0.0, f64::max);
+            let ready = t.deps.iter().map(|&(dep, _)| longest[dep]).fold(0.0, f64::max);
             longest[i] = ready + min_exec;
         }
         longest.iter().copied().fold(0.0, f64::max)
@@ -297,10 +283,7 @@ mod tests {
             let (_, heft) = dag.schedule_heft(&env);
             // HEFT is a heuristic: allow slack but demand near-optimality
             // on this tiny instance.
-            assert!(
-                heft <= best * 1.3 + 1e-9,
-                "comm {cost}: heft {heft} vs optimal {best}"
-            );
+            assert!(heft <= best * 1.3 + 1e-9, "comm {cost}: heft {heft} vs optimal {best}");
             assert!(heft >= best - 1e-9);
         }
     }

@@ -29,7 +29,12 @@ pub mod task;
 pub mod prelude {
     pub use crate::adapt::{cm2_environment, paragon_environment};
     pub use crate::dag::{Dag, DagTask};
-    pub use crate::eval::{best_chain_dp, best_exhaustive, evaluate, rank_all, Schedule};
+    #[cfg(feature = "par")]
+    pub use crate::eval::rank_all_par;
+    pub use crate::eval::{
+        best_chain_dp, best_exhaustive, best_exhaustive_oracle, best_exhaustive_with, evaluate,
+        rank_all, rank_all_oracle, Schedule, SearchScratch,
+    };
     pub use crate::migrate::{decide as decide_migration, InFlightTask, MigrationDecision};
     pub use crate::task::{Environment, Matrix, Task, Workflow};
 }

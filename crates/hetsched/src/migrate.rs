@@ -83,7 +83,8 @@ mod tests {
     #[test]
     fn migrates_away_from_heavy_contention() {
         // Local machine just picked up 4 hogs (slowdown 5); remote idle.
-        let task = InFlightTask { remaining_here: 10.0, remaining_there: 12.0, migration_cost: 3.0 };
+        let task =
+            InFlightTask { remaining_here: 10.0, remaining_there: 12.0, migration_cost: 3.0 };
         let here = LoadTimeline::constant(5.0);
         let there = LoadTimeline::dedicated();
         let d = decide(&task, &here, &there);
@@ -95,9 +96,11 @@ mod tests {
     fn migration_cost_can_tip_the_balance() {
         let here = LoadTimeline::constant(2.0);
         let there = LoadTimeline::dedicated();
-        let cheap = InFlightTask { remaining_here: 10.0, remaining_there: 10.0, migration_cost: 1.0 };
+        let cheap =
+            InFlightTask { remaining_here: 10.0, remaining_there: 10.0, migration_cost: 1.0 };
         assert!(matches!(decide(&cheap, &here, &there), MigrationDecision::Migrate { .. }));
-        let dear = InFlightTask { remaining_here: 10.0, remaining_there: 10.0, migration_cost: 11.0 };
+        let dear =
+            InFlightTask { remaining_here: 10.0, remaining_there: 10.0, migration_cost: 11.0 };
         assert!(matches!(decide(&dear, &here, &there), MigrationDecision::Stay { .. }));
     }
 
@@ -107,10 +110,8 @@ mod tests {
         // 3 s, so the task lands after the burst and runs dedicated.
         let task = InFlightTask { remaining_here: 20.0, remaining_there: 6.0, migration_cost: 3.0 };
         let here = LoadTimeline::constant(3.0);
-        let there = LoadTimeline::new(vec![
-            LoadPhase::new(2.0, 10.0),
-            LoadPhase::new(f64::INFINITY, 1.0),
-        ]);
+        let there =
+            LoadTimeline::new(vec![LoadPhase::new(2.0, 10.0), LoadPhase::new(f64::INFINITY, 1.0)]);
         let d = decide(&task, &here, &there);
         // Migrate: 3 + 6 = 9 (the loaded phase ends before arrival);
         // stay: 60.
@@ -120,8 +121,7 @@ mod tests {
     #[test]
     fn asymmetric_remaining_work_matters() {
         // The remote algorithm is far slower on the remaining piece.
-        let task =
-            InFlightTask { remaining_here: 5.0, remaining_there: 40.0, migration_cost: 0.5 };
+        let task = InFlightTask { remaining_here: 5.0, remaining_there: 40.0, migration_cost: 0.5 };
         let here = LoadTimeline::constant(4.0);
         let there = LoadTimeline::dedicated();
         assert!(matches!(decide(&task, &here, &there), MigrationDecision::Stay { .. }));

@@ -141,10 +141,7 @@ impl Environment {
 
     /// Validates factor sanity (all ≥ 1).
     pub fn validate(&self) {
-        assert!(
-            self.comp_slowdown.iter().all(|s| *s >= 1.0),
-            "compute slowdown below 1"
-        );
+        assert!(self.comp_slowdown.iter().all(|s| *s >= 1.0), "compute slowdown below 1");
         for i in 0..self.link_slowdown.size() {
             for j in 0..self.link_slowdown.size() {
                 assert!(self.link_slowdown.get(i, j) >= 1.0, "link slowdown below 1");

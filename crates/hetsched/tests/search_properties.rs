@@ -1,0 +1,94 @@
+//! Property tests for the Gray-code delta-evaluated schedule search: on
+//! arbitrary chain instances it must agree with the seed's brute-force
+//! full-re-evaluation oracle.
+
+use hetsched::eval::{
+    best_chain_dp, best_exhaustive, best_exhaustive_oracle, evaluate, rank_all, rank_all_oracle,
+};
+use hetsched::task::{Environment, Matrix, Task, Workflow};
+use proptest::prelude::*;
+
+/// A deterministic chain instance derived from `seed`, with contended
+/// compute and link slowdown factors.
+fn instance(machines: usize, tasks: usize, seed: u64) -> (Workflow, Environment) {
+    let mut s = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+    };
+    let mut v = Vec::new();
+    for i in 0..tasks {
+        let exec: Vec<f64> = (0..machines).map(|_| next() + 0.1).collect();
+        if i + 1 < tasks {
+            let mut comm = Matrix::filled(machines, 0.0);
+            for a in 0..machines {
+                for b in 0..machines {
+                    if a != b {
+                        comm.set(a, b, next());
+                    }
+                }
+            }
+            v.push(Task::with_edge(format!("t{i}"), exec, comm));
+        } else {
+            v.push(Task::terminal(format!("t{i}"), exec));
+        }
+    }
+    let mut env = Environment::dedicated(machines);
+    for f in env.comp_slowdown.iter_mut() {
+        *f = 1.0 + next() / 5.0;
+    }
+    for a in 0..machines {
+        for b in 0..machines {
+            if a != b {
+                env.link_slowdown.set(a, b, 1.0 + next() / 5.0);
+            }
+        }
+    }
+    (Workflow::new(v), env)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    fn gray_best_matches_bruteforce_oracle(
+        machines in 2usize..5,
+        tasks in 1usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let (wf, env) = instance(machines, tasks, seed);
+        let fast = best_exhaustive(&wf, &env);
+        let oracle = best_exhaustive_oracle(&wf, &env);
+        prop_assert!(
+            (fast.makespan - oracle.makespan).abs() < 1e-9,
+            "gray {} vs oracle {}",
+            fast.makespan,
+            oracle.makespan
+        );
+        // The returned makespan is an exact evaluation of its own
+        // assignment (no residual incremental drift).
+        prop_assert_eq!(fast.makespan, evaluate(&wf, &fast.assignment, &env));
+        // And the chain DP, exact by construction, agrees too.
+        let dp = best_chain_dp(&wf, &env);
+        prop_assert!((fast.makespan - dp.makespan).abs() < 1e-9);
+    }
+
+    fn gray_rank_all_matches_bruteforce_oracle(
+        machines in 2usize..4,
+        tasks in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let (wf, env) = instance(machines, tasks, seed);
+        let fast = rank_all(&wf, &env);
+        let oracle = rank_all_oracle(&wf, &env);
+        prop_assert_eq!(fast.len(), oracle.len());
+        prop_assert!(fast.windows(2).all(|w| w[0].makespan <= w[1].makespan));
+        for (f, o) in fast.iter().zip(&oracle) {
+            prop_assert!(
+                (f.makespan - o.makespan).abs() < 1e-9,
+                "rank makespan {} vs oracle {}",
+                f.makespan,
+                o.makespan
+            );
+        }
+    }
+}

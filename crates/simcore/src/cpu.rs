@@ -135,11 +135,8 @@ impl Cpu for PsCpu {
         // Completion of the job that finishes first at the current rates.
         // Round up so the event never fires before the fluid model
         // finishes the job.
-        let eta_ns = self
-            .jobs
-            .iter()
-            .map(|&(_, rem, w)| rem * total_w / w)
-            .fold(f64::INFINITY, f64::min);
+        let eta_ns =
+            self.jobs.iter().map(|&(_, rem, w)| rem * total_w / w).fold(f64::INFINITY, f64::min);
         let eta = SimDuration(eta_ns.ceil() as u64);
         Some((self.last_update + eta, self.generation))
     }
@@ -150,12 +147,8 @@ impl Cpu for PsCpu {
         }
         self.advance(now);
         // Sub-nanosecond residue from ceil-rounding counts as done.
-        let done: Vec<JobId> = self
-            .jobs
-            .iter()
-            .filter(|(_, rem, _)| *rem < 1.0)
-            .map(|(id, _, _)| *id)
-            .collect();
+        let done: Vec<JobId> =
+            self.jobs.iter().filter(|(_, rem, _)| *rem < 1.0).map(|(id, _, _)| *id).collect();
         if !done.is_empty() {
             self.jobs.retain(|(_, rem, _)| *rem >= 1.0);
             self.generation += 1;
@@ -244,7 +237,8 @@ impl Cpu for RrCpu {
         let (_, mut rem) = self.queue.remove(pos).expect("position just found");
         if pos == 0 && self.slice_end.is_some() {
             // The job is mid-slice: credit the time it already ran.
-            let ran = if now > self.slice_start { now - self.slice_start } else { SimDuration::ZERO };
+            let ran =
+                if now > self.slice_start { now - self.slice_start } else { SimDuration::ZERO };
             rem = rem.saturating_sub(ran);
             self.slice_end = None;
             self.last_ran = Some(id);
@@ -365,9 +359,7 @@ mod tests {
         let mut cpu = PsCpu::new();
         cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(4));
         cpu.arrive(SimTime::ZERO, JobId(2), SimDuration::from_secs(4));
-        let rem = cpu
-            .cancel(SimTime::ZERO + SimDuration::from_secs(2), JobId(1))
-            .unwrap();
+        let rem = cpu.cancel(SimTime::ZERO + SimDuration::from_secs(2), JobId(1)).unwrap();
         // Ran 2s at rate 1/2 = 1s progress; 3s left.
         assert!((rem.as_secs_f64() - 3.0).abs() < 1e-6);
         assert_eq!(cpu.active(), 1);

@@ -36,12 +36,20 @@ impl Accum {
 
     /// Sample mean (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Unbiased sample variance (0 for fewer than two observations).
     pub fn variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
     }
 
     /// Sample standard deviation.
@@ -51,12 +59,20 @@ impl Accum {
 
     /// Smallest observation (NaN when empty).
     pub fn min(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.min }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
     }
 
     /// Largest observation (NaN when empty).
     pub fn max(&self) -> f64 {
-        if self.n == 0 { f64::NAN } else { self.max }
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
     }
 }
 
@@ -80,7 +96,11 @@ impl FromIterator<f64> for Accum {
 /// Zero `actual` with nonzero `predicted` yields infinity.
 pub fn ape(predicted: f64, actual: f64) -> f64 {
     if actual == 0.0 {
-        if predicted == 0.0 { 0.0 } else { f64::INFINITY }
+        if predicted == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
     } else {
         ((predicted - actual) / actual).abs() * 100.0
     }
@@ -104,10 +124,7 @@ pub fn max_ape<I>(pairs: I) -> f64
 where
     I: IntoIterator<Item = (f64, f64)>,
 {
-    pairs
-        .into_iter()
-        .map(|(p, a)| ape(p, a))
-        .fold(0.0, f64::max)
+    pairs.into_iter().map(|(p, a)| ape(p, a)).fold(0.0, f64::max)
 }
 
 /// Kendall's τ rank correlation between two equal-length sequences —
@@ -167,10 +184,7 @@ impl LinearFit {
         let slope = sxy / sxx;
         let intercept = mean_y - slope * mean_x;
         let syy: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-        let ss_res: f64 = points
-            .iter()
-            .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
-            .sum();
+        let ss_res: f64 = points.iter().map(|p| (p.1 - (intercept + slope * p.0)).powi(2)).sum();
         let r2 = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
         Some(LinearFit { slope, intercept, r2 })
     }

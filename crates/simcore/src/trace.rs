@@ -49,12 +49,7 @@ impl Tracer {
         if !self.enabled || end <= start {
             return;
         }
-        self.spans.push(Span {
-            lane: lane.to_string(),
-            label: label.to_string(),
-            start,
-            end,
-        });
+        self.spans.push(Span { lane: lane.to_string(), label: label.to_string(), start, end });
     }
 
     /// All recorded spans in recording order.

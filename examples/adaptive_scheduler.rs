@@ -16,7 +16,8 @@ use hetsched::adapt::paragon_environment;
 fn main() {
     // Calibrated tables would come from `calibrate_paragon`; use
     // representative values so the example runs instantly.
-    let comm_delays = CommDelayTable::new(vec![0.27, 0.61, 1.02, 1.40], vec![0.19, 0.49, 0.81, 1.10]);
+    let comm_delays =
+        CommDelayTable::new(vec![0.27, 0.61, 1.02, 1.40], vec![0.19, 0.49, 0.81, 1.10]);
     let comp_delays = CompDelayTable::new(
         vec![1, 500, 1000],
         vec![
@@ -53,14 +54,7 @@ fn main() {
     // Jobs finish in reverse order; the schedule relaxes back.
     while mix.p() > 0 {
         mix.remove(mix.p() - 1);
-        report(
-            &wf,
-            &mix,
-            &comm_delays,
-            &comp_delays,
-            j_words,
-            "a job departs",
-        );
+        report(&wf, &mix, &comm_delays, &comp_delays, j_words, "a job departs");
     }
 }
 

@@ -44,8 +44,6 @@ fn main() {
     println!();
     println!(
         "model: T_cm2(p) = max(dcomp + didle, dserial × (p+1)) → p=3 gives {:.3}s",
-        (dcomp + didle)
-            .as_secs_f64()
-            .max(dserial.as_secs_f64() * 4.0)
+        (dcomp + didle).as_secs_f64().max(dserial.as_secs_f64() * 4.0)
     );
 }

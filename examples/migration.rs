@@ -22,7 +22,7 @@ fn main() {
     // assumes).
     let remaining_local = 30.0; // dedicated seconds left here
     let remaining_remote = 9.0; // the back-end algorithm is faster
-    // Migration ships a 2 M-word state over the link.
+                                // Migration ships a 2 M-word state over the link.
     let link = LinearCommModel::new(1.6e-3, 79_000.0);
     let migration_cost = link.dcomm(&[DataSet::burst(2_000, 1_000)]);
 
@@ -52,8 +52,8 @@ fn main() {
             migration_cost,
         };
         let stay = here.completion_time(task.remaining_here, 0.0);
-        let mig = task.migration_cost
-            + remote.completion_time(task.remaining_there, task.migration_cost);
+        let mig =
+            task.migration_cost + remote.completion_time(task.remaining_there, task.migration_cost);
         let d = decide(&task, &here, &remote);
         let verdict = match d {
             MigrationDecision::Stay { .. } => "stay",

@@ -69,19 +69,16 @@ fn main() {
             let pred_off = d.t_back + d.c_to + d.c_from;
 
             // 4. Validate: simulate both placements under p hogs.
-            let sim_local = simulate(
-                cfg,
-                seed ^ m,
-                sun_task_app("local", rates.gauss_sun_demand(m)),
-                p,
-            );
+            let sim_local =
+                simulate(cfg, seed ^ m, sun_task_app("local", rates.gauss_sun_demand(m)), p);
             let sim_off = simulate(
                 cfg,
                 seed ^ m ^ 1,
                 cm2_offloaded_task("offld", (m, m + 1), program, (1, m)),
                 p,
             );
-            let sim_best = if sim_local < sim_off { Placement::FrontEnd } else { Placement::BackEnd };
+            let sim_best =
+                if sim_local < sim_off { Placement::FrontEnd } else { Placement::BackEnd };
             println!(
                 "{m:>5} {p:>3} {pred_local:>12.2} {pred_off:>12.2} {:>10} {:>12.2} {:>10}",
                 label(d.placement),
@@ -105,11 +102,7 @@ fn simulate(cfg: PlatformConfig, seed: u64, app: ScriptedApp, p: u32) -> f64 {
     for i in 0..p {
         plat.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
     }
-    let start = if p == 0 {
-        SimTime::ZERO
-    } else {
-        SimTime::ZERO + SimDuration::from_secs(1)
-    };
+    let start = if p == 0 { SimTime::ZERO } else { SimTime::ZERO + SimDuration::from_secs(1) };
     let id = plat.spawn_at(Box::new(app), start);
     plat.run_until_done(id).expect("stalled");
     plat.elapsed(id).expect("finished").as_secs_f64()

@@ -9,11 +9,7 @@ fn ps_cfg() -> PlatformConfig {
 }
 
 fn quick_calibration(cfg: PlatformConfig) -> Cm2Predictor {
-    calibrate_cm2(
-        cfg,
-        Cm2CalibrationSpec { bandwidth_elements: 200_000, startup_count: 5_000 },
-        7,
-    )
+    calibrate_cm2(cfg, Cm2CalibrationSpec { bandwidth_elements: 200_000, startup_count: 5_000 }, 7)
 }
 
 /// Simulates one app against `p` hogs; returns elapsed seconds.
@@ -22,8 +18,7 @@ fn simulate(cfg: PlatformConfig, seed: u64, app: ScriptedApp, p: u32) -> f64 {
     for i in 0..p {
         plat.spawn(Box::new(CpuHog::new(format!("hog{i}"))));
     }
-    let start =
-        if p == 0 { SimTime::ZERO } else { SimTime::ZERO + SimDuration::from_secs(1) };
+    let start = if p == 0 { SimTime::ZERO } else { SimTime::ZERO + SimDuration::from_secs(1) };
     let id = plat.spawn_at(Box::new(app), start);
     plat.run_until_done(id).expect("stalled");
     plat.elapsed(id).expect("finished").as_secs_f64()
@@ -59,20 +54,13 @@ fn gauss_offload_prediction_tracks_simulation() {
         let dcomp = program.parallel_total().as_secs_f64();
         let t_ded = simulate(cfg, 5, cm2_program_app("ge", program.clone()), 0);
         let didle = (t_ded - dcomp).max(0.0).min(dserial);
-        let costs = Cm2TaskCosts::new(
-            rates.gauss_sun_demand(m).as_secs_f64(),
-            dcomp,
-            didle,
-            dserial,
-        );
+        let costs =
+            Cm2TaskCosts::new(rates.gauss_sun_demand(m).as_secs_f64(), dcomp, didle, dserial);
         for p in [1u32, 3] {
             let predicted = costs.t_cm2(p);
             let actual = simulate(cfg, 5 ^ m ^ p as u64, cm2_program_app("ge", program.clone()), p);
             let err = (predicted - actual).abs() / actual;
-            assert!(
-                err < 0.15,
-                "M={m} p={p}: predicted {predicted:.3} vs actual {actual:.3}"
-            );
+            assert!(err < 0.15, "M={m} p={p}: predicted {predicted:.3} vs actual {actual:.3}");
         }
     }
 }
@@ -103,14 +91,9 @@ fn placement_decision_agrees_with_simulated_ground_truth() {
             };
             let decision = pred.decide(&task, p);
 
-            let sim_local =
-                simulate(cfg, 77 ^ m, sun_task_app("l", rates.gauss_sun_demand(m)), p);
-            let sim_off = simulate(
-                cfg,
-                78 ^ m,
-                cm2_offloaded_task("o", (m, m + 1), program, (1, m)),
-                p,
-            );
+            let sim_local = simulate(cfg, 77 ^ m, sun_task_app("l", rates.gauss_sun_demand(m)), p);
+            let sim_off =
+                simulate(cfg, 78 ^ m, cm2_offloaded_task("o", (m, m + 1), program, (1, m)), p);
             // When the margin is comfortable (>10%), prediction and
             // simulation must agree on the placement.
             let margin = (sim_local - sim_off).abs() / sim_local.min(sim_off);

@@ -9,10 +9,8 @@ fn ps_cfg() -> PlatformConfig {
 }
 
 fn quick_predictor(cfg: PlatformConfig) -> ParagonPredictor {
-    let pingpong = PingPongSpec {
-        sizes: vec![1, 64, 256, 512, 768, 1024, 1536, 2048, 4096],
-        burst: 100,
-    };
+    let pingpong =
+        PingPongSpec { sizes: vec![1, 64, 256, 512, 768, 1024, 1536, 2048, 4096], burst: 100 };
     let delays = DelaySpec {
         p_max: 2,
         probe_burst: 100,
@@ -118,10 +116,7 @@ fn contended_computation_with_size_aware_j_is_accurate() {
 fn two_hops_path_calibrates_and_predicts() {
     let mut cfg = ps_cfg();
     cfg.paragon.path = CommPath::TwoHops;
-    let pingpong = PingPongSpec {
-        sizes: vec![1, 128, 512, 1024, 2048, 4096],
-        burst: 50,
-    };
+    let pingpong = PingPongSpec { sizes: vec![1, 128, 512, 1024, 2048, 4096], burst: 50 };
     let (to, _from) = calibration::calibrate_paragon_comm(cfg, &pingpong, 3);
     let mix = WorkloadMix::new();
     let sets = [DataSet::burst(50, 700)];
@@ -130,12 +125,8 @@ fn two_hops_path_calibrates_and_predicts() {
         &mix,
         &CommDelayTable::new(vec![], vec![]),
     );
-    let (plat, id) = run_probe_with_gens(
-        cfg,
-        burst_app("probe", 50, 700, Direction::ToParagon),
-        Vec::new(),
-        51,
-    );
+    let (plat, id) =
+        run_probe_with_gens(cfg, burst_app("probe", 50, 700, Direction::ToParagon), Vec::new(), 51);
     let actual = plat.phase_time(id, PhaseKind::Send).as_secs_f64();
     let err = (modeled - actual).abs() / actual;
     assert!(err < 0.10, "modeled {modeled:.3} actual {actual:.3}");
@@ -147,7 +138,8 @@ fn slowdown_recomputation_is_fast_enough_for_scheduling() {
     // cheap. Guard the complexity: 10k full evaluations at p = 8 well
     // under a second even in debug builds.
     let pred_delays = CommDelayTable::new(vec![0.3; 8], vec![0.2; 8]);
-    let comp = CompDelayTable::new(vec![1, 500, 1000], vec![vec![0.2; 8], vec![0.9; 8], vec![1.8; 8]]);
+    let comp =
+        CompDelayTable::new(vec![1, 500, 1000], vec![vec![0.2; 8], vec![0.9; 8], vec![1.8; 8]]);
     let start = std::time::Instant::now();
     let mut acc = 0.0;
     for i in 0..10_000 {

@@ -14,7 +14,10 @@ fn phased_prediction_matches_simulation_with_timed_hogs() {
     let mut plat = Platform::new(cfg, 3);
     for i in 0..2 {
         plat.spawn_at(
-            Box::new(TimedCpuHog::new(format!("hog{i}"), SimTime::ZERO + SimDuration::from_secs(8))),
+            Box::new(TimedCpuHog::new(
+                format!("hog{i}"),
+                SimTime::ZERO + SimDuration::from_secs(8),
+            )),
             SimTime::ZERO + SimDuration::from_secs(2),
         );
     }
@@ -85,8 +88,7 @@ fn migration_decision_consistent_with_phased_predictions() {
 fn dag_scheduler_consumes_model_environments() {
     // A diamond DAG scheduled under a contention-model environment.
     let comm_delays = CommDelayTable::new(vec![0.3, 0.7], vec![0.2, 0.5]);
-    let comp_delays =
-        CompDelayTable::new(vec![1, 1000], vec![vec![0.2, 0.4], vec![1.5, 3.0]]);
+    let comp_delays = CompDelayTable::new(vec![1, 1000], vec![vec![0.2, 0.4], vec![1.5, 3.0]]);
     let mix = WorkloadMix::from_fracs(&[0.5, 0.5]);
     let env = hetsched::adapt::paragon_environment(&mix, &comm_delays, &comp_delays, 1000);
 

@@ -1,0 +1,335 @@
+//! Minimal offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the API surface used by `crates/bench`: `Criterion` with
+//! `warm_up_time`/`measurement_time`/`sample_size`, `bench_function`,
+//! `benchmark_group` (+ `bench_with_input`, `finish`), `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! Timing is a plain `Instant` loop: warm up, pick an iteration count,
+//! take samples, report mean and minimum ns/iter to stdout. There is no
+//! statistical analysis, HTML report, or saved baseline.
+
+use std::fmt::Display;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Default)]
+struct CliOpts {
+    /// `cargo test --benches` passes `--test`: run each routine once.
+    test_mode: bool,
+    /// First free argument: substring filter on benchmark names.
+    filter: Option<String>,
+}
+
+static CLI: OnceLock<CliOpts> = OnceLock::new();
+
+fn cli() -> &'static CliOpts {
+    CLI.get_or_init(|| {
+        let mut opts = CliOpts::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                opts.test_mode = true;
+            } else if arg.starts_with('-') {
+                // --bench and friends: accepted, ignored.
+            } else if opts.filter.is_none() {
+                opts.filter = Some(arg);
+            }
+        }
+        opts
+    })
+}
+
+/// Identifier for one benchmark: either a plain name or `function/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { full: format!("{function}/{parameter}") }
+    }
+
+    /// Uses just the parameter as the id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { full: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { full: name }
+    }
+}
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 30,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the target total measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets how many timing samples to take.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark routine.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let name = id.into().full;
+        self.run_one(&name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None }
+    }
+
+    fn run_one(&self, name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &cli().filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size,
+            test_mode: cli().test_mode,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            _ if cli().test_mode => println!("{name:<56} ... ok (test mode)"),
+            Some(r) => println!(
+                "{name:<56} time: {:>10}  (min {:>10}, {} samples x {} iters)",
+                format_ns(r.mean_ns),
+                format_ns(r.min_ns),
+                r.samples,
+                r.iters_per_sample,
+            ),
+            None => println!("{name:<56} ... no measurement (b.iter never called)"),
+        }
+    }
+}
+
+/// Summary of one benchmark's measurement.
+#[derive(Clone, Copy, Debug)]
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} \u{b5}s", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and optional sample override.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a routine registered under `group_name/id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().full);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, samples, f);
+        self
+    }
+
+    /// Runs a routine that borrows a fixed input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (No-op; provided for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Passed to each routine; `iter` times the supplied closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Split the measurement budget into `sample_size` samples.
+        let sample_budget = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut min_sample = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min_sample = min_sample.min(elapsed);
+        }
+
+        let denom = (self.sample_size as u64 * iters_per_sample) as f64;
+        self.report = Some(Report {
+            mean_ns: total.as_nanos() as f64 / denom,
+            min_ns: min_sample.as_nanos() as f64 / iters_per_sample as f64,
+            samples: self.sample_size,
+            iters_per_sample,
+        });
+    }
+}
+
+/// Bundles benchmark routines under one function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3)
+    }
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = fast_config();
+        c.bench_function("unit/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = fast_config();
+        let mut g = c.benchmark_group("unit/group");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::new("sum", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert!(format_ns(1_500.0).contains("\u{b5}s"));
+        assert!(format_ns(2_500_000.0).contains("ms"));
+        assert!(format_ns(3_000_000_000.0).ends_with(" s"));
+    }
+}

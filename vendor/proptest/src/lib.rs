@@ -1,0 +1,341 @@
+//! Minimal offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Supports the surface this workspace's property tests use: the
+//! `proptest!` macro (with optional `#![proptest_config(...)]`), range and
+//! tuple strategies, `prop::collection::vec`, `prop::sample::select`, and
+//! the `prop_assert*` macros. Case generation is deterministic (fixed
+//! ChaCha8 seed per test function); failing inputs are reported but NOT
+//! shrunk.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategies!(A);
+    tuple_strategies!(A, B);
+    tuple_strategies!(A, B, C);
+    tuple_strategies!(A, B, C, D);
+    tuple_strategies!(A, B, C, D, E);
+    tuple_strategies!(A, B, C, D, E, F);
+    tuple_strategies!(A, B, C, D, E, F, G);
+    tuple_strategies!(A, B, C, D, E, F, G, H);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of `element` values with `size` in `size` (half-open).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+
+    /// Strategy drawing uniformly from a fixed list of options.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks one of `options` uniformly at random.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use rand::SeedableRng;
+
+    /// Deterministic generator behind all strategies.
+    pub type TestRng = rand_chacha::ChaCha8Rng;
+
+    /// Run-time configuration for one `proptest!` function.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate and check.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The input was rejected by `prop_assume!`; not counted as failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// Drives a strategy through `config.cases` checks.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with a fixed seed so test runs are reproducible.
+        pub fn new(config: ProptestConfig) -> Self {
+            TestRunner { config, rng: TestRng::seed_from_u64(0x9E37_79B9_7F4A_7C15) }
+        }
+
+        /// Checks `test` against freshly generated inputs. Returns a message
+        /// describing the first failing case, if any.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let repr = format!("{value:?}");
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+                match outcome {
+                    Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+                    Ok(Err(TestCaseError::Fail(msg))) => {
+                        return Err(format!("proptest case {case} failed: {msg}\n  input: {repr}"));
+                    }
+                    Err(payload) => {
+                        eprintln!("proptest case {case} panicked\n  input: {repr}");
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirroring the real crate's `prop::` alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property-test functions. Each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` running the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut runner = $crate::test_runner::TestRunner::new(config);
+            let strategy = ($($strat,)+);
+            let result = runner.run(&strategy, |($($arg,)+)| {
+                $body
+                Ok(())
+            });
+            if let Err(msg) = result {
+                panic!("{}", msg);
+            }
+        }
+    )*};
+}
+
+/// Fails the current case with an optional formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `(left != right)`\n  both: {:?}", l);
+    }};
+}
+
+/// Rejects the current case (does not count as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject(stringify!($cond).to_string()));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Doc comments and multiple args parse.
+        fn vec_lengths_respect_range(
+            v in prop::collection::vec(0.0f64..=1.0, 2..5),
+            k in prop::sample::select(vec![10u64, 20, 30]),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+            prop_assert!(k % 10 == 0);
+            prop_assert_eq!(k % 10, 0);
+        }
+    }
+
+    proptest! {
+        fn tuples_and_ranges(pair in (1u32..5, 0.5f64..2.0), n in 0usize..3) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 5);
+            prop_assert!(pair.1 >= 0.5 && pair.1 < 2.0);
+            prop_assert!(n < 3);
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::ProptestConfig::with_cases(16));
+        let result = runner.run(&(0u32..10,), |(x,)| {
+            if x < 100 {
+                return Err(crate::test_runner::TestCaseError::fail("always"));
+            }
+            Ok(())
+        });
+        let msg = result.unwrap_err();
+        assert!(msg.contains("always"), "{msg}");
+        assert!(msg.contains("input:"), "{msg}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Minimal offline stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! Covers the surface this workspace uses: `into_par_iter()` /
+//! `par_iter()` producing an iterator with `map(...).collect()`, plus
+//! [`join`]. The implementation is eager — `collect` splits the items
+//! into contiguous chunks, runs one scoped thread per chunk, and
+//! re-concatenates in order, so results are deterministic and identical
+//! to the sequential order. There is no work-stealing or lazy adaptor
+//! chaining beyond a single `map`.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for a batch of `n` items.
+fn thread_count(n: usize) -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1).min(n).max(1)
+}
+
+/// Applies `f` to every item on a pool of scoped threads, preserving order.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = thread_count(n);
+    let chunk_size = n.div_ceil(threads);
+
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon stand-in worker panicked"));
+        }
+        out
+    })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon stand-in join arm panicked"))
+    })
+}
+
+/// A materialized sequence of items awaiting a parallel `map`.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Chains a per-item transform, applied in parallel at `collect` time.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> Map<T, F> {
+        Map { items: self.items, f }
+    }
+
+    /// Collects the items unchanged.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A pending parallel map over materialized items.
+pub struct Map<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> Map<T, F> {
+    /// Runs the map across threads and gathers results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's trait.
+pub trait IntoParallelIterator {
+    /// Item type produced by the iterator.
+    type Item: Send;
+
+    /// Materializes `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! range_into_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par!(usize, u32, u64, i32, i64);
+
+/// Borrowing conversion: `v.par_iter()` over slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced by the iterator (a shared reference).
+    type Item: Send + 'a;
+
+    /// Materializes shared references into a [`ParIter`].
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<u64> = (0u64..1000).map(|i| i * i).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let words = vec!["a".to_string(), "bb".to_string(), "ccc".to_string()];
+        let lens: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(none.is_empty());
+        let one: Vec<u32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

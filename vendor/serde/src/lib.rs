@@ -1,0 +1,49 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a small API-compatible subset of the crates it needs (see
+//! `vendor/README.md`). This crate keeps the parts of serde the workspace
+//! actually uses:
+//!
+//! * `#[derive(Serialize, Deserialize)]` on structs and enums without
+//!   generics or field attributes;
+//! * `serde_json::{to_string, to_string_pretty, from_str}` round-trips.
+//!
+//! Instead of serde's visitor architecture, everything funnels through a
+//! self-describing [`value::Value`] tree: `Serialize` renders a value into
+//! the tree, `Deserialize` reads one back out. The JSON encoding produced
+//! by the companion `serde_json` stand-in matches real serde_json for the
+//! shapes used here (externally tagged enums, transparent newtypes), so
+//! artifacts written by this implementation stay readable if the real
+//! crates are ever restored.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+pub use value::Value;
+
+// Derive macros, same names as the traits (resolved by namespace, exactly
+// like real serde).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from any displayable message.
+    pub fn msg(m: impl std::fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}

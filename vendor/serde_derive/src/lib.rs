@@ -1,0 +1,459 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! The real serde_derive depends on `syn`/`quote`, which are unavailable
+//! offline, so this macro parses the derive input with a small hand-rolled
+//! cursor over `proc_macro::TokenTree` and emits the impls as formatted
+//! source strings. Supported shapes — everything this workspace derives:
+//!
+//! * structs with named fields, tuple structs (newtypes serialize
+//!   transparently, like serde), unit structs;
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, like serde's default).
+//!
+//! Generic types and `#[serde(...)]` field attributes are intentionally
+//! unsupported and fail with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item).parse().expect("generated impl must parse")
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item).parse().expect("generated impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { toks: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attributes (including doc comments) and visibility.
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next(); // '#'
+                    self.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                    self.next(); // 'pub'
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            self.next(); // '(crate)' etc.
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, got {other:?}"),
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs_and_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stand-in: generic types are not supported (type `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde_derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+/// Parses `name: Type, ...` out of a brace group, skipping attributes,
+/// visibility, and type tokens (commas inside `<...>` don't split fields).
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        fields.push(c.expect_ident());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field name, got {other:?}"),
+        }
+        skip_type(&mut c);
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma.
+fn skip_type(c: &mut Cursor) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = c.next() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Counts the top-level comma-separated entries of a tuple-struct body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0usize;
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut c);
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs_and_vis();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                c.next();
+                Fields::Named(parse_named_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner = g.stream();
+                c.next();
+                Fields::Tuple(count_tuple_fields(inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume the trailing comma (discriminants like `= 3` unsupported).
+        match c.next() {
+            None => {
+                variants.push(Variant { name, fields });
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("serde_derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from({f:?}), \
+                                 ::serde::ser::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::value::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::ser::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::ser::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::value::Value::Seq(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Unit => "::serde::value::Value::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::value::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::value::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::ser::Serialize::to_value(f0))])"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::ser::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::value::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::value::Value::Seq(::std::vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let entries: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::ser::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::value::Value::Map(::std::vec![(\
+                                 ::std::string::String::from({vn:?}), \
+                                 ::serde::value::Value::Map(::std::vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::ser::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn named_fields_ctor(path: &str, fields: &[String], src: &str, ctx: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::de::Deserialize::from_value({src}.get({f:?})\
+                 .ok_or_else(|| ::serde::Error::msg(\
+                 concat!(\"missing field `\", {f:?}, \"` in \", {ctx:?})))?)?"
+            )
+        })
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn tuple_ctor(path: &str, n: usize, items: &str) -> String {
+    let inits: Vec<String> =
+        (0..n).map(|i| format!("::serde::de::Deserialize::from_value(&{items}[{i}])?")).collect();
+    format!("{path}({})", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let ctor = named_fields_ctor(name, fs, "v", name);
+                    format!("::std::result::Result::Ok({ctor})")
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(\
+                     ::serde::de::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => format!(
+                    "match v {{\n\
+                         ::serde::value::Value::Seq(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({ctor}),\n\
+                         other => ::std::result::Result::Err(::serde::Error::msg(\
+                             format!(\"expected {n}-element array for {name}, found {{}}\", \
+                             other.kind()))),\n\
+                     }}",
+                    ctor = tuple_ctor(name, *n, "items"),
+                ),
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            format!(
+                "impl ::serde::de::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("{:?} => ::std::result::Result::Ok({name}::{})", v.name, v.name))
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    let body = match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::de::Deserialize::from_value(inner)?))"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "match inner {{\n\
+                                 ::serde::value::Value::Seq(items) if items.len() == {n} => \
+                                     ::std::result::Result::Ok({ctor}),\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     format!(\"expected {n}-element array for {name}::{vn}, \
+                                     found {{}}\", other.kind()))),\n\
+                             }}",
+                            ctor = tuple_ctor(&format!("{name}::{vn}"), *n, "items"),
+                        ),
+                        Fields::Named(fs) => {
+                            let ctor = named_fields_ctor(
+                                &format!("{name}::{vn}"),
+                                fs,
+                                "inner",
+                                &format!("{name}::{vn}"),
+                            );
+                            format!("::std::result::Result::Ok({ctor})")
+                        }
+                        Fields::Unit => unreachable!(),
+                    };
+                    format!(
+                        "if let ::std::option::Option::Some(inner) = v.get({vn:?}) {{ {body} }}"
+                    )
+                })
+                .collect();
+            let str_arm = format!(
+                "::serde::value::Value::Str(s) => match s.as_str() {{\n\
+                     {unit},\n\
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                         format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 }}",
+                unit = if unit_arms.is_empty() {
+                    format!(
+                        "_unreachable if false => ::std::result::Result::Err(\
+                         ::serde::Error::msg(::std::string::String::from(\"no unit variants in {name}\")))"
+                    )
+                } else {
+                    unit_arms.join(",\n")
+                },
+            );
+            let map_arm = format!(
+                "::serde::value::Value::Map(_) => {{\n\
+                     {payload} {{ ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::string::String::from(\"unknown payload variant of {name}\"))) }}\n\
+                 }}",
+                payload =
+                    payload_arms.iter().map(|a| format!("{a} else ")).collect::<Vec<_>>().join(""),
+            );
+            format!(
+                "impl ::serde::de::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             {str_arm},\n\
+                             {map_arm},\n\
+                             other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 format!(\"expected variant of {name}, found {{}}\", \
+                                 other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
