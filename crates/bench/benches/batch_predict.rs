@@ -10,6 +10,7 @@ use bench::paragon_predictor;
 use contention_model::dataset::DataSet;
 use contention_model::mix::WorkloadMix;
 use contention_model::predict::ParagonTask;
+use contention_model::units::secs;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// A deterministic batch of placement candidates with varied costs and
@@ -17,8 +18,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 fn tasks(n: usize) -> Vec<ParagonTask> {
     (0..n)
         .map(|i| ParagonTask {
-            dcomp_sun: 5.0 + (i % 17) as f64,
-            t_paragon: 0.8 + (i % 5) as f64 * 0.3,
+            dcomp_sun: secs(5.0 + (i % 17) as f64),
+            t_paragon: secs(0.8 + (i % 5) as f64 * 0.3),
             to_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
             from_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
         })

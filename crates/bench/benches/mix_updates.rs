@@ -7,6 +7,7 @@ use contention_model::delay::{CommDelayTable, CompDelayTable};
 use contention_model::mix::WorkloadMix;
 use contention_model::paragon::comm_slowdown;
 use contention_model::profile::ProfileCache;
+use contention_model::units::prob;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn fracs(p: usize) -> Vec<f64> {
@@ -33,7 +34,7 @@ fn add(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::from_parameter(p), &base, |b, base| {
             b.iter(|| {
                 let mut m = base.clone();
-                m.add(black_box(0.42));
+                m.add(black_box(prob(0.42)));
                 m
             })
         });

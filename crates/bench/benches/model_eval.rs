@@ -7,6 +7,7 @@ use contention_model::dataset::DataSet;
 use contention_model::mix::WorkloadMix;
 use contention_model::paragon::{comp_slowdown, comp_slowdown_at_bucket};
 use contention_model::predict::{Cm2Task, ParagonTask};
+use contention_model::units::secs;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use hetsched::eval::{
     best_chain_dp, best_exhaustive, best_exhaustive_oracle, best_exhaustive_with, rank_all,
@@ -95,8 +96,8 @@ fn fig1(c: &mut Criterion) {
             for &m in &sizes {
                 let sets = [DataSet::matrix_rows(m, m)];
                 for p in [0u32, 3] {
-                    acc += pred.comm_cost_to(black_box(&sets), p);
-                    acc += pred.comm_cost_from(black_box(&sets), p);
+                    acc += pred.comm_cost_to(black_box(&sets), p).get();
+                    acc += pred.comm_cost_from(black_box(&sets), p).get();
                 }
             }
             acc
@@ -106,12 +107,12 @@ fn fig1(c: &mut Criterion) {
 
 /// Figure 3: the `max(dcomp + didle, dserial × (p+1))` law.
 fn fig3(c: &mut Criterion) {
-    let costs = Cm2TaskCosts::new(5.0, 1.2, 0.3, 0.4);
+    let costs = Cm2TaskCosts::new(secs(5.0), secs(1.2), secs(0.3), secs(0.4));
     c.bench_function("fig3/t_cm2", |b| {
         b.iter(|| {
             let mut acc = 0.0;
             for p in 0..8 {
-                acc += black_box(&costs).t_cm2(p);
+                acc += black_box(&costs).t_cm2(p).get();
             }
             acc
         })
@@ -126,8 +127,8 @@ fn fig4(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for &w in &sizes {
-                acc += pred.comm_to.dcomm(black_box(&[DataSet::burst(1000, w)]));
-                acc += pred.comm_from.dcomm(black_box(&[DataSet::burst(1000, w)]));
+                acc += pred.comm_to.dcomm(black_box(&[DataSet::burst(1000, w)])).get();
+                acc += pred.comm_from.dcomm(black_box(&[DataSet::burst(1000, w)])).get();
             }
             acc
         })
@@ -158,7 +159,7 @@ fn fig78(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for bucket in 0..3 {
-                acc += comp_slowdown_at_bucket(black_box(&mix), &pred.comp_delays, bucket);
+                acc += comp_slowdown_at_bucket(black_box(&mix), &pred.comp_delays, bucket).get();
             }
             acc
         })
@@ -169,7 +170,7 @@ fn fig78(c: &mut Criterion) {
 fn placement(c: &mut Criterion) {
     let cm2 = cm2_predictor();
     let cm2_task = Cm2Task {
-        costs: Cm2TaskCosts::new(30.0, 3.8, 0.2, 0.5),
+        costs: Cm2TaskCosts::new(secs(30.0), secs(3.8), secs(0.2), secs(0.5)),
         to_backend: vec![DataSet::matrix_rows(600, 600)],
         from_backend: vec![DataSet::matrix_rows(600, 600)],
     };
@@ -180,8 +181,8 @@ fn placement(c: &mut Criterion) {
     let paragon = paragon_predictor();
     let mix = WorkloadMix::from_fracs(&[0.25, 0.76]);
     let p_task = ParagonTask {
-        dcomp_sun: 12.0,
-        t_paragon: 1.5,
+        dcomp_sun: secs(12.0),
+        t_paragon: secs(1.5),
         to_backend: vec![DataSet::burst(1000, 512)],
         from_backend: vec![DataSet::burst(1000, 512)],
     };

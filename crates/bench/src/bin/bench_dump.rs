@@ -14,6 +14,7 @@ use contention_model::mix::WorkloadMix;
 use contention_model::paragon::comm_slowdown;
 use contention_model::predict::ParagonTask;
 use contention_model::profile::ProfileCache;
+use contention_model::units::secs;
 use hetsched::eval::{best_exhaustive_oracle, best_exhaustive_with, SearchScratch};
 use hetsched::task::{Environment, Matrix, Task, Workflow};
 use serde::Value;
@@ -41,8 +42,8 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
 fn tasks(n: usize) -> Vec<ParagonTask> {
     (0..n)
         .map(|i| ParagonTask {
-            dcomp_sun: 5.0 + (i % 17) as f64,
-            t_paragon: 0.8 + (i % 5) as f64 * 0.3,
+            dcomp_sun: secs(5.0 + (i % 17) as f64),
+            t_paragon: secs(0.8 + (i % 5) as f64 * 0.3),
             to_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
             from_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
         })

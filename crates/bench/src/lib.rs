@@ -10,28 +10,26 @@
 use contention_model::comm::{LinearCommModel, PiecewiseCommModel};
 use contention_model::delay::{CommDelayTable, CompDelayTable};
 use contention_model::predict::{Cm2Predictor, ParagonPredictor};
+use contention_model::units::{secs, BytesPerSec};
+
+fn linear(alpha: f64, beta_words_per_sec: f64) -> LinearCommModel {
+    LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_words_per_sec))
+}
 
 /// A representative calibrated Sun/CM2 predictor (values from a real
 /// calibration run; fixed here so benches need no simulation at startup).
 pub fn cm2_predictor() -> Cm2Predictor {
-    Cm2Predictor {
-        comm_to: LinearCommModel::new(660e-6, 497_000.0),
-        comm_from: LinearCommModel::new(660e-6, 249_000.0),
-    }
+    Cm2Predictor { comm_to: linear(660e-6, 497_000.0), comm_from: linear(660e-6, 249_000.0) }
 }
 
 /// A representative calibrated Sun/Paragon predictor.
 pub fn paragon_predictor() -> ParagonPredictor {
     ParagonPredictor {
-        comm_to: PiecewiseCommModel::new(
-            1024,
-            LinearCommModel::new(1.6e-3, 79_000.0),
-            LinearCommModel::new(5.6e-3, 104_000.0),
-        ),
+        comm_to: PiecewiseCommModel::new(1024, linear(1.6e-3, 79_000.0), linear(5.6e-3, 104_000.0)),
         comm_from: PiecewiseCommModel::new(
             1024,
-            LinearCommModel::new(1.5e-3, 149_000.0),
-            LinearCommModel::from_fit(-6.0e-3, 83_000.0),
+            linear(1.5e-3, 149_000.0),
+            LinearCommModel::from_fit(-4.0e-3, 83_000.0),
         ),
         comm_delays: CommDelayTable::new(
             vec![0.27, 0.61, 1.02, 1.40],
@@ -65,7 +63,7 @@ mod tests {
     #[test]
     fn fixtures_are_sane() {
         let c = cm2_predictor();
-        assert!(c.comm_to.beta > c.comm_from.beta);
+        assert!(c.comm_to.beta.words_per_sec() > c.comm_from.beta.words_per_sec());
         let p = paragon_predictor();
         assert_eq!(p.comm_to.threshold, 1024);
         assert_eq!(p.comp_delays.buckets, vec![1, 500, 1000]);

@@ -11,6 +11,7 @@
 
 use contention_model::comm::LinearCommModel;
 use contention_model::predict::Cm2Predictor;
+use contention_model::units::{f64_from_u64, secs, BytesPerSec};
 use hetload::apps::{cm2_bandwidth_probe, cm2_startup_probe};
 use hetplat::config::PlatformConfig;
 use hetplat::platform::Platform;
@@ -36,21 +37,22 @@ impl Default for Cm2CalibrationSpec {
 pub fn calibrate_cm2(cfg: PlatformConfig, spec: Cm2CalibrationSpec, seed: u64) -> Cm2Predictor {
     // Bandwidth toward the CM2.
     let c_to = run_probe(cfg, seed, cm2_bandwidth_probe("bw-to", spec.bandwidth_elements, true));
-    let beta_sun = spec.bandwidth_elements as f64 / c_to;
+    let beta_sun = f64_from_u64(spec.bandwidth_elements) / c_to;
 
     // Bandwidth back from the CM2.
     let c_from =
         run_probe(cfg, seed, cm2_bandwidth_probe("bw-from", spec.bandwidth_elements, false));
-    let beta_cm2 = spec.bandwidth_elements as f64 / c_from;
+    let beta_cm2 = f64_from_u64(spec.bandwidth_elements) / c_from;
 
     // Startup both ways.
     let c_start = run_probe(cfg, seed, cm2_startup_probe("start", spec.startup_count));
-    let alpha =
-        ((c_start / spec.startup_count as f64 - 1.0 / beta_sun - 1.0 / beta_cm2) / 2.0).max(0.0);
+    let alpha = ((c_start / f64_from_u64(spec.startup_count) - 1.0 / beta_sun - 1.0 / beta_cm2)
+        / 2.0)
+        .max(0.0);
 
     Cm2Predictor {
-        comm_to: LinearCommModel::new(alpha, beta_sun),
-        comm_from: LinearCommModel::new(alpha, beta_cm2),
+        comm_to: LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_sun)),
+        comm_from: LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_cm2)),
     }
 }
 
@@ -60,7 +62,9 @@ fn run_probe(cfg: PlatformConfig, seed: u64, app: hetplat::phase::ScriptedApp) -
     let mut p = Platform::new(cfg, seed);
     p.spawn(Box::new(hetload::generators::DaemonNoise::default_noise()));
     let id = p.spawn(Box::new(app));
+    // modelcheck-allow: no-panic — a stalled probe is a simulator defect, not a model state
     p.run_until_done(id).expect("probe stalled");
+    // modelcheck-allow: no-panic — elapsed is Some for any id run_until_done returned
     p.elapsed(id).expect("probe finished").as_secs_f64()
 }
 
@@ -84,13 +88,15 @@ mod tests {
         let pred = calibrate_cm2(cfg, small_spec(), 1);
         let true_beta_sun = 1.0 / cfg.cm2.xfer_per_word_to.as_secs_f64();
         let true_beta_cm2 = 1.0 / cfg.cm2.xfer_per_word_from.as_secs_f64();
-        let err_sun = (pred.comm_to.beta - true_beta_sun).abs() / true_beta_sun;
-        let err_cm2 = (pred.comm_from.beta - true_beta_cm2).abs() / true_beta_cm2;
+        let beta_sun = pred.comm_to.beta.words_per_sec();
+        let beta_cm2 = pred.comm_from.beta.words_per_sec();
+        let err_sun = (beta_sun - true_beta_sun).abs() / true_beta_sun;
+        let err_cm2 = (beta_cm2 - true_beta_cm2).abs() / true_beta_cm2;
         // The calibration platform carries the production noise floor
         // (~1.5% CPU), so recovered bandwidths sit slightly below the
         // configured ones.
-        assert!(err_sun < 0.05, "beta_sun {} vs {}", pred.comm_to.beta, true_beta_sun);
-        assert!(err_cm2 < 0.05, "beta_cm2 {} vs {}", pred.comm_from.beta, true_beta_cm2);
+        assert!(err_sun < 0.05, "beta_sun {beta_sun} vs {true_beta_sun}");
+        assert!(err_cm2 < 0.05, "beta_cm2 {beta_cm2} vs {true_beta_cm2}");
     }
 
     #[test]
@@ -110,7 +116,7 @@ mod tests {
         // Predict a 500×500 matrix transfer and compare against the
         // configured ground truth.
         let sets = [DataSet::matrix_rows(500, 500)];
-        let predicted = pred.dcomm(&sets);
+        let predicted = pred.dcomm(&sets).get();
         let actual = 500.0
             * (cfg.cm2.xfer_alpha_to.as_secs_f64()
                 + 500.0 * cfg.cm2.xfer_per_word_to.as_secs_f64());

@@ -13,6 +13,7 @@
 //! platform and reused by every prediction.
 
 use contention_model::delay::{CommDelayTable, CompDelayTable};
+use contention_model::units::f64_from_usize;
 use hetload::apps::{pingpong_app, sun_task_app};
 use hetload::generators::{CommGenerator, CpuHog, GenDirection};
 use hetplat::config::PlatformConfig;
@@ -71,6 +72,7 @@ fn run_comm_probe_one(
         Box::new(pingpong_app("probe", spec.probe_burst, words, outbound)),
         SimTime::ZERO + spec.warmup,
     );
+    // modelcheck-allow: no-panic — a stalled probe is a simulator defect, not a model state
     p.run_until_done(probe).expect("probe stalled");
     let kind = if outbound { PhaseKind::Send } else { PhaseKind::Recv };
     p.phase_time(probe, kind).as_secs_f64()
@@ -97,7 +99,7 @@ fn run_comm_probe(
 fn mean_rel_delay(contended: &[f64], dedicated: &[f64]) -> f64 {
     assert_eq!(contended.len(), dedicated.len());
     contended.iter().zip(dedicated).map(|(&c, &d)| rel_delay(c, d)).sum::<f64>()
-        / dedicated.len() as f64
+        / f64_from_usize(dedicated.len())
 }
 
 /// Runs the CPU-bound probe against a set of contenders and returns its
@@ -115,7 +117,9 @@ fn run_comp_probe(
     }
     let probe =
         p.spawn_at(Box::new(sun_task_app("probe", spec.comp_probe)), SimTime::ZERO + spec.warmup);
+    // modelcheck-allow: no-panic — a stalled probe is a simulator defect, not a model state
     p.run_until_done(probe).expect("probe stalled");
+    // modelcheck-allow: no-panic — elapsed is Some for any id run_until_done returned
     p.elapsed(probe).expect("probe finished").as_secs_f64()
 }
 

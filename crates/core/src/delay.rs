@@ -18,6 +18,11 @@
 //!   buckets `j ∈ {1, 500, 1000}` suffices, that `j = 1` should only be
 //!   used for messages under 95 words, and that delays saturate above
 //!   roughly 1000 words.
+//!
+//! Delay entries are deliberately *not* newtyped: they are dimensionless
+//! relative coefficients (`T_contended / T_dedicated − 1`, so ≥ 0 and
+//! unbounded above), not probabilities, durations, or slowdowns. The
+//! `modelcheck-allow: naked-f64` annotations below record that choice.
 
 use serde::{Deserialize, Serialize};
 
@@ -38,6 +43,7 @@ pub struct CommDelayTable {
 
 impl CommDelayTable {
     /// Builds a table; both vectors are indexed by `i - 1`.
+    // modelcheck-allow: naked-f64 — dimensionless relative-delay coefficients
     pub fn new(by_computing: Vec<f64>, by_communicating: Vec<f64>) -> Self {
         assert!(
             by_computing.iter().chain(&by_communicating).all(|d| *d >= 0.0),
@@ -52,11 +58,13 @@ impl CommDelayTable {
     }
 
     /// `delay_compⁱ`; 0 for `i = 0`, saturating at the last measured entry.
+    // modelcheck-allow: naked-f64 — dimensionless relative-delay coefficient
     pub fn computing(&self, i: usize) -> f64 {
         lookup_saturating(&self.by_computing, i)
     }
 
     /// `delay_commⁱ`; 0 for `i = 0`, saturating at the last measured entry.
+    // modelcheck-allow: naked-f64 — dimensionless relative-delay coefficient
     pub fn communicating(&self, i: usize) -> f64 {
         lookup_saturating(&self.by_communicating, i)
     }
@@ -76,6 +84,7 @@ pub struct CompDelayTable {
 
 impl CompDelayTable {
     /// Builds a table; `delays` must have one row per bucket.
+    // modelcheck-allow: naked-f64 — dimensionless relative-delay coefficients
     pub fn new(buckets: Vec<u64>, delays: Vec<Vec<f64>>) -> Self {
         assert_eq!(buckets.len(), delays.len(), "one delay row per bucket");
         assert!(!buckets.is_empty(), "at least one bucket required");
@@ -94,11 +103,13 @@ impl CompDelayTable {
 
     /// `delay_commⁱʲ` for `i` contenders sending `j_words`-word messages;
     /// 0 for `i = 0`, saturating in `i` at the last measured entry.
+    // modelcheck-allow: naked-f64 — dimensionless relative-delay coefficient
     pub fn delay(&self, i: usize, j_words: u64) -> f64 {
         lookup_saturating(&self.delays[self.bucket_for(j_words)], i)
     }
 
     /// `delay_commⁱʲ` using an explicit bucket index (ablation hook).
+    // modelcheck-allow: naked-f64 — dimensionless relative-delay coefficient
     pub fn delay_at_bucket(&self, i: usize, bucket: usize) -> f64 {
         lookup_saturating(&self.delays[bucket], i)
     }

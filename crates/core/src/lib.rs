@@ -35,11 +35,11 @@
 //!
 //! // Sun/CM2: a 12s front-end task vs 3s on the CM2 + transfers.
 //! let predictor = Cm2Predictor {
-//!     comm_to: LinearCommModel::new(1e-3, 1_000_000.0),
-//!     comm_from: LinearCommModel::new(1e-3, 500_000.0),
+//!     comm_to: LinearCommModel::new(secs(1e-3), BytesPerSec::from_words_per_sec(1_000_000.0)),
+//!     comm_from: LinearCommModel::new(secs(1e-3), BytesPerSec::from_words_per_sec(500_000.0)),
 //! };
 //! let task = Cm2Task {
-//!     costs: Cm2TaskCosts::new(12.0, 2.5, 0.2, 0.4),
+//!     costs: Cm2TaskCosts::new(secs(12.0), secs(2.5), secs(0.2), secs(0.4)),
 //!     to_backend: vec![DataSet::matrix_rows(512, 512)],
 //!     from_backend: vec![DataSet::matrix_rows(512, 512)],
 //! };
@@ -48,7 +48,7 @@
 //! // Under heavy front-end contention the serial feed of the CM2 slows
 //! // too, but the front-end execution slows more; the model quantifies it.
 //! let d = predictor.decide(&task, 3);
-//! assert!(d.t_front == 48.0);
+//! assert!(d.t_front == secs(48.0));
 //! ```
 
 #![warn(missing_docs)]
@@ -63,6 +63,7 @@ pub mod paragon;
 pub mod phased;
 pub mod predict;
 pub mod profile;
+pub mod units;
 
 /// Commonly used items, re-exported.
 pub mod prelude {
@@ -81,6 +82,9 @@ pub mod prelude {
         Cm2Predictor, Cm2Task, ParagonPredictor, ParagonTask, Placement, PlacementDecision,
     };
     pub use crate::profile::{ProfileCache, SlowdownProfile};
+    pub use crate::units::{
+        prob, secs, words, BytesPerSec, Prob, Seconds, Slowdown, Words, WORD_BYTES,
+    };
 }
 
 pub use prelude::*;

@@ -13,6 +13,7 @@
 //! produced by the base model (paging steals cycles *and* overlaps badly
 //! with timesharing).
 
+use crate::units::{f64_from_u64, Slowdown};
 use serde::{Deserialize, Serialize};
 
 /// Memory description of a machine.
@@ -28,6 +29,7 @@ pub struct MemoryModel {
 
 impl MemoryModel {
     /// Builds a model; capacity must be positive.
+    // modelcheck-allow: naked-f64 — thrash_factor is a dimensionless steepness coefficient
     pub fn new(capacity_words: u64, thrash_factor: f64) -> Self {
         assert!(capacity_words > 0, "zero memory capacity");
         assert!(thrash_factor >= 0.0, "negative thrash factor");
@@ -44,10 +46,10 @@ impl MemoryModel {
     /// beyond capacity.
     ///
     /// `multiplier = 1 + thrash_factor × max(0, demand/capacity − 1)`
-    pub fn paging_multiplier(&self, working_sets: &[u64]) -> f64 {
-        let demand = Self::total_demand(working_sets) as f64;
-        let over = (demand / self.capacity_words as f64 - 1.0).max(0.0);
-        1.0 + self.thrash_factor * over
+    pub fn paging_multiplier(&self, working_sets: &[u64]) -> Slowdown {
+        let demand = f64_from_u64(Self::total_demand(working_sets));
+        let over = (demand / f64_from_u64(self.capacity_words) - 1.0).max(0.0);
+        Slowdown::new(1.0 + self.thrash_factor * over)
     }
 
     /// True if the sets fit without paging (the base model's assumption).
@@ -57,8 +59,7 @@ impl MemoryModel {
 
     /// Memory-adjusted slowdown: the base model's CPU slowdown multiplied
     /// by the paging penalty.
-    pub fn adjust_slowdown(&self, base_slowdown: f64, working_sets: &[u64]) -> f64 {
-        assert!(base_slowdown >= 1.0, "slowdown below 1");
+    pub fn adjust_slowdown(&self, base_slowdown: Slowdown, working_sets: &[u64]) -> Slowdown {
         base_slowdown * self.paging_multiplier(working_sets)
     }
 
@@ -84,8 +85,8 @@ mod tests {
         let m = mm();
         let sets = [2_000_000u64, 3_000_000, 3_000_000];
         assert!(m.fits(&sets));
-        assert_eq!(m.paging_multiplier(&sets), 1.0);
-        assert_eq!(m.adjust_slowdown(4.0, &sets), 4.0);
+        assert_eq!(m.paging_multiplier(&sets), Slowdown::ONE);
+        assert_eq!(m.adjust_slowdown(Slowdown::new(4.0), &sets).get(), 4.0);
     }
 
     #[test]
@@ -94,8 +95,8 @@ mod tests {
         // 50% overcommit → multiplier 1 + 4 × 0.5 = 3.
         let sets = [12_000_000u64];
         assert!(!m.fits(&sets));
-        assert!((m.paging_multiplier(&sets) - 3.0).abs() < 1e-12);
-        assert!((m.adjust_slowdown(2.0, &sets) - 6.0).abs() < 1e-12);
+        assert!((m.paging_multiplier(&sets).get() - 3.0).abs() < 1e-12);
+        assert!((m.adjust_slowdown(Slowdown::new(2.0), &sets).get() - 6.0).abs() < 1e-12);
     }
 
     #[test]
@@ -103,7 +104,7 @@ mod tests {
         let m = mm();
         let sets = [8_000_000u64];
         assert!(m.fits(&sets));
-        assert_eq!(m.paging_multiplier(&sets), 1.0);
+        assert_eq!(m.paging_multiplier(&sets), Slowdown::ONE);
         assert_eq!(m.headroom(&sets), 0);
     }
 
@@ -118,7 +119,7 @@ mod tests {
     #[test]
     fn multiplier_monotone_in_demand() {
         let m = mm();
-        let mut prev = 0.0;
+        let mut prev = Slowdown::ONE;
         for extra in (0..10).map(|i| i * 2_000_000) {
             let mult = m.paging_multiplier(&[6_000_000, extra]);
             assert!(mult >= prev);

@@ -20,6 +20,7 @@
 //! a globally unique [`epoch`](WorkloadMix::epoch), which downstream
 //! caches (see [`crate::profile`]) use to detect staleness in O(1).
 
+use crate::units::{f64_from_usize, Prob};
 use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,8 +40,8 @@ fn next_epoch() -> u64 {
 /// distribution of how many are communicating simultaneously.
 #[derive(Debug, Clone)]
 pub struct WorkloadMix {
-    /// Communication fraction per contender, in `[0, 1]`.
-    fracs: Vec<f64>,
+    /// Communication fraction per contender.
+    fracs: Vec<Prob>,
     /// `comm_dist[i]` = probability exactly `i` contenders communicate.
     comm_dist: Vec<f64>,
     /// Version stamp, replaced with a globally fresh value on every
@@ -69,8 +70,8 @@ impl WorkloadMix {
         WorkloadMix { fracs: Vec::new(), comm_dist: vec![1.0], epoch: next_epoch() }
     }
 
-    /// Builds a mix from communication fractions.
-    pub fn from_fracs(fracs: &[f64]) -> Self {
+    /// Builds a mix from validated communication fractions.
+    pub fn from_probs(fracs: &[Prob]) -> Self {
         let mut m = WorkloadMix {
             fracs: fracs.to_vec(),
             comm_dist: Vec::with_capacity(fracs.len() + 1),
@@ -80,13 +81,22 @@ impl WorkloadMix {
         m
     }
 
+    /// Builds a mix from raw communication fractions; panics if any falls
+    /// outside `[0, 1]`. Prefer [`Self::from_probs`] where the caller
+    /// already holds validated values.
+    // modelcheck-allow: naked-f64 — validated convenience boundary for raw inputs
+    pub fn from_fracs(fracs: &[f64]) -> Self {
+        let probs: Vec<Prob> = fracs.iter().map(|&f| Prob::new(f)).collect();
+        Self::from_probs(&probs)
+    }
+
     /// Number of contending applications, `p`.
     pub fn p(&self) -> usize {
         self.fracs.len()
     }
 
     /// The communication fractions, in insertion order.
-    pub fn fracs(&self) -> &[f64] {
+    pub fn fracs(&self) -> &[Prob] {
         &self.fracs
     }
 
@@ -101,11 +111,11 @@ impl WorkloadMix {
     /// Adds a contender that communicates a fraction `frac` of the time.
     /// `O(p)` — the paper's incremental arrival update. The convolution
     /// runs in place; no allocation happens beyond amortized `Vec` growth.
-    pub fn add(&mut self, frac: f64) {
-        assert!((0.0..=1.0).contains(&frac), "communication fraction {frac} outside [0,1]");
-        self.convolve_in_place(frac);
+    pub fn add(&mut self, frac: Prob) {
+        self.convolve_in_place(frac.get());
         self.fracs.push(frac);
         self.epoch = next_epoch();
+        self.debug_check_normalized();
     }
 
     /// One convolution step with `[1-f, f]`, entirely within `comm_dist`.
@@ -120,15 +130,30 @@ impl WorkloadMix {
         d[0] *= 1.0 - frac;
     }
 
+    /// Debug check of the DP's defining invariant: the communicating-count
+    /// distribution is a probability distribution, so it must sum to
+    /// 1 ± 1e-9 after every mutation.
+    fn debug_check_normalized(&self) {
+        debug_assert!(
+            {
+                let total: f64 = self.comm_dist.iter().sum();
+                (total - 1.0).abs() <= EPS
+            },
+            "mix distribution no longer sums to 1: {:?}",
+            self.comm_dist
+        );
+    }
+
     /// Removes the contender at `index` by `O(p)` deconvolution, falling
     /// back to `O(p²)` regeneration when the division is ill-conditioned.
     /// Runs in place (the fallback reuses the existing buffer). Returns
     /// the removed fraction, or `None` if out of range.
-    pub fn remove(&mut self, index: usize) -> Option<f64> {
+    pub fn remove(&mut self, index: usize) -> Option<Prob> {
         if index >= self.fracs.len() {
             return None;
         }
-        let f = self.fracs.remove(index);
+        let removed = self.fracs.remove(index);
+        let f = removed.get();
         self.epoch = next_epoch();
         // Deconvolve: comm_dist = old ⊛ [1-f, f]  =>  recover old. Each
         // step divides by (1 - f), amplifying rounding error by up to
@@ -154,17 +179,19 @@ impl WorkloadMix {
             }
             if ok {
                 self.comm_dist.truncate(n);
-                return Some(f);
+                self.debug_check_normalized();
+                return Some(removed);
             }
         } else if (1.0 - f).abs() <= EPS {
             // f == 1: the contender always communicates; old dist is a
             // left shift.
             self.comm_dist.remove(0);
-            return Some(f);
+            self.debug_check_normalized();
+            return Some(removed);
         }
         // Ill-conditioned: regenerate as in the paper.
         self.regenerate();
-        Some(f)
+        Some(removed)
     }
 
     /// Rebuilds the distribution from scratch — the paper's `O(p²)` path.
@@ -173,37 +200,39 @@ impl WorkloadMix {
         self.comm_dist.clear();
         self.comm_dist.push(1.0);
         for k in 0..self.fracs.len() {
-            let f = self.fracs[k];
-            assert!((0.0..=1.0).contains(&f), "communication fraction {f} outside [0,1]");
+            let f = self.fracs[k].get();
             self.convolve_in_place(f);
         }
         self.epoch = next_epoch();
+        self.debug_check_normalized();
     }
 
     /// Probability that exactly `i` contenders are communicating
     /// (`pcommᵢ`). Zero outside `0..=p`.
-    pub fn pcomm(&self, i: usize) -> f64 {
-        self.comm_dist.get(i).copied().unwrap_or(0.0)
+    pub fn pcomm(&self, i: usize) -> Prob {
+        Prob::new_unchecked(self.comm_dist.get(i).copied().unwrap_or(0.0))
     }
 
     /// Probability that exactly `i` contenders are computing (`pcompᵢ`).
     /// Equals `pcomm₍p−i₎`.
-    pub fn pcomp(&self, i: usize) -> f64 {
+    pub fn pcomp(&self, i: usize) -> Prob {
         if i > self.p() {
-            0.0
+            Prob::ZERO
         } else {
-            self.comm_dist[self.p() - i]
+            Prob::new_unchecked(self.comm_dist[self.p() - i])
         }
     }
 
     /// The full communicating-count distribution, indices `0..=p`.
+    // modelcheck-allow: naked-f64 — raw view of the DP buffer for diagnostics
     pub fn comm_dist(&self) -> &[f64] {
         &self.comm_dist
     }
 
     /// Expected number of communicating contenders (diagnostic).
+    // modelcheck-allow: naked-f64 — dimensionless expectation, may exceed 1
     pub fn expected_communicating(&self) -> f64 {
-        self.comm_dist.iter().enumerate().map(|(i, &c)| i as f64 * c).sum()
+        self.comm_dist.iter().enumerate().map(|(i, &c)| f64_from_usize(i) * c).sum()
     }
 }
 
@@ -225,7 +254,7 @@ impl Deserialize for WorkloadMix {
             v.get(name).ok_or_else(|| serde::Error::msg(format!("missing field `{name}`")))
         };
         Ok(WorkloadMix {
-            fracs: Vec::<f64>::from_value(field("fracs")?)?,
+            fracs: Vec::<Prob>::from_value(field("fracs")?)?,
             comm_dist: Vec::<f64>::from_value(field("comm_dist")?)?,
             epoch: next_epoch(),
         })
@@ -235,9 +264,10 @@ impl Deserialize for WorkloadMix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::units::prob;
 
-    fn close(a: f64, b: f64) -> bool {
-        (a - b).abs() < 1e-12
+    fn close(a: Prob, b: f64) -> bool {
+        (a.get() - b).abs() < 1e-12
     }
 
     #[test]
@@ -246,7 +276,7 @@ mod tests {
         assert_eq!(m.p(), 0);
         assert!(close(m.pcomm(0), 1.0));
         assert!(close(m.pcomp(0), 1.0));
-        assert_eq!(m.pcomm(1), 0.0);
+        assert_eq!(m.pcomm(1), Prob::ZERO);
     }
 
     #[test]
@@ -263,17 +293,25 @@ mod tests {
     }
 
     #[test]
+    fn from_probs_matches_from_fracs() {
+        let a = WorkloadMix::from_probs(&[prob(0.2), prob(0.3)]);
+        let b = WorkloadMix::from_fracs(&[0.2, 0.3]);
+        assert_eq!(a, b);
+        assert_eq!(a.fracs(), &[prob(0.2), prob(0.3)]);
+    }
+
+    #[test]
     fn distribution_sums_to_one() {
         let m = WorkloadMix::from_fracs(&[0.1, 0.5, 0.9, 0.33, 0.66]);
         let total: f64 = m.comm_dist().iter().sum();
-        assert!(close(total, 1.0));
+        assert!((total - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn pcomp_is_mirror_of_pcomm() {
         let m = WorkloadMix::from_fracs(&[0.25, 0.76]);
         for i in 0..=m.p() {
-            assert!(close(m.pcomp(i), m.pcomm(m.p() - i)));
+            assert!(close(m.pcomp(i), m.pcomm(m.p() - i).get()));
         }
     }
 
@@ -281,11 +319,11 @@ mod tests {
     fn remove_inverts_add() {
         let mut m = WorkloadMix::from_fracs(&[0.2, 0.5, 0.8]);
         let before = WorkloadMix::from_fracs(&[0.2, 0.8]);
-        assert_eq!(m.remove(1), Some(0.5));
+        assert_eq!(m.remove(1), Some(prob(0.5)));
         assert_eq!(m.p(), 2);
         for i in 0..=2 {
             assert!(
-                (m.pcomm(i) - before.pcomm(i)).abs() < 1e-9,
+                (m.pcomm(i).get() - before.pcomm(i).get()).abs() < 1e-9,
                 "i={i}: {} vs {}",
                 m.pcomm(i),
                 before.pcomm(i)
@@ -296,7 +334,7 @@ mod tests {
     #[test]
     fn remove_handles_always_communicating() {
         let mut m = WorkloadMix::from_fracs(&[1.0, 0.5]);
-        assert_eq!(m.remove(0), Some(1.0));
+        assert_eq!(m.remove(0), Some(Prob::ONE));
         assert!(close(m.pcomm(0), 0.5));
         assert!(close(m.pcomm(1), 0.5));
     }
@@ -314,7 +352,7 @@ mod tests {
         let snapshot = m.clone();
         m.regenerate();
         for i in 0..=m.p() {
-            assert!(close(m.pcomm(i), snapshot.pcomm(i)));
+            assert!(close(m.pcomm(i), snapshot.pcomm(i).get()));
         }
     }
 
@@ -322,7 +360,7 @@ mod tests {
     fn expected_value_is_sum_of_fracs() {
         let fracs = [0.2, 0.3, 0.5];
         let m = WorkloadMix::from_fracs(&fracs);
-        assert!(close(m.expected_communicating(), 1.0));
+        assert!((m.expected_communicating() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -346,7 +384,7 @@ mod tests {
 
         let mut m = WorkloadMix::from_fracs(&[0.2]);
         let e0 = m.epoch();
-        m.add(0.5);
+        m.add(prob(0.5));
         let e1 = m.epoch();
         assert_ne!(e0, e1, "add bumps the epoch");
         m.remove(0);
@@ -361,7 +399,7 @@ mod tests {
         let m = WorkloadMix::from_fracs(&[0.3, 0.6]);
         let mut c = m.clone();
         assert_eq!(m.epoch(), c.epoch());
-        c.add(0.1);
+        c.add(prob(0.1));
         assert_ne!(m.epoch(), c.epoch());
     }
 
@@ -378,12 +416,12 @@ mod tests {
         // After one add at peak size, capacity suffices for any
         // add/remove cycle at or below that size.
         let mut m = WorkloadMix::from_fracs(&[0.2, 0.4, 0.6]);
-        m.add(0.5);
+        m.add(prob(0.5));
         m.remove(3);
         let cap_dist = m.comm_dist.capacity();
         let cap_fracs = m.fracs.capacity();
         for _ in 0..100 {
-            m.add(0.5);
+            m.add(prob(0.5));
             m.remove(3);
         }
         assert_eq!(m.comm_dist.capacity(), cap_dist);
@@ -394,7 +432,7 @@ mod tests {
     fn serde_roundtrip_refreshes_epoch() {
         let m = WorkloadMix::from_fracs(&[0.25, 0.76]);
         let v = m.to_value();
-        let back = WorkloadMix::from_value(&v).unwrap();
+        let back = WorkloadMix::from_value(&v).expect("roundtrip");
         assert_eq!(m, back);
         assert_ne!(m.epoch(), back.epoch());
     }

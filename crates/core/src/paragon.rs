@@ -25,54 +25,65 @@
 
 use crate::delay::{CommDelayTable, CompDelayTable};
 use crate::mix::WorkloadMix;
+use crate::units::{f64_from_usize, Seconds, Slowdown};
 
 /// Communication slowdown on the Sun/Paragon platform.
-pub fn comm_slowdown(mix: &WorkloadMix, delays: &CommDelayTable) -> f64 {
+pub fn comm_slowdown(mix: &WorkloadMix, delays: &CommDelayTable) -> Slowdown {
     let mut s = 1.0;
     for i in 1..=mix.p() {
         s += mix.pcomp(i) * delays.computing(i);
         s += mix.pcomm(i) * delays.communicating(i);
     }
-    s
+    Slowdown::new(s)
 }
 
 /// Computation slowdown on the front-end of the Sun/Paragon platform.
 /// `j_words` is the contenders' message size (the paper recommends the
 /// maximum message size in use on the system).
-pub fn comp_slowdown(mix: &WorkloadMix, delays: &CompDelayTable, j_words: u64) -> f64 {
+pub fn comp_slowdown(mix: &WorkloadMix, delays: &CompDelayTable, j_words: u64) -> Slowdown {
     let mut s = 1.0;
     for i in 1..=mix.p() {
-        s += mix.pcomp(i) * i as f64;
+        s += mix.pcomp(i) * f64_from_usize(i);
         s += mix.pcomm(i) * delays.delay(i, j_words);
     }
-    s
+    Slowdown::new(s)
 }
 
 /// Computation slowdown with an explicit delay-table bucket, bypassing the
 /// nearest-`j` rule — used for the paper's `j`-sensitivity study (Figures 7
 /// and 8 report errors for `j = 1`, `500`, `1000` separately).
-pub fn comp_slowdown_at_bucket(mix: &WorkloadMix, delays: &CompDelayTable, bucket: usize) -> f64 {
+pub fn comp_slowdown_at_bucket(
+    mix: &WorkloadMix,
+    delays: &CompDelayTable,
+    bucket: usize,
+) -> Slowdown {
     let mut s = 1.0;
     for i in 1..=mix.p() {
-        s += mix.pcomp(i) * i as f64;
+        s += mix.pcomp(i) * f64_from_usize(i);
         s += mix.pcomm(i) * delays.delay_at_bucket(i, bucket);
     }
-    s
+    Slowdown::new(s)
 }
 
 /// `C = dcomm × slowdown` — non-dedicated communication cost.
-pub fn comm_cost(dcomm: f64, mix: &WorkloadMix, delays: &CommDelayTable) -> f64 {
+pub fn comm_cost(dcomm: Seconds, mix: &WorkloadMix, delays: &CommDelayTable) -> Seconds {
     dcomm * comm_slowdown(mix, delays)
 }
 
 /// `T_sun = dcomp_sun × slowdown` — non-dedicated front-end execution time.
-pub fn comp_cost(dcomp_sun: f64, mix: &WorkloadMix, delays: &CompDelayTable, j_words: u64) -> f64 {
+pub fn comp_cost(
+    dcomp_sun: Seconds,
+    mix: &WorkloadMix,
+    delays: &CompDelayTable,
+    j_words: u64,
+) -> Seconds {
     dcomp_sun * comp_slowdown(mix, delays, j_words)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::units::secs;
 
     fn comm_table() -> CommDelayTable {
         // delay_comp^i = i (pure CPU splitting), delay_comm^i grows slower.
@@ -89,8 +100,8 @@ mod tests {
     #[test]
     fn dedicated_mix_gives_unit_slowdown() {
         let mix = WorkloadMix::new();
-        assert_eq!(comm_slowdown(&mix, &comm_table()), 1.0);
-        assert_eq!(comp_slowdown(&mix, &comp_table(), 1000), 1.0);
+        assert_eq!(comm_slowdown(&mix, &comm_table()), Slowdown::ONE);
+        assert_eq!(comp_slowdown(&mix, &comp_table(), 1000), Slowdown::ONE);
     }
 
     #[test]
@@ -98,17 +109,17 @@ mod tests {
         // Two contenders that never communicate: pcomp_2 = 1.
         let mix = WorkloadMix::from_fracs(&[0.0, 0.0]);
         // Communication: slowdown = 1 + delay_comp^2.
-        assert!((comm_slowdown(&mix, &comm_table()) - 3.0).abs() < 1e-12);
+        assert!((comm_slowdown(&mix, &comm_table()).get() - 3.0).abs() < 1e-12);
         // Computation: slowdown = 1 + 2 = p + 1, recovering the CM2 law.
-        assert!((comp_slowdown(&mix, &comp_table(), 1000) - 3.0).abs() < 1e-12);
+        assert!((comp_slowdown(&mix, &comp_table(), 1000).get() - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn all_communicating_contenders_use_comm_delays() {
         let mix = WorkloadMix::from_fracs(&[1.0, 1.0]);
-        assert!((comm_slowdown(&mix, &comm_table()) - (1.0 + 1.1)).abs() < 1e-12);
+        assert!((comm_slowdown(&mix, &comm_table()).get() - (1.0 + 1.1)).abs() < 1e-12);
         // p = 2 communicating contenders at the j = 1000 bucket: delay 1.8.
-        assert!((comp_slowdown(&mix, &comp_table(), 1000) - (1.0 + 1.8)).abs() < 1e-12);
+        assert!((comp_slowdown(&mix, &comp_table(), 1000).get() - (1.0 + 1.8)).abs() < 1e-12);
     }
 
     #[test]
@@ -118,7 +129,7 @@ mod tests {
         let t = comm_table();
         let expect =
             1.0 + mix.pcomp(1) * 1.0 + mix.pcomp(2) * 2.0 + mix.pcomm(1) * 0.6 + mix.pcomm(2) * 1.1;
-        assert!((comm_slowdown(&mix, &t) - expect).abs() < 1e-12);
+        assert!((comm_slowdown(&mix, &t).get() - expect).abs() < 1e-12);
     }
 
     #[test]
@@ -144,15 +155,17 @@ mod tests {
     fn costs_scale_dedicated_values() {
         let mix = WorkloadMix::from_fracs(&[0.0]);
         let s = comm_slowdown(&mix, &comm_table());
-        assert!((comm_cost(2.0, &mix, &comm_table()) - 2.0 * s).abs() < 1e-12);
+        assert!((comm_cost(secs(2.0), &mix, &comm_table()).get() - 2.0 * s.get()).abs() < 1e-12);
         let sc = comp_slowdown(&mix, &comp_table(), 500);
-        assert!((comp_cost(3.0, &mix, &comp_table(), 500) - 3.0 * sc).abs() < 1e-12);
+        assert!(
+            (comp_cost(secs(3.0), &mix, &comp_table(), 500).get() - 3.0 * sc.get()).abs() < 1e-12
+        );
     }
 
     #[test]
     fn slowdown_is_at_least_one() {
         let mix = WorkloadMix::from_fracs(&[0.33, 0.66, 0.99]);
-        assert!(comm_slowdown(&mix, &comm_table()) >= 1.0);
-        assert!(comp_slowdown(&mix, &comp_table(), 1) >= 1.0);
+        assert!(comm_slowdown(&mix, &comm_table()) >= Slowdown::ONE);
+        assert!(comp_slowdown(&mix, &comp_table(), 1) >= Slowdown::ONE);
     }
 }

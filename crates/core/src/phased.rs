@@ -13,23 +13,23 @@
 //! demand executes at rate `1/slowdown` through each phase; the predicted
 //! completion time follows from integrating that rate.
 
+use crate::units::{secs, Seconds, Slowdown};
 use serde::{Deserialize, Serialize};
 
 /// One load phase: a slowdown factor holding for a span of wall time.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LoadPhase {
-    /// Wall-clock length of the phase, seconds. The final phase of a
-    /// timeline may be unbounded (`f64::INFINITY`).
-    pub duration: f64,
-    /// Slowdown factor during the phase (≥ 1).
-    pub slowdown: f64,
+    /// Wall-clock length of the phase. The final phase of a timeline may
+    /// be unbounded ([`Seconds::INFINITY`]).
+    pub duration: Seconds,
+    /// Slowdown factor during the phase.
+    pub slowdown: Slowdown,
 }
 
 impl LoadPhase {
-    /// Builds a phase, validating the factor.
-    pub fn new(duration: f64, slowdown: f64) -> Self {
-        assert!(duration >= 0.0, "negative phase duration");
-        assert!(slowdown >= 1.0, "slowdown below 1");
+    /// Builds a phase. (Validation — non-negative duration, factor ≥ 1 —
+    /// is carried by the parameter types.)
+    pub fn new(duration: Seconds, slowdown: Slowdown) -> Self {
         LoadPhase { duration, slowdown }
     }
 }
@@ -44,12 +44,12 @@ pub struct LoadTimeline {
 impl LoadTimeline {
     /// An always-dedicated timeline.
     pub fn dedicated() -> Self {
-        LoadTimeline { phases: vec![LoadPhase::new(f64::INFINITY, 1.0)] }
+        LoadTimeline { phases: vec![LoadPhase::new(Seconds::INFINITY, Slowdown::ONE)] }
     }
 
     /// A constant-slowdown timeline (the base model's assumption).
-    pub fn constant(slowdown: f64) -> Self {
-        LoadTimeline { phases: vec![LoadPhase::new(f64::INFINITY, slowdown)] }
+    pub fn constant(slowdown: Slowdown) -> Self {
+        LoadTimeline { phases: vec![LoadPhase::new(Seconds::INFINITY, slowdown)] }
     }
 
     /// Builds from phases; the last phase is extended to infinity.
@@ -69,16 +69,19 @@ impl LoadTimeline {
     }
 
     /// The slowdown in effect at wall-clock offset `t` from the start of
-    /// the timeline.
-    pub fn slowdown_at(&self, t: f64) -> f64 {
-        let mut elapsed = 0.0;
+    /// the timeline. (An empty timeline — only constructible via
+    /// `Default` — reads as dedicated.)
+    pub fn slowdown_at(&self, t: Seconds) -> Slowdown {
+        let mut elapsed = Seconds::ZERO;
+        let mut last = Slowdown::ONE;
         for ph in &self.phases {
             elapsed += ph.duration;
+            last = ph.slowdown;
             if t < elapsed {
                 return ph.slowdown;
             }
         }
-        self.phases.last().expect("nonempty").slowdown
+        last
     }
 
     /// Predicted wall-clock time to complete `demand` seconds of
@@ -86,14 +89,14 @@ impl LoadTimeline {
     ///
     /// Work progresses at rate `1 / slowdown` through each phase; the
     /// result is exact for piecewise-constant profiles. Returns
-    /// `f64::INFINITY` only if demand is infinite.
-    pub fn completion_time(&self, demand: f64, start: f64) -> f64 {
-        assert!(demand >= 0.0 && start >= 0.0);
-        let mut remaining = demand;
+    /// [`Seconds::INFINITY`] only if demand is infinite.
+    pub fn completion_time(&self, demand: Seconds, start: Seconds) -> Seconds {
+        let mut remaining = demand.get();
+        let start = start.get();
         let mut clock = 0.0; // offset into the timeline
         let mut waited = 0.0; // wall time consumed by the task
         for (idx, ph) in self.phases.iter().enumerate() {
-            let phase_end = clock + ph.duration;
+            let phase_end = clock + ph.duration.get();
             // Skip phases that end before the task starts — except the
             // final one, which extends to infinity regardless of its
             // recorded duration.
@@ -107,9 +110,9 @@ impl LoadTimeline {
             } else {
                 phase_end - begin
             };
-            let doable = span / ph.slowdown;
+            let doable = span / ph.slowdown.get();
             if doable >= remaining {
-                return waited + remaining * ph.slowdown;
+                return secs(waited + remaining * ph.slowdown.get());
             }
             remaining -= doable;
             waited += span;
@@ -121,18 +124,20 @@ impl LoadTimeline {
 
     /// The *average* slowdown a task of the given demand experiences when
     /// started at `start` — useful for comparing against the base model's
-    /// constant-slowdown assumption.
-    pub fn effective_slowdown(&self, demand: f64, start: f64) -> f64 {
-        if demand == 0.0 {
+    /// constant-slowdown assumption. The `max(1.0)` guards against the
+    /// ratio rounding a hair below 1 when phase spans are subtracted from
+    /// the demand.
+    pub fn effective_slowdown(&self, demand: Seconds, start: Seconds) -> Slowdown {
+        if demand == Seconds::ZERO {
             return self.slowdown_at(start);
         }
-        self.completion_time(demand, start) / demand
+        Slowdown::new((self.completion_time(demand, start) / demand).max(1.0))
     }
 }
 
 /// Builds a timeline for the Sun/CM2 platform from a schedule of hog
 /// counts: `(duration, p)` pairs.
-pub fn cm2_timeline(segments: &[(f64, u32)]) -> LoadTimeline {
+pub fn cm2_timeline(segments: &[(Seconds, u32)]) -> LoadTimeline {
     LoadTimeline::new(
         segments.iter().map(|&(d, p)| LoadPhase::new(d, crate::cm2::slowdown(p))).collect(),
     )
@@ -142,83 +147,97 @@ pub fn cm2_timeline(segments: &[(f64, u32)]) -> LoadTimeline {
 mod tests {
     use super::*;
 
+    fn sd(s: f64) -> Slowdown {
+        Slowdown::new(s)
+    }
+
+    fn phase(duration: f64, slowdown: f64) -> LoadPhase {
+        LoadPhase::new(secs(duration), sd(slowdown))
+    }
+
     #[test]
     fn constant_timeline_matches_base_model() {
-        let tl = LoadTimeline::constant(4.0);
-        assert_eq!(tl.completion_time(10.0, 0.0), 40.0);
-        assert_eq!(tl.effective_slowdown(10.0, 0.0), 4.0);
-        assert_eq!(tl.slowdown_at(123.0), 4.0);
+        let tl = LoadTimeline::constant(sd(4.0));
+        assert_eq!(tl.completion_time(secs(10.0), Seconds::ZERO), secs(40.0));
+        assert_eq!(tl.effective_slowdown(secs(10.0), Seconds::ZERO), sd(4.0));
+        assert_eq!(tl.slowdown_at(secs(123.0)), sd(4.0));
     }
 
     #[test]
     fn dedicated_timeline_is_identity() {
         let tl = LoadTimeline::dedicated();
-        assert_eq!(tl.completion_time(7.5, 3.0), 7.5);
+        assert_eq!(tl.completion_time(secs(7.5), secs(3.0)), secs(7.5));
     }
 
     #[test]
     fn load_drops_midway() {
         // 10 s of slowdown 3, then dedicated. A 6 s task does 10/3 s of
         // work in the first phase, the rest at full speed.
-        let tl =
-            LoadTimeline::new(vec![LoadPhase::new(10.0, 3.0), LoadPhase::new(f64::INFINITY, 1.0)]);
+        let tl = LoadTimeline::new(vec![
+            phase(10.0, 3.0),
+            LoadPhase::new(Seconds::INFINITY, Slowdown::ONE),
+        ]);
         let done_in_phase1 = 10.0 / 3.0;
         let expect = 10.0 + (6.0 - done_in_phase1);
-        assert!((tl.completion_time(6.0, 0.0) - expect).abs() < 1e-12);
+        assert!((tl.completion_time(secs(6.0), Seconds::ZERO).get() - expect).abs() < 1e-12);
         // A short task finishing inside phase 1 sees the full slowdown.
-        assert!((tl.completion_time(2.0, 0.0) - 6.0).abs() < 1e-12);
+        assert!((tl.completion_time(secs(2.0), Seconds::ZERO).get() - 6.0).abs() < 1e-12);
     }
 
     #[test]
     fn start_offset_skips_earlier_phases() {
-        let tl =
-            LoadTimeline::new(vec![LoadPhase::new(10.0, 5.0), LoadPhase::new(f64::INFINITY, 1.0)]);
+        let tl = LoadTimeline::new(vec![
+            phase(10.0, 5.0),
+            LoadPhase::new(Seconds::INFINITY, Slowdown::ONE),
+        ]);
         // Starting after the loaded phase: dedicated speed.
-        assert_eq!(tl.completion_time(4.0, 10.0), 4.0);
+        assert_eq!(tl.completion_time(secs(4.0), secs(10.0)), secs(4.0));
         // Starting halfway through it: 5 s at 1/5 rate = 1 s done.
-        let t = tl.completion_time(4.0, 5.0);
-        assert!((t - (5.0 + 3.0)).abs() < 1e-12, "{t}");
+        let t = tl.completion_time(secs(4.0), secs(5.0));
+        assert!((t.get() - (5.0 + 3.0)).abs() < 1e-12, "{t}");
     }
 
     #[test]
     fn effective_slowdown_between_phase_extremes() {
-        let tl =
-            LoadTimeline::new(vec![LoadPhase::new(8.0, 4.0), LoadPhase::new(f64::INFINITY, 1.0)]);
+        let tl = LoadTimeline::new(vec![
+            phase(8.0, 4.0),
+            LoadPhase::new(Seconds::INFINITY, Slowdown::ONE),
+        ]);
         for demand in [0.5, 2.0, 5.0, 50.0] {
-            let s = tl.effective_slowdown(demand, 0.0);
-            assert!((1.0..=4.0).contains(&s), "demand {demand}: {s}");
+            let s = tl.effective_slowdown(secs(demand), Seconds::ZERO);
+            assert!(sd(1.0) <= s && s <= sd(4.0), "demand {demand}: {s}");
         }
         // Long tasks amortize the loaded phase away.
-        assert!(tl.effective_slowdown(1000.0, 0.0) < 1.05);
+        assert!(tl.effective_slowdown(secs(1000.0), Seconds::ZERO) < sd(1.05));
         // Short ones see the full factor.
-        assert_eq!(tl.effective_slowdown(1.0, 0.0), 4.0);
+        assert_eq!(tl.effective_slowdown(secs(1.0), Seconds::ZERO), sd(4.0));
     }
 
     #[test]
     fn cm2_timeline_uses_p_plus_one() {
-        let tl = cm2_timeline(&[(5.0, 3), (10.0, 0)]);
-        assert_eq!(tl.slowdown_at(0.0), 4.0);
-        assert_eq!(tl.slowdown_at(7.0), 1.0);
+        let tl = cm2_timeline(&[(secs(5.0), 3), (secs(10.0), 0)]);
+        assert_eq!(tl.slowdown_at(Seconds::ZERO), sd(4.0));
+        assert_eq!(tl.slowdown_at(secs(7.0)), Slowdown::ONE);
     }
 
     #[test]
     fn slowdown_recalculation_on_mix_change() {
         // Scenario from the paper's future work: mid-run the mix changes;
         // extend the timeline and re-predict the remaining work.
-        let mut tl = LoadTimeline::new(vec![LoadPhase::new(20.0, 2.0)]);
-        let total = tl.completion_time(30.0, 0.0);
+        let mut tl = LoadTimeline::new(vec![phase(20.0, 2.0)]);
+        let total = tl.completion_time(secs(30.0), Seconds::ZERO);
         // First 20 s complete 10 s of work at slowdown 2; the final
         // (implicitly extended) phase finishes the rest at slowdown 2.
-        assert_eq!(total, 60.0);
+        assert_eq!(total, secs(60.0));
         // New job arrives at t = 20 → slowdown 3 from then on.
-        tl.push(LoadPhase::new(f64::INFINITY, 3.0));
-        let updated = tl.completion_time(30.0, 0.0);
-        assert_eq!(updated, 20.0 + 20.0 * 3.0);
+        tl.push(LoadPhase::new(Seconds::INFINITY, sd(3.0)));
+        let updated = tl.completion_time(secs(30.0), Seconds::ZERO);
+        assert_eq!(updated, secs(20.0 + 20.0 * 3.0));
     }
 
     #[test]
-    #[should_panic(expected = "slowdown below 1")]
+    #[should_panic(expected = ">= 1")]
     fn rejects_speedups() {
-        LoadPhase::new(1.0, 0.5);
+        phase(1.0, 0.5);
     }
 }

@@ -17,6 +17,7 @@ use crate::delay::{CommDelayTable, CompDelayTable};
 use crate::mix::WorkloadMix;
 use crate::paragon;
 use crate::profile::SlowdownProfile;
+use crate::units::Seconds;
 use serde::{Deserialize, Serialize};
 
 /// Where a task should run.
@@ -28,30 +29,30 @@ pub enum Placement {
     BackEnd,
 }
 
-/// The two totals behind a placement decision, in seconds.
+/// The two totals behind a placement decision.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PlacementDecision {
     /// Predicted elapsed time if the task stays on the front-end.
-    pub t_front: f64,
+    pub t_front: Seconds,
     /// Predicted back-end elapsed time (computation only).
-    pub t_back: f64,
+    pub t_back: Seconds,
     /// Predicted cost of moving inputs to the back-end.
-    pub c_to: f64,
+    pub c_to: Seconds,
     /// Predicted cost of moving results back.
-    pub c_from: f64,
+    pub c_from: Seconds,
     /// The verdict of inequality (1).
     pub placement: Placement,
 }
 
 impl PlacementDecision {
-    fn decide(t_front: f64, t_back: f64, c_to: f64, c_from: f64) -> Self {
+    fn decide(t_front: Seconds, t_back: Seconds, c_to: Seconds, c_from: Seconds) -> Self {
         let placement =
             if t_front > t_back + c_to + c_from { Placement::BackEnd } else { Placement::FrontEnd };
         PlacementDecision { t_front, t_back, c_to, c_from, placement }
     }
 
     /// Total predicted time of the chosen placement.
-    pub fn best_time(&self) -> f64 {
+    pub fn best_time(&self) -> Seconds {
         match self.placement {
             Placement::FrontEnd => self.t_front,
             Placement::BackEnd => self.t_back + self.c_to + self.c_from,
@@ -86,12 +87,12 @@ pub struct Cm2Predictor {
 
 impl Cm2Predictor {
     /// `C_sun→cm2` under `p` extra CPU-bound front-end processes.
-    pub fn comm_cost_to(&self, sets: &[DataSet], p: u32) -> f64 {
+    pub fn comm_cost_to(&self, sets: &[DataSet], p: u32) -> Seconds {
         cm2::comm_cost(self.comm_to.dcomm(sets), p)
     }
 
     /// `C_cm2→sun` under `p` extra CPU-bound front-end processes.
-    pub fn comm_cost_from(&self, sets: &[DataSet], p: u32) -> f64 {
+    pub fn comm_cost_from(&self, sets: &[DataSet], p: u32) -> Seconds {
         cm2::comm_cost(self.comm_from.dcomm(sets), p)
     }
 
@@ -114,11 +115,11 @@ impl Cm2Predictor {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParagonTask {
     /// Dedicated time on the front-end.
-    pub dcomp_sun: f64,
+    pub dcomp_sun: Seconds,
     /// Elapsed time on the Paragon. The Paragon is space-shared, so this is
     /// unaffected by front-end contention; mesh or gang-scheduling effects
     /// are folded in by the caller, as the paper prescribes.
-    pub t_paragon: f64,
+    pub t_paragon: Seconds,
     /// Data sets moved front-end → Paragon.
     pub to_backend: Vec<DataSet>,
     /// Data sets moved Paragon → front-end.
@@ -140,18 +141,18 @@ pub struct ParagonPredictor {
 
 impl ParagonPredictor {
     /// `C_sun→p` under the given workload mix.
-    pub fn comm_cost_to(&self, sets: &[DataSet], mix: &WorkloadMix) -> f64 {
+    pub fn comm_cost_to(&self, sets: &[DataSet], mix: &WorkloadMix) -> Seconds {
         paragon::comm_cost(self.comm_to.dcomm(sets), mix, &self.comm_delays)
     }
 
     /// `C_p→sun` under the given workload mix.
-    pub fn comm_cost_from(&self, sets: &[DataSet], mix: &WorkloadMix) -> f64 {
+    pub fn comm_cost_from(&self, sets: &[DataSet], mix: &WorkloadMix) -> Seconds {
         paragon::comm_cost(self.comm_from.dcomm(sets), mix, &self.comm_delays)
     }
 
     /// `T_sun` under the given mix; `j_words` is the contenders' message
     /// size (paper: the maximum in use on the system).
-    pub fn t_sun(&self, dcomp_sun: f64, mix: &WorkloadMix, j_words: u64) -> f64 {
+    pub fn t_sun(&self, dcomp_sun: Seconds, mix: &WorkloadMix, j_words: u64) -> Seconds {
         paragon::comp_cost(dcomp_sun, mix, &self.comp_delays, j_words)
     }
 
@@ -175,17 +176,22 @@ impl ParagonPredictor {
     }
 
     /// `C_sun→p` using cached slowdown factors.
-    pub fn comm_cost_to_with(&self, sets: &[DataSet], profile: &SlowdownProfile) -> f64 {
+    pub fn comm_cost_to_with(&self, sets: &[DataSet], profile: &SlowdownProfile) -> Seconds {
         self.comm_to.dcomm(sets) * profile.comm_slowdown()
     }
 
     /// `C_p→sun` using cached slowdown factors.
-    pub fn comm_cost_from_with(&self, sets: &[DataSet], profile: &SlowdownProfile) -> f64 {
+    pub fn comm_cost_from_with(&self, sets: &[DataSet], profile: &SlowdownProfile) -> Seconds {
         self.comm_from.dcomm(sets) * profile.comm_slowdown()
     }
 
     /// `T_sun` using cached slowdown factors.
-    pub fn t_sun_with(&self, dcomp_sun: f64, profile: &SlowdownProfile, j_words: u64) -> f64 {
+    pub fn t_sun_with(
+        &self,
+        dcomp_sun: Seconds,
+        profile: &SlowdownProfile,
+        j_words: u64,
+    ) -> Seconds {
         dcomp_sun * profile.comp_slowdown(j_words)
     }
 
@@ -234,25 +240,31 @@ impl ParagonPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::units::{prob, secs, BytesPerSec};
+
+    fn linear(alpha: f64, beta_wps: f64) -> LinearCommModel {
+        LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_wps))
+    }
 
     fn cm2_predictor() -> Cm2Predictor {
-        Cm2Predictor {
-            comm_to: LinearCommModel::new(1e-3, 1e6),
-            comm_from: LinearCommModel::new(1e-3, 5e5),
-        }
+        Cm2Predictor { comm_to: linear(1e-3, 1e6), comm_from: linear(1e-3, 5e5) }
+    }
+
+    fn cm2_costs(a: f64, b: f64, c: f64, d: f64) -> Cm2TaskCosts {
+        Cm2TaskCosts::new(secs(a), secs(b), secs(c), secs(d))
     }
 
     #[test]
     fn cm2_offload_wins_when_parallel_speedup_dominates() {
         let task = Cm2Task {
-            costs: Cm2TaskCosts::new(100.0, 5.0, 1.0, 2.0),
+            costs: cm2_costs(100.0, 5.0, 1.0, 2.0),
             to_backend: vec![DataSet::matrix_rows(100, 100)],
             from_backend: vec![DataSet::matrix_rows(100, 100)],
         };
         let d = cm2_predictor().decide(&task, 0);
         // comm ≈ 0.1 + 0.01 + 0.1 + 0.02 ≈ 0.23s, far below the 94s gain.
         assert_eq!(d.placement, Placement::BackEnd);
-        assert!(d.best_time() < 10.0);
+        assert!(d.best_time() < secs(10.0));
     }
 
     #[test]
@@ -261,7 +273,7 @@ mod tests {
         // when dedicated, off-loads once contention triples the local time
         // (transfer slowdown grows too, but from a smaller base).
         let task = Cm2Task {
-            costs: Cm2TaskCosts::new(10.0, 7.9, 0.05, 0.1),
+            costs: cm2_costs(10.0, 7.9, 0.05, 0.1),
             to_backend: vec![DataSet::single(1_500_000)],
             from_backend: vec![DataSet::single(750_000)],
         };
@@ -277,12 +289,12 @@ mod tests {
         let p = cm2_predictor();
         let sets = [DataSet::single(1000)];
         let base = p.comm_cost_to(&sets, 0);
-        assert!((p.comm_cost_to(&sets, 3) - 4.0 * base).abs() < 1e-12);
+        assert!((p.comm_cost_to(&sets, 3).get() - 4.0 * base.get()).abs() < 1e-12);
     }
 
     fn paragon_predictor() -> ParagonPredictor {
-        let small = LinearCommModel::new(2e-3, 2e5);
-        let large = LinearCommModel::new(4e-3, 8e5);
+        let small = linear(2e-3, 2e5);
+        let large = linear(6e-3, 8e5);
         ParagonPredictor {
             comm_to: PiecewiseCommModel::new(1024, small, large),
             comm_from: PiecewiseCommModel::new(1024, small, large),
@@ -297,17 +309,17 @@ mod tests {
     #[test]
     fn paragon_dedicated_decision_uses_raw_costs() {
         let task = ParagonTask {
-            dcomp_sun: 10.0,
-            t_paragon: 2.0,
+            dcomp_sun: secs(10.0),
+            t_paragon: secs(2.0),
             to_backend: vec![DataSet::burst(100, 2000)],
             from_backend: vec![DataSet::burst(100, 2000)],
         };
         let pred = paragon_predictor();
         let mix = WorkloadMix::new();
         let d = pred.decide(&task, &mix, 2000);
-        assert_eq!(d.t_front, 10.0);
-        // Each direction: 100 × (4ms + 2000/8e5 s) = 0.65s.
-        assert!((d.c_to - 0.65).abs() < 1e-9, "{}", d.c_to);
+        assert_eq!(d.t_front, secs(10.0));
+        // Each direction: 100 × (6ms + 2000/8e5 s) = 0.85s.
+        assert!((d.c_to.get() - 0.85).abs() < 1e-9, "{}", d.c_to);
         assert_eq!(d.placement, Placement::BackEnd);
     }
 
@@ -315,20 +327,20 @@ mod tests {
     fn paragon_comm_heavy_contenders_keep_task_local() {
         // The gain from the Paragon is outweighed once the link is busy.
         let task = ParagonTask {
-            dcomp_sun: 4.0,
-            t_paragon: 1.0,
+            dcomp_sun: secs(4.0),
+            t_paragon: secs(1.0),
             to_backend: vec![DataSet::burst(1000, 2000)],
             from_backend: vec![],
         };
         let pred = paragon_predictor();
         let idle = WorkloadMix::new();
         assert_eq!(pred.decide(&task, &idle, 2000).placement, Placement::FrontEnd);
-        // c_to alone is 6.5s dedicated — already above the 3s gain; with two
+        // c_to alone is 8.5s dedicated — already above the 3s gain; with two
         // communication-bound contenders it grows by 1+delay_comm².
         let busy = WorkloadMix::from_fracs(&[0.9, 0.9]);
         let d = pred.decide(&task, &busy, 2000);
         assert_eq!(d.placement, Placement::FrontEnd);
-        assert!(d.c_to > 6.5);
+        assert!(d.c_to > secs(8.5));
     }
 
     #[test]
@@ -336,7 +348,7 @@ mod tests {
         let pred = paragon_predictor();
         let mix = WorkloadMix::from_fracs(&[0.0, 0.0]);
         // Two pure CPU hogs: slowdown = 1 + 2 = 3.
-        assert!((pred.t_sun(5.0, &mix, 1000) - 15.0).abs() < 1e-12);
+        assert!((pred.t_sun(secs(5.0), &mix, 1000).get() - 15.0).abs() < 1e-12);
     }
 
     #[test]
@@ -345,8 +357,8 @@ mod tests {
         let mix = WorkloadMix::from_fracs(&[0.25, 0.76]);
         let profile = pred.profile(&mix);
         let task = ParagonTask {
-            dcomp_sun: 7.3,
-            t_paragon: 1.9,
+            dcomp_sun: secs(7.3),
+            t_paragon: secs(1.9),
             to_backend: vec![DataSet::burst(40, 900)],
             from_backend: vec![DataSet::burst(10, 30)],
         };
@@ -364,8 +376,8 @@ mod tests {
         let profile = pred.profile(&mix);
         let tasks: Vec<ParagonTask> = (1..20)
             .map(|k| ParagonTask {
-                dcomp_sun: k as f64 * 0.7,
-                t_paragon: (20 - k) as f64 * 0.3,
+                dcomp_sun: secs(k as f64 * 0.7),
+                t_paragon: secs((20 - k) as f64 * 0.3),
                 to_backend: vec![DataSet::burst(k, 100 * k)],
                 from_backend: vec![DataSet::single(50 * k)],
             })
@@ -383,13 +395,13 @@ mod tests {
         let mut mix = WorkloadMix::from_fracs(&[0.5]);
         let profile = pred.profile(&mix);
         assert!(profile.is_current(&mix));
-        mix.add(0.25);
+        mix.add(prob(0.25));
         assert!(!profile.is_current(&mix));
         // Refreshing restores agreement.
         let fresh = pred.profile(&mix);
         let task = ParagonTask {
-            dcomp_sun: 3.0,
-            t_paragon: 1.0,
+            dcomp_sun: secs(3.0),
+            t_paragon: secs(1.0),
             to_backend: vec![],
             from_backend: vec![],
         };
@@ -400,12 +412,12 @@ mod tests {
     fn decision_boundary_prefers_front_end_on_ties() {
         // Equal costs: inequality (1) is strict, so stay local.
         let task = Cm2Task {
-            costs: Cm2TaskCosts::new(10.0, 10.0, 0.0, 0.0),
+            costs: cm2_costs(10.0, 10.0, 0.0, 0.0),
             to_backend: vec![],
             from_backend: vec![],
         };
         let d = cm2_predictor().decide(&task, 0);
         assert_eq!(d.placement, Placement::FrontEnd);
-        assert_eq!(d.best_time(), 10.0);
+        assert_eq!(d.best_time(), secs(10.0));
     }
 }

@@ -25,6 +25,7 @@
 use crate::delay::{select_bucket, CommDelayTable, CompDelayTable};
 use crate::mix::WorkloadMix;
 use crate::paragon;
+use crate::units::Slowdown;
 
 /// Slowdown factors of one workload mix, evaluated once and reusable for
 /// every prediction made against that mix.
@@ -35,10 +36,10 @@ pub struct SlowdownProfile {
     /// Number of contenders in that mix.
     p: usize,
     /// Communication slowdown, `1 + Σ pcompᵢ·delay_compⁱ + Σ pcommᵢ·delay_commⁱ`.
-    comm: f64,
+    comm: Slowdown,
     /// Computation slowdown per message-size bucket,
     /// `comp_by_bucket[b] = 1 + Σ pcompᵢ·i + Σ pcommᵢ·delay_commⁱʲ⁽ᵇ⁾`.
-    comp_by_bucket: Vec<f64>,
+    comp_by_bucket: Vec<Slowdown>,
     /// The table's bucket boundaries, copied so `j → bucket` resolution
     /// needs no table access.
     buckets: Vec<u64>,
@@ -80,18 +81,18 @@ impl SlowdownProfile {
     }
 
     /// The cached communication slowdown.
-    pub fn comm_slowdown(&self) -> f64 {
+    pub fn comm_slowdown(&self) -> Slowdown {
         self.comm
     }
 
     /// The cached computation slowdown for contender messages of
     /// `j_words` words, resolved by the paper's bucket rules.
-    pub fn comp_slowdown(&self, j_words: u64) -> f64 {
+    pub fn comp_slowdown(&self, j_words: u64) -> Slowdown {
         self.comp_by_bucket[select_bucket(&self.buckets, j_words)]
     }
 
     /// The cached computation slowdown at an explicit bucket index.
-    pub fn comp_slowdown_at_bucket(&self, bucket: usize) -> f64 {
+    pub fn comp_slowdown_at_bucket(&self, bucket: usize) -> Slowdown {
         self.comp_by_bucket[bucket]
     }
 
@@ -128,9 +129,9 @@ impl ProfileCache {
     ) -> &SlowdownProfile {
         let stale = self.slot.as_ref().is_none_or(|s| !s.is_current(mix));
         if stale {
-            self.slot = Some(SlowdownProfile::compute(mix, comm_delays, comp_delays));
+            self.slot = None;
         }
-        self.slot.as_ref().expect("slot filled above")
+        self.slot.get_or_insert_with(|| SlowdownProfile::compute(mix, comm_delays, comp_delays))
     }
 
     /// Drops the cached profile (e.g. after swapping delay tables).
@@ -147,6 +148,7 @@ impl ProfileCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::units::prob;
 
     fn comm_table() -> CommDelayTable {
         CommDelayTable::new(vec![1.0, 2.0, 3.0], vec![0.6, 1.1, 1.5])
@@ -185,7 +187,7 @@ mod tests {
         let profile = SlowdownProfile::compute(&mix, &comm_table(), &comp_table());
         assert!(profile.is_current(&mix));
         assert_eq!(profile.mix_epoch(), mix.epoch());
-        mix.add(0.2);
+        mix.add(prob(0.2));
         assert!(!profile.is_current(&mix));
     }
 
@@ -222,9 +224,9 @@ mod tests {
     fn dedicated_profile_is_all_ones() {
         let mix = WorkloadMix::new();
         let profile = SlowdownProfile::compute(&mix, &comm_table(), &comp_table());
-        assert_eq!(profile.comm_slowdown(), 1.0);
+        assert_eq!(profile.comm_slowdown(), Slowdown::ONE);
         for b in 0..profile.bucket_count() {
-            assert_eq!(profile.comp_slowdown_at_bucket(b), 1.0);
+            assert_eq!(profile.comp_slowdown_at_bucket(b), Slowdown::ONE);
         }
     }
 }

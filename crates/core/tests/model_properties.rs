@@ -9,21 +9,22 @@ use contention_model::mix::WorkloadMix;
 use contention_model::paragon;
 use contention_model::predict::{ParagonPredictor, ParagonTask};
 use contention_model::profile::{ProfileCache, SlowdownProfile};
+use contention_model::units::{prob, secs, BytesPerSec};
 use proptest::prelude::*;
+
+fn linear(alpha: f64, beta_wps: f64) -> LinearCommModel {
+    LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_wps))
+}
 
 /// A fixed calibrated predictor (values from a real calibration run);
 /// only the mix and the tasks vary per case.
 fn predictor() -> ParagonPredictor {
     ParagonPredictor {
-        comm_to: PiecewiseCommModel::new(
-            1024,
-            LinearCommModel::new(1.6e-3, 79_000.0),
-            LinearCommModel::new(5.6e-3, 104_000.0),
-        ),
+        comm_to: PiecewiseCommModel::new(1024, linear(1.6e-3, 79_000.0), linear(5.6e-3, 104_000.0)),
         comm_from: PiecewiseCommModel::new(
             1024,
-            LinearCommModel::new(1.5e-3, 149_000.0),
-            LinearCommModel::new(2.0e-3, 83_000.0),
+            linear(1.5e-3, 149_000.0),
+            linear(2.0e-3, 83_000.0),
         ),
         comm_delays: CommDelayTable::new(
             vec![0.27, 0.61, 1.02, 1.40],
@@ -68,15 +69,15 @@ proptest! {
         let comp_t = comp_table(&row);
         let profile = SlowdownProfile::compute(&mix, &comm_t, &comp_t);
         prop_assert!(
-            (profile.comm_slowdown() - paragon::comm_slowdown(&mix, &comm_t)).abs() <= 1e-12
+            (profile.comm_slowdown().get() - paragon::comm_slowdown(&mix, &comm_t).get()).abs() <= 1e-12
         );
         prop_assert!(
-            (profile.comp_slowdown(j) - paragon::comp_slowdown(&mix, &comp_t, j)).abs() <= 1e-12
+            (profile.comp_slowdown(j).get() - paragon::comp_slowdown(&mix, &comp_t, j).get()).abs() <= 1e-12
         );
         for b in 0..profile.bucket_count() {
             prop_assert!(
-                (profile.comp_slowdown_at_bucket(b)
-                    - paragon::comp_slowdown_at_bucket(&mix, &comp_t, b))
+                (profile.comp_slowdown_at_bucket(b).get()
+                    - paragon::comp_slowdown_at_bucket(&mix, &comp_t, b).get())
                 .abs()
                     <= 1e-12
             );
@@ -97,12 +98,12 @@ proptest! {
         // After every in-place mutation the cache must serve a profile
         // that agrees with a fresh direct evaluation.
         cache.profile_for(&mix, &comm_t, &comp_t);
-        mix.add(extra);
-        let after_add = cache.profile_for(&mix, &comm_t, &comp_t).comm_slowdown();
-        prop_assert!((after_add - paragon::comm_slowdown(&mix, &comm_t)).abs() <= 1e-12);
+        mix.add(prob(extra));
+        let after_add = cache.profile_for(&mix, &comm_t, &comp_t).comm_slowdown().get();
+        prop_assert!((after_add - paragon::comm_slowdown(&mix, &comm_t).get()).abs() <= 1e-12);
         mix.remove(0);
-        let after_remove = cache.profile_for(&mix, &comm_t, &comp_t).comm_slowdown();
-        prop_assert!((after_remove - paragon::comm_slowdown(&mix, &comm_t)).abs() <= 1e-12);
+        let after_remove = cache.profile_for(&mix, &comm_t, &comp_t).comm_slowdown().get();
+        prop_assert!((after_remove - paragon::comm_slowdown(&mix, &comm_t).get()).abs() <= 1e-12);
     }
 
     fn batched_decisions_match_per_call(
@@ -115,8 +116,8 @@ proptest! {
         let mix = WorkloadMix::from_fracs(&fracs);
         let tasks: Vec<ParagonTask> = (0..4)
             .map(|i| ParagonTask {
-                dcomp_sun: dcomp + i as f64,
-                t_paragon: tpar,
+                dcomp_sun: secs(dcomp + i as f64),
+                t_paragon: secs(tpar),
                 to_backend: vec![DataSet::burst(100, words)],
                 from_backend: vec![DataSet::burst(100, words)],
             })
@@ -127,10 +128,10 @@ proptest! {
         for (task, got) in tasks.iter().zip(&batched) {
             let direct = pred.decide(task, &mix, words);
             prop_assert_eq!(got.placement, direct.placement);
-            prop_assert!((got.t_front - direct.t_front).abs() <= 1e-12);
-            prop_assert!((got.t_back - direct.t_back).abs() <= 1e-12);
-            prop_assert!((got.c_to - direct.c_to).abs() <= 1e-12);
-            prop_assert!((got.c_from - direct.c_from).abs() <= 1e-12);
+            prop_assert!((got.t_front.get() - direct.t_front.get()).abs() <= 1e-12);
+            prop_assert!((got.t_back.get() - direct.t_back.get()).abs() <= 1e-12);
+            prop_assert!((got.c_to.get() - direct.c_to.get()).abs() <= 1e-12);
+            prop_assert!((got.c_from.get() - direct.c_from.get()).abs() <= 1e-12);
         }
     }
 }

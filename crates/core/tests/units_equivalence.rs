@@ -1,0 +1,247 @@
+//! The units layer must be *representation-transparent*: every newtype
+//! wraps the same `f64` bit pattern the pre-refactor code carried, and
+//! arithmetic routed through the wrappers is bit-identical to the raw
+//! formulas it replaced. These tests pin that contract — first that the
+//! constructors enforce their domains (property-tested across the float
+//! range), then that `dcomm` and the placement `decide` paths reproduce
+//! inline raw-`f64` recomputations to 1e-12 (exactly, in fact).
+
+use contention_model::cm2::Cm2TaskCosts;
+use contention_model::comm::{LinearCommModel, PiecewiseCommModel};
+use contention_model::dataset::DataSet;
+use contention_model::delay::{CommDelayTable, CompDelayTable};
+use contention_model::mix::WorkloadMix;
+use contention_model::predict::{Cm2Predictor, Cm2Task, ParagonPredictor, ParagonTask, Placement};
+use contention_model::units::{secs, words, BytesPerSec, Prob, Seconds, Slowdown};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Domain enforcement
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // Each case draws two candidates: an arbitrary bit pattern (covers
+    // NaN payloads, both infinities, subnormals, huge magnitudes) and a
+    // uniform float straddling the domain boundary (exercises the
+    // accept side, which raw bit patterns almost never hit).
+
+    #[test]
+    fn prob_accepts_exactly_the_unit_interval(
+        bits in 0u64..=u64::MAX, near in -2.0f64..=2.0
+    ) {
+        for x in [f64::from_bits(bits), near] {
+            let ok = (0.0..=1.0).contains(&x);
+            prop_assert_eq!(Prob::try_new(x).is_some(), ok, "{}", x);
+            if ok {
+                prop_assert_eq!(Prob::new(x).get().to_bits(), x.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn slowdown_accepts_exactly_finite_ge_one(
+        bits in 0u64..=u64::MAX, near in -1.0f64..=3.0
+    ) {
+        for x in [f64::from_bits(bits), near] {
+            let ok = x.is_finite() && x >= 1.0;
+            prop_assert_eq!(Slowdown::try_new(x).is_some(), ok, "{}", x);
+            if ok {
+                prop_assert_eq!(Slowdown::new(x).get().to_bits(), x.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn seconds_accepts_exactly_non_negative(
+        bits in 0u64..=u64::MAX, near in -1.0f64..=1.0
+    ) {
+        // ∞ is a legal duration (open-ended load phases); NaN and
+        // negatives are not.
+        for x in [f64::from_bits(bits), near] {
+            let ok = x >= 0.0;
+            prop_assert_eq!(Seconds::try_new(x).is_some(), ok, "{}", x);
+            if ok {
+                prop_assert_eq!(Seconds::new(x).get().to_bits(), x.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_accepts_exactly_finite_positive(
+        bits in 0u64..=u64::MAX, near in -1.0f64..=1.0
+    ) {
+        for x in [f64::from_bits(bits), near] {
+            let ok = x.is_finite() && x > 0.0;
+            prop_assert_eq!(BytesPerSec::try_new(x).is_some(), ok, "{}", x);
+        }
+    }
+}
+
+#[test]
+fn constructors_reject_the_canonical_bad_inputs() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5, 1.5] {
+        assert!(Prob::try_new(bad).is_none(), "Prob accepted {bad}");
+    }
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.999, -2.0] {
+        assert!(Slowdown::try_new(bad).is_none(), "Slowdown accepted {bad}");
+    }
+    for bad in [f64::NAN, f64::NEG_INFINITY, -1e-300] {
+        assert!(Seconds::try_new(bad).is_none(), "Seconds accepted {bad}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity of the typed arithmetic paths
+// ---------------------------------------------------------------------------
+
+/// Representative calibrated fixtures (same values as the bench crate).
+fn cm2_predictor() -> Cm2Predictor {
+    Cm2Predictor { comm_to: linear(660e-6, 497_000.0), comm_from: linear(660e-6, 249_000.0) }
+}
+
+fn linear(alpha: f64, beta_wps: f64) -> LinearCommModel {
+    LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_wps))
+}
+
+/// Raw pre-refactor dcomm: `Σᵢ Nᵢ × (α + sizeᵢ/β)`, in the same
+/// accumulation order as [`LinearCommModel::dcomm`].
+fn raw_linear_dcomm(alpha: f64, beta_wps: f64, sets: &[(u64, u64)]) -> f64 {
+    sets.iter().map(|&(messages, size)| messages as f64 * (alpha + size as f64 / beta_wps)).sum()
+}
+
+const SETS: [(u64, u64); 4] = [(1, 64), (1000, 200), (37, 1024), (2, 1_000_000)];
+
+fn datasets() -> Vec<DataSet> {
+    SETS.iter().map(|&(m, w)| DataSet::new(m, w)).collect()
+}
+
+#[test]
+fn linear_dcomm_is_bit_identical_to_raw_formula() {
+    let m = linear(660e-6, 497_000.0);
+    let typed = m.dcomm(&datasets()).get();
+    let raw = raw_linear_dcomm(m.alpha, m.beta.words_per_sec(), &SETS);
+    assert_eq!(typed.to_bits(), raw.to_bits(), "typed {typed} vs raw {raw}");
+}
+
+#[test]
+fn piecewise_dcomm_is_bit_identical_to_raw_formula() {
+    let small = linear(1.6e-3, 79_000.0);
+    let large = linear(5.6e-3, 104_000.0);
+    let m = PiecewiseCommModel::new(1024, small, large);
+    let typed = m.dcomm(&datasets()).get();
+    let raw: f64 = SETS
+        .iter()
+        .map(|&(messages, size)| {
+            let (a, b) = if size <= 1024 {
+                (small.alpha, small.beta.words_per_sec())
+            } else {
+                (large.alpha, large.beta.words_per_sec())
+            };
+            messages as f64 * (a + size as f64 / b)
+        })
+        .sum();
+    assert_eq!(typed.to_bits(), raw.to_bits(), "typed {typed} vs raw {raw}");
+    // And the piece router agrees with the paper's inclusive boundary.
+    assert_eq!(m.piece(words(1024)), &small);
+    assert_eq!(m.piece(words(1025)), &large);
+}
+
+#[test]
+fn cm2_decide_is_bit_identical_to_raw_formulas() {
+    let pred = cm2_predictor();
+    let task = Cm2Task {
+        costs: Cm2TaskCosts::new(secs(12.0), secs(2.5), secs(0.2), secs(0.4)),
+        to_backend: datasets(),
+        from_backend: vec![DataSet::new(5, 4096)],
+    };
+    for p in 0..6u32 {
+        let d = pred.decide(&task, p);
+        let s = f64::from(p + 1);
+        let t_front = 12.0 * s;
+        let t_back = (2.5 + 0.2f64).max(0.4 * s);
+        let c_to =
+            raw_linear_dcomm(pred.comm_to.alpha, pred.comm_to.beta.words_per_sec(), &SETS) * s;
+        let c_from = raw_linear_dcomm(
+            pred.comm_from.alpha,
+            pred.comm_from.beta.words_per_sec(),
+            &[(5, 4096)],
+        ) * s;
+        assert_eq!(d.t_front.get().to_bits(), t_front.to_bits());
+        assert_eq!(d.t_back.get().to_bits(), t_back.to_bits());
+        assert_eq!(d.c_to.get().to_bits(), c_to.to_bits());
+        assert_eq!(d.c_from.get().to_bits(), c_from.to_bits());
+        let raw_placement =
+            if t_front > t_back + c_to + c_from { Placement::BackEnd } else { Placement::FrontEnd };
+        assert_eq!(d.placement, raw_placement, "p = {p}");
+    }
+}
+
+#[test]
+fn paragon_decide_matches_raw_formulas_to_1e12() {
+    let comm_delays = CommDelayTable::new(vec![0.27, 0.61, 1.02], vec![0.19, 0.49, 0.81]);
+    let comp_delays = CompDelayTable::new(
+        vec![1, 500, 1000],
+        vec![vec![0.22, 0.37, 0.37], vec![0.66, 1.15, 1.59], vec![1.68, 3.59, 5.52]],
+    );
+    let pred = ParagonPredictor {
+        comm_to: PiecewiseCommModel::new(1024, linear(1.6e-3, 79_000.0), linear(5.6e-3, 104_000.0)),
+        comm_from: PiecewiseCommModel::new(
+            1024,
+            linear(1.5e-3, 149_000.0),
+            LinearCommModel::from_fit(-4.0e-3, 83_000.0),
+        ),
+        comm_delays: comm_delays.clone(),
+        comp_delays: comp_delays.clone(),
+    };
+    let mix = WorkloadMix::from_fracs(&[0.25, 0.76, 0.4]);
+    let task = ParagonTask {
+        dcomp_sun: secs(30.0),
+        t_paragon: secs(3.8),
+        to_backend: datasets(),
+        from_backend: vec![DataSet::new(5, 4096)],
+    };
+    let j = 800;
+    let d = pred.decide(&task, &mix, j);
+
+    // Raw slowdowns, same accumulation order as `paragon::{comm,comp}_slowdown`.
+    let mut s_comm = 1.0;
+    let mut s_comp = 1.0;
+    for i in 1..=mix.p() {
+        s_comm += mix.pcomp(i).get() * comm_delays.computing(i);
+        s_comm += mix.pcomm(i).get() * comm_delays.communicating(i);
+        s_comp += mix.pcomp(i).get() * i as f64;
+        s_comp += mix.pcomm(i).get() * comp_delays.delay(i, j);
+    }
+    let raw_t_sun = 30.0 * s_comp;
+    let raw_c_to = pred.comm_to.dcomm(&task.to_backend).get() * s_comm;
+    let raw_c_from = pred.comm_from.dcomm(&task.from_backend).get() * s_comm;
+
+    assert!((d.t_front.get() - raw_t_sun).abs() <= 1e-12, "{} vs {raw_t_sun}", d.t_front);
+    assert!((d.c_to.get() - raw_c_to).abs() <= 1e-12, "{} vs {raw_c_to}", d.c_to);
+    assert!((d.c_from.get() - raw_c_from).abs() <= 1e-12, "{} vs {raw_c_from}", d.c_from);
+    assert_eq!(d.t_back.get().to_bits(), 3.8f64.to_bits());
+    let raw_placement = if raw_t_sun > 3.8 + raw_c_to + raw_c_from {
+        Placement::BackEnd
+    } else {
+        Placement::FrontEnd
+    };
+    assert_eq!(d.placement, raw_placement);
+}
+
+#[test]
+fn every_produced_slowdown_is_at_least_one() {
+    // The Slowdown type makes "contention speeds you up" unrepresentable;
+    // spot-check the public producers anyway, across mixes.
+    let comm_delays = CommDelayTable::new(vec![0.27, 0.61], vec![0.19, 0.49]);
+    let comp_delays = CompDelayTable::new(vec![1, 1000], vec![vec![0.2, 0.4], vec![1.7, 3.6]]);
+    for fracs in [&[][..], &[0.0][..], &[1.0, 1.0][..], &[0.3, 0.9][..]] {
+        let mix = WorkloadMix::from_fracs(fracs);
+        assert!(contention_model::paragon::comm_slowdown(&mix, &comm_delays).get() >= 1.0);
+        assert!(contention_model::paragon::comp_slowdown(&mix, &comp_delays, 500).get() >= 1.0);
+    }
+    for p in 0..8 {
+        assert!(contention_model::cm2::slowdown(p).get() >= 1.0);
+    }
+}

@@ -32,7 +32,7 @@ pub fn run(scale: Scale) -> Experiment {
         // derived seed — fanned out by `ordered_map` under `par`.
         let rows = ordered_map(sizes(scale), |m| {
             let sets = [DataSet::matrix_rows(m, m)];
-            let modeled = pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p);
+            let modeled = (pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p)).get();
             let (plat, id) =
                 run_with_hogs(cfg, cm2_matrix_transfer_app("probe", m), p as usize, SEED ^ m);
             let actual = transfer_seconds(&plat, id);

@@ -12,6 +12,7 @@ use crate::report::{Experiment, Row, Series};
 use crate::scenarios::run_with_hogs;
 use crate::setup::{platform_config, Scale, SEED};
 use contention_model::cm2::Cm2TaskCosts;
+use contention_model::units::secs;
 use hetload::apps::cm2_program_app;
 use hetload::costs::Cm2ProgramParams;
 use hetload::programs::gauss_program;
@@ -38,14 +39,15 @@ pub fn run(scale: Scale) -> Experiment {
         let (plat0, id0) = run_with_hogs(cfg, cm2_program_app("ge", prog.clone()), 0, SEED ^ m);
         let t_ded = plat0.elapsed(id0).expect("finished").as_secs_f64();
         let didle = (t_ded - dcomp).max(0.0);
-        let costs = Cm2TaskCosts::new(0.0, dcomp, didle.min(dserial), dserial);
+        let costs =
+            Cm2TaskCosts::new(secs(0.0), secs(dcomp), secs(didle.min(dserial)), secs(dserial));
 
         // Non-dedicated run against 3 hogs.
         let (plat3, id3) = run_with_hogs(cfg, cm2_program_app("ge", prog), 3, SEED ^ m);
         let t_loaded = plat3.elapsed(id3).expect("finished").as_secs_f64();
 
-        ded_rows.push(Row { x: m as f64, modeled: costs.t_cm2(0), actual: t_ded });
-        loaded_rows.push(Row { x: m as f64, modeled: costs.t_cm2(3), actual: t_loaded });
+        ded_rows.push(Row { x: m as f64, modeled: costs.t_cm2(0).get(), actual: t_ded });
+        loaded_rows.push(Row { x: m as f64, modeled: costs.t_cm2(3).get(), actual: t_loaded });
         if crossover.is_none() && t_loaded <= 1.05 * t_ded {
             crossover = Some(m);
         }

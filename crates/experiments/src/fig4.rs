@@ -10,6 +10,7 @@
 use crate::report::{Experiment, Row, Series};
 use crate::setup::{pingpong_spec, platform_config, platform_config_two_hops, Scale, SEED};
 use calibration::paragon::{fit_piecewise, measure_pingpong};
+use contention_model::units::{f64_from_u64, words};
 use hetplat::config::PlatformConfig;
 
 /// Runs one path/direction combination into a series.
@@ -21,7 +22,7 @@ fn series_for(cfg: PlatformConfig, label: &str, scale: Scale) -> Series {
         .iter()
         .map(|p| Row {
             x: p.words as f64,
-            modeled: spec.burst as f64 * model.message_time(p.words),
+            modeled: (f64_from_u64(spec.burst) * model.message_time(words(p.words))).get(),
             actual: p.burst_time,
         })
         .collect();

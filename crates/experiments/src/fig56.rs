@@ -67,7 +67,8 @@ fn run_direction(outbound: bool, scale: Scale) -> Experiment {
     let rows = ordered_map(sizes(scale), |words| {
         let sets = [DataSet::burst(n, words)];
         let modeled =
-            if outbound { pred.comm_cost_to(&sets, &m) } else { pred.comm_cost_from(&sets, &m) };
+            if outbound { pred.comm_cost_to(&sets, &m) } else { pred.comm_cost_from(&sets, &m) }
+                .get();
         let probe = burst_app("probe", n, words, dir);
         let (plat, pid) = run_with_generators(cfg, probe, contenders(&cfg), SEED ^ words);
         let actual = plat.phase_time(pid, kind).as_secs_f64();
@@ -117,7 +118,7 @@ mod tests {
         let e = run_fig5(scale);
         let n = burst(scale);
         for r in &e.series[0].rows {
-            let ded = pred.comm_to.dcomm(&[DataSet::burst(n, r.x as u64)]);
+            let ded = pred.comm_to.dcomm(&[DataSet::burst(n, r.x as u64)]).get();
             assert!(r.actual > ded, "{} words: {} vs dedicated {}", r.x, r.actual, ded);
         }
     }

@@ -77,7 +77,7 @@ fn run_sor(id: &str, title: &str, specs: [Spec; 2], scale: Scale) -> Experiment 
             .iter()
             .map(|&(m, t)| Row {
                 x: m as f64,
-                modeled: rates.sor_sun_demand(m, SWEEPS).as_secs_f64() * slowdown,
+                modeled: rates.sor_sun_demand(m, SWEEPS).as_secs_f64() * slowdown.get(),
                 actual: t,
             })
             .collect();

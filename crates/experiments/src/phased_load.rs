@@ -9,6 +9,7 @@
 use crate::report::{Experiment, Row, Series};
 use crate::setup::{platform_config, SEED};
 use contention_model::phased::cm2_timeline;
+use contention_model::units::{secs, Seconds};
 use hetload::apps::sun_task_app;
 use hetload::generators::TimedCpuHog;
 use hetplat::platform::Platform;
@@ -43,13 +44,18 @@ pub fn run() -> Experiment {
         "Hogs arrive at t=5s and depart at t=20s: phased model vs constant extremes",
         "demand (s)",
     );
-    let timeline = cm2_timeline(&[(ARRIVE, 0), (DEPART - ARRIVE, HOGS), (f64::INFINITY, 0)]);
+    let timeline =
+        cm2_timeline(&[(secs(ARRIVE), 0), (secs(DEPART - ARRIVE), HOGS), (Seconds::INFINITY, 0)]);
     let mut phased = Vec::new();
     let mut constant_loaded = Vec::new();
     let mut constant_dedicated = Vec::new();
     for demand in [2.0f64, 6.0, 10.0, 20.0, 40.0] {
         let actual = simulate(demand, SEED ^ demand as u64);
-        phased.push(Row { x: demand, modeled: timeline.completion_time(demand, 0.0), actual });
+        phased.push(Row {
+            x: demand,
+            modeled: timeline.completion_time(secs(demand), Seconds::ZERO).get(),
+            actual,
+        });
         constant_loaded.push(Row { x: demand, modeled: demand * (HOGS as f64 + 1.0), actual });
         constant_dedicated.push(Row { x: demand, modeled: demand, actual });
     }

@@ -13,6 +13,7 @@ use crate::scenarios::run_with_generators;
 use crate::setup::{paragon_predictor, platform_config, Scale, SEED};
 use contention_model::dataset::DataSet;
 use contention_model::mix::WorkloadMix;
+use contention_model::units::secs;
 use hetload::generators::{CommGenerator, GenDirection};
 use hetplat::phase::{Direction, Phase, ScriptedApp};
 use simcore::time::SimDuration;
@@ -82,23 +83,23 @@ fn predict(
     let sets = |words: u64| [DataSet::new(words.div_ceil(MSG_WORDS), MSG_WORDS)];
     let mut total = 0.0;
     if ma == 1 {
-        total += pred.comm_cost_to(&sets(chain.link_words), mix);
+        total += pred.comm_cost_to(&sets(chain.link_words), mix).get();
         total += chain.a.1;
     } else {
-        total += pred.t_sun(chain.a.0, mix, j);
+        total += pred.t_sun(secs(chain.a.0), mix, j).get();
     }
     if ma != mb {
         if mb == 1 {
-            total += pred.comm_cost_to(&sets(chain.link_words), mix);
+            total += pred.comm_cost_to(&sets(chain.link_words), mix).get();
         } else {
-            total += pred.comm_cost_from(&sets(chain.link_words), mix);
+            total += pred.comm_cost_from(&sets(chain.link_words), mix).get();
         }
     }
     if mb == 1 {
         total += chain.b.1;
-        total += pred.comm_cost_from(&sets(chain.link_words), mix);
+        total += pred.comm_cost_from(&sets(chain.link_words), mix).get();
     } else {
-        total += pred.t_sun(chain.b.0, mix, j);
+        total += pred.t_sun(secs(chain.b.0), mix, j).get();
     }
     total
 }

@@ -132,7 +132,7 @@ mod tests {
         let a = cm2_predictor(Scale::Quick);
         let b = cm2_predictor(Scale::Quick);
         assert!(std::ptr::eq(a, b));
-        assert!(a.comm_to.beta > 0.0);
-        assert!(a.comm_from.beta > 0.0);
+        assert!(a.comm_to.beta.words_per_sec() > 0.0);
+        assert!(a.comm_from.beta.words_per_sec() > 0.0);
     }
 }

@@ -13,6 +13,7 @@ use crate::setup::{cm2_predictor, paragon_predictor, platform_config, Scale, SEE
 use contention_model::cm2::Cm2TaskCosts;
 use contention_model::dataset::DataSet;
 use contention_model::mix::WorkloadMix;
+use contention_model::units::secs;
 use hetload::apps::{burst_app, cm2_matrix_transfer_app, cm2_program_app, sun_task_app};
 use hetload::costs::Cm2ProgramParams;
 use hetload::synthetic::{build_generators, random_cm2_program, random_generator_specs};
@@ -42,18 +43,19 @@ pub fn run_cm2(scale: Scale) -> Experiment {
         let (plat0, id0) = run_with_hogs(cfg, cm2_program_app("syn", prog.clone()), 0, SEED ^ inst);
         let t_ded = plat0.elapsed(id0).expect("finished").as_secs_f64();
         let didle = (t_ded - dcomp).max(0.0);
-        let costs = Cm2TaskCosts::new(0.0, dcomp, didle.min(dserial), dserial);
+        let costs =
+            Cm2TaskCosts::new(secs(0.0), secs(dcomp), secs(didle.min(dserial)), secs(dserial));
         let (plat, id) = run_with_hogs(cfg, cm2_program_app("syn", prog), p as usize, SEED ^ inst);
         comp_rows.push(Row {
             x: inst as f64,
-            modeled: costs.t_cm2(p),
+            modeled: costs.t_cm2(p).get(),
             actual: plat.elapsed(id).expect("finished").as_secs_f64(),
         });
 
         // Communication: a random matrix transfer under the same hogs.
         let m = rng.gen_range(100..=600u64);
         let sets = [DataSet::matrix_rows(m, m)];
-        let modeled = pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p);
+        let modeled = (pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p)).get();
         let (plat, id) =
             run_with_hogs(cfg, cm2_matrix_transfer_app("syn", m), p as usize, SEED ^ inst ^ 0xff);
         comm_rows.push(Row {
@@ -98,7 +100,7 @@ pub fn run_paragon(scale: Scale) -> Experiment {
 
         // Communication probe: a 200-message burst of 200-word messages.
         let sets = [DataSet::burst(200, 200)];
-        let modeled = pred.comm_cost_to(&sets, &mix);
+        let modeled = pred.comm_cost_to(&sets, &mix).get();
         let probe = burst_app("probe", 200, 200, Direction::ToParagon);
         let (plat, id) =
             run_with_generators(cfg, probe, build_generators(&specs, &cfg), SEED ^ inst);
@@ -113,7 +115,7 @@ pub fn run_paragon(scale: Scale) -> Experiment {
         // message size) and once with the best bucket in hindsight — the
         // paper reports that a "bad" j can push the error to 75%.
         let demand = SimDuration::from_secs(5);
-        let modeled_auto = pred.t_sun(demand.as_secs_f64(), &mix, j);
+        let modeled_auto = pred.t_sun(secs(demand.as_secs_f64()), &mix, j).get();
         let probe = sun_task_app("probe", demand);
         let (plat, id) =
             run_with_generators(cfg, probe, build_generators(&specs, &cfg), SEED ^ inst ^ 0xaa);
@@ -123,6 +125,7 @@ pub fn run_paragon(scale: Scale) -> Experiment {
             .map(|b| {
                 demand.as_secs_f64()
                     * contention_model::paragon::comp_slowdown_at_bucket(&mix, &pred.comp_delays, b)
+                        .get()
             })
             .min_by(|a, b| {
                 simcore::stats::ape(*a, actual)

@@ -1001,7 +1001,7 @@ mod tests {
             "probe",
             vec![Phase::Compute(SimDuration::from_secs(2))],
         )));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         assert!((end.as_secs_f64() - 2.0).abs() < 1e-9);
         assert_eq!(p.records(probe).len(), 1);
     }
@@ -1020,7 +1020,7 @@ mod tests {
                 "probe",
                 vec![Phase::Compute(SimDuration::from_secs(1))],
             )));
-            let end = p.run_until_done(probe).unwrap();
+            let end = p.run_until_done(probe).expect("probe ran to completion");
             let expect = (p_extra + 1) as f64;
             assert!((end.as_secs_f64() - expect).abs() < 1e-6, "p={p_extra}: {end} vs {expect}");
         }
@@ -1034,7 +1034,7 @@ mod tests {
             "probe",
             vec![Phase::Send { count: 100, words: 500, dir: Direction::ToCm2 }],
         )));
-        p.run_until_done(probe).unwrap();
+        p.run_until_done(probe).expect("probe ran to completion");
         let t = secs(p.phase_time(probe, PhaseKind::Send));
         let per_msg =
             cfg.cm2.xfer_alpha_to.as_secs_f64() + 500.0 * cfg.cm2.xfer_per_word_to.as_secs_f64();
@@ -1055,7 +1055,7 @@ mod tests {
                 "probe",
                 vec![Phase::Send { count: 200, words: 1000, dir: Direction::ToCm2 }],
             )));
-            p.run_until_done(probe).unwrap();
+            p.run_until_done(probe).expect("probe ran to completion");
             secs(p.phase_time(probe, PhaseKind::Send))
         };
         let t0 = run(0);
@@ -1078,7 +1078,7 @@ mod tests {
         cfg.cm2.instr_dispatch = SimDuration::ZERO;
         let mut p = Platform::new(cfg, 1);
         let probe = p.spawn(Box::new(ScriptedApp::new("probe", vec![Phase::Cm2Program(prog)])));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         // 10 (serial) + 30 (parallel) + 10 (serial) = 50ms.
         assert!((end.as_secs_f64() - 0.050).abs() < 1e-9, "end {end}");
         assert!((secs(p.cm2_busy(probe)) - 0.030).abs() < 1e-9);
@@ -1096,7 +1096,7 @@ mod tests {
         cfg.cm2.instr_dispatch = SimDuration::ZERO;
         let mut p = Platform::new(cfg, 1);
         let probe = p.spawn(Box::new(ScriptedApp::new("probe", vec![Phase::Cm2Program(prog)])));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         assert!((end.as_secs_f64() - 0.050).abs() < 1e-9, "end {end}");
     }
 
@@ -1124,7 +1124,7 @@ mod tests {
             }
             let probe =
                 p.spawn(Box::new(ScriptedApp::new("probe", vec![Phase::Cm2Program(mk(50))])));
-            p.run_until_done(probe).unwrap().as_secs_f64()
+            p.run_until_done(probe).expect("probe ran to completion").as_secs_f64()
         };
         let t0 = run(0);
         let t3 = run(3);
@@ -1141,7 +1141,7 @@ mod tests {
             "probe",
             vec![Phase::Send { count: 100, words: 200, dir: Direction::ToParagon }],
         )));
-        p.run_until_done(probe).unwrap();
+        p.run_until_done(probe).expect("probe ran to completion");
         let t = secs(p.phase_time(probe, PhaseKind::Send));
         let conv = cfg.paragon.conv_demand_out(200).as_secs_f64();
         let wire = (cfg.paragon.wire_service(200) + cfg.paragon.node_overhead).as_secs_f64();
@@ -1159,7 +1159,7 @@ mod tests {
             "probe",
             vec![Phase::Send { count: 100, words: 200, dir: Direction::ToParagon }],
         )));
-        p.run_until_done(probe).unwrap();
+        p.run_until_done(probe).expect("probe ran to completion");
         let t = secs(p.phase_time(probe, PhaseKind::Send));
         let conv = cfg.paragon.conv_demand_out(200).as_secs_f64();
         let wire = (cfg.paragon.wire_service(200) + cfg.paragon.node_overhead).as_secs_f64();
@@ -1177,7 +1177,7 @@ mod tests {
             "probe",
             vec![Phase::Recv { count: 50, words: 200, dir: Direction::FromParagon }],
         )));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         assert!(end.as_secs_f64() > 0.0);
         let t = secs(p.phase_time(probe, PhaseKind::Recv));
         // Lower bound: 50 messages over the wire serialized.
@@ -1193,7 +1193,7 @@ mod tests {
                 "probe",
                 vec![Phase::Send { count: 100, words: 500, dir: Direction::ToParagon }],
             )));
-            p.run_until_done(probe).unwrap();
+            p.run_until_done(probe).expect("probe ran to completion");
             secs(p.phase_time(probe, PhaseKind::Send))
         };
         let mut one = cfg_ps();
@@ -1219,7 +1219,7 @@ mod tests {
                 "probe",
                 vec![Phase::Send { count: 200, words: 1000, dir: Direction::ToParagon }],
             )));
-            p.run_until_done(probe).unwrap();
+            p.run_until_done(probe).expect("probe ran to completion");
             secs(p.phase_time(probe, PhaseKind::Send))
         };
         let contended = {
@@ -1232,7 +1232,7 @@ mod tests {
                 "probe",
                 vec![Phase::Send { count: 200, words: 1000, dir: Direction::ToParagon }],
             )));
-            p.run_until_done(probe).unwrap();
+            p.run_until_done(probe).expect("probe ran to completion");
             secs(p.phase_time(probe, PhaseKind::Send))
         };
         assert!(contended > 1.8 * solo, "contended {contended} vs solo {solo}");
@@ -1247,8 +1247,8 @@ mod tests {
         let mut p = Platform::new(cfg, 1);
         let a = p.spawn(Box::new(ScriptedApp::new("a", vec![Phase::Cm2Program(prog.clone())])));
         let b = p.spawn(Box::new(ScriptedApp::new("b", vec![Phase::Cm2Program(prog)])));
-        let ta = p.run_until_done(a).unwrap();
-        let tb = p.run_until_done(b).unwrap();
+        let ta = p.run_until_done(a).expect("app a ran to completion");
+        let tb = p.run_until_done(b).expect("app b ran to completion");
         // b waits for a: completions at 100ms and 200ms.
         assert!((ta.as_secs_f64() - 0.1).abs() < 1e-9);
         assert!((tb.as_secs_f64() - 0.2).abs() < 1e-9);
@@ -1264,7 +1264,7 @@ mod tests {
                 Phase::BackendCompute(SimDuration::from_secs(2)),
             ],
         )));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         assert!((end.as_secs_f64() - 3.0).abs() < 1e-9);
         assert_eq!(p.records(probe).len(), 2);
     }
@@ -1276,7 +1276,7 @@ mod tests {
             "probe",
             vec![Phase::Send { count: 0, words: 100, dir: Direction::ToParagon }],
         )));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         assert_eq!(end, SimTime::ZERO);
     }
 
@@ -1295,7 +1295,7 @@ mod tests {
             "probe",
             vec![Phase::Compute(SimDuration::from_secs(1))],
         )));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         assert!((end.as_secs_f64() - 4.0).abs() < 0.1, "end {end}");
     }
 
@@ -1313,7 +1313,7 @@ mod tests {
         let mut p = Platform::new(cfg, 1);
         p.enable_trace();
         let probe = p.spawn(Box::new(ScriptedApp::new("probe", vec![Phase::Cm2Program(prog)])));
-        p.run_until_done(probe).unwrap();
+        p.run_until_done(probe).expect("probe ran to completion");
         let tr = p.tracer();
         assert_eq!(tr.lane_label_time("sun:probe", "serial"), ms(10));
         assert_eq!(tr.lane_label_time("cm2:probe", "execute"), ms(10));
@@ -1339,7 +1339,7 @@ mod disk_tests {
         let mut p = Platform::new(cfg, 1);
         let probe =
             p.spawn(Box::new(ScriptedApp::new("probe", vec![Phase::DiskIo { words: 1_000_000 }])));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         let expect = cfg.disk.service(1_000_000).as_secs_f64();
         assert!((end.as_secs_f64() - expect).abs() < 1e-9, "end {end}");
         assert_eq!(p.records(probe)[0].kind, PhaseKind::DiskIo);
@@ -1351,8 +1351,8 @@ mod disk_tests {
         let mut p = Platform::new(cfg, 1);
         let a = p.spawn(Box::new(ScriptedApp::new("a", vec![Phase::DiskIo { words: 500_000 }])));
         let b = p.spawn(Box::new(ScriptedApp::new("b", vec![Phase::DiskIo { words: 500_000 }])));
-        let ta = p.run_until_done(a).unwrap();
-        let tb = p.run_until_done(b).unwrap();
+        let ta = p.run_until_done(a).expect("app a ran to completion");
+        let tb = p.run_until_done(b).expect("app b ran to completion");
         let one = cfg.disk.service(500_000).as_secs_f64();
         assert!((ta.as_secs_f64() - one).abs() < 1e-9);
         assert!((tb.as_secs_f64() - 2.0 * one).abs() < 1e-9);
@@ -1369,7 +1369,7 @@ mod disk_tests {
             "probe",
             vec![Phase::Compute(SimDuration::from_secs(1))],
         )));
-        let end = p.run_until_done(probe).unwrap();
+        let end = p.run_until_done(probe).expect("probe ran to completion");
         assert!((end.as_secs_f64() - 1.0).abs() < 1e-9, "end {end}");
     }
 }

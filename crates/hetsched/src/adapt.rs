@@ -14,7 +14,7 @@ use contention_model::paragon;
 /// on the front-end: computation and the (CPU-driven) link both slow by
 /// `p + 1`; the CM2 itself is unaffected.
 pub fn cm2_environment(p: u32) -> Environment {
-    let s = cm2::slowdown(p);
+    let s = cm2::slowdown(p).get();
     let mut link = Matrix::filled(2, 1.0);
     link.set(0, 1, s);
     link.set(1, 0, s);
@@ -31,8 +31,8 @@ pub fn paragon_environment(
     comp_delays: &CompDelayTable,
     j_words: u64,
 ) -> Environment {
-    let s_comp = paragon::comp_slowdown(mix, comp_delays, j_words);
-    let s_comm = paragon::comm_slowdown(mix, comm_delays);
+    let s_comp = paragon::comp_slowdown(mix, comp_delays, j_words).get();
+    let s_comm = paragon::comm_slowdown(mix, comm_delays).get();
     let mut link = Matrix::filled(2, 1.0);
     link.set(0, 1, s_comm);
     link.set(1, 0, s_comm);

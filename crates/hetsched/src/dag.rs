@@ -14,6 +14,7 @@
 //!   machine choice) for larger ones.
 
 use crate::task::{Environment, Matrix};
+use contention_model::units::f64_from_usize;
 use serde::{Deserialize, Serialize};
 
 /// A node of the DAG.
@@ -104,7 +105,8 @@ impl Dag {
     pub fn best_exhaustive(&self, env: &Environment) -> (Vec<usize>, f64) {
         let m = self.machines as u64;
         let k = self.tasks.len() as u32;
-        let combos = m.checked_pow(k).expect("instance too large");
+        // Overflow saturates and is then rejected by the size guard.
+        let combos = m.checked_pow(k).unwrap_or(u64::MAX);
         assert!(combos <= 5_000_000, "exhaustive DAG search too large");
         let mut best: Option<(Vec<usize>, f64)> = None;
         let mut assignment = vec![0usize; self.tasks.len()];
@@ -118,6 +120,7 @@ impl Dag {
                 best = Some((assignment.clone(), cost));
             }
         }
+        // modelcheck-allow: no-panic — combos ≥ 1, so the loop always sets `best`
         best.expect("at least one assignment")
     }
 
@@ -125,7 +128,7 @@ impl Dag {
     fn mean_exec(&self, i: usize, env: &Environment) -> f64 {
         let t = &self.tasks[i];
         t.exec.iter().zip(&env.comp_slowdown).map(|(e, s)| e * s).sum::<f64>()
-            / self.machines as f64
+            / f64_from_usize(self.machines)
     }
 
     /// Mean slowdown-adjusted cost of an edge (off-diagonal average).
@@ -142,7 +145,7 @@ impl Dag {
                 }
             }
         }
-        sum / (m * (m - 1)) as f64
+        sum / f64_from_usize(m * (m - 1))
     }
 
     /// HEFT upward ranks: `rank(i) = w̄ᵢ + max over successors of
@@ -171,7 +174,7 @@ impl Dag {
         let n = self.tasks.len();
         let ranks = self.upward_ranks(env);
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| ranks[b].partial_cmp(&ranks[a]).expect("finite ranks"));
+        order.sort_by(|&a, &b| ranks[b].total_cmp(&ranks[a]));
 
         let mut assignment = vec![usize::MAX; n];
         let mut finish = vec![0.0f64; n];
@@ -192,10 +195,11 @@ impl Dag {
                 }
                 let start = ready.max(free);
                 let end = start + t.exec[m] * env.comp_slowdown[m];
-                if best.is_none() || end < best.expect("some").2 {
+                if best.is_none_or(|b| end < b.2) {
                     best = Some((m, start, end));
                 }
             }
+            // modelcheck-allow: no-panic — machine_free is nonempty for any schedulable DAG
             let (m, _start, end) = best.expect("at least one machine");
             assignment[i] = m;
             finish[i] = end;

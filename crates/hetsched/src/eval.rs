@@ -160,6 +160,7 @@ impl<'a> DeltaWalker<'a> {
         if from == to {
             return 0.0;
         }
+        // modelcheck-allow: no-panic — every non-final chain task has an outgoing edge
         let comm = self.wf.tasks[i].comm_to_next.as_ref().expect("interior edge");
         comm.get(from, to) * self.env.link_slowdown.get(from, to)
     }
@@ -222,7 +223,8 @@ pub fn best_exhaustive_with(
 ) -> Schedule {
     let m = wf.machines();
     let k = wf.len();
-    let combos = (m as u64).checked_pow(k as u32).expect("instance too large");
+    // Overflow saturates and is then rejected by the size guard.
+    let combos = (m as u64).checked_pow(k as u32).unwrap_or(u64::MAX);
     assert!(combos <= 10_000_000, "exhaustive search too large; use best_chain_dp");
     let SearchScratch { digits, dirs, best } = scratch;
     let mut walker = DeltaWalker::start(wf, env, digits, dirs);
@@ -247,7 +249,8 @@ pub fn best_exhaustive_with(
 pub fn best_exhaustive_oracle(wf: &Workflow, env: &Environment) -> Schedule {
     let m = wf.machines();
     let k = wf.len();
-    let combos = (m as u64).checked_pow(k as u32).expect("instance too large");
+    // Overflow saturates and is then rejected by the size guard.
+    let combos = (m as u64).checked_pow(k as u32).unwrap_or(u64::MAX);
     assert!(combos <= 10_000_000, "exhaustive search too large; use best_chain_dp");
     let mut best: Option<Schedule> = None;
     let mut assignment = vec![0usize; k];
@@ -261,6 +264,7 @@ pub fn best_exhaustive_oracle(wf: &Workflow, env: &Environment) -> Schedule {
             best = Some(Schedule { assignment: assignment.clone(), makespan: cost });
         }
     }
+    // modelcheck-allow: no-panic — combos ≥ 1, so the loop always sets `best`
     best.expect("at least one schedule")
 }
 
@@ -274,6 +278,7 @@ pub fn best_chain_dp(wf: &Workflow, env: &Environment) -> Schedule {
         (0..m).map(|mach| wf.tasks[0].exec[mach] * env.comp_slowdown[mach]).collect();
     let mut back: Vec<Vec<usize>> = Vec::with_capacity(wf.len());
     for i in 1..wf.len() {
+        // modelcheck-allow: no-panic — every non-final chain task has an outgoing edge
         let comm = wf.tasks[i - 1].comm_to_next.as_ref().expect("interior edge");
         let mut next_dp = vec![f64::INFINITY; m];
         let mut next_back = vec![0usize; m];
@@ -299,7 +304,8 @@ pub fn best_chain_dp(wf: &Workflow, env: &Environment) -> Schedule {
     let (mut mach, &makespan) = dp
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        // modelcheck-allow: no-panic — dp has one entry per machine and m ≥ 1
         .expect("nonempty dp");
     let mut assignment = vec![0usize; wf.len()];
     assignment[wf.len() - 1] = mach;
@@ -328,7 +334,7 @@ pub fn rank_all(wf: &Workflow, env: &Environment) -> Vec<Schedule> {
             break;
         }
     }
-    all.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).expect("finite"));
+    all.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
     all
 }
 
@@ -351,7 +357,7 @@ pub fn rank_all_oracle(wf: &Workflow, env: &Environment) -> Vec<Schedule> {
             makespan: evaluate(wf, &assignment, env),
         });
     }
-    all.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).expect("finite"));
+    all.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
     all
 }
 
@@ -389,7 +395,7 @@ pub fn rank_all_par(wf: &Workflow, env: &Environment) -> Vec<Schedule> {
         })
         .collect();
     let mut all: Vec<Schedule> = per_chunk.into_iter().flatten().collect();
-    all.sort_by(|a, b| a.makespan.partial_cmp(&b.makespan).expect("finite"));
+    all.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
     all
 }
 

@@ -10,6 +10,7 @@
 //! phased-load extension of the core model.
 
 use contention_model::phased::LoadTimeline;
+use contention_model::units::{secs, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// A task in flight at the moment the job mix changes.
@@ -56,9 +57,9 @@ impl MigrationDecision {
 /// delays the remote start by `migration_cost` (during which the remote
 /// timeline advances).
 pub fn decide(task: &InFlightTask, here: &LoadTimeline, there: &LoadTimeline) -> MigrationDecision {
-    let stay = here.completion_time(task.remaining_here, 0.0);
-    let migrate =
-        task.migration_cost + there.completion_time(task.remaining_there, task.migration_cost);
+    let stay = here.completion_time(secs(task.remaining_here), Seconds::ZERO).get();
+    let migrate = task.migration_cost
+        + there.completion_time(secs(task.remaining_there), secs(task.migration_cost)).get();
     if migrate < stay {
         MigrationDecision::Migrate { finish_in: migrate }
     } else {
@@ -70,6 +71,7 @@ pub fn decide(task: &InFlightTask, here: &LoadTimeline, there: &LoadTimeline) ->
 mod tests {
     use super::*;
     use contention_model::phased::LoadPhase;
+    use contention_model::units::Slowdown;
 
     #[test]
     fn stays_when_local_is_unloaded() {
@@ -85,7 +87,7 @@ mod tests {
         // Local machine just picked up 4 hogs (slowdown 5); remote idle.
         let task =
             InFlightTask { remaining_here: 10.0, remaining_there: 12.0, migration_cost: 3.0 };
-        let here = LoadTimeline::constant(5.0);
+        let here = LoadTimeline::constant(Slowdown::new(5.0));
         let there = LoadTimeline::dedicated();
         let d = decide(&task, &here, &there);
         assert_eq!(d, MigrationDecision::Migrate { finish_in: 15.0 });
@@ -94,7 +96,7 @@ mod tests {
 
     #[test]
     fn migration_cost_can_tip_the_balance() {
-        let here = LoadTimeline::constant(2.0);
+        let here = LoadTimeline::constant(Slowdown::new(2.0));
         let there = LoadTimeline::dedicated();
         let cheap =
             InFlightTask { remaining_here: 10.0, remaining_there: 10.0, migration_cost: 1.0 };
@@ -109,9 +111,11 @@ mod tests {
         // The remote machine is busy for 2 s then free; migration takes
         // 3 s, so the task lands after the burst and runs dedicated.
         let task = InFlightTask { remaining_here: 20.0, remaining_there: 6.0, migration_cost: 3.0 };
-        let here = LoadTimeline::constant(3.0);
-        let there =
-            LoadTimeline::new(vec![LoadPhase::new(2.0, 10.0), LoadPhase::new(f64::INFINITY, 1.0)]);
+        let here = LoadTimeline::constant(Slowdown::new(3.0));
+        let there = LoadTimeline::new(vec![
+            LoadPhase::new(secs(2.0), Slowdown::new(10.0)),
+            LoadPhase::new(Seconds::INFINITY, Slowdown::ONE),
+        ]);
         let d = decide(&task, &here, &there);
         // Migrate: 3 + 6 = 9 (the loaded phase ends before arrival);
         // stay: 60.
@@ -122,7 +126,7 @@ mod tests {
     fn asymmetric_remaining_work_matters() {
         // The remote algorithm is far slower on the remaining piece.
         let task = InFlightTask { remaining_here: 5.0, remaining_there: 40.0, migration_cost: 0.5 };
-        let here = LoadTimeline::constant(4.0);
+        let here = LoadTimeline::constant(Slowdown::new(4.0));
         let there = LoadTimeline::dedicated();
         assert!(matches!(decide(&task, &here, &there), MigrationDecision::Stay { .. }));
     }

@@ -1,0 +1,596 @@
+//! Repo-specific static analysis for the contention-model workspace.
+//!
+//! `modelcheck` is a standalone, no-network lint pass that token-scans
+//! every workspace `.rs` file (`vendor/` excluded) and enforces rules the
+//! compiler cannot express but the model's correctness depends on:
+//!
+//! | rule | scope | what it rejects |
+//! |------|-------|-----------------|
+//! | `no-panic` | `core`, `calibration`, `hetsched` `src/` | `.unwrap()`, `.expect(`, `panic!` — model code must carry invariants, not abort paths (`assert!`/`unreachable!` are fine) |
+//! | `naked-f64` | `core/src/` outside `units.rs` | `f64`/`f32` in a `pub fn` signature — public model APIs speak [`Seconds`]-style newtypes, not bare floats |
+//! | `lossy-cast` | `core`, `calibration`, `hetsched` `src/` | `as f64` / `as f32` and visibly-float → integer `as` casts — use the checked `f64_from_u64` funnel |
+//! | `no-todo-dbg` | everywhere scanned | `todo!` / `dbg!` — placeholders and debug prints must not ship |
+//! | `missing-docs` | `core`, `calibration` `src/` | a public item with no `///` doc comment |
+//!
+//! A diagnostic on line *n* is suppressed by `// modelcheck-allow: <rule>`
+//! on line *n* or line *n−1*; the comment is expected to say *why* the
+//! exception is sound. Code under `#[cfg(test)]` is exempt from every
+//! rule except `no-todo-dbg`.
+//!
+//! The pass is a *token scanner*, not a parser: it strips `//` comments,
+//! tracks `#[cfg(test)]` blocks by brace counting, and accumulates
+//! multi-line `pub fn` signatures until the opening `{` or a `;`. That
+//! keeps it dependency-free and fast (the whole workspace scans in
+//! milliseconds) at the cost of not seeing through macros — acceptable
+//! for a repo-local style gate backed by human-reviewed allows.
+//!
+//! [`Seconds`]: ../contention_model/units/struct.Seconds.html
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The rules enforced by the pass. Names are what `modelcheck-allow`
+/// comments reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` / `panic!` in model-crate sources.
+    NoPanic,
+    /// Bare `f64`/`f32` in a `pub fn` signature of `core`.
+    NakedF64,
+    /// Lossy `as` casts between integer and float types.
+    LossyCast,
+    /// `todo!` / `dbg!` anywhere.
+    NoTodoDbg,
+    /// Undocumented public item in `core`/`calibration`.
+    MissingDocs,
+}
+
+impl Rule {
+    /// The rule's name as written in `modelcheck-allow` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "no-panic",
+            Rule::NakedF64 => "naked-f64",
+            Rule::LossyCast => "lossy-cast",
+            Rule::NoTodoDbg => "no-todo-dbg",
+            Rule::MissingDocs => "missing-docs",
+        }
+    }
+}
+
+/// One finding: a rule violated at a `file:line`.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.name(), self.message)
+    }
+}
+
+impl Diagnostic {
+    /// The finding as one JSON object (hand-rolled: the pass must work
+    /// with no dependencies at all).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            escape_json(&self.file),
+            self.line,
+            self.rule.name(),
+            escape_json(&self.message)
+        )
+    }
+}
+
+/// Renders a full diagnostic list as a JSON array.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Which rules apply to a given workspace-relative file path.
+#[derive(Debug, Clone, Copy)]
+pub struct FileScope {
+    /// `no-panic` applies (model-crate `src/`).
+    pub no_panic: bool,
+    /// `naked-f64` applies (`core/src/` outside `units.rs`).
+    pub naked_f64: bool,
+    /// `lossy-cast` applies (model-crate `src/`).
+    pub lossy_cast: bool,
+    /// `missing-docs` applies (`core`/`calibration` `src/`).
+    pub missing_docs: bool,
+}
+
+impl FileScope {
+    /// Derives the scope from a workspace-relative path.
+    pub fn classify(rel: &str) -> FileScope {
+        let p = rel.replace('\\', "/");
+        let in_src = |krate: &str| p.starts_with(&format!("crates/{krate}/src/"));
+        let model = in_src("core") || in_src("calibration") || in_src("hetsched");
+        FileScope {
+            no_panic: model,
+            naked_f64: in_src("core") && !p.ends_with("/units.rs"),
+            lossy_cast: model,
+            missing_docs: in_src("core") || in_src("calibration"),
+        }
+    }
+}
+
+/// True when `needle` occurs in `hay` with non-identifier characters (or
+/// the string boundary) on both sides — so `f64` does not match inside
+/// `f64_from_u64`.
+fn contains_token(hay: &str, needle: &str) -> bool {
+    find_token(hay, needle).is_some()
+}
+
+fn find_token(hay: &str, needle: &str) -> Option<usize> {
+    token_positions(hay, needle).first().copied()
+}
+
+/// Every token-boundary occurrence of `needle` in `hay`.
+fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let ok_before = start == 0 || !is_ident(bytes[start - 1]);
+        let ok_after = end >= bytes.len() || !is_ident(bytes[end]);
+        if ok_before && ok_after {
+            found.push(start);
+        }
+        from = start + 1;
+    }
+    found
+}
+
+/// The code part of a line: everything before the first `//` (which also
+/// drops doc comments, so prose mentioning `panic!` is never flagged).
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Per-line allow annotations: `allows[i]` is the rule name granted on
+/// line `i` (0-based), if any.
+fn collect_allows(lines: &[&str]) -> Vec<Option<String>> {
+    lines
+        .iter()
+        .map(|line| {
+            let marker = "modelcheck-allow:";
+            let at = line.find(marker)?;
+            let rest = line[at + marker.len()..].trim_start();
+            let name: String =
+                rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').collect();
+            if name.is_empty() {
+                None
+            } else {
+                Some(name)
+            }
+        })
+        .collect()
+}
+
+/// True when line `i` (0-based) carries an allow for `rule`, either on
+/// the line itself or on the line above.
+fn allowed(allows: &[Option<String>], i: usize, rule: Rule) -> bool {
+    let hit = |j: usize| allows[j].as_deref() == Some(rule.name());
+    hit(i) || (i > 0 && hit(i - 1))
+}
+
+/// Marks every line inside a `#[cfg(test)]`-gated item by brace counting
+/// from the attribute to the close of the block it opens.
+fn cfg_test_mask(lines: &[&str]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for c in code_part(lines[j]).chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// A `pub fn` signature accumulated from its first line to the opening
+/// `{` or terminating `;` (whichever comes first).
+fn signature_text(lines: &[&str], start: usize) -> String {
+    let mut sig = String::new();
+    for line in lines.iter().skip(start) {
+        let code = code_part(line);
+        if let Some(stop) = code.find(['{', ';']) {
+            sig.push_str(&code[..stop]);
+            break;
+        }
+        sig.push_str(code);
+        sig.push(' ');
+    }
+    sig
+}
+
+const PUB_ITEM_KEYWORDS: [&str; 9] =
+    ["fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union"];
+
+/// The item keyword of a public item declaration, if the trimmed code
+/// line starts one (`pub fn`, `pub struct`, … — but not `pub use` or
+/// `pub(crate)`, which `missing_docs` also skips).
+fn pub_item_keyword(trimmed: &str) -> Option<&'static str> {
+    let rest = trimmed.strip_prefix("pub ")?;
+    let rest = rest.trim_start();
+    // `pub async fn`, `pub unsafe fn`, `pub const fn` and stacks thereof.
+    let rest = ["async ", "unsafe ", "const ", "extern \"C\" "]
+        .iter()
+        .fold(rest, |r, q| r.strip_prefix(q).unwrap_or(r).trim_start());
+    PUB_ITEM_KEYWORDS
+        .iter()
+        .find(|kw| rest.strip_prefix(*kw).is_some_and(|after| after.starts_with([' ', '<', '('])))
+        .copied()
+}
+
+/// True when the item declared on line `i` has a doc comment (or
+/// `#[doc…]` attribute) directly above it, attributes skipped.
+fn has_doc_above(lines: &[&str], i: usize) -> bool {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = lines[j].trim_start();
+        if t.starts_with("#[doc") || t.starts_with("///") || t.starts_with("//!") {
+            return true;
+        }
+        if t.starts_with("#[") || t.starts_with("#!") || t.starts_with("//") {
+            continue; // attributes and plain comments are trivia to rustdoc
+        }
+        return false;
+    }
+    false
+}
+
+/// Heuristic: the expression token just before an ` as ` cast is visibly
+/// floating-point (a literal like `1.5`, or a `.floor()`-family call).
+fn float_evidence_before(code: &str, as_pos: usize) -> bool {
+    let before = code[..as_pos].trim_end();
+    for suffix in [".floor()", ".ceil()", ".round()", ".trunc()"] {
+        if before.ends_with(suffix) {
+            return true;
+        }
+    }
+    let token_start = before
+        .rfind(|c: char| c.is_whitespace() || c == '(' || c == ',' || c == '=')
+        .map_or(0, |p| p + 1);
+    let token = &before[token_start..];
+    // A float literal: a '.' immediately followed by a digit.
+    token.as_bytes().windows(2).any(|w| w[0] == b'.' && w[1].is_ascii_digit())
+}
+
+const INT_CAST_TARGETS: [&str; 12] =
+    ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// Scans one file's text; `rel` is the workspace-relative path used both
+/// for scoping and in diagnostics.
+pub fn scan_file(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let scope = FileScope::classify(rel);
+    let lines: Vec<&str> = text.lines().collect();
+    let allows = collect_allows(&lines);
+    let test_mask = cfg_test_mask(&lines);
+    let mut diags = Vec::new();
+    let mut push = |line: usize, rule: Rule, message: String| {
+        diags.push(Diagnostic { file: rel.to_string(), line: line + 1, rule, message });
+    };
+
+    // The scanner must not trip over its own rule patterns when scanning
+    // this very file, hence the split literals.
+    let todo_pat = concat!("to", "do!");
+    let dbg_pat = concat!("d", "bg!");
+
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_part(raw);
+        if code.trim().is_empty() {
+            continue;
+        }
+
+        // no-todo-dbg: everywhere, including tests.
+        if !allowed(&allows, i, Rule::NoTodoDbg) {
+            for pat in [todo_pat, dbg_pat] {
+                if contains_token(code, pat) {
+                    push(i, Rule::NoTodoDbg, format!("`{pat}` must not ship"));
+                }
+            }
+        }
+
+        if test_mask[i] {
+            continue;
+        }
+
+        if scope.no_panic && !allowed(&allows, i, Rule::NoPanic) {
+            if code.contains(".unwrap()") {
+                push(
+                    i,
+                    Rule::NoPanic,
+                    "`.unwrap()` in model code — return a Result or `.expect` with an \
+                     invariant message under an allow"
+                        .to_string(),
+                );
+            }
+            if code.contains(".expect(") {
+                push(
+                    i,
+                    Rule::NoPanic,
+                    "`.expect(` in model code — needs a `modelcheck-allow: no-panic` \
+                     stating the invariant"
+                        .to_string(),
+                );
+            }
+            if contains_token(code, "panic!") {
+                push(
+                    i,
+                    Rule::NoPanic,
+                    "`panic!` in model code — encode the invariant as an `assert!` or \
+                     return an error"
+                        .to_string(),
+                );
+            }
+        }
+
+        if scope.naked_f64
+            && pub_item_keyword(code.trim_start()) == Some("fn")
+            && !allowed(&allows, i, Rule::NakedF64)
+        {
+            let sig = signature_text(&lines, i);
+            for ty in ["f64", "f32"] {
+                if contains_token(&sig, ty) {
+                    push(
+                        i,
+                        Rule::NakedF64,
+                        format!(
+                            "bare `{ty}` in a public core signature — use the `units` \
+                             newtypes (Seconds, Prob, Slowdown, …)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if scope.lossy_cast && !allowed(&allows, i, Rule::LossyCast) {
+            let target_is = |after: &str, ty: &str| {
+                after.starts_with(ty)
+                    && !after[ty.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
+            };
+            for pos in token_positions(code, "as") {
+                let after = code[pos + 2..].trim_start();
+                if let Some(ty) = ["f64", "f32"].iter().find(|ty| target_is(after, ty)) {
+                    push(
+                        i,
+                        Rule::LossyCast,
+                        format!(
+                            "`as {ty}` cast — route through `units::f64_from_u64` \
+                             (exact below 2⁵³) or add an allow with the bound"
+                        ),
+                    );
+                } else if INT_CAST_TARGETS.iter().any(|ty| target_is(after, ty))
+                    && float_evidence_before(code, pos)
+                {
+                    push(
+                        i,
+                        Rule::LossyCast,
+                        "float → integer `as` cast truncates — justify with an allow".to_string(),
+                    );
+                }
+            }
+        }
+
+        // An out-of-line `pub mod name;` carries its docs as the `//!`
+        // header of the module file itself, which rustc accepts — so only
+        // inline modules are checked at the declaration site.
+        let out_of_line_mod = |kw| kw == "mod" && code.trim_end().ends_with(';');
+        if scope.missing_docs
+            && pub_item_keyword(code.trim_start()).is_some_and(|kw| !out_of_line_mod(kw))
+            && !allowed(&allows, i, Rule::MissingDocs)
+            && !has_doc_above(&lines, i)
+        {
+            push(i, Rule::MissingDocs, "public item without a doc comment".to_string());
+        }
+    }
+    diags
+}
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Scans every `.rs` file under `root` (skipping `vendor/`, `target/`,
+/// `.git/`, and `fixtures/`) and returns all diagnostics, ordered by
+/// path and line.
+pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut files = Vec::new();
+    walk(root, &mut files);
+    let mut diags = Vec::new();
+    for path in files {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let Ok(text) = fs::read_to_string(&path) else { continue };
+        diags.extend(scan_file(&rel, &text));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core_scan(body: &str) -> Vec<Diagnostic> {
+        scan_file("crates/core/src/sample.rs", body)
+    }
+
+    #[test]
+    fn unwrap_flagged_in_model_src_only() {
+        let body = "fn f() { x.unwrap(); }\n";
+        assert_eq!(core_scan(body).len(), 1);
+        assert_eq!(core_scan(body)[0].rule, Rule::NoPanic);
+        assert!(scan_file("crates/experiments/src/sample.rs", body).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(core_scan("fn f() { x.unwrap_or(0.0); }\n").is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_or_previous_line_suppresses() {
+        let same = "fn f() { x.unwrap(); } // modelcheck-allow: no-panic — invariant\n";
+        assert!(core_scan(same).is_empty());
+        let above = "// modelcheck-allow: no-panic — invariant\nfn f() { x.unwrap(); }\n";
+        assert!(core_scan(above).is_empty());
+        let wrong_rule = "// modelcheck-allow: lossy-cast\nfn f() { x.unwrap(); }\n";
+        assert_eq!(core_scan(wrong_rule).len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt_from_panics() {
+        let body = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(core_scan(body).is_empty());
+    }
+
+    #[test]
+    fn naked_f64_spans_multiline_signatures() {
+        let body = "pub fn f(\n    a: Seconds,\n    b: f64,\n) -> Words {\n    todo\n}\n";
+        let d = core_scan(body);
+        assert_eq!(d.len(), 2, "{d:?}"); // naked-f64 + missing-docs
+        assert!(d.iter().any(|d| d.rule == Rule::NakedF64 && d.line == 1));
+    }
+
+    #[test]
+    fn units_module_is_exempt_from_naked_f64() {
+        let body = "/// Doc.\npub fn get(&self) -> f64 { self.0 }\n";
+        assert!(scan_file("crates/core/src/units.rs", body).is_empty());
+    }
+
+    #[test]
+    fn f64_token_does_not_match_inside_identifiers() {
+        let body = "/// Doc.\npub fn f(n: u64) -> Words { f64_from_u64(n); Words::new(n) }\n";
+        assert!(core_scan(body).is_empty());
+    }
+
+    #[test]
+    fn lossy_casts_need_an_allow() {
+        assert_eq!(core_scan("fn f(n: u64) { let x = n as f64; }\n").len(), 1);
+        assert!(core_scan(
+            "fn f(n: u64) { let x = n as f64; } // modelcheck-allow: lossy-cast — bounded\n"
+        )
+        .is_empty());
+        // Visible float → int truncation.
+        assert_eq!(core_scan("fn f(x: f64) { let n = x.floor() as u64; }\n").len(), 1);
+        assert_eq!(core_scan("fn f() { let n = 1.5 as u64; }\n").len(), 1);
+        // Int → int is not modelcheck's business.
+        assert!(core_scan("fn f(n: u64) { let x = n as usize; }\n").is_empty());
+    }
+
+    #[test]
+    fn todo_and_dbg_flagged_even_in_tests() {
+        let pat = concat!("to", "do!()");
+        let body = format!("#[cfg(test)]\nmod tests {{\n    fn f() {{ {pat}; }}\n}}\n");
+        let d = scan_file("crates/experiments/src/sample.rs", &body);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::NoTodoDbg);
+    }
+
+    #[test]
+    fn missing_docs_sees_through_attributes() {
+        let documented = "/// Doc.\n#[derive(Debug)]\npub struct S;\n";
+        assert!(core_scan(documented).is_empty());
+        let bare = "#[derive(Debug)]\npub struct S;\n";
+        assert_eq!(core_scan(bare).len(), 1);
+        assert_eq!(core_scan(bare)[0].rule, Rule::MissingDocs);
+        // `pub use` re-exports and restricted visibility are skipped.
+        assert!(core_scan("pub use crate::units::Seconds;\n").is_empty());
+        assert!(core_scan("pub(crate) fn helper() {}\n").is_empty());
+    }
+
+    #[test]
+    fn prose_in_comments_is_never_flagged() {
+        let body = "/// Calling `.unwrap()` here would be wrong; `panic!` too.\n\
+                    pub fn f() {}\n";
+        assert!(core_scan(body).is_empty());
+    }
+
+    #[test]
+    fn json_output_escapes_quotes() {
+        let d = Diagnostic {
+            file: "a.rs".into(),
+            line: 3,
+            rule: Rule::NoPanic,
+            message: "say \"no\"".into(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"file\":\"a.rs\",\"line\":3,\"rule\":\"no-panic\",\"message\":\"say \\\"no\\\"\"}"
+        );
+        assert_eq!(to_json(&[]), "[]");
+    }
+}

@@ -1,0 +1,57 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p modelcheck            # human-readable file:line diagnostics
+//! cargo run -p modelcheck -- --json  # machine-readable JSON array
+//! cargo run -p modelcheck -- <root>  # scan a different tree (used by tests)
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage
+//! errors — so CI can gate on it directly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: modelcheck [--json] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => {
+                eprintln!("modelcheck: unrecognized argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `cargo run -p modelcheck` sets the manifest dir to crates/modelcheck;
+    // the workspace root is two levels up.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+    let diags = modelcheck::scan_workspace(&root);
+    if json {
+        println!("{}", modelcheck::to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        eprintln!(
+            "modelcheck: {} diagnostic{} in {}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            root.display()
+        );
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end tests: the library scan over a seeded fixture tree, and
+//! the `modelcheck` binary's exit codes on both the fixture tree and the
+//! real workspace (the shipped tree must be clean — that is the
+//! acceptance bar for the pass).
+
+use modelcheck::{scan_workspace, Rule};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/ws"))
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn seeded_violations_are_all_found() {
+    let diags = scan_workspace(fixture_root());
+    let count = |rule: Rule| diags.iter().filter(|d| d.rule == rule).count();
+    assert_eq!(count(Rule::NakedF64), 1, "{diags:?}");
+    assert_eq!(count(Rule::MissingDocs), 1, "{diags:?}");
+    assert_eq!(count(Rule::NoPanic), 1, "{diags:?}");
+    assert_eq!(count(Rule::LossyCast), 1, "{diags:?}");
+    assert_eq!(count(Rule::NoTodoDbg), 1, "{diags:?}");
+    // Nothing beyond the seeded five: the two allow comments held.
+    assert_eq!(diags.len(), 5, "{diags:?}");
+    // The undocumented naked signature is reported where it starts.
+    let naked = diags.iter().find(|d| d.rule == Rule::NakedF64).unwrap();
+    assert_eq!(naked.file, "crates/core/src/bad.rs");
+    assert_eq!(naked.line, 3);
+}
+
+#[test]
+fn binary_exits_nonzero_on_seeded_tree() {
+    let status = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .arg(fixture_root())
+        .status()
+        .expect("spawn modelcheck");
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn binary_is_clean_on_the_shipped_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .arg(repo_root())
+        .output()
+        .expect("spawn modelcheck");
+    assert!(
+        out.status.success(),
+        "shipped tree has diagnostics:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .arg("--json")
+        .arg(fixture_root())
+        .output()
+        .expect("spawn modelcheck");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let body = stdout.trim();
+    assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+    for rule in ["no-panic", "naked-f64", "lossy-cast", "no-todo-dbg", "missing-docs"] {
+        assert!(body.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in {body}");
+    }
+}

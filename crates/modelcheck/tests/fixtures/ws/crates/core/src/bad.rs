@@ -1,0 +1,26 @@
+// Seeded violations; this tree is only ever scanned by the modelcheck tests.
+
+pub fn naked(x: f64) -> f64 {
+    x
+}
+
+/// Documented, but unwraps.
+pub fn panics(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+/// Documented; the allow above the signature covers only the rule it names.
+// modelcheck-allow: naked-f64 — fixture: the cast below is the target here
+pub fn lossy(n: u64) -> f64 {
+    n as f64
+}
+
+/// The escape hatch suppresses the named rule on the annotated line.
+pub fn allowed(n: u64) -> u64 {
+    let _x = n as f64; // modelcheck-allow: lossy-cast — fixture
+    n
+}
+
+fn unfinished() {
+    todo!()
+}

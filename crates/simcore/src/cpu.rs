@@ -328,7 +328,7 @@ mod tests {
                 cpu.arrive(SimTime::ZERO, JobId(100 + i), SimDuration::from_secs(1000));
             }
             cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(1));
-            let (t, gen) = cpu.next_event().unwrap();
+            let (t, gen) = cpu.next_event().expect("a job is pending");
             let done = cpu.on_event(t, gen);
             assert_eq!(done, vec![JobId(1)]);
             let expect = (p + 1) as f64;
@@ -348,8 +348,8 @@ mod tests {
         let done = drain(&mut cpu);
         // job2 (1s demand) at rate 1/2 finishes at t=4; job1's last 2s run
         // 2s shared (1s progress) + 1s alone => t=5.
-        let t2 = done.iter().find(|(id, _)| *id == JobId(2)).unwrap().1;
-        let t1 = done.iter().find(|(id, _)| *id == JobId(1)).unwrap().1;
+        let t2 = done.iter().find(|(id, _)| *id == JobId(2)).expect("job 2 completed").1;
+        let t1 = done.iter().find(|(id, _)| *id == JobId(1)).expect("job 1 completed").1;
         assert!((t2.as_secs_f64() - 4.0).abs() < 1e-6, "job2 at {t2}");
         assert!((t1.as_secs_f64() - 5.0).abs() < 1e-6, "job1 at {t1}");
     }
@@ -359,7 +359,9 @@ mod tests {
         let mut cpu = PsCpu::new();
         cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(4));
         cpu.arrive(SimTime::ZERO, JobId(2), SimDuration::from_secs(4));
-        let rem = cpu.cancel(SimTime::ZERO + SimDuration::from_secs(2), JobId(1)).unwrap();
+        let rem = cpu
+            .cancel(SimTime::ZERO + SimDuration::from_secs(2), JobId(1))
+            .expect("job 1 still running");
         // Ran 2s at rate 1/2 = 1s progress; 3s left.
         assert!((rem.as_secs_f64() - 3.0).abs() < 1e-6);
         assert_eq!(cpu.active(), 1);
@@ -370,7 +372,7 @@ mod tests {
     fn ps_stale_generation_ignored() {
         let mut cpu = PsCpu::new();
         cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_secs(2));
-        let (t, gen) = cpu.next_event().unwrap();
+        let (t, gen) = cpu.next_event().expect("a job is pending");
         cpu.arrive(SimTime::ZERO + SimDuration::from_secs(1), JobId(2), SimDuration::from_secs(2));
         // The old event is now stale and must be ignored.
         assert!(cpu.on_event(t, gen).is_empty());
@@ -392,10 +394,10 @@ mod tests {
         cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_millis(100));
         cpu.arrive(SimTime::ZERO, JobId(2), SimDuration::from_millis(100));
         let done = drain(&mut cpu);
-        let t_last = done.iter().map(|&(_, t)| t).max().unwrap();
+        let t_last = done.iter().map(|&(_, t)| t).max().expect("completions recorded");
         assert_eq!(t_last, SimTime::ZERO + SimDuration::from_millis(200));
         // First finisher completes within one quantum of the other.
-        let t_first = done.iter().map(|&(_, t)| t).min().unwrap();
+        let t_first = done.iter().map(|&(_, t)| t).min().expect("completions recorded");
         assert!(t_last - t_first <= q);
     }
 
@@ -407,7 +409,7 @@ mod tests {
         cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_millis(100));
         cpu.arrive(SimTime::ZERO, JobId(2), SimDuration::from_millis(100));
         let done = drain(&mut cpu);
-        let t_last = done.iter().map(|&(_, t)| t).max().unwrap();
+        let t_last = done.iter().map(|&(_, t)| t).max().expect("completions recorded");
         // 20 slices, each a switch between different jobs: +20 * 0.1ms.
         assert_eq!(t_last, SimTime::ZERO + SimDuration::from_millis(202));
     }
@@ -428,7 +430,9 @@ mod tests {
         let mut cpu = RrCpu::new(SimDuration::from_millis(10), SimDuration::ZERO);
         cpu.arrive(SimTime::ZERO, JobId(1), SimDuration::from_millis(100));
         // Cancel 4ms into the first slice.
-        let rem = cpu.cancel(SimTime::ZERO + SimDuration::from_millis(4), JobId(1)).unwrap();
+        let rem = cpu
+            .cancel(SimTime::ZERO + SimDuration::from_millis(4), JobId(1))
+            .expect("job 1 still running");
         assert_eq!(rem, SimDuration::from_millis(96));
         assert_eq!(cpu.active(), 0);
         assert!(cpu.next_event().is_none());
@@ -442,7 +446,7 @@ mod tests {
             cpu.arrive(SimTime::ZERO, JobId(i), SimDuration::from_secs(1));
         }
         let done = drain(&mut cpu);
-        let t_last = done.iter().map(|&(_, t)| t).max().unwrap();
+        let t_last = done.iter().map(|&(_, t)| t).max().expect("completions recorded");
         assert!((t_last.as_secs_f64() - 4.0).abs() < 0.05, "makespan {t_last}");
     }
 }

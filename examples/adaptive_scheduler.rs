@@ -46,7 +46,7 @@ fn main() {
     let mut j_words = 1;
     report(&wf, &mix, &comm_delays, &comp_delays, j_words, "machine idle");
     for (what, frac, words) in events {
-        mix.add(frac); // O(p) incremental update
+        mix.add(prob(frac)); // O(p) incremental update
         j_words = j_words.max(words); // paper: j = max message size in use
         report(&wf, &mix, &comm_delays, &comp_delays, j_words, what);
     }

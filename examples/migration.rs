@@ -23,8 +23,8 @@ fn main() {
     let remaining_local = 30.0; // dedicated seconds left here
     let remaining_remote = 9.0; // the back-end algorithm is faster
                                 // Migration ships a 2 M-word state over the link.
-    let link = LinearCommModel::new(1.6e-3, 79_000.0);
-    let migration_cost = link.dcomm(&[DataSet::burst(2_000, 1_000)]);
+    let link = LinearCommModel::new(secs(1.6e-3), BytesPerSec::from_words_per_sec(79_000.0));
+    let migration_cost = link.dcomm(&[DataSet::burst(2_000, 1_000)]).get();
 
     println!("remaining work: {remaining_local:.0}s local / {remaining_remote:.0}s remote");
     println!("migration cost: {migration_cost:.1}s\n");
@@ -35,12 +35,12 @@ fn main() {
 
     let scenarios: Vec<(&str, LoadTimeline)> = vec![
         ("no contention", LoadTimeline::dedicated()),
-        ("3 hogs, indefinitely", cm2_timeline(&[(f64::INFINITY, 3)])),
-        ("3 hogs for 10s, then idle", cm2_timeline(&[(10.0, 3), (f64::INFINITY, 0)])),
-        ("3 hogs for 60s, then idle", cm2_timeline(&[(60.0, 3), (f64::INFINITY, 0)])),
+        ("3 hogs, indefinitely", cm2_timeline(&[(Seconds::INFINITY, 3)])),
+        ("3 hogs for 10s, then idle", cm2_timeline(&[(secs(10.0), 3), (Seconds::INFINITY, 0)])),
+        ("3 hogs for 60s, then idle", cm2_timeline(&[(secs(60.0), 3), (Seconds::INFINITY, 0)])),
         (
             "load ramps: 1 hog 10s, 3 hogs 20s, idle",
-            cm2_timeline(&[(10.0, 1), (20.0, 3), (f64::INFINITY, 0)]),
+            cm2_timeline(&[(secs(10.0), 1), (secs(20.0), 3), (Seconds::INFINITY, 0)]),
         ),
     ];
 
@@ -51,9 +51,9 @@ fn main() {
             remaining_there: remaining_remote,
             migration_cost,
         };
-        let stay = here.completion_time(task.remaining_here, 0.0);
-        let mig =
-            task.migration_cost + remote.completion_time(task.remaining_there, task.migration_cost);
+        let stay = here.completion_time(secs(task.remaining_here), Seconds::ZERO).get();
+        let mig = task.migration_cost
+            + remote.completion_time(secs(task.remaining_there), secs(task.migration_cost)).get();
         let d = decide(&task, &here, &remote);
         let verdict = match d {
             MigrationDecision::Stay { .. } => "stay",

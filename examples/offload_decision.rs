@@ -30,8 +30,8 @@ fn main() {
     println!(
         "calibrated: α = {:.1} µs, β_sun = {:.0} w/s, β_cm2 = {:.0} w/s\n",
         predictor.comm_to.alpha * 1e6,
-        predictor.comm_to.beta,
-        predictor.comm_from.beta
+        predictor.comm_to.beta.words_per_sec(),
+        predictor.comm_from.beta.words_per_sec()
     );
 
     let rates = MachineRates::default();
@@ -54,10 +54,10 @@ fn main() {
             let didle = (t_ded - dcomp_cm2).max(0.0).min(dserial);
             let task = Cm2Task {
                 costs: Cm2TaskCosts::new(
-                    rates.gauss_sun_demand(m).as_secs_f64(),
-                    dcomp_cm2,
-                    didle,
-                    dserial,
+                    secs(rates.gauss_sun_demand(m).as_secs_f64()),
+                    secs(dcomp_cm2),
+                    secs(didle),
+                    secs(dserial),
                 ),
                 to_backend: vec![DataSet::matrix_rows(m, m + 1)],
                 from_backend: vec![DataSet::single(m)],
@@ -65,8 +65,8 @@ fn main() {
 
             // 3. Predict and decide.
             let d = predictor.decide(&task, p);
-            let pred_local = d.t_front;
-            let pred_off = d.t_back + d.c_to + d.c_from;
+            let pred_local = d.t_front.get();
+            let pred_off = (d.t_back + d.c_to + d.c_from).get();
 
             // 4. Validate: simulate both placements under p hogs.
             let sim_local =

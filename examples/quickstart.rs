@@ -9,19 +9,22 @@
 
 use hetero_contention::prelude::*;
 
+/// A linear model from `(alpha seconds, beta words/sec)`.
+fn linear(alpha: f64, beta_words_per_sec: f64) -> LinearCommModel {
+    LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_words_per_sec))
+}
+
 fn main() {
     // -- Sun/CM2 ---------------------------------------------------------
     // Dedicated transfer models (α in seconds, β in words/second) — in a
     // real deployment these come from `calibration::calibrate_cm2`.
-    let cm2 = Cm2Predictor {
-        comm_to: LinearCommModel::new(500e-6, 500_000.0),
-        comm_from: LinearCommModel::new(800e-6, 250_000.0),
-    };
+    let cm2 =
+        Cm2Predictor { comm_to: linear(500e-6, 500_000.0), comm_from: linear(800e-6, 250_000.0) };
 
     // A task: 30 s on the workstation, or 4 s of CM2 pipeline plus a
     // 0.5 s serial stream, moving a 600×600 matrix each way.
     let task = Cm2Task {
-        costs: Cm2TaskCosts::new(30.0, 3.8, 0.2, 0.5),
+        costs: Cm2TaskCosts::new(secs(30.0), secs(3.8), secs(0.2), secs(0.5)),
         to_backend: vec![DataSet::matrix_rows(600, 600)],
         from_backend: vec![DataSet::matrix_rows(600, 600)],
     };
@@ -40,15 +43,11 @@ fn main() {
     // Piecewise dedicated models plus measured delay tables (here made up;
     // `calibration::calibrate_paragon` produces real ones).
     let paragon = ParagonPredictor {
-        comm_to: PiecewiseCommModel::new(
-            1024,
-            LinearCommModel::new(1.6e-3, 79_000.0),
-            LinearCommModel::new(5.6e-3, 104_000.0),
-        ),
+        comm_to: PiecewiseCommModel::new(1024, linear(1.6e-3, 79_000.0), linear(5.6e-3, 104_000.0)),
         comm_from: PiecewiseCommModel::new(
             1024,
-            LinearCommModel::new(1.5e-3, 149_000.0),
-            LinearCommModel::new(1.0e-3, 83_000.0),
+            linear(1.5e-3, 149_000.0),
+            linear(1.0e-3, 83_000.0),
         ),
         comm_delays: CommDelayTable::new(vec![0.27, 0.61, 1.02], vec![0.19, 0.49, 0.81]),
         comp_delays: CompDelayTable::new(
@@ -64,8 +63,8 @@ fn main() {
     let j_words = 200;
 
     let task = ParagonTask {
-        dcomp_sun: 12.0,
-        t_paragon: 1.5,
+        dcomp_sun: secs(12.0),
+        t_paragon: secs(1.5),
         to_backend: vec![DataSet::burst(1000, 512)],
         from_backend: vec![DataSet::burst(1000, 512)],
     };
@@ -79,7 +78,7 @@ fn main() {
     );
 
     // A third, communication-heavy job arrives: update in O(p) and re-rank.
-    mix.add(0.9);
+    mix.add(prob(0.9));
     let d = paragon.decide(&task, &mix, j_words);
     println!("After a 90%-communication job arrives (p = {}):", mix.p());
     println!(

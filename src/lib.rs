@@ -46,6 +46,6 @@ mod tests {
         let mix = WorkloadMix::from_fracs(&[0.25, 0.76]);
         assert_eq!(mix.p(), 2);
         let _cfg = PlatformConfig::sun_cm2();
-        assert_eq!(cm2_slowdown(3), 4.0);
+        assert_eq!(cm2_slowdown(3).get(), 4.0);
     }
 }

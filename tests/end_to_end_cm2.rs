@@ -31,7 +31,7 @@ fn calibrated_transfer_predictions_track_simulation() {
     for m in [150u64, 400] {
         for p in [0u32, 2, 4] {
             let sets = [DataSet::matrix_rows(m, m)];
-            let modeled = pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p);
+            let modeled = (pred.comm_cost_to(&sets, p) + pred.comm_cost_from(&sets, p)).get();
             let actual = simulate(cfg, 11 ^ m, cm2_matrix_transfer_app("probe", m), p);
             let err = (modeled - actual).abs() / actual;
             assert!(
@@ -54,10 +54,14 @@ fn gauss_offload_prediction_tracks_simulation() {
         let dcomp = program.parallel_total().as_secs_f64();
         let t_ded = simulate(cfg, 5, cm2_program_app("ge", program.clone()), 0);
         let didle = (t_ded - dcomp).max(0.0).min(dserial);
-        let costs =
-            Cm2TaskCosts::new(rates.gauss_sun_demand(m).as_secs_f64(), dcomp, didle, dserial);
+        let costs = Cm2TaskCosts::new(
+            secs(rates.gauss_sun_demand(m).as_secs_f64()),
+            secs(dcomp),
+            secs(didle),
+            secs(dserial),
+        );
         for p in [1u32, 3] {
-            let predicted = costs.t_cm2(p);
+            let predicted = costs.t_cm2(p).get();
             let actual = simulate(cfg, 5 ^ m ^ p as u64, cm2_program_app("ge", program.clone()), p);
             let err = (predicted - actual).abs() / actual;
             assert!(err < 0.15, "M={m} p={p}: predicted {predicted:.3} vs actual {actual:.3}");
@@ -81,10 +85,10 @@ fn placement_decision_agrees_with_simulated_ground_truth() {
             let didle = (t_ded - dcomp).max(0.0).min(dserial);
             let task = Cm2Task {
                 costs: Cm2TaskCosts::new(
-                    rates.gauss_sun_demand(m).as_secs_f64(),
-                    dcomp,
-                    didle,
-                    dserial,
+                    secs(rates.gauss_sun_demand(m).as_secs_f64()),
+                    secs(dcomp),
+                    secs(didle),
+                    secs(dserial),
                 ),
                 to_backend: vec![DataSet::matrix_rows(m, m + 1)],
                 from_backend: vec![DataSet::single(m)],

@@ -44,7 +44,7 @@ fn dedicated_piecewise_model_is_accurate() {
     let mix = WorkloadMix::new();
     for words in [100u64, 900, 3000] {
         let sets = [DataSet::burst(100, words)];
-        let modeled = pred.comm_cost_to(&sets, &mix);
+        let modeled = pred.comm_cost_to(&sets, &mix).get();
         let (plat, id) = run_probe_with_gens(
             cfg,
             burst_app("probe", 100, words, Direction::ToParagon),
@@ -70,7 +70,7 @@ fn contended_communication_within_the_papers_stress_band() {
     };
     for words in [100u64, 400] {
         let sets = [DataSet::burst(200, words)];
-        let modeled = pred.comm_cost_to(&sets, &mix);
+        let modeled = pred.comm_cost_to(&sets, &mix).get();
         let (plat, id) = run_probe_with_gens(
             cfg,
             burst_app("probe", 200, words, Direction::ToParagon),
@@ -86,7 +86,7 @@ fn contended_communication_within_the_papers_stress_band() {
             err * 100.0
         );
         // Contention must actually bite (sanity that the scenario works).
-        let dedicated = pred.comm_to.dcomm(&sets);
+        let dedicated = pred.comm_to.dcomm(&sets).get();
         assert!(actual > dedicated * 1.1, "{words} words: no visible contention");
     }
 }
@@ -101,13 +101,13 @@ fn contended_computation_with_size_aware_j_is_accurate() {
         CommGenerator::new("b", 0.5, 500, GenDirection::Alternate, &cfg),
     ];
     let demand = SimDuration::from_secs(4);
-    let modeled = pred.t_sun(demand.as_secs_f64(), &mix, 500);
+    let modeled = pred.t_sun(secs(demand.as_secs_f64()), &mix, 500).get();
     let (plat, id) = run_probe_with_gens(cfg, sun_task_app("probe", demand), gens, 41);
     let actual = plat.elapsed(id).expect("finished").as_secs_f64();
     let err = (modeled - actual).abs() / actual;
     assert!(err < 0.20, "modeled {modeled:.3} actual {actual:.3} ({:.0}%)", err * 100.0);
     // And the undersized j = 1 must be clearly worse (the paper's point).
-    let modeled_j1 = pred.t_sun(demand.as_secs_f64(), &mix, 1);
+    let modeled_j1 = pred.t_sun(secs(demand.as_secs_f64()), &mix, 1).get();
     let err_j1 = (modeled_j1 - actual).abs() / actual;
     assert!(err_j1 > err, "j=1 ({err_j1:.3}) should be worse than j=500 ({err:.3})");
 }
@@ -124,7 +124,8 @@ fn two_hops_path_calibrates_and_predicts() {
         to.dcomm(&sets),
         &mix,
         &CommDelayTable::new(vec![], vec![]),
-    );
+    )
+    .get();
     let (plat, id) =
         run_probe_with_gens(cfg, burst_app("probe", 50, 700, Direction::ToParagon), Vec::new(), 51);
     let actual = plat.phase_time(id, PhaseKind::Send).as_secs_f64();
@@ -144,9 +145,9 @@ fn slowdown_recomputation_is_fast_enough_for_scheduling() {
     let mut acc = 0.0;
     for i in 0..10_000 {
         let mut mix = WorkloadMix::from_fracs(&[0.1, 0.3, 0.5, 0.7, 0.2, 0.4, 0.6]);
-        mix.add((i % 100) as f64 / 100.0);
-        acc += paragon_comm_slowdown(&mix, &pred_delays);
-        acc += paragon_comp_slowdown(&mix, &comp, 500);
+        mix.add(prob((i % 100) as f64 / 100.0));
+        acc += paragon_comm_slowdown(&mix, &pred_delays).get();
+        acc += paragon_comp_slowdown(&mix, &comp, 500).get();
     }
     assert!(acc > 0.0);
     assert!(

@@ -24,8 +24,8 @@ fn phased_prediction_matches_simulation_with_timed_hogs() {
     let probe = plat.spawn(Box::new(sun_task_app("probe", SimDuration::from_secs(6))));
     let actual = plat.run_until_done(probe).expect("stalled").as_secs_f64();
 
-    let timeline = cm2_timeline(&[(2.0, 0), (6.0, 2), (f64::INFINITY, 0)]);
-    let predicted = timeline.completion_time(6.0, 0.0);
+    let timeline = cm2_timeline(&[(secs(2.0), 0), (secs(6.0), 2), (Seconds::INFINITY, 0)]);
+    let predicted = timeline.completion_time(secs(6.0), Seconds::ZERO).get();
     let err = (predicted - actual).abs() / actual;
     assert!(err < 0.05, "predicted {predicted:.2} vs actual {actual:.2}");
 }
@@ -35,11 +35,11 @@ fn memory_pressure_changes_the_placement_decision() {
     // A task that would normally stay local gets pushed to the back-end
     // once the front-end's memory is overcommitted.
     let pred = Cm2Predictor {
-        comm_to: LinearCommModel::new(1e-3, 500_000.0),
-        comm_from: LinearCommModel::new(1e-3, 250_000.0),
+        comm_to: LinearCommModel::new(secs(1e-3), BytesPerSec::from_words_per_sec(500_000.0)),
+        comm_from: LinearCommModel::new(secs(1e-3), BytesPerSec::from_words_per_sec(250_000.0)),
     };
     let task = Cm2Task {
-        costs: Cm2TaskCosts::new(10.0, 9.5, 0.1, 0.2),
+        costs: Cm2TaskCosts::new(secs(10.0), secs(9.5), secs(0.1), secs(0.2)),
         to_backend: vec![DataSet::single(100_000)],
         from_backend: vec![DataSet::single(100_000)],
     };
@@ -53,8 +53,8 @@ fn memory_pressure_changes_the_placement_decision() {
     let sets = [9_000_000u64, 3_800_000];
     assert!(!mem.fits(&sets));
     let paged_slowdown = mem.adjust_slowdown(cm2_slowdown(p), &sets);
-    let t_front_paged = task.costs.dcomp_sun * paged_slowdown;
-    let remote = base.t_back + base.c_to + base.c_from;
+    let t_front_paged = (task.costs.dcomp_sun * paged_slowdown).get();
+    let remote = (base.t_back + base.c_to + base.c_from).get();
     assert!(
         t_front_paged > remote,
         "paged local {t_front_paged:.1}s should exceed remote {remote:.1}s"
@@ -64,12 +64,12 @@ fn memory_pressure_changes_the_placement_decision() {
 #[test]
 fn migration_decision_consistent_with_phased_predictions() {
     // Validate the migrate module against direct timeline arithmetic.
-    let here = cm2_timeline(&[(30.0, 4), (f64::INFINITY, 0)]);
+    let here = cm2_timeline(&[(secs(30.0), 4), (Seconds::INFINITY, 0)]);
     let there = LoadTimeline::dedicated();
     let task = InFlightTask { remaining_here: 12.0, remaining_there: 10.0, migration_cost: 4.0 };
     let d = decide(&task, &here, &there);
-    let stay_direct = here.completion_time(12.0, 0.0);
-    let migrate_direct = 4.0 + there.completion_time(10.0, 4.0);
+    let stay_direct = here.completion_time(secs(12.0), Seconds::ZERO).get();
+    let migrate_direct = 4.0 + there.completion_time(secs(10.0), secs(4.0)).get();
     match d {
         MigrationDecision::Stay { finish_in } => {
             assert_eq!(finish_in, stay_direct);
@@ -123,8 +123,8 @@ fn memory_aware_admission_uses_headroom() {
     // Admitting within headroom stays penalty-free; beyond it pages.
     let mut with_ok = resident.to_vec();
     with_ok.push(headroom);
-    assert_eq!(mem.paging_multiplier(&with_ok), 1.0);
+    assert_eq!(mem.paging_multiplier(&with_ok), Slowdown::ONE);
     let mut with_over = resident.to_vec();
     with_over.push(headroom + 5_000_000);
-    assert!(mem.paging_multiplier(&with_over) > 1.0);
+    assert!(mem.paging_multiplier(&with_over) > Slowdown::ONE);
 }

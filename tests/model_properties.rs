@@ -3,6 +3,11 @@
 use hetero_contention::prelude::*;
 use proptest::prelude::*;
 
+/// A linear model from a raw `(alpha seconds, beta words/sec)` pair.
+fn linear(alpha: f64, beta_words_per_sec: f64) -> LinearCommModel {
+    LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_words_per_sec))
+}
+
 /// Brute-force Poisson–binomial: enumerate all 2^p state combinations.
 fn brute_force_pcomm(fracs: &[f64], i: usize) -> f64 {
     let p = fracs.len();
@@ -28,7 +33,7 @@ proptest! {
         let mix = WorkloadMix::from_fracs(&fracs);
         for i in 0..=fracs.len() {
             let expected = brute_force_pcomm(&fracs, i);
-            prop_assert!((mix.pcomm(i) - expected).abs() < 1e-9,
+            prop_assert!((mix.pcomm(i).get() - expected).abs() < 1e-9,
                 "pcomm({i}) = {} vs brute force {expected}", mix.pcomm(i));
         }
     }
@@ -49,12 +54,12 @@ proptest! {
     ) {
         let mut mix = WorkloadMix::from_fracs(&fracs);
         let before = mix.clone();
-        mix.add(extra);
+        mix.add(prob(extra));
         let idx = fracs.len(); // remove the one just added
         let _ = idx_seed;
         mix.remove(idx);
         for i in 0..=fracs.len() {
-            prop_assert!((mix.pcomm(i) - before.pcomm(i)).abs() < 1e-7,
+            prop_assert!((mix.pcomm(i).get() - before.pcomm(i).get()).abs() < 1e-7,
                 "pcomm({i}) drifted: {} vs {}", mix.pcomm(i), before.pcomm(i));
         }
     }
@@ -65,7 +70,7 @@ proptest! {
         let mut regen = incremental.clone();
         regen.regenerate();
         for i in 0..=fracs.len() {
-            prop_assert!((incremental.pcomm(i) - regen.pcomm(i)).abs() < 1e-9);
+            prop_assert!((incremental.pcomm(i).get() - regen.pcomm(i).get()).abs() < 1e-9);
         }
     }
 
@@ -79,8 +84,8 @@ proptest! {
         let hi = CommDelayTable::new(vec![base + 1.0; 6], vec![base + 1.0; 6]);
         let s_lo = paragon_comm_slowdown(&mix, &lo);
         let s_hi = paragon_comm_slowdown(&mix, &hi);
-        prop_assert!(s_lo >= 1.0 - 1e-12);
-        prop_assert!(s_hi >= s_lo - 1e-12);
+        prop_assert!(s_lo.get() >= 1.0 - 1e-12);
+        prop_assert!(s_hi.get() >= s_lo.get() - 1e-12);
     }
 
     #[test]
@@ -95,7 +100,7 @@ proptest! {
             vec![1, 500, 1000],
             vec![vec![0.5; 6], vec![1.0; 6], vec![2.0; 6]],
         );
-        let s = paragon_comp_slowdown(&mix, &table, j);
+        let s = paragon_comp_slowdown(&mix, &table, j).get();
         prop_assert!((s - (p as f64 + 1.0)).abs() < 1e-9, "p={p}: {s}");
     }
 
@@ -105,15 +110,15 @@ proptest! {
         alpha in 0.0f64..0.01,
         beta in 1000.0f64..1e6,
     ) {
-        let model = LinearCommModel::new(alpha, beta);
+        let model = linear(alpha, beta);
         let sets: Vec<DataSet> = msgs.iter().map(|&(n, w)| DataSet::new(n, w)).collect();
-        let total = model.dcomm(&sets);
-        let sum: f64 = sets.iter().map(|&s| model.dcomm(&[s])).sum();
+        let total = model.dcomm(&sets).get();
+        let sum: f64 = sets.iter().map(|&s| model.dcomm(&[s]).get()).sum();
         prop_assert!((total - sum).abs() < 1e-9 * sum.max(1.0));
         // Adding a set can only increase the cost.
         let mut bigger = sets.clone();
         bigger.push(DataSet::new(1, 1));
-        prop_assert!(model.dcomm(&bigger) > total);
+        prop_assert!(model.dcomm(&bigger).get() > total);
     }
 
     #[test]
@@ -121,13 +126,13 @@ proptest! {
         words in 1u64..10_000,
         n in 1u64..100,
     ) {
-        let small = LinearCommModel::new(0.002, 50_000.0);
-        let large = LinearCommModel::new(0.006, 120_000.0);
+        let small = linear(0.002, 50_000.0);
+        let large = linear(0.006, 60_000.0);
         let pw = PiecewiseCommModel::new(1024, small, large);
         let sets = [DataSet::new(n, words)];
-        let v = pw.dcomm(&sets);
-        let lo = small.dcomm(&sets).min(large.dcomm(&sets));
-        let hi = small.dcomm(&sets).max(large.dcomm(&sets));
+        let v = pw.dcomm(&sets).get();
+        let lo = small.dcomm(&sets).get().min(large.dcomm(&sets).get());
+        let hi = small.dcomm(&sets).get().max(large.dcomm(&sets).get());
         prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
     }
 
@@ -139,9 +144,9 @@ proptest! {
         p in 0u32..8,
     ) {
         let didle = dserial * didle_frac;
-        let costs = Cm2TaskCosts::new(0.0, dcomp, didle, dserial);
-        let t_p = costs.t_cm2(p);
-        let t_next = costs.t_cm2(p + 1);
+        let costs = Cm2TaskCosts::new(secs(0.0), secs(dcomp), secs(didle), secs(dserial));
+        let t_p = costs.t_cm2(p).get();
+        let t_next = costs.t_cm2(p + 1).get();
         prop_assert!(t_next >= t_p - 1e-12);
         prop_assert!(t_p >= dcomp + didle - 1e-12);
         prop_assert!(t_p >= dserial * (p as f64 + 1.0) - 1e-12);
@@ -154,19 +159,19 @@ proptest! {
         words in 1u64..100_000,
     ) {
         let pred = Cm2Predictor {
-            comm_to: LinearCommModel::new(1e-3, 1e6),
-            comm_from: LinearCommModel::new(1e-3, 1e6),
+            comm_to: linear(1e-3, 1e6),
+            comm_from: linear(1e-3, 1e6),
         };
         let task = Cm2Task {
-            costs: Cm2TaskCosts::new(dcomp_sun, t_back, 0.0, 0.0),
+            costs: Cm2TaskCosts::new(secs(dcomp_sun), secs(t_back), secs(0.0), secs(0.0)),
             to_backend: vec![DataSet::single(words)],
             from_backend: vec![],
         };
         for p in [0u32, 3] {
             let d = pred.decide(&task, p);
-            let local = d.t_front;
-            let remote = d.t_back + d.c_to + d.c_from;
-            prop_assert!((d.best_time() - local.min(remote)).abs() < 1e-9);
+            let local = d.t_front.get();
+            let remote = (d.t_back + d.c_to + d.c_from).get();
+            prop_assert!((d.best_time().get() - local.min(remote)).abs() < 1e-9);
             match d.placement {
                 Placement::FrontEnd => prop_assert!(local <= remote + 1e-12),
                 Placement::BackEnd => prop_assert!(remote < local),
@@ -245,11 +250,11 @@ proptest! {
         d2 in 0.0f64..30.0,
     ) {
         let phases: Vec<LoadPhase> =
-            durs.iter().map(|&(d, s)| LoadPhase::new(d, s)).collect();
+            durs.iter().map(|&(d, s)| LoadPhase::new(secs(d), Slowdown::new(s))).collect();
         let tl = LoadTimeline::new(phases);
-        let whole = tl.completion_time(d1 + d2, 0.0);
-        let first = tl.completion_time(d1, 0.0);
-        let second = tl.completion_time(d2, first);
+        let whole = tl.completion_time(secs(d1 + d2), Seconds::ZERO).get();
+        let first = tl.completion_time(secs(d1), Seconds::ZERO).get();
+        let second = tl.completion_time(secs(d2), secs(first)).get();
         prop_assert!((whole - (first + second)).abs() < 1e-6,
             "whole {whole} vs split {}", first + second);
     }
@@ -262,11 +267,11 @@ proptest! {
         start in 0.0f64..10.0,
     ) {
         let phases: Vec<LoadPhase> =
-            durs.iter().map(|&(d, s)| LoadPhase::new(d, s)).collect();
+            durs.iter().map(|&(d, s)| LoadPhase::new(secs(d), Slowdown::new(s))).collect();
         let lo = durs.iter().map(|&(_, s)| s).fold(f64::INFINITY, f64::min);
         let hi = durs.iter().map(|&(_, s)| s).fold(1.0, f64::max);
         let tl = LoadTimeline::new(phases);
-        let eff = tl.effective_slowdown(demand, start);
+        let eff = tl.effective_slowdown(secs(demand), secs(start)).get();
         prop_assert!(eff >= lo - 1e-9 && eff <= hi + 1e-9, "eff {eff} outside [{lo}, {hi}]");
     }
 
@@ -279,10 +284,10 @@ proptest! {
         extra in 0.0f64..50.0,
     ) {
         let phases: Vec<LoadPhase> =
-            durs.iter().map(|&(d, s)| LoadPhase::new(d, s)).collect();
+            durs.iter().map(|&(d, s)| LoadPhase::new(secs(d), Slowdown::new(s))).collect();
         let tl = LoadTimeline::new(phases);
-        let t1 = tl.completion_time(d_small, 0.0);
-        let t2 = tl.completion_time(d_small + extra, 0.0);
+        let t1 = tl.completion_time(secs(d_small), Seconds::ZERO).get();
+        let t2 = tl.completion_time(secs(d_small + extra), Seconds::ZERO).get();
         prop_assert!(t2 >= t1 - 1e-9);
         // Wall time is never less than dedicated demand.
         prop_assert!(t1 >= d_small - 1e-9);
@@ -299,12 +304,15 @@ proptest! {
         s2 in 1.0f64..5.0,
     ) {
         let m = MemoryModel::new(capacity, thrash);
-        let mult = m.paging_multiplier(&sets);
+        let mult = m.paging_multiplier(&sets).get();
         prop_assert!(mult >= 1.0);
         if m.fits(&sets) {
             prop_assert!((mult - 1.0).abs() < 1e-12);
         }
         let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
-        prop_assert!(m.adjust_slowdown(lo, &sets) <= m.adjust_slowdown(hi, &sets) + 1e-12);
+        prop_assert!(
+            m.adjust_slowdown(Slowdown::new(lo), &sets).get()
+                <= m.adjust_slowdown(Slowdown::new(hi), &sets).get() + 1e-12
+        );
     }
 }
