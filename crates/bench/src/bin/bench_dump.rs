@@ -7,6 +7,10 @@
 //! * per-call `decide` vs `decide_batch` over a cached profile,
 //! * brute-force exhaustive search vs the Gray-code delta-evaluated walk,
 //! * refolding the mix vs an epoch-keyed `ProfileCache` hit.
+//!
+//! A second file, `BENCH_service.json`, covers the online service path:
+//! loadcast ingest+forecast and `predictd` request throughput
+//! (`load_report` and warm-cache `predict`) through `handle_line`.
 
 use bench::paragon_predictor;
 use contention_model::dataset::DataSet;
@@ -144,4 +148,55 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_model_eval.json");
     std::fs::write(path, format!("{json}\n")).expect("write BENCH_model_eval.json");
     println!("{json}");
+
+    let service = service_report();
+    let json = serde_json::to_string_pretty(&service).expect("serializable");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
+    std::fs::write(path, format!("{json}\n")).expect("write BENCH_service.json");
+    println!("{json}");
+}
+
+/// `ns_per_op` / `ops_per_sec` for one measured operation.
+fn throughput(ns_per_op: f64) -> Value {
+    Value::Map(vec![
+        ("ns_per_op".to_string(), Value::Float(ns_per_op)),
+        ("ops_per_sec".to_string(), Value::Float(1e9 / ns_per_op)),
+    ])
+}
+
+/// The online service path: loadcast ingest+forecast over a 64-sample
+/// sawtooth, and predictd `load_report` / warm-cache `predict` requests
+/// through the same `handle_line` entry the transports use.
+fn service_report() -> Value {
+    use contention_model::units::{f64_from_usize, secs};
+    use loadcast::{LoadMonitor, MonitorConfig};
+    use predictd::{Service, ServiceConfig};
+
+    let ingest = time_ns(2_000, || {
+        let mut m = LoadMonitor::new(MonitorConfig::default());
+        for k in 0..64usize {
+            m.report(secs(f64_from_usize(k)), black_box(f64_from_usize(k % 7) * 0.75), None);
+        }
+        black_box(m.forecast(secs(64.0)));
+    });
+
+    let mut svc = Service::with_default_predictor(ServiceConfig::default());
+    let report_line = "{\"kind\":\"load_report\",\"machine\":\"m0\",\"at\":1.0,\
+                       \"load\":2.0,\"comm_frac\":0.4}";
+    let predict_line = "{\"kind\":\"predict\",\"machine\":\"m0\",\"now\":1.5,\
+                        \"task\":{\"dcomp_sun\":30.0,\"t_paragon\":6.0,\
+                        \"to_backend\":[{\"messages\":10,\"words\":2000}],\
+                        \"from_backend\":[{\"messages\":1,\"words\":1000}]},\"j_words\":500}";
+    let load_report = time_ns(20_000, || {
+        black_box(svc.handle_line(black_box(report_line)));
+    });
+    let predict = time_ns(20_000, || {
+        black_box(svc.handle_line(black_box(predict_line)));
+    });
+
+    Value::Map(vec![
+        ("loadcast_ingest_forecast_64".to_string(), throughput(ingest)),
+        ("predictd_load_report".to_string(), throughput(load_report)),
+        ("predictd_predict".to_string(), throughput(predict)),
+    ])
 }

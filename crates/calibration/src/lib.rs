@@ -15,6 +15,8 @@
 //! [`calibrate_paragon`] bundles everything a
 //! [`ParagonPredictor`](contention_model::predict::ParagonPredictor) needs.
 
+//!
+//! modelcheck: no-panic, lossy-cast, missing-docs
 #![warn(missing_docs)]
 
 pub mod cm2;

@@ -51,6 +51,8 @@
 //! assert!(d.t_front == secs(48.0));
 //! ```
 
+//!
+//! modelcheck: no-panic, naked-f64, lossy-cast, missing-docs
 #![warn(missing_docs)]
 
 pub mod cm2;

@@ -26,6 +26,7 @@ fn main() {
         "loadchars" => experiments::load_chars::run(),
         "phased" => experiments::phased_load::run(),
         "ranking" => experiments::ranking::run(scale),
+        "forecast" => experiments::forecast_replay::run(),
         other => {
             eprintln!("unknown experiment {other:?}");
             std::process::exit(2);

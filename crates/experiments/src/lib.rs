@@ -18,6 +18,7 @@
 //! | §1's load-characteristics argument | [`load_chars`] |
 //! | §4's time-varying-load future work | [`phased_load`] |
 //! | §2's rank-candidate-schedules purpose | [`ranking`] |
+//! | online forecasting (loadcast replay) | [`forecast_replay`] |
 
 #![warn(missing_docs)]
 
@@ -27,6 +28,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig56;
 pub mod fig78;
+pub mod forecast_replay;
 pub mod load_chars;
 pub mod par;
 pub mod phased_load;
@@ -62,6 +64,7 @@ pub fn run_all(scale: Scale) -> Vec<Experiment> {
         Box::new(load_chars::run),
         Box::new(phased_load::run),
         Box::new(move || ranking::run(scale)),
+        Box::new(forecast_replay::run),
     ];
     par::ordered_map(jobs, |job| job())
 }

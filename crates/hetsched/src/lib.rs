@@ -10,18 +10,23 @@
 //!   `O(k·m²)` chain dynamic program (the paper's "straightforward"
 //!   generalization to more than two machines);
 //! * [`adapt`] — building environments from contention-model outputs;
+//! * [`forecast`] — building environments from *forecasted* contention
+//!   ([`SlowdownProfile`]s produced by the loadcast/predictd pipeline);
 //! * [`example`] — the paper's worked example with its exact numbers;
 //! * [`dag`] — DAG workflows with HEFT-style list scheduling (beyond the
 //!   paper's chains);
 //! * [`migrate`] — stay-vs-migrate decisions when the mix changes mid-run
 //!   (the paper's §4 future work).
 
+//!
+//! modelcheck: no-panic, lossy-cast
 #![warn(missing_docs)]
 
 pub mod adapt;
 pub mod dag;
 pub mod eval;
 pub mod example;
+pub mod forecast;
 pub mod migrate;
 pub mod task;
 
@@ -35,6 +40,7 @@ pub mod prelude {
         best_chain_dp, best_exhaustive, best_exhaustive_oracle, best_exhaustive_with, evaluate,
         rank_all, rank_all_oracle, Schedule, SearchScratch,
     };
+    pub use crate::forecast::{best_forecast, environment_from_profile, rank_all_forecast};
     pub use crate::migrate::{decide as decide_migration, InFlightTask, MigrationDecision};
     pub use crate::task::{Environment, Matrix, Task, Workflow};
 }

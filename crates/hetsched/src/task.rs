@@ -48,6 +48,18 @@ impl Matrix {
     pub fn set(&mut self, from: usize, to: usize, value: f64) {
         self.v[from * self.n + to] = value;
     }
+
+    /// True when the backing storage matches the declared size — always
+    /// holds for constructed matrices, but deserialized ones (e.g. from
+    /// a network peer) must be checked before indexing.
+    pub fn is_consistent(&self) -> bool {
+        self.v.len() == self.n * self.n
+    }
+
+    /// True when every entry is finite and at least `min`.
+    pub fn entries_at_least(&self, min: f64) -> bool {
+        self.v.iter().all(|x| x.is_finite() && *x >= min)
+    }
 }
 
 /// One task of the application chain.
@@ -113,6 +125,42 @@ impl Workflow {
     pub fn is_empty(&self) -> bool {
         self.tasks.is_empty()
     }
+
+    /// Non-panicking validation for workflows built outside
+    /// [`Workflow::new`] — deserialized from a wire peer, say. Checks
+    /// everything `new` asserts plus value sanity: non-empty, consistent
+    /// machine counts, interior edges present and well-formed, and every
+    /// cost finite and non-negative.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.tasks.is_empty() {
+            return Err("empty workflow".to_string());
+        }
+        let m = self.tasks[0].exec.len();
+        if m == 0 {
+            return Err("no machines".to_string());
+        }
+        for (i, t) in self.tasks.iter().enumerate() {
+            if t.exec.len() != m {
+                return Err(format!("task {i} machine count mismatch"));
+            }
+            if !t.exec.iter().all(|x| x.is_finite() && *x >= 0.0) {
+                return Err(format!("task {i} has a non-finite or negative execution time"));
+            }
+            match (&t.comm_to_next, i + 1 < self.tasks.len()) {
+                (None, true) => return Err(format!("interior task {i} missing edge")),
+                (Some(c), _) => {
+                    if c.size() != m || !c.is_consistent() {
+                        return Err(format!("task {i} edge matrix size mismatch"));
+                    }
+                    if !c.entries_at_least(0.0) {
+                        return Err(format!("task {i} edge has a non-finite or negative cost"));
+                    }
+                }
+                (None, false) => {}
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Current contention state of the platform, as produced by the
@@ -147,6 +195,27 @@ impl Environment {
                 assert!(self.link_slowdown.get(i, j) >= 1.0, "link slowdown below 1");
             }
         }
+    }
+
+    /// Non-panicking variant of [`validate`](Self::validate) for
+    /// environments received from outside (adds the size-consistency
+    /// checks deserialization cannot guarantee).
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.comp_slowdown.is_empty() {
+            return Err("no machines".to_string());
+        }
+        if !self.comp_slowdown.iter().all(|s| s.is_finite() && *s >= 1.0) {
+            return Err("compute slowdown below 1 or non-finite".to_string());
+        }
+        if self.link_slowdown.size() != self.comp_slowdown.len()
+            || !self.link_slowdown.is_consistent()
+        {
+            return Err("link matrix size mismatch".to_string());
+        }
+        if !self.link_slowdown.entries_at_least(1.0) {
+            return Err("link slowdown below 1 or non-finite".to_string());
+        }
+        Ok(())
     }
 }
 

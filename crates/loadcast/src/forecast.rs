@@ -1,0 +1,267 @@
+//! The forecaster family: one-step-ahead predictors of the next load
+//! sample.
+//!
+//! Modeled on the Network Weather Service's predictor bank: several
+//! cheap, incremental forecasters run side by side and a selector
+//! (see [`crate::selector`]) forwards whichever has the lowest running
+//! error. Every forecaster here is *exact on constant input*: feeding the
+//! same value repeatedly makes `predict` return that value to the bit —
+//! the property that lets forecast-fed model predictions match direct
+//! `decide()` calls bit-for-bit when the load is steady.
+
+use contention_model::units::f64_from_usize;
+use std::collections::VecDeque;
+
+/// A one-step-ahead load forecaster, fed samples oldest → newest.
+pub trait Forecaster {
+    /// Ingests the next observed load value (already validated: finite,
+    /// non-negative).
+    fn observe(&mut self, load: f64);
+
+    /// The current prediction of the *next* load value; `None` until at
+    /// least one observation has arrived.
+    fn predict(&self) -> Option<f64>;
+
+    /// Short display name (`"last"`, `"mean16"`, `"ewma0.30"`, …).
+    fn name(&self) -> &str;
+}
+
+/// Predicts the most recent observation (the NWS "last value" method).
+#[derive(Debug, Clone, Default)]
+pub struct LastValue {
+    last: Option<f64>,
+}
+
+impl LastValue {
+    /// A fresh last-value forecaster.
+    pub fn new() -> Self {
+        LastValue::default()
+    }
+}
+
+impl Forecaster for LastValue {
+    fn observe(&mut self, load: f64) {
+        self.last = Some(load);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.last
+    }
+
+    fn name(&self) -> &str {
+        "last"
+    }
+}
+
+/// Predicts the arithmetic mean of the last `k` observations.
+#[derive(Debug, Clone)]
+pub struct WindowedMean {
+    k: usize,
+    buf: VecDeque<f64>,
+    name: String,
+}
+
+impl WindowedMean {
+    /// A mean over the trailing `k ≥ 1` observations.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "mean window must hold at least 1 sample");
+        WindowedMean { k, buf: VecDeque::with_capacity(k), name: format!("mean{k}") }
+    }
+}
+
+impl Forecaster for WindowedMean {
+    fn observe(&mut self, load: f64) {
+        if self.buf.len() == self.k {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(load);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        let first = *self.buf.front()?;
+        // Equal-window fast path: summing n copies of v and dividing by n
+        // rounds for non-dyadic v (sixteen 0.1s ≠ 1.6 exactly), so the
+        // constant-input fixed-point guarantee is enforced structurally.
+        if self.buf.iter().all(|x| x.to_bits() == first.to_bits()) {
+            return Some(first);
+        }
+        // Re-summed each call (k is small) rather than kept as a running
+        // add/subtract accumulator, which would drift.
+        let sum: f64 = self.buf.iter().sum();
+        Some(sum / f64_from_usize(self.buf.len()))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Predicts the median of the last `k` observations (robust to spikes).
+#[derive(Debug, Clone)]
+pub struct WindowedMedian {
+    k: usize,
+    buf: VecDeque<f64>,
+    name: String,
+}
+
+impl WindowedMedian {
+    /// A median over the trailing `k ≥ 1` observations.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "median window must hold at least 1 sample");
+        WindowedMedian { k, buf: VecDeque::with_capacity(k), name: format!("median{k}") }
+    }
+}
+
+impl Forecaster for WindowedMedian {
+    fn observe(&mut self, load: f64) {
+        if self.buf.len() == self.k {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(load);
+    }
+
+    fn predict(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = self.buf.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let mid = sorted[n / 2];
+        if n % 2 == 1 {
+            Some(mid)
+        } else {
+            // Even count: mean of the two middles. `(a + a) / 2 == a`
+            // exactly, so constancy is preserved.
+            Some((sorted[n / 2 - 1] + mid) / 2.0)
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Exponentially weighted moving average, `s ← s + g·(v − s)`, with the
+/// state initialized to the first observation — which makes constant
+/// input a fixed point to the bit (`v − s` is exactly zero).
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    gain: f64,
+    state: Option<f64>,
+    name: String,
+}
+
+impl Ewma {
+    /// An EWMA with gain `g ∈ (0, 1]` (1 degenerates to last-value).
+    pub fn new(gain: f64) -> Self {
+        assert!(gain > 0.0 && gain <= 1.0, "EWMA gain must be in (0, 1]");
+        Ewma { gain, state: None, name: format!("ewma{gain:.2}") }
+    }
+
+    /// The smoothing gain.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+impl Forecaster for Ewma {
+    fn observe(&mut self, load: f64) {
+        self.state = Some(match self.state {
+            None => load,
+            Some(s) => s + self.gain * (load - s),
+        });
+    }
+
+    fn predict(&self) -> Option<f64> {
+        self.state
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// The default predictor bank: last-value, short and long means, a
+/// spike-robust median, and EWMAs from sluggish to reactive — the spread
+/// the NWS found covers workstation load well.
+pub fn default_family() -> Vec<Box<dyn Forecaster + Send>> {
+    vec![
+        Box::new(LastValue::new()),
+        Box::new(WindowedMean::new(4)),
+        Box::new(WindowedMean::new(16)),
+        Box::new(WindowedMedian::new(5)),
+        Box::new(Ewma::new(0.1)),
+        Box::new(Ewma::new(0.3)),
+        Box::new(Ewma::new(0.9)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(f: &mut dyn Forecaster, vals: &[f64]) {
+        for &v in vals {
+            f.observe(v);
+        }
+    }
+
+    #[test]
+    fn empty_forecasters_predict_nothing() {
+        for f in default_family() {
+            assert_eq!(f.predict(), None, "{}", f.name());
+        }
+    }
+
+    #[test]
+    fn constant_input_is_a_bit_exact_fixed_point() {
+        for v in [0.0, 3.0, 2.5, 7.0, 0.1] {
+            for mut f in default_family() {
+                feed(f.as_mut(), &[v; 9]);
+                assert_eq!(f.predict(), Some(v), "{} at {v}", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn last_value_tracks_immediately() {
+        let mut f = LastValue::new();
+        feed(&mut f, &[1.0, 5.0, 2.0]);
+        assert_eq!(f.predict(), Some(2.0));
+    }
+
+    #[test]
+    fn windowed_mean_averages_the_tail() {
+        let mut f = WindowedMean::new(3);
+        feed(&mut f, &[10.0, 1.0, 2.0, 3.0]);
+        assert_eq!(f.predict(), Some(2.0));
+        assert_eq!(f.name(), "mean3");
+    }
+
+    #[test]
+    fn windowed_median_resists_spikes() {
+        let mut f = WindowedMedian::new(5);
+        feed(&mut f, &[2.0, 2.0, 100.0, 2.0, 2.0]);
+        assert_eq!(f.predict(), Some(2.0));
+        let mut even = WindowedMedian::new(4);
+        feed(&mut even, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(even.predict(), Some(2.5));
+    }
+
+    #[test]
+    fn ewma_moves_toward_new_level() {
+        let mut f = Ewma::new(0.5);
+        feed(&mut f, &[0.0, 4.0]);
+        assert_eq!(f.predict(), Some(2.0));
+        feed(&mut f, &[4.0]);
+        assert_eq!(f.predict(), Some(3.0));
+        assert_eq!(f.name(), "ewma0.50");
+    }
+
+    #[test]
+    #[should_panic(expected = "gain")]
+    fn ewma_rejects_zero_gain() {
+        Ewma::new(0.0);
+    }
+}

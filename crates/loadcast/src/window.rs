@@ -1,0 +1,131 @@
+//! Bounded sliding windows of timestamped load samples.
+//!
+//! A [`SlidingWindow`] is the ingestion buffer of one machine's load
+//! monitor: a FIFO of [`LoadSample`]s in non-decreasing time order,
+//! capped at a fixed capacity so a long-running daemon's memory stays
+//! bounded no matter how many reports arrive.
+
+use contention_model::units::Seconds;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One observation of a machine's load: how many contending applications
+/// (possibly a fractional time-average) were runnable at `at`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadSample {
+    /// When the sample was taken, on the reporter's clock.
+    pub at: Seconds,
+    /// Observed contender load. Finite and non-negative; fractional
+    /// values represent time-averaged occupancy over the sample period.
+    pub load: f64,
+}
+
+impl LoadSample {
+    /// A sample, unvalidated (validation happens at ingestion).
+    pub fn new(at: Seconds, load: f64) -> Self {
+        LoadSample { at, load }
+    }
+
+    /// True when the load value is usable: finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        self.load.is_finite() && self.load >= 0.0
+    }
+}
+
+/// Bounded FIFO of samples in non-decreasing time order. Pushing beyond
+/// capacity evicts the oldest sample.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    cap: usize,
+    samples: VecDeque<LoadSample>,
+}
+
+impl SlidingWindow {
+    /// An empty window holding at most `cap` samples (`cap ≥ 1`).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "window capacity must be at least 1");
+        SlidingWindow { cap, samples: VecDeque::with_capacity(cap) }
+    }
+
+    /// Ingests a sample. Rejects (returns `false`, window unchanged)
+    /// samples that are invalid or older than the newest already held —
+    /// reports must arrive in time order per machine.
+    pub fn push(&mut self, s: LoadSample) -> bool {
+        if !s.is_valid() {
+            return false;
+        }
+        if let Some(last) = self.samples.back() {
+            if s.at < last.at {
+                return false;
+            }
+        }
+        if self.samples.len() == self.cap {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(s);
+        true
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been ingested (or all were rejected).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Maximum number of samples held.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The newest sample, if any.
+    pub fn latest(&self) -> Option<&LoadSample> {
+        self.samples.back()
+    }
+
+    /// Samples oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &LoadSample> {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_model::units::secs;
+
+    #[test]
+    fn push_keeps_time_order_and_capacity() {
+        let mut w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        for t in 0..5 {
+            assert!(w.push(LoadSample::new(secs(t as f64), t as f64)));
+        }
+        assert_eq!(w.len(), 3);
+        let loads: Vec<f64> = w.iter().map(|s| s.load).collect();
+        assert_eq!(loads, vec![2.0, 3.0, 4.0]);
+        assert_eq!(w.latest().map(|s| s.load), Some(4.0));
+        assert_eq!(w.capacity(), 3);
+    }
+
+    #[test]
+    fn out_of_order_and_invalid_samples_rejected() {
+        let mut w = SlidingWindow::new(4);
+        assert!(w.push(LoadSample::new(secs(5.0), 1.0)));
+        assert!(!w.push(LoadSample::new(secs(4.0), 1.0)), "older than newest");
+        assert!(w.push(LoadSample::new(secs(5.0), 2.0)), "equal timestamps are fine");
+        assert!(!w.push(LoadSample::new(secs(6.0), f64::NAN)));
+        assert!(!w.push(LoadSample::new(secs(6.0), -1.0)));
+        assert!(!w.push(LoadSample::new(secs(6.0), f64::INFINITY)));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        SlidingWindow::new(0);
+    }
+}

@@ -1,0 +1,109 @@
+//! The constant-trace equivalence property (ISSUE 3 acceptance):
+//! a constant load trace of `p` contenders makes **every** forecaster in
+//! the bank — and the NWS selector over them — converge to exactly `p`,
+//! and the mix built from that forecast yields placement decisions
+//! **bit-identical** to a direct `decide()` call with the true mix.
+
+use contention_model::comm::{LinearCommModel, PiecewiseCommModel};
+use contention_model::dataset::DataSet;
+use contention_model::delay::{CommDelayTable, CompDelayTable};
+use contention_model::mix::WorkloadMix;
+use contention_model::predict::{ParagonPredictor, ParagonTask};
+use contention_model::units::{prob, secs, BytesPerSec};
+use loadcast::{default_family, LoadMonitor, MonitorConfig, SelectivePredictor};
+use proptest::prelude::*;
+
+fn linear(alpha: f64, beta_wps: f64) -> LinearCommModel {
+    LinearCommModel::new(secs(alpha), BytesPerSec::from_words_per_sec(beta_wps))
+}
+
+/// A fixed calibrated predictor (values from a real calibration run).
+fn predictor() -> ParagonPredictor {
+    ParagonPredictor {
+        comm_to: PiecewiseCommModel::new(1024, linear(1.6e-3, 79_000.0), linear(5.6e-3, 104_000.0)),
+        comm_from: PiecewiseCommModel::new(
+            1024,
+            linear(1.5e-3, 149_000.0),
+            linear(2.0e-3, 83_000.0),
+        ),
+        comm_delays: CommDelayTable::new(
+            vec![0.27, 0.61, 1.02, 1.40],
+            vec![0.19, 0.49, 0.81, 1.10],
+        ),
+        comp_delays: CompDelayTable::new(
+            vec![1, 500, 1000],
+            vec![
+                vec![0.22, 0.37, 0.37, 0.37],
+                vec![0.66, 1.15, 1.59, 1.90],
+                vec![1.68, 3.59, 5.52, 7.00],
+            ],
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every forecaster in the default bank is exact on constant input.
+    fn every_forecaster_converges_to_the_constant(
+        p in 0usize..=8,
+        len in 2usize..40,
+    ) {
+        let load = p as f64;
+        for mut f in default_family() {
+            for _ in 0..len {
+                f.observe(load);
+            }
+            prop_assert_eq!(f.predict(), Some(load), "{}", f.name());
+        }
+        let mut sel = SelectivePredictor::nws_default();
+        for _ in 0..len {
+            sel.observe(load);
+        }
+        let (got, _) = sel.predict().expect("selector has a prediction");
+        prop_assert_eq!(got, load);
+    }
+
+    /// Forecast-fed decisions are bit-identical to direct `decide()`
+    /// under the true constant mix.
+    fn constant_trace_decisions_match_direct_decide(
+        p in 0usize..=8,
+        len in 2usize..24,
+        frac in 0.0f64..=1.0,
+        dcomp in 0.1f64..50.0,
+        t_par in 0.1f64..20.0,
+        msgs in 1u64..200,
+        words in 1u64..4000,
+        j in 1u64..5000,
+    ) {
+        let mut monitor = LoadMonitor::new(MonitorConfig {
+            default_frac: prob(frac),
+            ..Default::default()
+        });
+        for t in 0..len {
+            prop_assert!(monitor.report(secs(t as f64), p as f64, None));
+        }
+        let mf = monitor.mix_forecast(secs(len as f64 - 1.0));
+        prop_assert!(!mf.forecast.stale);
+        prop_assert_eq!(mf.forecast.p, p);
+
+        // The true mix: p contenders at the same fraction.
+        let truth = WorkloadMix::from_probs(&vec![prob(frac); p]);
+
+        let task = ParagonTask {
+            dcomp_sun: secs(dcomp),
+            t_paragon: secs(t_par),
+            to_backend: vec![DataSet::burst(msgs, words)],
+            from_backend: vec![DataSet::single(words)],
+        };
+        let pred = predictor();
+        let direct = pred.decide(&task, &truth, j);
+        let forecast_fed = pred.decide(&task, &mf.mix, j);
+        // PartialEq on PlacementDecision is f64 equality — bit-identical.
+        prop_assert_eq!(direct, forecast_fed);
+
+        // The cached-profile path agrees too.
+        let profile = pred.profile(&mf.mix);
+        prop_assert_eq!(direct, pred.decide_with(&task, &profile, j));
+    }
+}

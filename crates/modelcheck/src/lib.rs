@@ -2,15 +2,32 @@
 //!
 //! `modelcheck` is a standalone, no-network lint pass that token-scans
 //! every workspace `.rs` file (`vendor/` excluded) and enforces rules the
-//! compiler cannot express but the model's correctness depends on:
+//! compiler cannot express but the model's correctness depends on.
+//!
+//! **Crates opt in via a root pragma.** Instead of a hard-coded crate
+//! list, each crate declares the rules it holds itself to with a doc
+//! line in its crate root (`src/lib.rs`, or `src/main.rs` for pure
+//! binaries):
+//!
+//! ```text
+//! //! modelcheck: no-panic, lossy-cast, missing-docs
+//! ```
+//!
+//! [`scan_workspace`] discovers every `Cargo.toml` under the root
+//! (skipping `vendor/`, `target/`, `.git/`, `fixtures/`), reads the
+//! crate root's pragma, and applies the named rules to that crate's
+//! `src/` tree. A crate with no pragma gets only the global rule. A
+//! pragma naming an unknown rule is itself a diagnostic (`pragma`), so
+//! typos fail the build instead of silently disabling a rule.
 //!
 //! | rule | scope | what it rejects |
 //! |------|-------|-----------------|
-//! | `no-panic` | `core`, `calibration`, `hetsched` `src/` | `.unwrap()`, `.expect(`, `panic!` — model code must carry invariants, not abort paths (`assert!`/`unreachable!` are fine) |
-//! | `naked-f64` | `core/src/` outside `units.rs` | `f64`/`f32` in a `pub fn` signature — public model APIs speak [`Seconds`]-style newtypes, not bare floats |
-//! | `lossy-cast` | `core`, `calibration`, `hetsched` `src/` | `as f64` / `as f32` and visibly-float → integer `as` casts — use the checked `f64_from_u64` funnel |
+//! | `no-panic` | pragma'd `src/` | `.unwrap()`, `.expect(`, `panic!` — model code must carry invariants, not abort paths (`assert!`/`unreachable!` are fine) |
+//! | `naked-f64` | pragma'd `src/` except `units.rs` | `f64`/`f32` in a `pub fn` signature — public model APIs speak [`Seconds`]-style newtypes, not bare floats |
+//! | `lossy-cast` | pragma'd `src/` | `as f64` / `as f32` and visibly-float → integer `as` casts — use the checked `f64_from_u64` funnel |
 //! | `no-todo-dbg` | everywhere scanned | `todo!` / `dbg!` — placeholders and debug prints must not ship |
-//! | `missing-docs` | `core`, `calibration` `src/` | a public item with no `///` doc comment |
+//! | `missing-docs` | pragma'd `src/` | a public item with no `///` doc comment |
+//! | `pragma` | crate roots | a `modelcheck:` pragma naming an unknown rule |
 //!
 //! A diagnostic on line *n* is suppressed by `// modelcheck-allow: <rule>`
 //! on line *n* or line *n−1*; the comment is expected to say *why* the
@@ -32,24 +49,27 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// The rules enforced by the pass. Names are what `modelcheck-allow`
-/// comments reference.
+/// The rules enforced by the pass. Names are what crate-root pragmas and
+/// `modelcheck-allow` comments reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
-    /// `.unwrap()` / `.expect(` / `panic!` in model-crate sources.
+    /// `.unwrap()` / `.expect(` / `panic!` in pragma'd crate sources.
     NoPanic,
-    /// Bare `f64`/`f32` in a `pub fn` signature of `core`.
+    /// Bare `f64`/`f32` in a `pub fn` signature of a pragma'd crate.
     NakedF64,
     /// Lossy `as` casts between integer and float types.
     LossyCast,
     /// `todo!` / `dbg!` anywhere.
     NoTodoDbg,
-    /// Undocumented public item in `core`/`calibration`.
+    /// Undocumented public item in a pragma'd crate.
     MissingDocs,
+    /// A crate-root `modelcheck:` pragma naming an unknown rule.
+    Pragma,
 }
 
 impl Rule {
-    /// The rule's name as written in `modelcheck-allow` comments.
+    /// The rule's name as written in pragmas and `modelcheck-allow`
+    /// comments.
     pub fn name(self) -> &'static str {
         match self {
             Rule::NoPanic => "no-panic",
@@ -57,6 +77,7 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::NoTodoDbg => "no-todo-dbg",
             Rule::MissingDocs => "missing-docs",
+            Rule::Pragma => "pragma",
         }
     }
 }
@@ -116,32 +137,73 @@ fn escape_json(s: &str) -> String {
     out
 }
 
-/// Which rules apply to a given workspace-relative file path.
-#[derive(Debug, Clone, Copy)]
+/// Which rules apply to a given file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FileScope {
-    /// `no-panic` applies (model-crate `src/`).
+    /// `no-panic` applies.
     pub no_panic: bool,
-    /// `naked-f64` applies (`core/src/` outside `units.rs`).
+    /// `naked-f64` applies.
     pub naked_f64: bool,
-    /// `lossy-cast` applies (model-crate `src/`).
+    /// `lossy-cast` applies.
     pub lossy_cast: bool,
-    /// `missing-docs` applies (`core`/`calibration` `src/`).
+    /// `missing-docs` applies.
     pub missing_docs: bool,
 }
 
 impl FileScope {
-    /// Derives the scope from a workspace-relative path.
-    pub fn classify(rel: &str) -> FileScope {
-        let p = rel.replace('\\', "/");
-        let in_src = |krate: &str| p.starts_with(&format!("crates/{krate}/src/"));
-        let model = in_src("core") || in_src("calibration") || in_src("hetsched");
-        FileScope {
-            no_panic: model,
-            naked_f64: in_src("core") && !p.ends_with("/units.rs"),
-            lossy_cast: model,
-            missing_docs: in_src("core") || in_src("calibration"),
+    /// No opt-in rules (only the global `no-todo-dbg` fires).
+    pub const NONE: FileScope =
+        FileScope { no_panic: false, naked_f64: false, lossy_cast: false, missing_docs: false };
+
+    /// Every opt-in rule enabled.
+    pub const ALL: FileScope =
+        FileScope { no_panic: true, naked_f64: true, lossy_cast: true, missing_docs: true };
+
+    /// Builds a scope from pragma rule names; unknown names are returned
+    /// for the caller to report. `no-todo-dbg` is accepted but redundant
+    /// (it is global).
+    pub fn from_rule_names<'a>(
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> (FileScope, Vec<String>) {
+        let mut scope = FileScope::NONE;
+        let mut unknown = Vec::new();
+        for name in names {
+            match name {
+                "no-panic" => scope.no_panic = true,
+                "naked-f64" => scope.naked_f64 = true,
+                "lossy-cast" => scope.lossy_cast = true,
+                "missing-docs" => scope.missing_docs = true,
+                "no-todo-dbg" => {}
+                other => unknown.push(other.to_string()),
+            }
+        }
+        (scope, unknown)
+    }
+
+    /// Per-file adjustment of a crate-level scope: the units module is
+    /// the one place bare floats are the API, so `naked-f64` is exempt
+    /// there.
+    pub fn for_file(self, rel: &str) -> FileScope {
+        if rel.ends_with("/units.rs") || rel == "units.rs" {
+            FileScope { naked_f64: false, ..self }
+        } else {
+            self
         }
     }
+}
+
+/// Extracts a crate root's `modelcheck:` pragma: the first inner-doc
+/// line of the form `//! modelcheck: rule, rule, …`. Returns the
+/// 0-based line index and the listed names.
+pub fn parse_pragma(text: &str) -> Option<(usize, Vec<String>)> {
+    for (i, line) in text.lines().enumerate() {
+        let Some(rest) = line.trim_start().strip_prefix("//!") else { continue };
+        let Some(list) = rest.trim_start().strip_prefix("modelcheck:") else { continue };
+        let names =
+            list.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
+        return Some((i, names));
+    }
+    None
 }
 
 /// True when `needle` occurs in `hay` with non-identifier characters (or
@@ -318,10 +380,11 @@ fn float_evidence_before(code: &str, as_pos: usize) -> bool {
 const INT_CAST_TARGETS: [&str; 12] =
     ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
 
-/// Scans one file's text; `rel` is the workspace-relative path used both
-/// for scoping and in diagnostics.
-pub fn scan_file(rel: &str, text: &str) -> Vec<Diagnostic> {
-    let scope = FileScope::classify(rel);
+/// Scans one file's text under an explicit rule scope; `rel` is the
+/// workspace-relative path used in diagnostics. ([`scan_workspace`]
+/// derives the scope from the owning crate's root pragma.)
+pub fn scan_file(rel: &str, text: &str, scope: FileScope) -> Vec<Diagnostic> {
+    let scope = scope.for_file(rel);
     let lines: Vec<&str> = text.lines().collect();
     let allows = collect_allows(&lines);
     let test_mask = cfg_test_mask(&lines);
@@ -395,7 +458,7 @@ pub fn scan_file(rel: &str, text: &str) -> Vec<Diagnostic> {
                         i,
                         Rule::NakedF64,
                         format!(
-                            "bare `{ty}` in a public core signature — use the `units` \
+                            "bare `{ty}` in a public signature — use the `units` \
                              newtypes (Seconds, Prob, Slowdown, …)"
                         ),
                     );
@@ -449,7 +512,7 @@ pub fn scan_file(rel: &str, text: &str) -> Vec<Diagnostic> {
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
 
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+fn walk_by<F: FnMut(&Path)>(dir: &Path, visit: &mut F) {
     let Ok(entries) = fs::read_dir(dir) else { return };
     let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
     paths.sort();
@@ -457,26 +520,99 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
         if path.is_dir() {
             let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
             if !SKIP_DIRS.contains(&name) {
-                walk(&path, out);
+                walk_by(&path, visit);
             }
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
+        } else {
+            visit(&path);
         }
     }
 }
 
-/// Scans every `.rs` file under `root` (skipping `vendor/`, `target/`,
-/// `.git/`, and `fixtures/`) and returns all diagnostics, ordered by
-/// path and line.
-pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
-    let mut files = Vec::new();
-    walk(root, &mut files);
+/// A discovered crate: its directory and the rules its root opted into.
+#[derive(Debug, Clone)]
+pub struct CrateScope {
+    /// Crate directory, workspace-relative with `/` separators (empty
+    /// for a package rooted at the workspace root).
+    pub dir: String,
+    /// Rules enabled by the crate root's pragma.
+    pub scope: FileScope,
+}
+
+fn rel_of(path: &Path, root: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+/// Discovers every crate under `root` (any directory with a
+/// `Cargo.toml`, skip-dirs excluded) and reads its root pragma from
+/// `src/lib.rs` (or `src/main.rs`). Returns the per-crate scopes plus
+/// diagnostics for pragmas naming unknown rules.
+pub fn discover_crates(root: &Path) -> (Vec<CrateScope>, Vec<Diagnostic>) {
+    let mut manifest_dirs = Vec::new();
+    walk_by(root, &mut |path| {
+        if path.file_name().is_some_and(|n| n == "Cargo.toml") {
+            if let Some(dir) = path.parent() {
+                manifest_dirs.push(dir.to_path_buf());
+            }
+        }
+    });
+    let mut crates = Vec::new();
     let mut diags = Vec::new();
-    for path in files {
-        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
-        let Ok(text) = fs::read_to_string(&path) else { continue };
-        diags.extend(scan_file(&rel, &text));
+    for dir in manifest_dirs {
+        let Some((crate_root, text)) = ["lib.rs", "main.rs"]
+            .iter()
+            .map(|f| dir.join("src").join(f))
+            .find_map(|p| fs::read_to_string(&p).ok().map(|t| (p, t)))
+        else {
+            continue;
+        };
+        let Some((line, names)) = parse_pragma(&text) else {
+            crates.push(CrateScope { dir: rel_of(&dir, root), scope: FileScope::NONE });
+            continue;
+        };
+        let (scope, unknown) = FileScope::from_rule_names(names.iter().map(String::as_str));
+        for name in unknown {
+            diags.push(Diagnostic {
+                file: rel_of(&crate_root, root),
+                line: line + 1,
+                rule: Rule::Pragma,
+                message: format!("unknown rule {name:?} in modelcheck pragma"),
+            });
+        }
+        crates.push(CrateScope { dir: rel_of(&dir, root), scope });
     }
+    (crates, diags)
+}
+
+/// Scans every `.rs` file under `root` (skipping `vendor/`, `target/`,
+/// `.git/`, and `fixtures/`), scoping each file by its owning crate's
+/// root pragma, and returns all diagnostics ordered by path and line.
+pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
+    let (crates, mut diags) = discover_crates(root);
+    let mut files = Vec::new();
+    walk_by(root, &mut |path| {
+        if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path.to_path_buf());
+        }
+    });
+    for path in files {
+        let rel = rel_of(&path, root);
+        // The owning crate is the one whose src/ tree contains the file;
+        // the longest directory prefix wins for nested layouts.
+        let scope = crates
+            .iter()
+            .filter(|c| {
+                if c.dir.is_empty() {
+                    rel.starts_with("src/")
+                } else {
+                    rel.starts_with(&format!("{}/src/", c.dir))
+                }
+            })
+            .max_by_key(|c| c.dir.len())
+            .map_or(FileScope::NONE, |c| c.scope);
+        let Ok(text) = fs::read_to_string(&path) else { continue };
+        diags.extend(scan_file(&rel, &text, scope));
+    }
+    diags.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     diags
 }
 
@@ -485,20 +621,36 @@ mod tests {
     use super::*;
 
     fn core_scan(body: &str) -> Vec<Diagnostic> {
-        scan_file("crates/core/src/sample.rs", body)
+        scan_file("crates/core/src/sample.rs", body, FileScope::ALL)
     }
 
     #[test]
-    fn unwrap_flagged_in_model_src_only() {
+    fn unwrap_flagged_under_scope_only() {
         let body = "fn f() { x.unwrap(); }\n";
         assert_eq!(core_scan(body).len(), 1);
         assert_eq!(core_scan(body)[0].rule, Rule::NoPanic);
-        assert!(scan_file("crates/experiments/src/sample.rs", body).is_empty());
+        assert!(scan_file("crates/experiments/src/sample.rs", body, FileScope::NONE).is_empty());
     }
 
     #[test]
     fn unwrap_or_is_not_unwrap() {
         assert!(core_scan("fn f() { x.unwrap_or(0.0); }\n").is_empty());
+    }
+
+    #[test]
+    fn pragma_parses_rule_lists() {
+        let text = "//! Crate docs.\n//!\n//! modelcheck: no-panic, lossy-cast\npub fn x() {}\n";
+        let (line, names) = parse_pragma(text).unwrap();
+        assert_eq!(line, 2);
+        assert_eq!(names, vec!["no-panic".to_string(), "lossy-cast".to_string()]);
+        assert_eq!(parse_pragma("//! Just docs.\n"), None);
+
+        let (scope, unknown) = FileScope::from_rule_names(names.iter().map(String::as_str));
+        assert!(scope.no_panic && scope.lossy_cast);
+        assert!(!scope.naked_f64 && !scope.missing_docs);
+        assert!(unknown.is_empty());
+        let (_, unknown) = FileScope::from_rule_names(["no-panick"]);
+        assert_eq!(unknown, vec!["no-panick".to_string()]);
     }
 
     #[test]
@@ -528,7 +680,7 @@ mod tests {
     #[test]
     fn units_module_is_exempt_from_naked_f64() {
         let body = "/// Doc.\npub fn get(&self) -> f64 { self.0 }\n";
-        assert!(scan_file("crates/core/src/units.rs", body).is_empty());
+        assert!(scan_file("crates/core/src/units.rs", body, FileScope::ALL).is_empty());
     }
 
     #[test]
@@ -552,10 +704,10 @@ mod tests {
     }
 
     #[test]
-    fn todo_and_dbg_flagged_even_in_tests() {
+    fn todo_and_dbg_flagged_even_in_tests_and_unscoped_files() {
         let pat = concat!("to", "do!()");
         let body = format!("#[cfg(test)]\nmod tests {{\n    fn f() {{ {pat}; }}\n}}\n");
-        let d = scan_file("crates/experiments/src/sample.rs", &body);
+        let d = scan_file("crates/experiments/src/sample.rs", &body, FileScope::NONE);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, Rule::NoTodoDbg);
     }

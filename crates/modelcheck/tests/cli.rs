@@ -24,12 +24,22 @@ fn seeded_violations_are_all_found() {
     assert_eq!(count(Rule::NoPanic), 1, "{diags:?}");
     assert_eq!(count(Rule::LossyCast), 1, "{diags:?}");
     assert_eq!(count(Rule::NoTodoDbg), 1, "{diags:?}");
-    // Nothing beyond the seeded five: the two allow comments held.
-    assert_eq!(diags.len(), 5, "{diags:?}");
+    // The typo fixture's misspelled pragma is itself a diagnostic.
+    assert_eq!(count(Rule::Pragma), 1, "{diags:?}");
+    // Nothing beyond the seeded six: the two allow comments held, and the
+    // unscoped crate (no pragma) contributes nothing despite its unwrap.
+    assert_eq!(diags.len(), 6, "{diags:?}");
+    assert!(
+        !diags.iter().any(|d| d.file.contains("unscoped")),
+        "crates without a pragma must stay exempt: {diags:?}"
+    );
     // The undocumented naked signature is reported where it starts.
     let naked = diags.iter().find(|d| d.rule == Rule::NakedF64).unwrap();
     assert_eq!(naked.file, "crates/core/src/bad.rs");
     assert_eq!(naked.line, 3);
+    let pragma = diags.iter().find(|d| d.rule == Rule::Pragma).unwrap();
+    assert_eq!(pragma.file, "crates/typo/src/lib.rs");
+    assert!(pragma.message.contains("no-panick"), "{}", pragma.message);
 }
 
 #[test]
@@ -65,7 +75,7 @@ fn json_output_is_machine_readable() {
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     let body = stdout.trim();
     assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
-    for rule in ["no-panic", "naked-f64", "lossy-cast", "no-todo-dbg", "missing-docs"] {
+    for rule in ["no-panic", "naked-f64", "lossy-cast", "no-todo-dbg", "missing-docs", "pragma"] {
         assert!(body.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in {body}");
     }
 }

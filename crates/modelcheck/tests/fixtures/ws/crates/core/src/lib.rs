@@ -1,0 +1,5 @@
+//! Fixture crate opting into every rule.
+//!
+//! modelcheck: no-panic, naked-f64, lossy-cast, missing-docs
+
+pub mod bad;

@@ -1,0 +1,3 @@
+//! Fixture crate whose pragma misspells a rule name.
+//!
+//! modelcheck: no-panick

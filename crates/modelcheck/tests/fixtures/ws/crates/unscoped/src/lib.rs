@@ -1,0 +1,5 @@
+// No pragma: this crate never opted in, so only the global rule applies.
+
+pub fn undocumented_and_panicky(v: &[u32]) -> f64 {
+    *v.first().unwrap() as f64
+}

@@ -1,0 +1,98 @@
+//! The daemon binary: bind, announce, serve until `shutdown`.
+//!
+//! ```text
+//! predictd [--listen ADDR] [--port-file PATH] [--stdio]
+//!          [--window N] [--horizon-secs S] [--frac F] [--max-rank N]
+//! ```
+//!
+//! With `--listen` (default `127.0.0.1:0`) the bound address is printed
+//! to stdout (and to `--port-file` when given) so callers can find an
+//! OS-assigned port. With `--stdio` the daemon speaks the protocol on
+//! stdin/stdout instead — handy for debugging and piping.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+use contention_model::units::{Prob, Seconds};
+use predictd::{serve, serve_stdio, Service, ServiceConfig};
+
+struct Args {
+    listen: String,
+    port_file: Option<String>,
+    stdio: bool,
+    cfg: ServiceConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:0".to_string(),
+        port_file: None,
+        stdio: false,
+        cfg: ServiceConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen")?,
+            "--port-file" => args.port_file = Some(value("--port-file")?),
+            "--stdio" => args.stdio = true,
+            "--window" => {
+                args.cfg.monitor.window = parse_num(&value("--window")?, "--window")?;
+                if args.cfg.monitor.window == 0 {
+                    return Err("--window must be at least 1".to_string());
+                }
+            }
+            "--horizon-secs" => {
+                let raw: f64 = parse_num(&value("--horizon-secs")?, "--horizon-secs")?;
+                args.cfg.monitor.horizon = Seconds::try_new(raw)
+                    .ok_or("--horizon-secs must be finite and non-negative".to_string())?;
+            }
+            "--frac" => {
+                let raw: f64 = parse_num(&value("--frac")?, "--frac")?;
+                args.cfg.monitor.default_frac =
+                    Prob::try_new(raw).ok_or("--frac must be in [0, 1]".to_string())?;
+            }
+            "--max-rank" => {
+                args.cfg.max_rank_schedules = parse_num(&value("--max-rank")?, "--max-rank")?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
+    raw.parse().map_err(|_| format!("{name}: cannot parse {raw:?}"))
+}
+
+const USAGE: &str = "usage: predictd [--listen ADDR] [--port-file PATH] [--stdio] \
+[--window N] [--horizon-secs S] [--frac F] [--max-rank N]";
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let mut service = Service::with_default_predictor(args.cfg);
+    if args.stdio {
+        return serve_stdio(&mut service).map_err(|e| format!("stdio transport failed: {e}"));
+    }
+    let listener =
+        TcpListener::bind(&args.listen).map_err(|e| format!("cannot bind {}: {e}", args.listen))?;
+    let bound = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    println!("listening on {bound}");
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, format!("{bound}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    serve(&listener, &mut service).map_err(|e| format!("serve failed: {e}"))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("predictd: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! A small blocking client for the predictd wire protocol, used by
+//! `predictctl`, the integration tests, and the CI smoke job.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{Request, Response};
+
+/// What can go wrong talking to the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure.
+    Io(std::io::Error),
+    /// The daemon answered, but not with a decodable response line.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected predictd client (one request in flight at a time).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7171"`).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request and decodes the response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let line = serde_json::to_string(req).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let reply = self.request_raw(&line)?;
+        serde_json::from_str(&reply).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Sends one raw request line and returns the raw response line —
+    /// the escape hatch `predictctl raw` uses.
+    pub fn request_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed by daemon".to_string()));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+}

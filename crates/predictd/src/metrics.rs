@@ -1,0 +1,234 @@
+//! Per-request service metrics: kind counts, profile-cache hit rate,
+//! and a fixed-bucket latency histogram.
+//!
+//! The histogram uses 24 power-of-two microsecond buckets (bucket `i`
+//! holds latencies in `(2^(i-1), 2^i]` µs, bucket 0 holds `≤ 1` µs), so
+//! recording is O(1), allocation-free, and quantiles are upper bounds —
+//! exactly what a long-running daemon wants from its own bookkeeping.
+
+use crate::proto::{CacheStats, LatencySummary, RequestCounts, StatsReply};
+use contention_model::units::f64_from_u64;
+
+/// Number of histogram buckets (covers up to ~2.3 hours in µs).
+const BUCKETS: usize = 24;
+
+/// The request kinds the daemon serves, for per-kind counting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// `load_report`.
+    LoadReport,
+    /// `predict`.
+    Predict,
+    /// `decide_batch`.
+    DecideBatch,
+    /// `rank`.
+    Rank,
+    /// `stats`.
+    Stats,
+    /// `shutdown`.
+    Shutdown,
+}
+
+impl ReqKind {
+    fn index(self) -> usize {
+        match self {
+            ReqKind::LoadReport => 0,
+            ReqKind::Predict => 1,
+            ReqKind::DecideBatch => 2,
+            ReqKind::Rank => 3,
+            ReqKind::Stats => 4,
+            ReqKind::Shutdown => 5,
+        }
+    }
+}
+
+/// Fixed-bucket power-of-two latency histogram, microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest observation, µs (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Bucket index for a latency: bucket 0 is `≤ 1` µs, bucket `i`
+    /// covers `(2^(i-1), 2^i]` µs; the last bucket absorbs the tail.
+    fn bucket_of(us: u64) -> usize {
+        if us <= 1 {
+            return 0;
+        }
+        // ceil(log2(us)) via leading_zeros on us-1; u32 → usize is lossless.
+        let ceil_log2 = u64::BITS - (us - 1).leading_zeros();
+        (ceil_log2 as usize).min(BUCKETS - 1)
+    }
+
+    /// Upper bound of a bucket, µs.
+    fn bucket_upper(idx: usize) -> u64 {
+        1u64 << idx.min(63)
+    }
+
+    /// Upper bound on the `q`-quantile latency (`q` in `[0, 1]`), µs.
+    /// Returns 0 when no observations were recorded.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = q.clamp(0.0, 1.0) * f64_from_u64(self.count);
+        let mut cumulative = 0u64;
+        for (idx, n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if f64_from_u64(cumulative) >= target {
+                // Never report past the true maximum.
+                return Self::bucket_upper(idx).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// All service metrics, mutated on every request.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    counts: [u64; 6],
+    cache_hits: u64,
+    cache_misses: u64,
+    hist: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Counts one request of `kind`.
+    pub fn count_request(&mut self, kind: ReqKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Records one request latency.
+    pub fn record_latency_us(&mut self, us: u64) {
+        self.hist.record(us);
+    }
+
+    /// Counts a profile served from cache.
+    pub fn cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    /// Counts a profile recompute.
+    pub fn cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+
+    /// Snapshot for the `stats` response.
+    pub fn snapshot(&self, machines: usize) -> StatsReply {
+        let looked_up = self.cache_hits + self.cache_misses;
+        let hit_rate = if looked_up == 0 {
+            0.0
+        } else {
+            f64_from_u64(self.cache_hits) / f64_from_u64(looked_up)
+        };
+        StatsReply {
+            requests: RequestCounts {
+                load_report: self.counts[0],
+                predict: self.counts[1],
+                decide_batch: self.counts[2],
+                rank: self.counts[3],
+                stats: self.counts[4],
+                shutdown: self.counts[5],
+            },
+            cache: CacheStats { hits: self.cache_hits, misses: self.cache_misses, hit_rate },
+            latency_us: LatencySummary {
+                count: self.hist.count(),
+                p50_us: self.hist.quantile_us(0.50),
+                p99_us: self.hist.quantile_us(0.99),
+                max_us: self.hist.max_us(),
+            },
+            machines: u64::try_from(machines).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 0);
+        assert_eq!(LatencyHistogram::bucket_of(2), 1);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(4), 2);
+        assert_eq!(LatencyHistogram::bucket_of(5), 3);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 10);
+        assert_eq!(LatencyHistogram::bucket_of(1025), 11);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_are_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        for us in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 900] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.quantile_us(0.5), 1);
+        // p99 lands in the 900 observation's bucket (512, 1024] but is
+        // clamped to the observed maximum.
+        assert_eq!(h.quantile_us(0.99), 900);
+        assert_eq!(h.max_us(), 900);
+        assert_eq!(LatencyHistogram::new().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_reports_rates() {
+        let mut m = Metrics::new();
+        m.count_request(ReqKind::Predict);
+        m.count_request(ReqKind::Predict);
+        m.count_request(ReqKind::Stats);
+        m.cache_hit();
+        m.cache_hit();
+        m.cache_miss();
+        m.record_latency_us(10);
+        let s = m.snapshot(3);
+        assert_eq!(s.requests.predict, 2);
+        assert_eq!(s.requests.stats, 1);
+        assert_eq!(s.requests.total(), 3);
+        assert_eq!(s.cache.hits, 2);
+        assert!((s.cache.hit_rate - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.latency_us.count, 1);
+        assert_eq!(s.machines, 3);
+    }
+
+    #[test]
+    fn empty_metrics_have_zero_rate() {
+        let s = Metrics::new().snapshot(0);
+        assert_eq!(s.cache.hit_rate, 0.0);
+        assert_eq!(s.latency_us.p99_us, 0);
+        assert_eq!(s.requests.total(), 0);
+    }
+}

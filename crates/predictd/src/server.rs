@@ -1,0 +1,74 @@
+//! Transport: newline-delimited JSON over TCP or stdio.
+//!
+//! The daemon is deliberately std-only and single-threaded: requests
+//! are small, handlers are microseconds, and one connection at a time
+//! keeps the service state free of locks. Connections are served
+//! sequentially; a connection-level I/O error drops that connection and
+//! the accept loop keeps going. Only an explicit `shutdown` request (or
+//! EOF on stdio) stops the daemon.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpListener, TcpStream};
+
+use crate::service::Service;
+
+/// Serves connections from `listener` until a `shutdown` request.
+pub fn serve(listener: &TcpListener, service: &mut Service) -> io::Result<()> {
+    for stream in listener.incoming() {
+        match stream {
+            Ok(conn) => {
+                if serve_conn(conn, service) {
+                    return Ok(());
+                }
+            }
+            // A failed accept is transient (e.g. the peer vanished
+            // between SYN and accept); keep listening.
+            Err(_) => continue,
+        }
+    }
+    Ok(())
+}
+
+/// Serves one connection; true means a `shutdown` request was handled.
+fn serve_conn(conn: TcpStream, service: &mut Service) -> bool {
+    let Ok(read_half) = conn.try_clone() else {
+        return false;
+    };
+    let reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(conn);
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            return false;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, shutdown) = service.handle_line(&line);
+        if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+            return false;
+        }
+        if shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+/// Serves requests from stdin to stdout until `shutdown` or EOF.
+pub fn serve_stdio(service: &mut Service) -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut stdout = io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (reply, shutdown) = service.handle_line(&line);
+        writeln!(stdout, "{reply}")?;
+        stdout.flush()?;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(())
+}

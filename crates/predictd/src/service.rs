@@ -1,0 +1,513 @@
+//! The request handler: per-machine load monitors + epoch-keyed profile
+//! caches wrapped around one calibrated [`ParagonPredictor`].
+//!
+//! Each machine gets a [`LoadMonitor`] (forecasting) and a
+//! [`ProfileCache`] keyed by the forecast *shape* `(p, frac)`: as long
+//! as consecutive forecasts agree on the contender count and
+//! communication fraction, the stored [`WorkloadMix`] — and therefore
+//! its epoch — is left untouched, so the cached [`SlowdownProfile`]
+//! stays current and predictions skip the profile recompute entirely. A
+//! `load_report` that changes the shape swaps in a fresh mix, bumping
+//! the epoch and invalidating the cache by the core's own coherence
+//! rule.
+//!
+//! Stale forecasts (see the staleness policy in `loadcast`) never touch
+//! the per-machine cache: they are answered from one precomputed
+//! dedicated-machine profile, so a machine flapping between fresh and
+//! stale does not thrash its cache.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use contention_model::mix::WorkloadMix;
+use contention_model::predict::ParagonPredictor;
+use contention_model::profile::{ProfileCache, SlowdownProfile};
+use contention_model::units::{Prob, Seconds};
+use hetsched::forecast::rank_all_forecast;
+use loadcast::{LoadMonitor, MixForecast, MonitorConfig};
+
+use crate::metrics::{Metrics, ReqKind};
+use crate::proto::{
+    Ack, DecideBatch, Decisions, LoadReport, Predict, Prediction, Rank, Ranked, Request, Response,
+};
+
+/// Service-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Monitor configuration applied to every newly seen machine.
+    pub monitor: MonitorConfig,
+    /// Upper bound on `machines^tasks` a `rank` request may ask for;
+    /// larger workflows are rejected instead of evaluated.
+    pub max_rank_schedules: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { monitor: MonitorConfig::default(), max_rank_schedules: 100_000 }
+    }
+}
+
+/// Forecasting and caching state for one reported machine.
+#[derive(Debug)]
+struct MachineState {
+    monitor: LoadMonitor,
+    /// The mix the cache is keyed on; replaced only when the forecast
+    /// shape changes, so its epoch is stable across same-shape queries.
+    mix: WorkloadMix,
+    /// Shape of `mix`: `(p, frac.to_bits())`.
+    shape: Option<(usize, u64)>,
+    cache: ProfileCache,
+}
+
+impl MachineState {
+    fn new(cfg: MonitorConfig) -> Self {
+        MachineState {
+            monitor: LoadMonitor::new(cfg),
+            mix: WorkloadMix::new(),
+            shape: None,
+            cache: ProfileCache::new(),
+        }
+    }
+
+    /// Re-keys the stored mix when the forecast shape changed. Keeping
+    /// the mix (and its epoch) stable on same-shape forecasts is what
+    /// lets the epoch-keyed cache hit.
+    fn sync_mix(&mut self, mf: &MixForecast) {
+        let key = (mf.forecast.p, mf.frac.get().to_bits());
+        if self.shape != Some(key) {
+            self.mix = mf.mix.clone();
+            self.shape = Some(key);
+        }
+    }
+}
+
+/// A resolved forecast: the profile to predict with, plus its pedigree.
+struct Resolved {
+    profile: SlowdownProfile,
+    p: u64,
+    stale: bool,
+    forecaster: String,
+    cache_hit: bool,
+}
+
+/// The contention-prediction service: all daemon state minus transport.
+#[derive(Debug)]
+pub struct Service {
+    pred: ParagonPredictor,
+    cfg: ServiceConfig,
+    machines: BTreeMap<String, MachineState>,
+    metrics: Metrics,
+    /// Precomputed dedicated-machine profile, the stale fallback.
+    dedicated: SlowdownProfile,
+}
+
+impl Service {
+    /// A service around a calibrated predictor.
+    pub fn new(pred: ParagonPredictor, cfg: ServiceConfig) -> Self {
+        let dedicated = pred.profile(&WorkloadMix::new());
+        Service { pred, cfg, machines: BTreeMap::new(), metrics: Metrics::new(), dedicated }
+    }
+
+    /// A service around [`crate::default_predictor`].
+    pub fn with_default_predictor(cfg: ServiceConfig) -> Self {
+        Service::new(crate::default_predictor(), cfg)
+    }
+
+    /// Machines that have reported at least once.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Handles one request; the flag is true when the daemon should stop
+    /// (after sending the response).
+    pub fn handle(&mut self, req: &Request) -> (Response, bool) {
+        let started = Instant::now();
+        self.metrics.count_request(match req {
+            Request::LoadReport(_) => ReqKind::LoadReport,
+            Request::Predict(_) => ReqKind::Predict,
+            Request::DecideBatch(_) => ReqKind::DecideBatch,
+            Request::Rank(_) => ReqKind::Rank,
+            Request::Stats => ReqKind::Stats,
+            Request::Shutdown => ReqKind::Shutdown,
+        });
+        let (resp, shutdown) = match req {
+            Request::LoadReport(r) => (self.on_load_report(r), false),
+            Request::Predict(q) => (self.on_predict(q), false),
+            Request::DecideBatch(q) => (self.on_decide_batch(q), false),
+            Request::Rank(q) => (self.on_rank(q), false),
+            // The snapshot includes the stats request itself; its own
+            // latency lands in the histogram afterwards.
+            Request::Stats => (Response::Stats(self.metrics.snapshot(self.machines.len())), false),
+            Request::Shutdown => (Response::Ok, true),
+        };
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.record_latency_us(us);
+        (resp, shutdown)
+    }
+
+    /// Parses one request line and encodes the response line (no
+    /// trailing newline). Malformed input yields an `error` response,
+    /// never a dropped connection.
+    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
+        let (resp, shutdown) = match serde_json::from_str::<Request>(line) {
+            Ok(req) => self.handle(&req),
+            Err(e) => (Response::error(format!("bad request: {e}")), false),
+        };
+        let encoded = serde_json::to_string(&resp).unwrap_or_else(|e| {
+            format!("{{\"kind\":\"error\",\"message\":\"encode failure: {e}\"}}")
+        });
+        (encoded, shutdown)
+    }
+
+    fn on_load_report(&mut self, r: &LoadReport) -> Response {
+        let at = match Seconds::try_new(r.at) {
+            Some(s) => s,
+            None => return Response::error("\"at\" must be finite and non-negative"),
+        };
+        let frac = if r.comm_frac < 0.0 {
+            None
+        } else {
+            match Prob::try_new(r.comm_frac) {
+                Some(p) => Some(p),
+                None => {
+                    return Response::error(
+                        "\"comm_frac\" must be in [0, 1], or negative to leave it unchanged",
+                    )
+                }
+            }
+        };
+        let cfg = self.cfg.monitor;
+        let state =
+            self.machines.entry(r.machine.clone()).or_insert_with(|| MachineState::new(cfg));
+        let accepted = state.monitor.report(at, r.load, frac);
+        // Keep the epoch-keyed cache coherent with the new forecast
+        // shape right away, not lazily at the next predict.
+        let mf = state.monitor.mix_forecast(at);
+        if !mf.forecast.stale {
+            state.sync_mix(&mf);
+        }
+        Response::Ack(Ack {
+            machine: r.machine.clone(),
+            accepted,
+            p: u64::try_from(mf.forecast.p).unwrap_or(u64::MAX),
+        })
+    }
+
+    /// Resolves machine + time to the profile a prediction should use,
+    /// recording cache metrics. Unknown machines and stale forecasts get
+    /// the precomputed dedicated profile, flagged stale.
+    fn resolve_profile(&mut self, machine: &str, now: Seconds) -> Resolved {
+        let Some(state) = self.machines.get_mut(machine) else {
+            self.metrics.cache_hit();
+            return Resolved {
+                profile: self.dedicated.clone(),
+                p: 0,
+                stale: true,
+                forecaster: "dedicated".to_string(),
+                cache_hit: true,
+            };
+        };
+        let mf = state.monitor.mix_forecast(now);
+        if mf.forecast.stale {
+            self.metrics.cache_hit();
+            return Resolved {
+                profile: self.dedicated.clone(),
+                p: 0,
+                stale: true,
+                forecaster: mf.forecast.forecaster,
+                cache_hit: true,
+            };
+        }
+        state.sync_mix(&mf);
+        let hit = state.cache.peek().is_some_and(|pr| pr.is_current(&state.mix));
+        if hit {
+            self.metrics.cache_hit();
+        } else {
+            self.metrics.cache_miss();
+        }
+        let profile = state
+            .cache
+            .profile_for(&state.mix, &self.pred.comm_delays, &self.pred.comp_delays)
+            .clone();
+        Resolved {
+            profile,
+            p: u64::try_from(mf.forecast.p).unwrap_or(u64::MAX),
+            stale: false,
+            forecaster: mf.forecast.forecaster,
+            cache_hit: hit,
+        }
+    }
+
+    fn on_predict(&mut self, q: &Predict) -> Response {
+        let now = match Seconds::try_new(q.now) {
+            Some(s) => s,
+            None => return Response::error("\"now\" must be finite and non-negative"),
+        };
+        let r = self.resolve_profile(&q.machine, now);
+        let decision = self.pred.decide_with(&q.task, &r.profile, q.j_words);
+        Response::Prediction(Prediction {
+            machine: q.machine.clone(),
+            p: r.p,
+            stale: r.stale,
+            forecaster: r.forecaster,
+            cache_hit: r.cache_hit,
+            decision,
+        })
+    }
+
+    fn on_decide_batch(&mut self, q: &DecideBatch) -> Response {
+        let now = match Seconds::try_new(q.now) {
+            Some(s) => s,
+            None => return Response::error("\"now\" must be finite and non-negative"),
+        };
+        let r = self.resolve_profile(&q.machine, now);
+        let decisions = self.pred.decide_batch(&q.tasks, &r.profile, q.j_words);
+        Response::Decisions(Decisions {
+            machine: q.machine.clone(),
+            p: r.p,
+            stale: r.stale,
+            forecaster: r.forecaster,
+            cache_hit: r.cache_hit,
+            decisions,
+        })
+    }
+
+    fn on_rank(&mut self, q: &Rank) -> Response {
+        let now = match Seconds::try_new(q.now) {
+            Some(s) => s,
+            None => return Response::error("\"now\" must be finite and non-negative"),
+        };
+        if let Err(e) = q.workflow.try_validate() {
+            return Response::error(format!("invalid workflow: {e}"));
+        }
+        if q.front_end >= q.workflow.machines() {
+            return Response::error(format!(
+                "front_end {} out of range for {} machines",
+                q.front_end,
+                q.workflow.machines()
+            ));
+        }
+        let m = u64::try_from(q.workflow.machines()).unwrap_or(u64::MAX);
+        let k = u32::try_from(q.workflow.len()).unwrap_or(u32::MAX);
+        let total = match m.checked_pow(k) {
+            Some(t) if t <= self.cfg.max_rank_schedules => t,
+            _ => {
+                return Response::error(format!(
+                    "rank space {m}^{k} exceeds the limit of {} schedules",
+                    self.cfg.max_rank_schedules
+                ))
+            }
+        };
+        let r = self.resolve_profile(&q.machine, now);
+        let mut schedules = rank_all_forecast(&q.workflow, q.front_end, &r.profile, q.j_words);
+        if q.limit > 0 {
+            schedules.truncate(q.limit);
+        }
+        Response::Ranked(Ranked {
+            machine: q.machine.clone(),
+            p: r.p,
+            stale: r.stale,
+            total,
+            schedules,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_model::dataset::DataSet;
+    use contention_model::predict::ParagonTask;
+    use contention_model::units::secs;
+
+    fn task() -> ParagonTask {
+        ParagonTask {
+            dcomp_sun: secs(30.0),
+            t_paragon: secs(6.0),
+            to_backend: vec![DataSet::burst(10, 2000)],
+            from_backend: vec![DataSet::single(1000)],
+        }
+    }
+
+    fn svc() -> Service {
+        Service::with_default_predictor(ServiceConfig::default())
+    }
+
+    fn report(machine: &str, at: f64, load: f64) -> Request {
+        Request::LoadReport(LoadReport { machine: machine.to_string(), at, load, comm_frac: -1.0 })
+    }
+
+    fn predict_at(machine: &str, now: f64) -> Request {
+        Request::Predict(Predict { machine: machine.to_string(), now, task: task(), j_words: 500 })
+    }
+
+    #[test]
+    fn unknown_machine_degrades_to_stale_dedicated() {
+        let mut s = svc();
+        let (resp, stop) = s.handle(&predict_at("ghost", 0.0));
+        assert!(!stop);
+        let Response::Prediction(p) = resp else { panic!("want prediction, got {resp:?}") };
+        assert!(p.stale);
+        assert_eq!(p.p, 0);
+        assert_eq!(p.forecaster, "dedicated");
+        let direct = s.pred.decide(&task(), &WorkloadMix::new(), 500);
+        assert_eq!(p.decision, direct, "stale answer must be the dedicated decision");
+    }
+
+    #[test]
+    fn fresh_forecast_matches_direct_decide_and_hits_cache() {
+        let mut s = svc();
+        for t in 0..4 {
+            let (resp, _) = s.handle(&report("m0", f64::from(t), 3.0));
+            let Response::Ack(a) = resp else { panic!("want ack") };
+            assert!(a.accepted);
+        }
+        let (first, _) = s.handle(&predict_at("m0", 3.0));
+        let Response::Prediction(p1) = first else { panic!("want prediction") };
+        assert!(!p1.stale);
+        assert_eq!(p1.p, 3);
+        assert!(!p1.cache_hit, "first predict computes the profile");
+        let truth = WorkloadMix::from_probs(&[Prob::ZERO; 3]);
+        let direct = s.pred.decide(&task(), &truth, 500);
+        assert_eq!(p1.decision, direct, "forecast-fed decision must be bit-identical");
+
+        let (second, _) = s.handle(&predict_at("m0", 3.5));
+        let Response::Prediction(p2) = second else { panic!("want prediction") };
+        assert!(p2.cache_hit, "same shape, same epoch: cache must hit");
+        assert_eq!(p2.decision, direct);
+    }
+
+    #[test]
+    fn staleness_policy_fires_and_recovers() {
+        let mut s = svc();
+        s.handle(&report("m0", 0.0, 2.0));
+        s.handle(&report("m0", 1.0, 2.0));
+        let (resp, _) = s.handle(&predict_at("m0", 500.0));
+        let Response::Prediction(p) = resp else { panic!("want prediction") };
+        assert!(p.stale, "far-future query must trip the horizon");
+        assert_eq!(p.p, 0);
+        // A new report brings the machine back.
+        s.handle(&report("m0", 500.0, 2.0));
+        let (resp, _) = s.handle(&predict_at("m0", 500.5));
+        let Response::Prediction(p) = resp else { panic!("want prediction") };
+        assert!(!p.stale);
+        assert_eq!(p.p, 2);
+    }
+
+    #[test]
+    fn batch_agrees_with_single_predictions() {
+        let mut s = svc();
+        for t in 0..3 {
+            s.handle(&report("m0", f64::from(t), 1.0));
+        }
+        let (single, _) = s.handle(&predict_at("m0", 2.0));
+        let Response::Prediction(p) = single else { panic!("want prediction") };
+        let (batch, _) = s.handle(&Request::DecideBatch(DecideBatch {
+            machine: "m0".to_string(),
+            now: 2.0,
+            tasks: vec![task(), task()],
+            j_words: 500,
+        }));
+        let Response::Decisions(d) = batch else { panic!("want decisions") };
+        assert_eq!(d.decisions.len(), 2);
+        assert_eq!(d.decisions[0], p.decision);
+        assert_eq!(d.decisions[1], p.decision);
+        assert!(d.cache_hit);
+    }
+
+    #[test]
+    fn rank_guards_and_ranks() {
+        let mut s = svc();
+        let wf = hetsched::example::workflow();
+        let (resp, _) = s.handle(&Request::Rank(Rank {
+            machine: "m0".to_string(),
+            now: 0.0,
+            workflow: wf.clone(),
+            front_end: 0,
+            j_words: 500,
+            limit: 0,
+        }));
+        let Response::Ranked(r) = resp else { panic!("want ranked, got {resp:?}") };
+        assert!(r.stale, "no reports yet");
+        assert_eq!(r.total, 4);
+        assert_eq!(r.schedules.len(), 4);
+        let direct = hetsched::eval::rank_all(&wf, &hetsched::task::Environment::dedicated(2));
+        assert_eq!(r.schedules, direct);
+
+        // front_end out of range is rejected, not a panic.
+        let (resp, _) = s.handle(&Request::Rank(Rank {
+            machine: "m0".to_string(),
+            now: 0.0,
+            workflow: wf.clone(),
+            front_end: 7,
+            j_words: 500,
+            limit: 0,
+        }));
+        assert_eq!(resp.kind(), "error");
+
+        // Oversized rank spaces are rejected.
+        let mut tight = s;
+        tight.cfg.max_rank_schedules = 3;
+        let (resp, _) = tight.handle(&Request::Rank(Rank {
+            machine: "m0".to_string(),
+            now: 0.0,
+            workflow: wf,
+            front_end: 0,
+            j_words: 500,
+            limit: 0,
+        }));
+        assert_eq!(resp.kind(), "error");
+    }
+
+    #[test]
+    fn stats_count_requests_and_cache() {
+        let mut s = svc();
+        s.handle(&report("m0", 0.0, 1.0));
+        s.handle(&report("m0", 1.0, 1.0));
+        s.handle(&predict_at("m0", 1.0));
+        s.handle(&predict_at("m0", 1.2));
+        let (resp, stop) = s.handle(&Request::Stats);
+        assert!(!stop);
+        let Response::Stats(st) = resp else { panic!("want stats") };
+        assert_eq!(st.requests.load_report, 2);
+        assert_eq!(st.requests.predict, 2);
+        assert_eq!(st.requests.stats, 1);
+        assert_eq!(st.machines, 1);
+        assert_eq!(st.cache.hits + st.cache.misses, 2);
+        assert!(st.cache.hits >= 1, "second predict must hit");
+        assert_eq!(st.latency_us.count, 4, "stats' own latency lands after the snapshot");
+    }
+
+    #[test]
+    fn shutdown_flags_the_caller() {
+        let mut s = svc();
+        let (resp, stop) = s.handle(&Request::Shutdown);
+        assert_eq!(resp, Response::Ok);
+        assert!(stop);
+    }
+
+    #[test]
+    fn handle_line_rejects_garbage_gracefully() {
+        let mut s = svc();
+        for bad in [
+            "not json",
+            "{}",
+            "{\"kind\":\"predict\"}",
+            "{\"kind\":\"nope\"}",
+            "{\"kind\":\"load_report\",\"machine\":\"m\",\"at\":\"later\",\"load\":1,\"comm_frac\":-1}",
+        ] {
+            let (reply, stop) = s.handle_line(bad);
+            assert!(!stop);
+            assert!(reply.contains("\"kind\":\"error\""), "{bad} -> {reply}");
+        }
+        // Invalid numeric domains are rejected by the handler, not a panic.
+        let (reply, _) = s.handle_line(
+            "{\"kind\":\"load_report\",\"machine\":\"m\",\"at\":-3.0,\"load\":1.0,\"comm_frac\":-1.0}",
+        );
+        assert!(reply.contains("\"kind\":\"error\""));
+        let (reply, _) = s.handle_line(
+            "{\"kind\":\"load_report\",\"machine\":\"m\",\"at\":0.0,\"load\":1.0,\"comm_frac\":2.0}",
+        );
+        assert!(reply.contains("\"kind\":\"error\""));
+    }
+}
