@@ -36,7 +36,7 @@ fn loadcast_ingest_forecast(c: &mut Criterion) {
 /// One warmed service with a reporting machine, plus the request lines a
 /// client would send.
 fn warmed_service() -> (Service, String, String) {
-    let mut svc = Service::with_default_predictor(ServiceConfig::default());
+    let svc = Service::with_default_predictor(ServiceConfig::default());
     for k in 0..8 {
         let line = format!(
             "{{\"kind\":\"load_report\",\"machine\":\"m0\",\"at\":{k}.0,\
@@ -58,9 +58,9 @@ fn warmed_service() -> (Service, String, String) {
 
 fn predictd_requests(c: &mut Criterion) {
     let mut g = c.benchmark_group("predictd");
-    let (mut svc, report, _) = warmed_service();
+    let (svc, report, _) = warmed_service();
     g.bench_function("load_report", |b| b.iter(|| black_box(svc.handle_line(black_box(&report)))));
-    let (mut svc, _, predict) = warmed_service();
+    let (svc, _, predict) = warmed_service();
     g.bench_function("predict_warm_cache", |b| {
         b.iter(|| black_box(svc.handle_line(black_box(&predict))))
     });

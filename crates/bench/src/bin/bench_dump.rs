@@ -10,7 +10,9 @@
 //!
 //! A second file, `BENCH_service.json`, covers the online service path:
 //! loadcast ingest+forecast and `predictd` request throughput
-//! (`load_report` and warm-cache `predict`) through `handle_line`.
+//! (`load_report` and warm-cache `predict`) through `handle_line`, plus
+//! a concurrency sweep over real TCP — a single-threaded closed-loop
+//! baseline against the pooled, pipelined server at 1/4/16 connections.
 
 use bench::paragon_predictor;
 use contention_model::dataset::DataSet;
@@ -180,7 +182,7 @@ fn service_report() -> Value {
         black_box(m.forecast(secs(64.0)));
     });
 
-    let mut svc = Service::with_default_predictor(ServiceConfig::default());
+    let svc = Service::with_default_predictor(ServiceConfig::default());
     let report_line = "{\"kind\":\"load_report\",\"machine\":\"m0\",\"at\":1.0,\
                        \"load\":2.0,\"comm_frac\":0.4}";
     let predict_line = "{\"kind\":\"predict\",\"machine\":\"m0\",\"now\":1.5,\
@@ -198,5 +200,107 @@ fn service_report() -> Value {
         ("loadcast_ingest_forecast_64".to_string(), throughput(ingest)),
         ("predictd_load_report".to_string(), throughput(load_report)),
         ("predictd_predict".to_string(), throughput(predict)),
+        ("concurrency_sweep".to_string(), concurrency_sweep()),
+    ])
+}
+
+/// One measured loadgen run as a JSON record.
+fn sweep_point(conns: usize, pipeline: usize, s: &bench::loadgen::Summary) -> Value {
+    Value::Map(vec![
+        ("conns".to_string(), Value::UInt(conns as u64)),
+        ("pipeline".to_string(), Value::UInt(pipeline as u64)),
+        ("requests".to_string(), Value::UInt(s.requests)),
+        ("errors".to_string(), Value::UInt(s.errors)),
+        ("elapsed_secs".to_string(), Value::Float(s.elapsed_secs)),
+        ("requests_per_sec".to_string(), Value::Float(s.requests_per_sec)),
+    ])
+}
+
+/// The tentpole's headline numbers: mixed predict/load_report traffic
+/// against (a) the single-threaded server, one closed-loop connection —
+/// the PR 3 configuration — and (b) the pooled, sharded server with
+/// pipelined clients at 1, 4, and 16 connections, all over real TCP on
+/// loopback. `speedup_16_vs_baseline` is the acceptance number.
+fn concurrency_sweep() -> Value {
+    use bench::loadgen::{drive, GenConfig, Mix};
+    use predictd::proto::Request;
+    use predictd::{serve, serve_pool, Client, ServerConfig, Service, ServiceConfig};
+    use std::net::TcpListener;
+    use std::thread;
+
+    const REQUESTS_PER_CONN: usize = 2000;
+    const PIPELINE: usize = 64;
+    /// Trials per measured point; the fastest is recorded, the usual
+    /// guard against scheduler noise on a shared box.
+    const TRIALS: usize = 3;
+
+    let best_run = |addr, cfg: &GenConfig| {
+        let mut best: Option<bench::loadgen::Summary> = None;
+        for _ in 0..TRIALS {
+            let s = drive(addr, cfg).expect("loadgen run");
+            if best.as_ref().is_none_or(|b| s.requests_per_sec > b.requests_per_sec) {
+                best = Some(s);
+            }
+        }
+        best.expect("at least one trial")
+    };
+
+    // Baseline: sequential accept loop, one connection, one request in
+    // flight — every request pays a full write/read round trip.
+    let baseline = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let handle = thread::spawn(move || {
+            let service = Service::with_default_predictor(ServiceConfig {
+                shards: 1,
+                ..ServiceConfig::default()
+            });
+            serve(&listener, &service).expect("serve");
+        });
+        let cfg = GenConfig {
+            conns: 1,
+            requests_per_conn: REQUESTS_PER_CONN,
+            pipeline: 1,
+            mix: Mix::default(),
+        };
+        let summary = best_run(addr, &cfg);
+        let mut client = Client::connect(addr).expect("shutdown connection");
+        client.request(&Request::Shutdown).expect("shutdown");
+        handle.join().expect("baseline server exits");
+        summary
+    };
+
+    // The concurrent server: worker pool + shards, pipelined clients.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let handle = thread::spawn(move || {
+        let service = Service::with_default_predictor(ServiceConfig::default());
+        let cfg = ServerConfig { workers: 4, ..ServerConfig::default() };
+        serve_pool(&listener, &service, &cfg).expect("serve_pool");
+    });
+    let mut points = Vec::new();
+    let mut speedup_16 = 0.0;
+    for conns in [1usize, 4, 16] {
+        let cfg = GenConfig {
+            conns,
+            requests_per_conn: REQUESTS_PER_CONN,
+            pipeline: PIPELINE,
+            mix: Mix::default(),
+        };
+        let summary = best_run(addr, &cfg);
+        if conns == 16 {
+            speedup_16 = summary.requests_per_sec / baseline.requests_per_sec;
+        }
+        points.push(sweep_point(conns, PIPELINE, &summary));
+    }
+    let mut client = Client::connect(addr).expect("shutdown connection");
+    client.request(&Request::Shutdown).expect("shutdown");
+    drop(client);
+    handle.join().expect("pooled server exits");
+
+    Value::Map(vec![
+        ("baseline_1conn_closed_loop".to_string(), sweep_point(1, 1, &baseline)),
+        ("pooled_workers4".to_string(), Value::Seq(points)),
+        ("speedup_16_vs_baseline".to_string(), Value::Float(speedup_16)),
     ])
 }

@@ -7,6 +7,8 @@
 //! complexity claims in `benches/mix_updates.rs`, and the calibration
 //! fitting in `benches/calibration_fit.rs`.
 
+pub mod loadgen;
+
 use contention_model::comm::{LinearCommModel, PiecewiseCommModel};
 use contention_model::delay::{CommDelayTable, CompDelayTable};
 use contention_model::predict::{Cm2Predictor, ParagonPredictor};

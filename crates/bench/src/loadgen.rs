@@ -1,0 +1,240 @@
+//! A small deterministic traffic generator for `predictd`.
+//!
+//! Drives a running daemon over real TCP from N concurrent connections,
+//! each issuing a fixed, weighted round-robin mix of `load_report`,
+//! `predict`, and `decide_batch` requests. `pipeline = 1` is a closed
+//! loop (one request in flight per connection); larger depths keep a
+//! window of requests in flight through the client's `send_raw`/`flush`
+//! surface, which is what lets the server's syscall-batched write path
+//! show up in the numbers.
+//!
+//! Everything is deterministic — the mix pattern, machine names
+//! (`lg0`, `lg1`, ...), and timestamps — so two runs against the same
+//! daemon produce the same request stream.
+
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Instant;
+
+use predictd::{Client, ClientError};
+
+/// Relative weights of the request kinds in the generated stream.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Weight of `load_report` requests.
+    pub load_report: u32,
+    /// Weight of `predict` requests.
+    pub predict: u32,
+    /// Weight of `decide_batch` requests (3 tasks per batch).
+    pub decide_batch: u32,
+}
+
+impl Default for Mix {
+    /// The read-mostly mix from the paper's scheduler: three predictions
+    /// per load report, no batches.
+    fn default() -> Self {
+        Mix { load_report: 1, predict: 3, decide_batch: 0 }
+    }
+}
+
+/// One load-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Number of concurrent client connections.
+    pub conns: usize,
+    /// Requests issued per connection.
+    pub requests_per_conn: usize,
+    /// Requests kept in flight per connection; `1` is a closed loop.
+    pub pipeline: usize,
+    /// Request-kind mix.
+    pub mix: Mix,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig { conns: 4, requests_per_conn: 1000, pipeline: 8, mix: Mix::default() }
+    }
+}
+
+/// What a run measured, from the client side.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Total requests answered.
+    pub requests: u64,
+    /// Replies that decoded as protocol errors.
+    pub errors: u64,
+    /// Wall time of the whole run.
+    pub elapsed_secs: f64,
+    /// `requests / elapsed_secs`.
+    pub requests_per_sec: f64,
+}
+
+/// One kind slot in the repeating request pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Report,
+    Predict,
+    Batch,
+}
+
+/// Expands the weighted mix into a repeating pattern, load reports
+/// first so every cycle's predictions run against a fresh forecast.
+fn pattern(mix: Mix) -> Vec<Kind> {
+    let mut p = Vec::new();
+    for _ in 0..mix.load_report {
+        p.push(Kind::Report);
+    }
+    for _ in 0..mix.predict {
+        p.push(Kind::Predict);
+    }
+    for _ in 0..mix.decide_batch {
+        p.push(Kind::Batch);
+    }
+    assert!(!p.is_empty(), "mix must have at least one non-zero weight");
+    p
+}
+
+/// Formats request number `r` for machine `machine` into `line`
+/// (cleared first). Timestamps advance 50 ms per request, well inside
+/// the default 10 s staleness horizon.
+fn format_request(line: &mut String, kind: Kind, machine: &str, r: usize) {
+    const TASK: &str = "{\"dcomp_sun\":30.0,\"t_paragon\":6.0,\
+                        \"to_backend\":[{\"messages\":10,\"words\":2000}],\
+                        \"from_backend\":[{\"messages\":1,\"words\":1000}]}";
+    line.clear();
+    let at = r as f64 * 0.05;
+    match kind {
+        Kind::Report => {
+            let _ = write!(
+                line,
+                "{{\"kind\":\"load_report\",\"machine\":\"{machine}\",\"at\":{at},\
+                 \"load\":2.0,\"comm_frac\":0.4}}"
+            );
+        }
+        Kind::Predict => {
+            let _ = write!(
+                line,
+                "{{\"kind\":\"predict\",\"machine\":\"{machine}\",\"now\":{at},\
+                 \"task\":{TASK},\"j_words\":500}}"
+            );
+        }
+        Kind::Batch => {
+            let _ = write!(
+                line,
+                "{{\"kind\":\"decide_batch\",\"machine\":\"{machine}\",\"now\":{at},\
+                 \"tasks\":[{TASK},{TASK},{TASK}],\"j_words\":500}}"
+            );
+        }
+    }
+}
+
+/// Renders one connection's full request stream up front, so the timed
+/// window measures the server, not client-side formatting.
+fn render_lines(conn_id: usize, cfg: &GenConfig) -> Vec<String> {
+    let kinds = pattern(cfg.mix);
+    let machine = format!("lg{conn_id}");
+    let mut lines = Vec::with_capacity(cfg.requests_per_conn);
+    let mut line = String::new();
+    for r in 0..cfg.requests_per_conn {
+        format_request(&mut line, kinds[r % kinds.len()], &machine, r);
+        lines.push(line.clone());
+    }
+    lines
+}
+
+/// One connection's worth of traffic: the pre-rendered lines sent in
+/// windows of `pipeline`, counting protocol-error replies.
+fn drive_conn(client: &mut Client, lines: &[String], pipeline: usize) -> Result<u64, ClientError> {
+    let mut reply = String::new();
+    let mut errors = 0u64;
+    let depth = pipeline.max(1);
+    let mut sent = 0usize;
+    while sent < lines.len() {
+        let window = depth.min(lines.len() - sent);
+        for line in &lines[sent..sent + window] {
+            client.send_raw(line)?;
+        }
+        client.flush()?;
+        for _ in 0..window {
+            client.recv_raw_into(&mut reply)?;
+            if reply.starts_with("{\"kind\":\"error\"") {
+                errors += 1;
+            }
+        }
+        sent += window;
+    }
+    Ok(errors)
+}
+
+/// Runs the configured traffic against a daemon at `addr` and returns
+/// the client-side summary. Connections are opened and request lines
+/// rendered before the clock starts; all connections begin sending
+/// together behind a barrier. Fails if any connection hits a transport
+/// error; protocol-error replies are counted, not fatal.
+pub fn drive(addr: SocketAddr, cfg: &GenConfig) -> Result<Summary, ClientError> {
+    let barrier = std::sync::Barrier::new(cfg.conns + 1);
+    let (results, elapsed) = thread::scope(|scope| {
+        let barrier = &barrier;
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|c| {
+                scope.spawn(move || {
+                    let setup = Client::connect(addr).map(|cl| (cl, render_lines(c, cfg)));
+                    // Reach the barrier even on a failed connect, or the
+                    // other threads would wait forever.
+                    barrier.wait();
+                    let (mut client, lines) = setup?;
+                    drive_conn(&mut client, &lines, cfg.pipeline)
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        let results: Vec<Result<u64, ClientError>> = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(_) => Err(ClientError::Protocol("loadgen thread panicked".to_string())),
+            })
+            .collect();
+        (results, started.elapsed().as_secs_f64())
+    });
+    let mut errors = 0u64;
+    for r in results {
+        errors += r?;
+    }
+    let requests = (cfg.conns * cfg.requests_per_conn) as u64;
+    Ok(Summary {
+        requests,
+        errors,
+        elapsed_secs: elapsed,
+        requests_per_sec: requests as f64 / elapsed.max(1e-9),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_respects_weights() {
+        let p = pattern(Mix { load_report: 1, predict: 3, decide_batch: 1 });
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.iter().filter(|k| **k == Kind::Predict).count(), 3);
+        assert_eq!(p[0], Kind::Report, "reports lead each cycle");
+    }
+
+    #[test]
+    fn requests_are_valid_wire_lines() {
+        let mut line = String::new();
+        for (kind, want) in [
+            (Kind::Report, "\"kind\":\"load_report\""),
+            (Kind::Predict, "\"kind\":\"predict\""),
+            (Kind::Batch, "\"kind\":\"decide_batch\""),
+        ] {
+            format_request(&mut line, kind, "lg0", 7);
+            assert!(line.contains(want), "{line}");
+            assert!(serde_json::from_str::<predictd::Request>(&line).is_ok(), "must parse: {line}");
+        }
+    }
+}

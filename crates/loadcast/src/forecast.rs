@@ -185,7 +185,7 @@ impl Forecaster for Ewma {
 /// The default predictor bank: last-value, short and long means, a
 /// spike-robust median, and EWMAs from sluggish to reactive — the spread
 /// the NWS found covers workstation load well.
-pub fn default_family() -> Vec<Box<dyn Forecaster + Send>> {
+pub fn default_family() -> Vec<Box<dyn Forecaster + Send + Sync>> {
     vec![
         Box::new(LastValue::new()),
         Box::new(WindowedMean::new(4)),

@@ -13,7 +13,7 @@ use crate::forecast::{default_family, Forecaster};
 use contention_model::units::f64_from_u64;
 
 struct Entry {
-    forecaster: Box<dyn Forecaster + Send>,
+    forecaster: Box<dyn Forecaster + Send + Sync>,
     abs_err_sum: f64,
     scored: u64,
 }
@@ -48,7 +48,7 @@ pub struct SelectivePredictor {
 
 impl SelectivePredictor {
     /// A selector over an explicit bank (`forecasters` non-empty).
-    pub fn new(forecasters: Vec<Box<dyn Forecaster + Send>>) -> Self {
+    pub fn new(forecasters: Vec<Box<dyn Forecaster + Send + Sync>>) -> Self {
         assert!(!forecasters.is_empty(), "selector needs at least one forecaster");
         SelectivePredictor {
             entries: forecasters

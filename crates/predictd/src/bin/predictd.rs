@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! predictd [--listen ADDR] [--port-file PATH] [--stdio]
+//!          [--workers N] [--shards N]
+//!          [--read-timeout-secs S] [--max-line-bytes N]
 //!          [--window N] [--horizon-secs S] [--frac F] [--max-rank N]
 //! ```
 //!
@@ -9,18 +11,25 @@
 //! to stdout (and to `--port-file` when given) so callers can find an
 //! OS-assigned port. With `--stdio` the daemon speaks the protocol on
 //! stdin/stdout instead — handy for debugging and piping.
+//!
+//! `--workers` sizes the connection worker pool (default: available
+//! parallelism, clamped to 8); `--shards` sizes the machine-state shard
+//! count (default 8). `--workers 1` reproduces the fully serialized
+//! single-threaded behavior.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use contention_model::units::{Prob, Seconds};
-use predictd::{serve, serve_stdio, Service, ServiceConfig};
+use predictd::{serve_pool, serve_stdio, ServerConfig, Service, ServiceConfig};
 
 struct Args {
     listen: String,
     port_file: Option<String>,
     stdio: bool,
     cfg: ServiceConfig,
+    server: ServerConfig,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -29,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         port_file: None,
         stdio: false,
         cfg: ServiceConfig::default(),
+        server: ServerConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -37,6 +47,34 @@ fn parse_args() -> Result<Args, String> {
             "--listen" => args.listen = value("--listen")?,
             "--port-file" => args.port_file = Some(value("--port-file")?),
             "--stdio" => args.stdio = true,
+            "--workers" => {
+                args.server.workers = parse_num(&value("--workers")?, "--workers")?;
+                if args.server.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--shards" => {
+                args.cfg.shards = parse_num(&value("--shards")?, "--shards")?;
+                if args.cfg.shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--read-timeout-secs" => {
+                let raw: f64 = parse_num(&value("--read-timeout-secs")?, "--read-timeout-secs")?;
+                if !raw.is_finite() || raw < 0.0 {
+                    return Err("--read-timeout-secs must be finite and non-negative".to_string());
+                }
+                let timeout = if raw == 0.0 { None } else { Some(Duration::from_secs_f64(raw)) };
+                args.server.read_timeout = timeout;
+                args.server.write_timeout = timeout;
+            }
+            "--max-line-bytes" => {
+                args.server.max_line_bytes =
+                    parse_num(&value("--max-line-bytes")?, "--max-line-bytes")?;
+                if args.server.max_line_bytes < 64 {
+                    return Err("--max-line-bytes must be at least 64".to_string());
+                }
+            }
             "--window" => {
                 args.cfg.monitor.window = parse_num(&value("--window")?, "--window")?;
                 if args.cfg.monitor.window == 0 {
@@ -68,23 +106,24 @@ fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
 }
 
 const USAGE: &str = "usage: predictd [--listen ADDR] [--port-file PATH] [--stdio] \
+[--workers N] [--shards N] [--read-timeout-secs S] [--max-line-bytes N] \
 [--window N] [--horizon-secs S] [--frac F] [--max-rank N]";
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let mut service = Service::with_default_predictor(args.cfg);
+    let service = Service::with_default_predictor(args.cfg);
     if args.stdio {
-        return serve_stdio(&mut service).map_err(|e| format!("stdio transport failed: {e}"));
+        return serve_stdio(&service).map_err(|e| format!("stdio transport failed: {e}"));
     }
     let listener =
         TcpListener::bind(&args.listen).map_err(|e| format!("cannot bind {}: {e}", args.listen))?;
     let bound = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
-    println!("listening on {bound}");
+    println!("listening on {bound} ({} workers, {} shards)", args.server.workers, args.cfg.shards);
     if let Some(path) = &args.port_file {
         std::fs::write(path, format!("{bound}\n"))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
     }
-    serve(&listener, &mut service).map_err(|e| format!("serve failed: {e}"))
+    serve_pool(&listener, &service, &args.server).map_err(|e| format!("serve failed: {e}"))
 }
 
 fn main() -> ExitCode {

@@ -1,7 +1,15 @@
 //! A small blocking client for the predictd wire protocol, used by
-//! `predictctl`, the integration tests, and the CI smoke job.
+//! `predictctl`, the integration tests, the CI smoke job, and the
+//! `loadgen` traffic generator.
+//!
+//! Besides the one-request-at-a-time [`Client::request`] path, the
+//! client exposes a split pipelined surface — queue lines with
+//! [`Client::send_raw`], [`Client::flush`] once per burst, then drain
+//! replies with [`Client::recv_raw_into`] into a reused buffer — so a
+//! load generator can keep many requests in flight per connection
+//! without allocating per request.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use crate::proto::{Request, Response};
@@ -32,19 +40,21 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
-/// A connected predictd client (one request in flight at a time).
+/// A connected predictd client. `request` keeps one request in flight;
+/// the `send_raw`/`flush`/`recv_raw_into` surface pipelines many.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    writer: BufWriter<TcpStream>,
 }
 
 impl Client {
     /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7171"`).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
-        let writer = TcpStream::connect(addr)?;
-        let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: BufWriter::new(stream) })
     }
 
     /// Sends one request and decodes the response.
@@ -57,13 +67,35 @@ impl Client {
     /// Sends one raw request line and returns the raw response line —
     /// the escape hatch `predictctl raw` uses.
     pub fn request_raw(&mut self, line: &str) -> Result<String, ClientError> {
-        writeln!(self.writer, "{line}")?;
-        self.writer.flush()?;
+        self.send_raw(line)?;
+        self.flush()?;
         let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
+        self.recv_raw_into(&mut reply)?;
+        Ok(reply)
+    }
+
+    /// Queues one raw request line without flushing, for pipelining.
+    pub fn send_raw(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Flushes all queued request lines to the daemon.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Reads one raw response line into `reply` (cleared first),
+    /// reusing the caller's buffer. The trailing newline is trimmed.
+    pub fn recv_raw_into(&mut self, reply: &mut String) -> Result<(), ClientError> {
+        reply.clear();
+        let n = self.reader.read_line(reply)?;
         if n == 0 {
             return Err(ClientError::Protocol("connection closed by daemon".to_string()));
         }
-        Ok(reply.trim_end().to_string())
+        reply.truncate(reply.trim_end().len());
+        Ok(())
     }
 }

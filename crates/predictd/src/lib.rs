@@ -9,10 +9,14 @@
 //! load observations into `decide()`-grade answers over a wire.
 //!
 //! Deliberately std-only: newline-delimited JSON (via the vendored
-//! serde) over TCP or stdio, one connection at a time, no async
-//! runtime. See [`proto`] for the wire protocol, [`service`] for the
-//! request handler, [`server`]/[`client`] for transport, and
-//! [`metrics`] for the per-request bookkeeping behind `stats`.
+//! serde) over TCP or stdio, no async runtime. Connections are served
+//! concurrently by a fixed worker pool over a sharded service — machine
+//! state is partitioned across [`std::sync::RwLock`]-guarded shards and
+//! metrics are lock-free atomics, so warm predictions run under read
+//! locks and `stats` never blocks the request path. See [`proto`] for
+//! the wire protocol, [`service`] for the request handler and sharding,
+//! [`server`]/[`client`] for transport, and [`metrics`] for the
+//! per-request bookkeeping behind `stats`.
 //!
 //! Two binaries ship with the crate: `predictd` (the daemon) and
 //! `predictctl` (a thin command-line client used by tests and CI).
@@ -22,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod codec;
 pub mod metrics;
 pub mod proto;
 pub mod server;
@@ -30,7 +35,7 @@ pub mod service;
 pub use client::{Client, ClientError};
 pub use metrics::{LatencyHistogram, Metrics, ReqKind};
 pub use proto::{Request, Response};
-pub use server::{serve, serve_stdio};
+pub use server::{serve, serve_pool, serve_stdio, ServerConfig};
 pub use service::{Service, ServiceConfig};
 
 use contention_model::comm::{LinearCommModel, PiecewiseCommModel};

@@ -1,12 +1,21 @@
 //! Per-request service metrics: kind counts, profile-cache hit rate,
-//! and a fixed-bucket latency histogram.
+//! and a fixed-bucket latency histogram — all lock-free.
+//!
+//! Every counter is a relaxed [`AtomicU64`], so recording from many
+//! worker threads never contends on a lock and a `stats` snapshot never
+//! blocks the request path. Relaxed ordering is enough: the counters
+//! are independent monotone tallies, and a snapshot taken while
+//! requests are in flight is allowed to be a few events torn between
+//! fields (documented on [`Metrics::snapshot`]).
 //!
 //! The histogram uses 24 power-of-two microsecond buckets (bucket `i`
 //! holds latencies in `(2^(i-1), 2^i]` µs, bucket 0 holds `≤ 1` µs), so
 //! recording is O(1), allocation-free, and quantiles are upper bounds —
 //! exactly what a long-running daemon wants from its own bookkeeping.
 
-use crate::proto::{CacheStats, LatencySummary, RequestCounts, StatsReply};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use crate::proto::{CacheStats, LatencySummary, RequestCounts, ShardStats, StatsReply};
 use contention_model::units::f64_from_u64;
 
 /// Number of histogram buckets (covers up to ~2.3 hours in µs).
@@ -42,7 +51,9 @@ impl ReqKind {
     }
 }
 
-/// Fixed-bucket power-of-two latency histogram, microseconds.
+/// Fixed-bucket power-of-two latency histogram, microseconds. This is
+/// the plain (single-owner) form; the service records into the atomic
+/// twin inside [`Metrics`] and materializes one of these per snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyHistogram {
     buckets: [u64; BUCKETS],
@@ -108,13 +119,41 @@ impl LatencyHistogram {
     }
 }
 
-/// All service metrics, mutated on every request.
-#[derive(Debug, Clone, Default)]
+/// The atomic twin of [`LatencyHistogram`]: shared by every worker,
+/// recorded with relaxed stores, drained into the plain form on demand.
+#[derive(Debug, Default)]
+struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl AtomicHistogram {
+    fn record(&self, us: u64) {
+        self.buckets[LatencyHistogram::bucket_of(us)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.max_us.fetch_max(us, Relaxed);
+    }
+
+    /// A point-in-time copy; concurrent records may straddle the loads.
+    fn load(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Relaxed);
+        }
+        h.count = self.count.load(Relaxed);
+        h.max_us = self.max_us.load(Relaxed);
+        h
+    }
+}
+
+/// All service metrics, recorded lock-free from any worker thread.
+#[derive(Debug, Default)]
 pub struct Metrics {
-    counts: [u64; 6],
-    cache_hits: u64,
-    cache_misses: u64,
-    hist: LatencyHistogram,
+    counts: [AtomicU64; 6],
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    hist: AtomicHistogram,
 }
 
 impl Metrics {
@@ -124,50 +163,59 @@ impl Metrics {
     }
 
     /// Counts one request of `kind`.
-    pub fn count_request(&mut self, kind: ReqKind) {
-        self.counts[kind.index()] += 1;
+    pub fn count_request(&self, kind: ReqKind) {
+        self.counts[kind.index()].fetch_add(1, Relaxed);
     }
 
     /// Records one request latency.
-    pub fn record_latency_us(&mut self, us: u64) {
+    pub fn record_latency_us(&self, us: u64) {
         self.hist.record(us);
     }
 
     /// Counts a profile served from cache.
-    pub fn cache_hit(&mut self) {
-        self.cache_hits += 1;
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Relaxed);
     }
 
     /// Counts a profile recompute.
-    pub fn cache_miss(&mut self) {
-        self.cache_misses += 1;
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Relaxed);
     }
 
-    /// Snapshot for the `stats` response.
-    pub fn snapshot(&self, machines: usize) -> StatsReply {
-        let looked_up = self.cache_hits + self.cache_misses;
-        let hit_rate = if looked_up == 0 {
-            0.0
-        } else {
-            f64_from_u64(self.cache_hits) / f64_from_u64(looked_up)
-        };
+    /// Snapshot for the `stats` response. Taken with relaxed loads while
+    /// requests may be in flight, so totals can disagree by the handful
+    /// of events mid-record — never by more, and never backwards.
+    pub fn snapshot(
+        &self,
+        machines: usize,
+        uptime_secs: f64,
+        shards: Vec<ShardStats>,
+    ) -> StatsReply {
+        let hits = self.cache_hits.load(Relaxed);
+        let misses = self.cache_misses.load(Relaxed);
+        let looked_up = hits + misses;
+        let hit_rate =
+            if looked_up == 0 { 0.0 } else { f64_from_u64(hits) / f64_from_u64(looked_up) };
+        let hist = self.hist.load();
         StatsReply {
             requests: RequestCounts {
-                load_report: self.counts[0],
-                predict: self.counts[1],
-                decide_batch: self.counts[2],
-                rank: self.counts[3],
-                stats: self.counts[4],
-                shutdown: self.counts[5],
+                load_report: self.counts[0].load(Relaxed),
+                predict: self.counts[1].load(Relaxed),
+                decide_batch: self.counts[2].load(Relaxed),
+                rank: self.counts[3].load(Relaxed),
+                stats: self.counts[4].load(Relaxed),
+                shutdown: self.counts[5].load(Relaxed),
             },
-            cache: CacheStats { hits: self.cache_hits, misses: self.cache_misses, hit_rate },
+            cache: CacheStats { hits, misses, hit_rate },
             latency_us: LatencySummary {
-                count: self.hist.count(),
-                p50_us: self.hist.quantile_us(0.50),
-                p99_us: self.hist.quantile_us(0.99),
-                max_us: self.hist.max_us(),
+                count: hist.count(),
+                p50_us: hist.quantile_us(0.50),
+                p99_us: hist.quantile_us(0.99),
+                max_us: hist.max_us(),
             },
             machines: u64::try_from(machines).unwrap_or(u64::MAX),
+            uptime_secs,
+            shards,
         }
     }
 }
@@ -206,7 +254,7 @@ mod tests {
 
     #[test]
     fn snapshot_reports_rates() {
-        let mut m = Metrics::new();
+        let m = Metrics::new();
         m.count_request(ReqKind::Predict);
         m.count_request(ReqKind::Predict);
         m.count_request(ReqKind::Stats);
@@ -214,7 +262,7 @@ mod tests {
         m.cache_hit();
         m.cache_miss();
         m.record_latency_us(10);
-        let s = m.snapshot(3);
+        let s = m.snapshot(3, 1.5, Vec::new());
         assert_eq!(s.requests.predict, 2);
         assert_eq!(s.requests.stats, 1);
         assert_eq!(s.requests.total(), 3);
@@ -222,13 +270,54 @@ mod tests {
         assert!((s.cache.hit_rate - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.latency_us.count, 1);
         assert_eq!(s.machines, 3);
+        assert_eq!(s.uptime_secs, 1.5);
     }
 
     #[test]
     fn empty_metrics_have_zero_rate() {
-        let s = Metrics::new().snapshot(0);
+        let s = Metrics::new().snapshot(0, 0.0, Vec::new());
         assert_eq!(s.cache.hit_rate, 0.0);
         assert_eq!(s.latency_us.p99_us, 0);
         assert_eq!(s.requests.total(), 0);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_recording() {
+        let m = Metrics::new();
+        let mut plain = LatencyHistogram::new();
+        for us in [0u64, 1, 7, 900, 4096, 4097] {
+            m.record_latency_us(us);
+            plain.record(us);
+        }
+        let s = m.snapshot(0, 0.0, Vec::new());
+        assert_eq!(s.latency_us.count, plain.count());
+        assert_eq!(s.latency_us.p50_us, plain.quantile_us(0.50));
+        assert_eq!(s.latency_us.p99_us, plain.quantile_us(0.99));
+        assert_eq!(s.latency_us.max_us, plain.max_us());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let m = Metrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..1000u64 {
+                        m.count_request(ReqKind::Predict);
+                        m.record_latency_us(i % 64);
+                        if i % 2 == 0 {
+                            m.cache_hit();
+                        } else {
+                            m.cache_miss();
+                        }
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot(0, 0.0, Vec::new());
+        assert_eq!(snap.requests.predict, 4000);
+        assert_eq!(snap.latency_us.count, 4000);
+        assert_eq!(snap.cache.hits, 2000);
+        assert_eq!(snap.cache.misses, 2000);
     }
 }

@@ -216,6 +216,17 @@ pub struct LatencySummary {
     pub max_us: u64,
 }
 
+/// Per-shard state breakdown inside a `stats` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (machine names route here by stable hash).
+    pub shard: u64,
+    /// Machines whose state lives in this shard.
+    pub machines: u64,
+    /// `load_report` writes this shard has absorbed.
+    pub load_reports: u64,
+}
+
 /// Reply to `stats`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReply {
@@ -227,6 +238,10 @@ pub struct StatsReply {
     pub latency_us: LatencySummary,
     /// Machines currently tracked.
     pub machines: u64,
+    /// Seconds since the service came up.
+    pub uptime_secs: f64,
+    /// Per-shard breakdown, one entry per shard in index order.
+    pub shards: Vec<ShardStats>,
 }
 
 /// Error reply (bad request; the connection stays open).

@@ -1,5 +1,6 @@
 //! The request handler: per-machine load monitors + epoch-keyed profile
-//! caches wrapped around one calibrated [`ParagonPredictor`].
+//! caches, sharded for concurrency, wrapped around one calibrated
+//! [`ParagonPredictor`].
 //!
 //! Each machine gets a [`LoadMonitor`] (forecasting) and a
 //! [`ProfileCache`] keyed by the forecast *shape* `(p, frac)`: as long
@@ -11,12 +12,27 @@
 //! the epoch and invalidating the cache by the core's own coherence
 //! rule.
 //!
+//! **Sharding & lock discipline.** Machine state is split across N
+//! shards, each behind its own [`RwLock`]; a machine routes to a shard
+//! by a stable FNV-1a hash of its name, so a machine's monitor, mix,
+//! and cache live (and stay coherent) inside exactly one shard for the
+//! life of the daemon. Read-mostly traffic — `predict`, `decide_batch`,
+//! `rank` against an unchanged forecast shape with a current cached
+//! profile — is served entirely under the shard's *read* lock, so
+//! queries against different machines (or the same warm machine) never
+//! serialize. The *write* lock is taken only when state actually moves:
+//! every `load_report`, and the slow resolve path when the shape
+//! changed or the cache went stale. Metrics are relaxed atomics (see
+//! [`Metrics`]), so `stats` never takes a shard lock beyond a brief
+//! read per shard for the machine counts.
+//!
 //! Stale forecasts (see the staleness policy in `loadcast`) never touch
 //! the per-machine cache: they are answered from one precomputed
 //! dedicated-machine profile, so a machine flapping between fresh and
 //! stale does not thrash its cache.
 
 use std::collections::BTreeMap;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use contention_model::mix::WorkloadMix;
@@ -29,6 +45,7 @@ use loadcast::{LoadMonitor, MixForecast, MonitorConfig};
 use crate::metrics::{Metrics, ReqKind};
 use crate::proto::{
     Ack, DecideBatch, Decisions, LoadReport, Predict, Prediction, Rank, Ranked, Request, Response,
+    ShardStats,
 };
 
 /// Service-level configuration.
@@ -39,11 +56,16 @@ pub struct ServiceConfig {
     /// Upper bound on `machines^tasks` a `rank` request may ask for;
     /// larger workflows are rejected instead of evaluated.
     pub max_rank_schedules: u64,
+    /// Number of machine-state shards (clamped to at least 1). More
+    /// shards means less lock contention between machines; results are
+    /// bit-identical for any shard count because a machine's state
+    /// never leaves its shard.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { monitor: MonitorConfig::default(), max_rank_schedules: 100_000 }
+        ServiceConfig { monitor: MonitorConfig::default(), max_rank_schedules: 100_000, shards: 8 }
     }
 }
 
@@ -81,9 +103,16 @@ impl MachineState {
     }
 }
 
-/// A resolved forecast: the profile to predict with, plus its pedigree.
+/// One shard of machine state: the machines that hash here, plus the
+/// write tally the `stats` breakdown reports.
+#[derive(Debug, Default)]
+struct Shard {
+    machines: BTreeMap<String, MachineState>,
+    load_reports: u64,
+}
+
+/// A resolved forecast's pedigree (the profile itself is borrowed).
 struct Resolved {
-    profile: SlowdownProfile,
     p: u64,
     stale: bool,
     forecaster: String,
@@ -91,21 +120,25 @@ struct Resolved {
 }
 
 /// The contention-prediction service: all daemon state minus transport.
+/// Every handler takes `&self`; interior shard locks and atomic metrics
+/// make one instance shareable across a worker pool.
 #[derive(Debug)]
 pub struct Service {
     pred: ParagonPredictor,
     cfg: ServiceConfig,
-    machines: BTreeMap<String, MachineState>,
+    shards: Vec<RwLock<Shard>>,
     metrics: Metrics,
     /// Precomputed dedicated-machine profile, the stale fallback.
     dedicated: SlowdownProfile,
+    started: Instant,
 }
 
 impl Service {
     /// A service around a calibrated predictor.
     pub fn new(pred: ParagonPredictor, cfg: ServiceConfig) -> Self {
         let dedicated = pred.profile(&WorkloadMix::new());
-        Service { pred, cfg, machines: BTreeMap::new(), metrics: Metrics::new(), dedicated }
+        let shards = (0..cfg.shards.max(1)).map(|_| RwLock::new(Shard::default())).collect();
+        Service { pred, cfg, shards, metrics: Metrics::new(), dedicated, started: Instant::now() }
     }
 
     /// A service around [`crate::default_predictor`].
@@ -115,12 +148,25 @@ impl Service {
 
     /// Machines that have reported at least once.
     pub fn machine_count(&self) -> usize {
-        self.machines.len()
+        self.shards.iter().map(|s| read_lock(s).machines.len()).sum()
+    }
+
+    /// The shard a machine's state lives in: stable FNV-1a 64 over the
+    /// name, reduced mod the shard count.
+    fn shard_of(&self, machine: &str) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in machine.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // The shard count is a small usize; the modulus fits it.
+        // modelcheck-allow: lossy-cast — reduced mod len, which fits usize
+        (h % self.shards.len() as u64) as usize
     }
 
     /// Handles one request; the flag is true when the daemon should stop
     /// (after sending the response).
-    pub fn handle(&mut self, req: &Request) -> (Response, bool) {
+    pub fn handle(&self, req: &Request) -> (Response, bool) {
         let started = Instant::now();
         self.metrics.count_request(match req {
             Request::LoadReport(_) => ReqKind::LoadReport,
@@ -137,7 +183,7 @@ impl Service {
             Request::Rank(q) => (self.on_rank(q), false),
             // The snapshot includes the stats request itself; its own
             // latency lands in the histogram afterwards.
-            Request::Stats => (Response::Stats(self.metrics.snapshot(self.machines.len())), false),
+            Request::Stats => (Response::Stats(self.stats_snapshot()), false),
             Request::Shutdown => (Response::Ok, true),
         };
         let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -145,21 +191,56 @@ impl Service {
         (resp, shutdown)
     }
 
-    /// Parses one request line and encodes the response line (no
-    /// trailing newline). Malformed input yields an `error` response,
-    /// never a dropped connection.
-    pub fn handle_line(&mut self, line: &str) -> (String, bool) {
-        let (resp, shutdown) = match serde_json::from_str::<Request>(line) {
-            Ok(req) => self.handle(&req),
-            Err(e) => (Response::error(format!("bad request: {e}")), false),
+    /// Parses one request line and appends the encoded response line
+    /// (with trailing newline) to `out`, reusing the caller's buffer —
+    /// the transport hot path. Malformed input yields an `error`
+    /// response, never a dropped connection. Returns the shutdown flag.
+    pub fn handle_line_into(&self, line: &str, out: &mut String) -> bool {
+        // The specialized codec takes the hot request kinds without a
+        // Value tree; anything it declines goes through the generic
+        // parser, which owns acceptance and error wording.
+        let (resp, shutdown) = match crate::codec::parse_request(line) {
+            Some(req) => self.handle(&req),
+            None => match serde_json::from_str::<Request>(line) {
+                Ok(req) => self.handle(&req),
+                Err(e) => (Response::error(format!("bad request: {e}")), false),
+            },
         };
-        let encoded = serde_json::to_string(&resp).unwrap_or_else(|e| {
-            format!("{{\"kind\":\"error\",\"message\":\"encode failure: {e}\"}}")
-        });
-        (encoded, shutdown)
+        if !crate::codec::write_response(&resp, out) {
+            serde_json::to_string_into(&resp, out);
+        }
+        out.push('\n');
+        shutdown
     }
 
-    fn on_load_report(&mut self, r: &LoadReport) -> Response {
+    /// Parses one request line and encodes the response line (no
+    /// trailing newline). Allocating convenience wrapper around
+    /// [`Service::handle_line_into`] for stdio and tests.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        let mut out = String::new();
+        let shutdown = self.handle_line_into(line, &mut out);
+        out.truncate(out.trim_end().len());
+        (out, shutdown)
+    }
+
+    /// The `stats` snapshot: atomic counters plus a brief read lock per
+    /// shard for the machine counts and write tallies.
+    fn stats_snapshot(&self) -> crate::proto::StatsReply {
+        let mut machines = 0usize;
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter().enumerate() {
+            let guard = read_lock(shard);
+            machines += guard.machines.len();
+            shards.push(ShardStats {
+                shard: u64::try_from(i).unwrap_or(u64::MAX),
+                machines: u64::try_from(guard.machines.len()).unwrap_or(u64::MAX),
+                load_reports: guard.load_reports,
+            });
+        }
+        self.metrics.snapshot(machines, self.started.elapsed().as_secs_f64(), shards)
+    }
+
+    fn on_load_report(&self, r: &LoadReport) -> Response {
         let at = match Seconds::try_new(r.at) {
             Some(s) => s,
             None => return Response::error("\"at\" must be finite and non-negative"),
@@ -177,8 +258,10 @@ impl Service {
             }
         };
         let cfg = self.cfg.monitor;
+        let mut shard = write_lock(&self.shards[self.shard_of(&r.machine)]);
+        shard.load_reports += 1;
         let state =
-            self.machines.entry(r.machine.clone()).or_insert_with(|| MachineState::new(cfg));
+            shard.machines.entry(r.machine.clone()).or_insert_with(|| MachineState::new(cfg));
         let accepted = state.monitor.report(at, r.load, frac);
         // Keep the epoch-keyed cache coherent with the new forecast
         // shape right away, not lazily at the next predict.
@@ -193,30 +276,80 @@ impl Service {
         })
     }
 
-    /// Resolves machine + time to the profile a prediction should use,
-    /// recording cache metrics. Unknown machines and stale forecasts get
-    /// the precomputed dedicated profile, flagged stale.
-    fn resolve_profile(&mut self, machine: &str, now: Seconds) -> Resolved {
-        let Some(state) = self.machines.get_mut(machine) else {
+    /// Resolves machine + time to the profile a prediction should use
+    /// and applies `f` to it while the shard lock is held, recording
+    /// cache metrics. Unknown machines and stale forecasts get the
+    /// precomputed dedicated profile, flagged stale.
+    ///
+    /// The fast path runs entirely under the shard's *read* lock: a
+    /// fresh forecast whose shape matches the stored mix and whose
+    /// cached profile is current needs no mutation at all. Only a shape
+    /// change or cache miss upgrades to the write lock (dropping the
+    /// read lock first; the slow path re-resolves from scratch, so an
+    /// interleaved writer is harmless).
+    fn with_profile<R>(
+        &self,
+        machine: &str,
+        now: Seconds,
+        f: impl FnOnce(&SlowdownProfile, Resolved) -> R,
+    ) -> R {
+        let shard = &self.shards[self.shard_of(machine)];
+        {
+            let guard = read_lock(shard);
+            let Some(state) = guard.machines.get(machine) else {
+                drop(guard);
+                self.metrics.cache_hit();
+                let meta = Resolved {
+                    p: 0,
+                    stale: true,
+                    forecaster: "dedicated".to_string(),
+                    cache_hit: true,
+                };
+                return f(&self.dedicated, meta);
+            };
+            let fc = state.monitor.forecast(now);
+            if fc.stale {
+                self.metrics.cache_hit();
+                let meta =
+                    Resolved { p: 0, stale: true, forecaster: fc.forecaster, cache_hit: true };
+                return f(&self.dedicated, meta);
+            }
+            let key = (fc.p, state.monitor.frac().get().to_bits());
+            if state.shape == Some(key) {
+                if let Some(profile) = state.cache.peek() {
+                    if profile.is_current(&state.mix) {
+                        self.metrics.cache_hit();
+                        let meta = Resolved {
+                            p: u64::try_from(fc.p).unwrap_or(u64::MAX),
+                            stale: false,
+                            forecaster: fc.forecaster,
+                            cache_hit: true,
+                        };
+                        return f(profile, meta);
+                    }
+                }
+            }
+        }
+        // Slow path: the shape moved or the cache is cold. Re-resolve
+        // under the write lock and fill the cache.
+        let mut guard = write_lock(shard);
+        let shard_ref = &mut *guard;
+        let Some(state) = shard_ref.machines.get_mut(machine) else {
             self.metrics.cache_hit();
-            return Resolved {
-                profile: self.dedicated.clone(),
+            let meta = Resolved {
                 p: 0,
                 stale: true,
                 forecaster: "dedicated".to_string(),
                 cache_hit: true,
             };
+            return f(&self.dedicated, meta);
         };
         let mf = state.monitor.mix_forecast(now);
         if mf.forecast.stale {
             self.metrics.cache_hit();
-            return Resolved {
-                profile: self.dedicated.clone(),
-                p: 0,
-                stale: true,
-                forecaster: mf.forecast.forecaster,
-                cache_hit: true,
-            };
+            let meta =
+                Resolved { p: 0, stale: true, forecaster: mf.forecast.forecaster, cache_hit: true };
+            return f(&self.dedicated, meta);
         }
         state.sync_mix(&mf);
         let hit = state.cache.peek().is_some_and(|pr| pr.is_current(&state.mix));
@@ -225,54 +358,56 @@ impl Service {
         } else {
             self.metrics.cache_miss();
         }
-        let profile = state
-            .cache
-            .profile_for(&state.mix, &self.pred.comm_delays, &self.pred.comp_delays)
-            .clone();
-        Resolved {
-            profile,
+        let meta = Resolved {
             p: u64::try_from(mf.forecast.p).unwrap_or(u64::MAX),
             stale: false,
             forecaster: mf.forecast.forecaster,
             cache_hit: hit,
-        }
+        };
+        let profile =
+            state.cache.profile_for(&state.mix, &self.pred.comm_delays, &self.pred.comp_delays);
+        f(profile, meta)
     }
 
-    fn on_predict(&mut self, q: &Predict) -> Response {
+    fn on_predict(&self, q: &Predict) -> Response {
         let now = match Seconds::try_new(q.now) {
             Some(s) => s,
             None => return Response::error("\"now\" must be finite and non-negative"),
         };
-        let r = self.resolve_profile(&q.machine, now);
-        let decision = self.pred.decide_with(&q.task, &r.profile, q.j_words);
-        Response::Prediction(Prediction {
-            machine: q.machine.clone(),
-            p: r.p,
-            stale: r.stale,
-            forecaster: r.forecaster,
-            cache_hit: r.cache_hit,
-            decision,
+        self.with_profile(&q.machine, now, |profile, r| {
+            let decision = self.pred.decide_with(&q.task, profile, q.j_words);
+            Response::Prediction(Prediction {
+                machine: q.machine.clone(),
+                p: r.p,
+                stale: r.stale,
+                forecaster: r.forecaster,
+                cache_hit: r.cache_hit,
+                decision,
+            })
         })
     }
 
-    fn on_decide_batch(&mut self, q: &DecideBatch) -> Response {
+    fn on_decide_batch(&self, q: &DecideBatch) -> Response {
         let now = match Seconds::try_new(q.now) {
             Some(s) => s,
             None => return Response::error("\"now\" must be finite and non-negative"),
         };
-        let r = self.resolve_profile(&q.machine, now);
-        let decisions = self.pred.decide_batch(&q.tasks, &r.profile, q.j_words);
-        Response::Decisions(Decisions {
-            machine: q.machine.clone(),
-            p: r.p,
-            stale: r.stale,
-            forecaster: r.forecaster,
-            cache_hit: r.cache_hit,
-            decisions,
+        self.with_profile(&q.machine, now, |profile, r| {
+            // One profile resolve, one batched fold: the whole batch
+            // goes through the batched engine, never per-item dispatch.
+            let decisions = self.pred.decide_batch(&q.tasks, profile, q.j_words);
+            Response::Decisions(Decisions {
+                machine: q.machine.clone(),
+                p: r.p,
+                stale: r.stale,
+                forecaster: r.forecaster,
+                cache_hit: r.cache_hit,
+                decisions,
+            })
         })
     }
 
-    fn on_rank(&mut self, q: &Rank) -> Response {
+    fn on_rank(&self, q: &Rank) -> Response {
         let now = match Seconds::try_new(q.now) {
             Some(s) => s,
             None => return Response::error("\"now\" must be finite and non-negative"),
@@ -298,19 +433,33 @@ impl Service {
                 ))
             }
         };
-        let r = self.resolve_profile(&q.machine, now);
-        let mut schedules = rank_all_forecast(&q.workflow, q.front_end, &r.profile, q.j_words);
-        if q.limit > 0 {
-            schedules.truncate(q.limit);
-        }
-        Response::Ranked(Ranked {
-            machine: q.machine.clone(),
-            p: r.p,
-            stale: r.stale,
-            total,
-            schedules,
+        self.with_profile(&q.machine, now, |profile, r| {
+            let mut schedules = rank_all_forecast(&q.workflow, q.front_end, profile, q.j_words);
+            if q.limit > 0 {
+                schedules.truncate(q.limit);
+            }
+            Response::Ranked(Ranked {
+                machine: q.machine.clone(),
+                p: r.p,
+                stale: r.stale,
+                total,
+                schedules,
+            })
         })
     }
+}
+
+/// Read-locks a shard, recovering from poisoning: a worker that
+/// panicked mid-request must not wedge every later request to the
+/// shard, and the state it guards is always internally consistent
+/// (single-field updates plus the cache's own epoch check).
+fn read_lock(shard: &RwLock<Shard>) -> RwLockReadGuard<'_, Shard> {
+    shard.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks a shard, recovering from poisoning (see [`read_lock`]).
+fn write_lock(shard: &RwLock<Shard>) -> RwLockWriteGuard<'_, Shard> {
+    shard.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -343,7 +492,7 @@ mod tests {
 
     #[test]
     fn unknown_machine_degrades_to_stale_dedicated() {
-        let mut s = svc();
+        let s = svc();
         let (resp, stop) = s.handle(&predict_at("ghost", 0.0));
         assert!(!stop);
         let Response::Prediction(p) = resp else { panic!("want prediction, got {resp:?}") };
@@ -356,7 +505,7 @@ mod tests {
 
     #[test]
     fn fresh_forecast_matches_direct_decide_and_hits_cache() {
-        let mut s = svc();
+        let s = svc();
         for t in 0..4 {
             let (resp, _) = s.handle(&report("m0", f64::from(t), 3.0));
             let Response::Ack(a) = resp else { panic!("want ack") };
@@ -379,7 +528,7 @@ mod tests {
 
     #[test]
     fn staleness_policy_fires_and_recovers() {
-        let mut s = svc();
+        let s = svc();
         s.handle(&report("m0", 0.0, 2.0));
         s.handle(&report("m0", 1.0, 2.0));
         let (resp, _) = s.handle(&predict_at("m0", 500.0));
@@ -396,7 +545,7 @@ mod tests {
 
     #[test]
     fn batch_agrees_with_single_predictions() {
-        let mut s = svc();
+        let s = svc();
         for t in 0..3 {
             s.handle(&report("m0", f64::from(t), 1.0));
         }
@@ -417,7 +566,7 @@ mod tests {
 
     #[test]
     fn rank_guards_and_ranks() {
-        let mut s = svc();
+        let s = svc();
         let wf = hetsched::example::workflow();
         let (resp, _) = s.handle(&Request::Rank(Rank {
             machine: "m0".to_string(),
@@ -461,7 +610,7 @@ mod tests {
 
     #[test]
     fn stats_count_requests_and_cache() {
-        let mut s = svc();
+        let s = svc();
         s.handle(&report("m0", 0.0, 1.0));
         s.handle(&report("m0", 1.0, 1.0));
         s.handle(&predict_at("m0", 1.0));
@@ -476,11 +625,43 @@ mod tests {
         assert_eq!(st.cache.hits + st.cache.misses, 2);
         assert!(st.cache.hits >= 1, "second predict must hit");
         assert_eq!(st.latency_us.count, 4, "stats' own latency lands after the snapshot");
+        assert!(st.uptime_secs >= 0.0);
+        assert_eq!(st.shards.len(), ServiceConfig::default().shards);
+        let by_shard: u64 = st.shards.iter().map(|sh| sh.machines).sum();
+        assert_eq!(by_shard, st.machines, "shard breakdown must sum to the machine count");
+        let reports: u64 = st.shards.iter().map(|sh| sh.load_reports).sum();
+        assert_eq!(reports, 2);
+    }
+
+    #[test]
+    fn single_shard_service_works() {
+        let s = Service::with_default_predictor(ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        });
+        for m in ["a", "b", "c"] {
+            s.handle(&report(m, 0.0, 2.0));
+        }
+        assert_eq!(s.machine_count(), 3);
+        let (resp, _) = s.handle(&Request::Stats);
+        let Response::Stats(st) = resp else { panic!("want stats") };
+        assert_eq!(st.shards.len(), 1);
+        assert_eq!(st.shards[0].machines, 3);
+    }
+
+    #[test]
+    fn shard_routing_is_stable_and_in_range() {
+        let s = svc();
+        for name in ["m0", "m1", "a-very-long-machine-name", ""] {
+            let first = s.shard_of(name);
+            assert!(first < ServiceConfig::default().shards);
+            assert_eq!(first, s.shard_of(name), "routing must be deterministic");
+        }
     }
 
     #[test]
     fn shutdown_flags_the_caller() {
-        let mut s = svc();
+        let s = svc();
         let (resp, stop) = s.handle(&Request::Shutdown);
         assert_eq!(resp, Response::Ok);
         assert!(stop);
@@ -488,7 +669,7 @@ mod tests {
 
     #[test]
     fn handle_line_rejects_garbage_gracefully() {
-        let mut s = svc();
+        let s = svc();
         for bad in [
             "not json",
             "{}",
@@ -509,5 +690,17 @@ mod tests {
             "{\"kind\":\"load_report\",\"machine\":\"m\",\"at\":0.0,\"load\":1.0,\"comm_frac\":2.0}",
         );
         assert!(reply.contains("\"kind\":\"error\""));
+    }
+
+    #[test]
+    fn handle_line_into_reuses_the_buffer() {
+        let s = svc();
+        let mut out = String::new();
+        assert!(!s.handle_line_into("{\"kind\":\"stats\"}", &mut out));
+        assert!(out.ends_with('\n'));
+        let first_len = out.len();
+        assert!(!s.handle_line_into("{\"kind\":\"stats\"}", &mut out));
+        assert!(out.len() > first_len, "responses append, caller decides when to drain");
+        assert_eq!(out.matches('\n').count(), 2);
     }
 }

@@ -25,8 +25,8 @@ fn spawn_daemon() -> (std::net::SocketAddr, thread::JoinHandle<()>) {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().expect("local addr");
     let handle = thread::spawn(move || {
-        let mut service = Service::with_default_predictor(ServiceConfig::default());
-        serve(&listener, &mut service).expect("serve");
+        let service = Service::with_default_predictor(ServiceConfig::default());
+        serve(&listener, &service).expect("serve");
     });
     (addr, handle)
 }

@@ -8,7 +8,7 @@ use contention_model::units::secs;
 use hetsched::eval::Schedule;
 use predictd::proto::{
     Ack, CacheStats, DecideBatch, Decisions, ErrorReply, LatencySummary, LoadReport, Predict,
-    Prediction, Rank, Ranked, Request, RequestCounts, Response, StatsReply,
+    Prediction, Rank, Ranked, Request, RequestCounts, Response, ShardStats, StatsReply,
 };
 
 fn task() -> ParagonTask {
@@ -112,6 +112,11 @@ fn every_response_kind_roundtrips() {
         cache: CacheStats { hits: 6, misses: 2, hit_rate: 0.75 },
         latency_us: LatencySummary { count: 15, p50_us: 8, p99_us: 128, max_us: 97 },
         machines: 2,
+        uptime_secs: 12.5,
+        shards: vec![
+            ShardStats { shard: 0, machines: 1, load_reports: 3 },
+            ShardStats { shard: 1, machines: 1, load_reports: 2 },
+        ],
     }));
     roundtrip_response(Response::Ok);
     roundtrip_response(Response::Error(ErrorReply { message: "nope \"quoted\"".to_string() }));

@@ -1,0 +1,84 @@
+//! Sharding must be invisible in the answers: a machine's state never
+//! leaves its shard, so a service with N shards is bit-identical to the
+//! single-shard (PR 3) path for every request sequence. Pinned here by
+//! replaying random report/predict/batch/rank interleavings against a
+//! 1-shard and an 8-shard service and demanding equal responses.
+
+use contention_model::dataset::DataSet;
+use contention_model::predict::ParagonTask;
+use contention_model::units::secs;
+use predictd::proto::{DecideBatch, LoadReport, Predict, Rank, Request, Response};
+use predictd::{Service, ServiceConfig};
+use proptest::prelude::*;
+
+fn task(scale: f64) -> ParagonTask {
+    ParagonTask {
+        dcomp_sun: secs(10.0 + scale),
+        t_paragon: secs(1.0 + scale * 0.1),
+        to_backend: vec![DataSet::burst(10, 1500)],
+        from_backend: vec![DataSet::single(800)],
+    }
+}
+
+/// One step of a replayed session, decoded from a generated tuple of
+/// `(kind, machine, dt, load, frac, scale, n)`. The vendored proptest
+/// has no `prop_oneof`, so the op kind is an integer weight: 0-2 report,
+/// 3-5 predict, 6 batch, 7 rank (3:3:1:1, as the real traffic mix).
+type RawOp = (usize, usize, f64, f64, f64, f64, usize);
+
+fn request_for(raw: &RawOp, now: f64) -> Request {
+    let (kind, machine, _dt, load, frac, scale, n) = *raw;
+    let machine = format!("machine-{machine}");
+    match kind {
+        0..=2 => Request::LoadReport(LoadReport { machine, at: now, load, comm_frac: frac }),
+        3..=5 => Request::Predict(Predict { machine, now, task: task(scale), j_words: 500 }),
+        6 => Request::DecideBatch(DecideBatch {
+            machine,
+            now,
+            tasks: (0..n).map(|i| task(i as f64)).collect(),
+            j_words: 500,
+        }),
+        _ => Request::Rank(Rank {
+            machine,
+            now,
+            workflow: hetsched::example::workflow(),
+            front_end: 0,
+            j_words: 500,
+            limit: 0,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every response — decisions, contender counts, staleness flags,
+    /// cache-hit pedigree — is bit-identical between shard counts.
+    #[test]
+    fn sharded_routing_is_bit_identical_to_single_shard(
+        ops in proptest::collection::vec(
+            (0..8usize, 0..5usize, 0.0..1.5f64, 0.0..6.0f64, -0.5..1.0f64, 0.0..20.0f64, 1..5usize),
+            1..60,
+        )
+    ) {
+        let single = Service::with_default_predictor(ServiceConfig {
+            shards: 1,
+            ..ServiceConfig::default()
+        });
+        let sharded = Service::with_default_predictor(ServiceConfig {
+            shards: 8,
+            ..ServiceConfig::default()
+        });
+        let mut now = 0.0f64;
+        for (i, op) in ops.iter().enumerate() {
+            now += op.2;
+            let req = request_for(op, now);
+            let (a, stop_a) = single.handle(&req);
+            let (b, stop_b) = sharded.handle(&req);
+            prop_assert_eq!(stop_a, stop_b);
+            prop_assert!(!matches!(a, Response::Error(_)), "unexpected error at step {}: {:?}", i, a);
+            prop_assert_eq!(a, b, "step {} diverged between 1 and 8 shards", i);
+        }
+        prop_assert_eq!(single.machine_count(), sharded.machine_count());
+    }
+}

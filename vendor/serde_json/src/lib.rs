@@ -23,6 +23,13 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Erro
     Ok(out)
 }
 
+/// Serializes a value as compact JSON appended to `out`, reusing the
+/// caller's buffer instead of allocating a fresh `String` per call —
+/// the hot-path variant servers use to build newline-delimited replies.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) {
+    write_value(out, &value.to_value(), None, 0);
+}
+
 /// Parses a value from JSON text.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
@@ -40,18 +47,23 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
 // ---------------------------------------------------------------------------
 
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    use std::fmt::Write as _;
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
         Value::Float(f) => {
             if f.is_finite() {
-                // Rust's shortest-roundtrip Display; force a fraction so the
-                // value re-parses as a float.
-                let s = f.to_string();
-                out.push_str(&s);
-                if !s.contains(['.', 'e', 'E']) {
+                // Rust's shortest-roundtrip Display, written straight into
+                // `out`; force a fraction so the value re-parses as a float.
+                let start = out.len();
+                let _ = write!(out, "{f}");
+                if !out[start..].contains(['.', 'e', 'E']) {
                     out.push_str(".0");
                 }
             } else {
@@ -117,20 +129,27 @@ fn write_seq<T>(
 }
 
 fn write_string(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     out.push('"');
-    for c in s.chars() {
+    // Copy clean runs wholesale; only escape characters go through the
+    // per-char match.
+    let mut rest = s;
+    while let Some(idx) = rest.find(|c: char| matches!(c, '"' | '\\') || (c as u32) < 0x20) {
+        out.push_str(&rest[..idx]);
+        let c = rest[idx..].chars().next().expect("found above");
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
-            c => out.push(c),
         }
+        rest = &rest[idx + c.len_utf8()..];
     }
+    out.push_str(rest);
     out.push('"');
 }
 
@@ -239,7 +258,28 @@ impl<'a> Parser<'a> {
 
     fn parse_string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Fast path: most strings have no escapes, so scan straight to
+        // the closing quote and copy the slice in one shot (validating
+        // its UTF-8 exactly once). Fall back to the escape-aware loop
+        // from the first backslash onward.
+        let start = self.pos;
+        let mut i = self.pos;
+        while let Some(&b) = self.bytes.get(i) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..i])
+                        .map_err(|_| Error::msg("invalid UTF-8"))?;
+                    self.pos = i + 1;
+                    return Ok(s.to_string());
+                }
+                b'\\' => break,
+                _ => i += 1,
+            }
+        }
+        let mut out = String::from(
+            std::str::from_utf8(&self.bytes[start..i]).map_err(|_| Error::msg("invalid UTF-8"))?,
+        );
+        self.pos = i;
         loop {
             match self.peek() {
                 None => return Err(Error::msg("unterminated string")),
@@ -282,12 +322,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Copy a full UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::msg("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("nonempty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy the whole clean run up to the next quote or
+                    // escape in one validated push.
+                    let run = self.pos;
+                    let mut j = self.pos;
+                    while let Some(&b) = self.bytes.get(j) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        j += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[run..j])
+                            .map_err(|_| Error::msg("invalid UTF-8"))?,
+                    );
+                    self.pos = j;
                 }
             }
         }
