@@ -145,6 +145,7 @@ fn main() {
         ("batch_predict_256".to_string(), comparison(per_call, batched)),
         ("best_exhaustive_4m8t".to_string(), comparison(oracle, gray)),
         ("slowdown_factors_p64".to_string(), comparison(direct, cached)),
+        ("modelcheck_workspace".to_string(), modelcheck_report()),
     ]);
     let json = serde_json::to_string_pretty(&report).expect("serializable");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_model_eval.json");
@@ -156,6 +157,27 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_service.json");
     std::fs::write(path, format!("{json}\n")).expect("write BENCH_service.json");
     println!("{json}");
+}
+
+/// Wall time and finding counts of a full `modelcheck` workspace scan
+/// (lex + every pass + the cross-file drift check), so the analyzer's
+/// own cost is tracked per commit alongside the model numbers.
+fn modelcheck_report() -> Value {
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let start = Instant::now();
+    let mut diags = modelcheck::scan_workspace(root);
+    let scan_secs = start.elapsed().as_secs_f64();
+    let text =
+        std::fs::read_to_string(modelcheck::baseline::default_path(root)).unwrap_or_default();
+    let (entries, _bad) = modelcheck::baseline::parse(&text);
+    modelcheck::baseline::mark(&mut diags, &entries);
+    let baselined = diags.iter().filter(|d| d.baselined).count();
+    Value::Map(vec![
+        ("scan_ms".to_string(), Value::Float(scan_secs * 1e3)),
+        ("diagnostics".to_string(), Value::UInt(diags.len() as u64)),
+        ("baselined".to_string(), Value::UInt(baselined as u64)),
+        ("new".to_string(), Value::UInt((diags.len() - baselined) as u64)),
+    ])
 }
 
 /// `ns_per_op` / `ops_per_sec` for one measured operation.

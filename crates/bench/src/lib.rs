@@ -6,6 +6,8 @@
 //! behind the "actual" curves in `benches/simulator.rs`, the `pcompᵢ`
 //! complexity claims in `benches/mix_updates.rs`, and the calibration
 //! fitting in `benches/calibration_fit.rs`.
+//!
+//! modelcheck: no-todo-dbg, lossy-cast
 
 pub mod loadgen;
 

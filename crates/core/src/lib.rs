@@ -52,7 +52,7 @@
 //! ```
 
 //!
-//! modelcheck: no-panic, naked-f64, lossy-cast, missing-docs
+//! modelcheck: no-panic, naked-f64, lossy-cast, missing-docs, float-env
 #![warn(missing_docs)]
 
 pub mod cm2;

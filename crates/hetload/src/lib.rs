@@ -5,6 +5,8 @@
 //! simulated counterparts), CM2 instruction-stream builders, transfer and
 //! ping-pong probes, contention generators, and synthetic benchmark
 //! generation.
+//!
+//! modelcheck: no-todo-dbg, lossy-cast
 
 #![warn(missing_docs)]
 

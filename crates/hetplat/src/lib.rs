@@ -16,6 +16,8 @@
 //!
 //! Applications are phase machines (see [`phase`]); workload and benchmark
 //! apps live in the `hetload` crate.
+//!
+//! modelcheck: no-todo-dbg, lossy-cast
 
 #![warn(missing_docs)]
 

@@ -19,7 +19,7 @@
 //!   (the paper's §4 future work).
 
 //!
-//! modelcheck: no-panic, lossy-cast
+//! modelcheck: no-panic, lossy-cast, float-env
 #![warn(missing_docs)]
 
 pub mod adapt;

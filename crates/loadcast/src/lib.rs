@@ -20,7 +20,7 @@
 //!
 //! [`WorkloadMix`]: contention_model::mix::WorkloadMix
 //!
-//! modelcheck: no-panic, lossy-cast, missing-docs
+//! modelcheck: no-panic, lossy-cast, missing-docs, float-env
 
 #![warn(missing_docs)]
 

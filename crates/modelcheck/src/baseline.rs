@@ -1,0 +1,128 @@
+//! Baseline ratcheting: findings present at a rule's adoption are
+//! warnings, new findings are errors.
+//!
+//! The committed `modelcheck.baseline` at the scan root holds one
+//! `file:line:rule` entry per accepted pre-existing finding (plus `#`
+//! comments). [`mark`] flags matching diagnostics as baselined; the CLI
+//! exits non-zero only for non-baselined findings and `--fix-baseline`
+//! regenerates the file from the current scan. The format is
+//! line-oriented and sorted so diffs review like any other code change
+//! — shrinking the file is progress, growing it is a reviewable
+//! decision.
+//!
+//! Line numbers make entries brittle against unrelated edits by
+//! design: a moved finding resurfaces as an error and either gets
+//! fixed or consciously re-baselined.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use crate::Diagnostic;
+
+/// One baseline entry: `(file, line, rule-name)`.
+pub type Entry = (String, usize, String);
+
+/// The default baseline location for a scan root.
+pub fn default_path(root: &Path) -> PathBuf {
+    root.join("modelcheck.baseline")
+}
+
+/// Parses baseline text: one `file:line:rule` per line, `#` comments
+/// and blank lines ignored. Unparseable lines are returned separately
+/// so the CLI can report them.
+pub fn parse(text: &str) -> (BTreeSet<Entry>, Vec<String>) {
+    let mut entries = BTreeSet::new();
+    let mut bad = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Split from the right: paths never contain ':' here, but being
+        // defensive costs nothing.
+        let parsed = (|| {
+            let (rest, rule) = line.rsplit_once(':')?;
+            let (file, lineno) = rest.rsplit_once(':')?;
+            let lineno: usize = lineno.parse().ok()?;
+            Some((file.to_string(), lineno, rule.trim().to_string()))
+        })();
+        match parsed {
+            Some(e) => {
+                entries.insert(e);
+            }
+            None => bad.push(raw.to_string()),
+        }
+    }
+    (entries, bad)
+}
+
+/// Renders a diagnostic list as baseline text (sorted, deduplicated).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# modelcheck baseline — findings accepted at rule-adoption time.\n\
+         # These report as warnings; anything not listed here is an error.\n\
+         # Regenerate with `cargo run -p modelcheck -- --fix-baseline`.\n",
+    );
+    let entries: BTreeSet<String> =
+        diags.iter().map(|d| format!("{}:{}:{}", d.file, d.line, d.rule.name())).collect();
+    for e in entries {
+        out.push_str(&e);
+        out.push('\n');
+    }
+    out
+}
+
+/// Sets [`Diagnostic::baselined`] on every finding matching a baseline
+/// entry. Returns how many entries are *stale* (in the baseline but no
+/// longer found), which the CLI surfaces as a nudge to regenerate.
+pub fn mark(diags: &mut [Diagnostic], entries: &BTreeSet<Entry>) -> usize {
+    let mut seen = BTreeSet::new();
+    for d in diags.iter_mut() {
+        let key = (d.file.clone(), d.line, d.rule.name().to_string());
+        if entries.contains(&key) {
+            d.baselined = true;
+            seen.insert(key);
+        }
+    }
+    entries.len() - seen.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    #[test]
+    fn round_trips_through_render_and_parse() {
+        let diags = vec![
+            Diagnostic::at_line("b.rs", 7, Rule::LossyCast, "x".into()),
+            Diagnostic::at_line("a.rs", 3, Rule::NoPanic, "y".into()),
+            Diagnostic::at_line("a.rs", 3, Rule::NoPanic, "dup".into()),
+        ];
+        let text = render(&diags);
+        let (entries, bad) = parse(&text);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(entries.len(), 2);
+        assert!(entries.contains(&("a.rs".into(), 3, "no-panic".into())));
+        assert!(entries.contains(&("b.rs".into(), 7, "lossy-cast".into())));
+    }
+
+    #[test]
+    fn mark_splits_baselined_from_new_and_counts_stale() {
+        let (entries, _) = parse("a.rs:3:no-panic\ngone.rs:1:no-panic\n# comment\n");
+        let mut diags = vec![
+            Diagnostic::at_line("a.rs", 3, Rule::NoPanic, "old".into()),
+            Diagnostic::at_line("a.rs", 4, Rule::NoPanic, "new".into()),
+        ];
+        let stale = mark(&mut diags, &entries);
+        assert!(diags[0].baselined && !diags[1].baselined);
+        assert_eq!(stale, 1);
+    }
+
+    #[test]
+    fn bad_lines_are_reported_not_ignored() {
+        let (entries, bad) = parse("not an entry\na.rs:xx:rule\n");
+        assert!(entries.is_empty());
+        assert_eq!(bad.len(), 2);
+    }
+}

@@ -1,13 +1,18 @@
 //! Repo-specific static analysis for the contention-model workspace.
 //!
-//! `modelcheck` is a standalone, no-network lint pass that token-scans
-//! every workspace `.rs` file (`vendor/` excluded) and enforces rules the
-//! compiler cannot express but the model's correctness depends on.
+//! `modelcheck` is a standalone, no-network lint pass that enforces
+//! rules the compiler cannot express but the model's correctness
+//! depends on. v3 is a *lexer-based, multi-pass analyzer*: every file
+//! is tokenized by a hand-rolled Rust lexer ([`lexer`] — raw/normal
+//! strings, char literals vs lifetimes, nested block comments, token
+//! spans; still zero dependencies), and a set of passes ([`passes`])
+//! walks the lines and token streams. A cross-file pass checks the
+//! wire protocol for drift between `proto.rs`, `codec.rs`, and the
+//! DESIGN.md protocol table.
 //!
-//! **Crates opt in via a root pragma.** Instead of a hard-coded crate
-//! list, each crate declares the rules it holds itself to with a doc
-//! line in its crate root (`src/lib.rs`, or `src/main.rs` for pure
-//! binaries):
+//! **Crates opt in via a root pragma.** Each crate declares the rules
+//! it holds itself to with a doc line in its crate root (`src/lib.rs`,
+//! or `src/main.rs` for pure binaries):
 //!
 //! ```text
 //! //! modelcheck: no-panic, lossy-cast, missing-docs
@@ -16,34 +21,44 @@
 //! [`scan_workspace`] discovers every `Cargo.toml` under the root
 //! (skipping `vendor/`, `target/`, `.git/`, `fixtures/`), reads the
 //! crate root's pragma, and applies the named rules to that crate's
-//! `src/` tree. A crate with no pragma gets only the global rule. A
+//! `src/` tree. A crate with no pragma gets only the global rules. A
 //! pragma naming an unknown rule is itself a diagnostic (`pragma`), so
 //! typos fail the build instead of silently disabling a rule.
 //!
-//! | rule | scope | what it rejects |
-//! |------|-------|-----------------|
-//! | `no-panic` | pragma'd `src/` | `.unwrap()`, `.expect(`, `panic!` — model code must carry invariants, not abort paths (`assert!`/`unreachable!` are fine) |
-//! | `naked-f64` | pragma'd `src/` except `units.rs` | `f64`/`f32` in a `pub fn` signature — public model APIs speak [`Seconds`]-style newtypes, not bare floats |
-//! | `lossy-cast` | pragma'd `src/` | `as f64` / `as f32` and visibly-float → integer `as` casts — use the checked `f64_from_u64` funnel |
-//! | `no-todo-dbg` | everywhere scanned | `todo!` / `dbg!` — placeholders and debug prints must not ship |
-//! | `missing-docs` | pragma'd `src/` | a public item with no `///` doc comment |
-//! | `pragma` | crate roots | a `modelcheck:` pragma naming an unknown rule |
+//! | rule | family | what it rejects |
+//! |------|--------|-----------------|
+//! | `no-panic` | style | `.unwrap()`, `.expect(`, `panic!` in model code |
+//! | `naked-f64` | style | `f64`/`f32` in a `pub fn` signature (`units.rs` exempt) |
+//! | `lossy-cast` | style | `as f64`/`as f32` and visible float → integer casts |
+//! | `no-todo-dbg` | style | `todo!` / `dbg!` anywhere scanned, tests included |
+//! | `missing-docs` | style | a public item with no doc comment |
+//! | `lock-discipline` | concurrency | `write()` in a `// modelcheck: read-path` fn; a second shard lock while a guard is live; a guard held across I/O |
+//! | `atomics` | concurrency | `SeqCst`/`AcqRel` without a justification; `store(load(..))` read-modify-write of an atomic |
+//! | `float-env` | numeric | `to_bits`/`from_bits`/`EPSILON` outside `units.rs` |
+//! | `protocol-drift` | protocol | a wire kind present in `proto.rs`, `codec.rs`, or the DESIGN.md table but missing from another |
+//! | `pragma` | config | a `modelcheck:` pragma naming an unknown rule |
+//! | `lex` | lexer | a file the lexer cannot tokenize |
 //!
 //! A diagnostic on line *n* is suppressed by `// modelcheck-allow: <rule>`
-//! on line *n* or line *n−1*; the comment is expected to say *why* the
-//! exception is sound. Code under `#[cfg(test)]` is exempt from every
-//! rule except `no-todo-dbg`.
+//! on line *n* or anywhere in the contiguous comment block directly
+//! above it (justifications are encouraged to take several lines); the
+//! comment is expected to say *why* the exception is sound. Code under
+//! `#[cfg(test)]` is exempt from every rule except `no-todo-dbg` —
+//! which also covers crates' `tests/`, `benches/`, and `examples/`
+//! trees, not just `src/`.
 //!
-//! The pass is a *token scanner*, not a parser: it strips `//` comments,
-//! tracks `#[cfg(test)]` blocks by brace counting, and accumulates
-//! multi-line `pub fn` signatures until the opening `{` or a `;`. That
-//! keeps it dependency-free and fast (the whole workspace scans in
-//! milliseconds) at the cost of not seeing through macros — acceptable
-//! for a repo-local style gate backed by human-reviewed allows.
+//! **Baseline.** Findings present at adoption live in a committed
+//! `modelcheck.baseline` file (`file:line:rule`, one per line): they
+//! are reported as warnings, while any finding *not* in the baseline
+//! is an error. `--fix-baseline` regenerates the file; see [`baseline`].
 //!
 //! [`Seconds`]: ../contention_model/units/struct.Seconds.html
 
 #![warn(missing_docs)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod passes;
 
 use std::fmt;
 use std::fs;
@@ -63,8 +78,22 @@ pub enum Rule {
     NoTodoDbg,
     /// Undocumented public item in a pragma'd crate.
     MissingDocs,
+    /// Shard-lock discipline: write locks in read paths, nested lock
+    /// acquisition, guards held across I/O.
+    LockDiscipline,
+    /// Atomics ordering hygiene: unjustified `SeqCst`/`AcqRel`,
+    /// non-atomic read-modify-write of relaxed counters.
+    Atomics,
+    /// Bit-level float access (`to_bits`/`from_bits`/`EPSILON`) outside
+    /// `units.rs`.
+    FloatEnv,
+    /// Wire-protocol drift between `proto.rs`, `codec.rs`, and the
+    /// DESIGN.md protocol table.
+    ProtocolDrift,
     /// A crate-root `modelcheck:` pragma naming an unknown rule.
     Pragma,
+    /// A file the lexer failed to tokenize.
+    Lex,
 }
 
 impl Rule {
@@ -77,27 +106,85 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::NoTodoDbg => "no-todo-dbg",
             Rule::MissingDocs => "missing-docs",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::Atomics => "atomics",
+            Rule::FloatEnv => "float-env",
+            Rule::ProtocolDrift => "protocol-drift",
             Rule::Pragma => "pragma",
+            Rule::Lex => "lex",
+        }
+    }
+
+    /// The rule family reported in `--json` output: passes group into
+    /// families so tooling can gate on whole categories.
+    pub fn family(self) -> &'static str {
+        match self {
+            Rule::NoPanic
+            | Rule::NakedF64
+            | Rule::LossyCast
+            | Rule::NoTodoDbg
+            | Rule::MissingDocs => "style",
+            Rule::LockDiscipline | Rule::Atomics => "concurrency",
+            Rule::FloatEnv => "numeric",
+            Rule::ProtocolDrift => "protocol",
+            Rule::Pragma => "config",
+            Rule::Lex => "lexer",
         }
     }
 }
 
-/// One finding: a rule violated at a `file:line`.
+/// One finding: a rule violated at a `file:line:col` span.
 #[derive(Debug, Clone)]
 pub struct Diagnostic {
     /// Workspace-relative path with `/` separators.
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column where the finding starts.
+    pub col: usize,
+    /// 1-based byte column one past the finding's end (`col` when the
+    /// span is unknown).
+    pub end_col: usize,
     /// The violated rule.
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
+    /// True when the finding matches a committed baseline entry (a
+    /// warning at adoption, not an error). Set by [`baseline::mark`].
+    pub baselined: bool,
+}
+
+impl Diagnostic {
+    /// A diagnostic with an explicit column span (1-based, end
+    /// exclusive).
+    pub fn spanned(
+        file: &str,
+        line: usize,
+        col: usize,
+        end_col: usize,
+        rule: Rule,
+        message: String,
+    ) -> Self {
+        Diagnostic { file: file.to_string(), line, col, end_col, rule, message, baselined: false }
+    }
+
+    /// A diagnostic covering an unknown span (column 1).
+    pub fn at_line(file: &str, line: usize, rule: Rule, message: String) -> Self {
+        Diagnostic::spanned(file, line, 1, 1, rule, message)
+    }
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.name(), self.message)
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule.name(),
+            self.message
+        )
     }
 }
 
@@ -106,10 +193,15 @@ impl Diagnostic {
     /// with no dependencies at all).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"end_col\":{},\"rule\":\"{}\",\
+             \"family\":\"{}\",\"baselined\":{},\"message\":\"{}\"}}",
             escape_json(&self.file),
             self.line,
+            self.col,
+            self.end_col,
             self.rule.name(),
+            self.rule.family(),
+            self.baselined,
             escape_json(&self.message)
         )
     }
@@ -148,16 +240,36 @@ pub struct FileScope {
     pub lossy_cast: bool,
     /// `missing-docs` applies.
     pub missing_docs: bool,
+    /// `lock-discipline` applies.
+    pub lock_discipline: bool,
+    /// `atomics` applies.
+    pub atomics: bool,
+    /// `float-env` applies.
+    pub float_env: bool,
 }
 
 impl FileScope {
     /// No opt-in rules (only the global `no-todo-dbg` fires).
-    pub const NONE: FileScope =
-        FileScope { no_panic: false, naked_f64: false, lossy_cast: false, missing_docs: false };
+    pub const NONE: FileScope = FileScope {
+        no_panic: false,
+        naked_f64: false,
+        lossy_cast: false,
+        missing_docs: false,
+        lock_discipline: false,
+        atomics: false,
+        float_env: false,
+    };
 
     /// Every opt-in rule enabled.
-    pub const ALL: FileScope =
-        FileScope { no_panic: true, naked_f64: true, lossy_cast: true, missing_docs: true };
+    pub const ALL: FileScope = FileScope {
+        no_panic: true,
+        naked_f64: true,
+        lossy_cast: true,
+        missing_docs: true,
+        lock_discipline: true,
+        atomics: true,
+        float_env: true,
+    };
 
     /// Builds a scope from pragma rule names; unknown names are returned
     /// for the caller to report. `no-todo-dbg` is accepted but redundant
@@ -173,6 +285,9 @@ impl FileScope {
                 "naked-f64" => scope.naked_f64 = true,
                 "lossy-cast" => scope.lossy_cast = true,
                 "missing-docs" => scope.missing_docs = true,
+                "lock-discipline" => scope.lock_discipline = true,
+                "atomics" => scope.atomics = true,
+                "float-env" => scope.float_env = true,
                 "no-todo-dbg" => {}
                 other => unknown.push(other.to_string()),
             }
@@ -181,11 +296,12 @@ impl FileScope {
     }
 
     /// Per-file adjustment of a crate-level scope: the units module is
-    /// the one place bare floats are the API, so `naked-f64` is exempt
+    /// the one place bare floats *are* the API and bit-level float
+    /// access is legitimate, so `naked-f64` and `float-env` are exempt
     /// there.
     pub fn for_file(self, rel: &str) -> FileScope {
         if rel.ends_with("/units.rs") || rel == "units.rs" {
-            FileScope { naked_f64: false, ..self }
+            FileScope { naked_f64: false, float_env: false, ..self }
         } else {
             self
         }
@@ -206,313 +322,26 @@ pub fn parse_pragma(text: &str) -> Option<(usize, Vec<String>)> {
     None
 }
 
-/// True when `needle` occurs in `hay` with non-identifier characters (or
-/// the string boundary) on both sides — so `f64` does not match inside
-/// `f64_from_u64`.
-fn contains_token(hay: &str, needle: &str) -> bool {
-    find_token(hay, needle).is_some()
-}
-
-fn find_token(hay: &str, needle: &str) -> Option<usize> {
-    token_positions(hay, needle).first().copied()
-}
-
-/// Every token-boundary occurrence of `needle` in `hay`.
-fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
-    let bytes = hay.as_bytes();
-    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
-    let mut found = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let ok_before = start == 0 || !is_ident(bytes[start - 1]);
-        let ok_after = end >= bytes.len() || !is_ident(bytes[end]);
-        if ok_before && ok_after {
-            found.push(start);
-        }
-        from = start + 1;
-    }
-    found
-}
-
-/// The code part of a line: everything before the first `//` (which also
-/// drops doc comments, so prose mentioning `panic!` is never flagged).
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
-}
-
-/// Per-line allow annotations: `allows[i]` is the rule name granted on
-/// line `i` (0-based), if any.
-fn collect_allows(lines: &[&str]) -> Vec<Option<String>> {
-    lines
-        .iter()
-        .map(|line| {
-            let marker = "modelcheck-allow:";
-            let at = line.find(marker)?;
-            let rest = line[at + marker.len()..].trim_start();
-            let name: String =
-                rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').collect();
-            if name.is_empty() {
-                None
-            } else {
-                Some(name)
-            }
-        })
-        .collect()
-}
-
-/// True when line `i` (0-based) carries an allow for `rule`, either on
-/// the line itself or on the line above.
-fn allowed(allows: &[Option<String>], i: usize, rule: Rule) -> bool {
-    let hit = |j: usize| allows[j].as_deref() == Some(rule.name());
-    hit(i) || (i > 0 && hit(i - 1))
-}
-
-/// Marks every line inside a `#[cfg(test)]`-gated item by brace counting
-/// from the attribute to the close of the block it opens.
-fn cfg_test_mask(lines: &[&str]) -> Vec<bool> {
-    let mut mask = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        if !lines[i].contains("#[cfg(test)]") {
-            i += 1;
-            continue;
-        }
-        let mut depth = 0i64;
-        let mut opened = false;
-        let mut j = i;
-        while j < lines.len() {
-            mask[j] = true;
-            for c in code_part(lines[j]).chars() {
-                match c {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => depth -= 1,
-                    _ => {}
-                }
-            }
-            if opened && depth <= 0 {
-                break;
-            }
-            j += 1;
-        }
-        i = j + 1;
-    }
-    mask
-}
-
-/// A `pub fn` signature accumulated from its first line to the opening
-/// `{` or terminating `;` (whichever comes first).
-fn signature_text(lines: &[&str], start: usize) -> String {
-    let mut sig = String::new();
-    for line in lines.iter().skip(start) {
-        let code = code_part(line);
-        if let Some(stop) = code.find(['{', ';']) {
-            sig.push_str(&code[..stop]);
-            break;
-        }
-        sig.push_str(code);
-        sig.push(' ');
-    }
-    sig
-}
-
-const PUB_ITEM_KEYWORDS: [&str; 9] =
-    ["fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union"];
-
-/// The item keyword of a public item declaration, if the trimmed code
-/// line starts one (`pub fn`, `pub struct`, … — but not `pub use` or
-/// `pub(crate)`, which `missing_docs` also skips).
-fn pub_item_keyword(trimmed: &str) -> Option<&'static str> {
-    let rest = trimmed.strip_prefix("pub ")?;
-    let rest = rest.trim_start();
-    // `pub async fn`, `pub unsafe fn`, `pub const fn` and stacks thereof.
-    let rest = ["async ", "unsafe ", "const ", "extern \"C\" "]
-        .iter()
-        .fold(rest, |r, q| r.strip_prefix(q).unwrap_or(r).trim_start());
-    PUB_ITEM_KEYWORDS
-        .iter()
-        .find(|kw| rest.strip_prefix(*kw).is_some_and(|after| after.starts_with([' ', '<', '('])))
-        .copied()
-}
-
-/// True when the item declared on line `i` has a doc comment (or
-/// `#[doc…]` attribute) directly above it, attributes skipped.
-fn has_doc_above(lines: &[&str], i: usize) -> bool {
-    let mut j = i;
-    while j > 0 {
-        j -= 1;
-        let t = lines[j].trim_start();
-        if t.starts_with("#[doc") || t.starts_with("///") || t.starts_with("//!") {
-            return true;
-        }
-        if t.starts_with("#[") || t.starts_with("#!") || t.starts_with("//") {
-            continue; // attributes and plain comments are trivia to rustdoc
-        }
-        return false;
-    }
-    false
-}
-
-/// Heuristic: the expression token just before an ` as ` cast is visibly
-/// floating-point (a literal like `1.5`, or a `.floor()`-family call).
-fn float_evidence_before(code: &str, as_pos: usize) -> bool {
-    let before = code[..as_pos].trim_end();
-    for suffix in [".floor()", ".ceil()", ".round()", ".trunc()"] {
-        if before.ends_with(suffix) {
-            return true;
-        }
-    }
-    let token_start = before
-        .rfind(|c: char| c.is_whitespace() || c == '(' || c == ',' || c == '=')
-        .map_or(0, |p| p + 1);
-    let token = &before[token_start..];
-    // A float literal: a '.' immediately followed by a digit.
-    token.as_bytes().windows(2).any(|w| w[0] == b'.' && w[1].is_ascii_digit())
-}
-
-const INT_CAST_TARGETS: [&str; 12] =
-    ["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
-
 /// Scans one file's text under an explicit rule scope; `rel` is the
 /// workspace-relative path used in diagnostics. ([`scan_workspace`]
-/// derives the scope from the owning crate's root pragma.)
+/// derives the scope from the owning crate's root pragma.) Runs the
+/// per-file passes: the textual style pass plus the token-based
+/// concurrency and numeric passes.
 pub fn scan_file(rel: &str, text: &str, scope: FileScope) -> Vec<Diagnostic> {
     let scope = scope.for_file(rel);
-    let lines: Vec<&str> = text.lines().collect();
-    let allows = collect_allows(&lines);
-    let test_mask = cfg_test_mask(&lines);
-    let mut diags = Vec::new();
-    let mut push = |line: usize, rule: Rule, message: String| {
-        diags.push(Diagnostic { file: rel.to_string(), line: line + 1, rule, message });
-    };
-
-    // The scanner must not trip over its own rule patterns when scanning
-    // this very file, hence the split literals.
-    let todo_pat = concat!("to", "do!");
-    let dbg_pat = concat!("d", "bg!");
-
-    for (i, raw) in lines.iter().enumerate() {
-        let code = code_part(raw);
-        if code.trim().is_empty() {
-            continue;
-        }
-
-        // no-todo-dbg: everywhere, including tests.
-        if !allowed(&allows, i, Rule::NoTodoDbg) {
-            for pat in [todo_pat, dbg_pat] {
-                if contains_token(code, pat) {
-                    push(i, Rule::NoTodoDbg, format!("`{pat}` must not ship"));
-                }
-            }
-        }
-
-        if test_mask[i] {
-            continue;
-        }
-
-        if scope.no_panic && !allowed(&allows, i, Rule::NoPanic) {
-            if code.contains(".unwrap()") {
-                push(
-                    i,
-                    Rule::NoPanic,
-                    "`.unwrap()` in model code — return a Result or `.expect` with an \
-                     invariant message under an allow"
-                        .to_string(),
-                );
-            }
-            if code.contains(".expect(") {
-                push(
-                    i,
-                    Rule::NoPanic,
-                    "`.expect(` in model code — needs a `modelcheck-allow: no-panic` \
-                     stating the invariant"
-                        .to_string(),
-                );
-            }
-            if contains_token(code, "panic!") {
-                push(
-                    i,
-                    Rule::NoPanic,
-                    "`panic!` in model code — encode the invariant as an `assert!` or \
-                     return an error"
-                        .to_string(),
-                );
-            }
-        }
-
-        if scope.naked_f64
-            && pub_item_keyword(code.trim_start()) == Some("fn")
-            && !allowed(&allows, i, Rule::NakedF64)
-        {
-            let sig = signature_text(&lines, i);
-            for ty in ["f64", "f32"] {
-                if contains_token(&sig, ty) {
-                    push(
-                        i,
-                        Rule::NakedF64,
-                        format!(
-                            "bare `{ty}` in a public signature — use the `units` \
-                             newtypes (Seconds, Prob, Slowdown, …)"
-                        ),
-                    );
-                }
-            }
-        }
-
-        if scope.lossy_cast && !allowed(&allows, i, Rule::LossyCast) {
-            let target_is = |after: &str, ty: &str| {
-                after.starts_with(ty)
-                    && !after[ty.len()..].starts_with(|c: char| c.is_alphanumeric() || c == '_')
-            };
-            for pos in token_positions(code, "as") {
-                let after = code[pos + 2..].trim_start();
-                if let Some(ty) = ["f64", "f32"].iter().find(|ty| target_is(after, ty)) {
-                    push(
-                        i,
-                        Rule::LossyCast,
-                        format!(
-                            "`as {ty}` cast — route through `units::f64_from_u64` \
-                             (exact below 2⁵³) or add an allow with the bound"
-                        ),
-                    );
-                } else if INT_CAST_TARGETS.iter().any(|ty| target_is(after, ty))
-                    && float_evidence_before(code, pos)
-                {
-                    push(
-                        i,
-                        Rule::LossyCast,
-                        "float → integer `as` cast truncates — justify with an allow".to_string(),
-                    );
-                }
-            }
-        }
-
-        // An out-of-line `pub mod name;` carries its docs as the `//!`
-        // header of the module file itself, which rustc accepts — so only
-        // inline modules are checked at the declaration site.
-        let out_of_line_mod = |kw| kw == "mod" && code.trim_end().ends_with(';');
-        if scope.missing_docs
-            && pub_item_keyword(code.trim_start()).is_some_and(|kw| !out_of_line_mod(kw))
-            && !allowed(&allows, i, Rule::MissingDocs)
-            && !has_doc_above(&lines, i)
-        {
-            push(i, Rule::MissingDocs, "public item without a doc comment".to_string());
-        }
-    }
+    let (input, mut diags) = passes::FileInput::build(rel, text, scope);
+    diags.extend(passes::textual::run(&input));
+    diags.extend(passes::lock::run(&input));
+    diags.extend(passes::atomics::run(&input));
+    diags.extend(passes::float_env::run(&input));
     diags
 }
 
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 4] = ["vendor", "target", ".git", "fixtures"];
 
-fn walk_by<F: FnMut(&Path)>(dir: &Path, visit: &mut F) {
+/// Walks every file under `dir` (skip-dirs excluded) in sorted order.
+pub fn walk_by<F: FnMut(&Path)>(dir: &Path, visit: &mut F) {
     let Ok(entries) = fs::read_dir(dir) else { return };
     let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
     paths.sort();
@@ -571,12 +400,12 @@ pub fn discover_crates(root: &Path) -> (Vec<CrateScope>, Vec<Diagnostic>) {
         };
         let (scope, unknown) = FileScope::from_rule_names(names.iter().map(String::as_str));
         for name in unknown {
-            diags.push(Diagnostic {
-                file: rel_of(&crate_root, root),
-                line: line + 1,
-                rule: Rule::Pragma,
-                message: format!("unknown rule {name:?} in modelcheck pragma"),
-            });
+            diags.push(Diagnostic::at_line(
+                &rel_of(&crate_root, root),
+                line + 1,
+                Rule::Pragma,
+                format!("unknown rule {name:?} in modelcheck pragma"),
+            ));
         }
         crates.push(CrateScope { dir: rel_of(&dir, root), scope });
     }
@@ -585,7 +414,9 @@ pub fn discover_crates(root: &Path) -> (Vec<CrateScope>, Vec<Diagnostic>) {
 
 /// Scans every `.rs` file under `root` (skipping `vendor/`, `target/`,
 /// `.git/`, and `fixtures/`), scoping each file by its owning crate's
-/// root pragma, and returns all diagnostics ordered by path and line.
+/// root pragma, runs the cross-file protocol-drift pass, and returns
+/// all diagnostics ordered by path and line. Baseline status is *not*
+/// applied here — see [`baseline::mark`].
 pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
     let (crates, mut diags) = discover_crates(root);
     let mut files = Vec::new();
@@ -597,7 +428,9 @@ pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
     for path in files {
         let rel = rel_of(&path, root);
         // The owning crate is the one whose src/ tree contains the file;
-        // the longest directory prefix wins for nested layouts.
+        // the longest directory prefix wins for nested layouts. Files
+        // outside any src/ tree (tests/, benches/, examples/) get the
+        // global rules only.
         let scope = crates
             .iter()
             .filter(|c| {
@@ -612,7 +445,8 @@ pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
         let Ok(text) = fs::read_to_string(&path) else { continue };
         diags.extend(scan_file(&rel, &text, scope));
     }
-    diags.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    diags.extend(passes::drift::check_workspace(root));
+    diags.sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
     diags
 }
 
@@ -654,6 +488,15 @@ mod tests {
     }
 
     #[test]
+    fn new_rule_names_parse() {
+        let (scope, unknown) =
+            FileScope::from_rule_names(["lock-discipline", "atomics", "float-env"]);
+        assert!(scope.lock_discipline && scope.atomics && scope.float_env);
+        assert!(!scope.no_panic);
+        assert!(unknown.is_empty());
+    }
+
+    #[test]
     fn allow_on_same_or_previous_line_suppresses() {
         let same = "fn f() { x.unwrap(); } // modelcheck-allow: no-panic — invariant\n";
         assert!(core_scan(same).is_empty());
@@ -661,6 +504,14 @@ mod tests {
         assert!(core_scan(above).is_empty());
         let wrong_rule = "// modelcheck-allow: lossy-cast\nfn f() { x.unwrap(); }\n";
         assert_eq!(core_scan(wrong_rule).len(), 1);
+        // A multi-line justification block counts as one allow…
+        let block = "// modelcheck-allow: no-panic — the invariant takes\n\
+                     // a couple of lines to state properly\n\
+                     fn f() { x.unwrap(); }\n";
+        assert!(core_scan(block).is_empty());
+        // …but code between the allow and the finding breaks the block.
+        let detached = "// modelcheck-allow: no-panic\nfn g() {}\nfn f() { x.unwrap(); }\n";
+        assert_eq!(core_scan(detached).len(), 1);
     }
 
     #[test]
@@ -671,15 +522,15 @@ mod tests {
 
     #[test]
     fn naked_f64_spans_multiline_signatures() {
-        let body = "pub fn f(\n    a: Seconds,\n    b: f64,\n) -> Words {\n    todo\n}\n";
+        let body = "pub fn f(\n    a: Seconds,\n    b: f64,\n) -> Words {\n    body\n}\n";
         let d = core_scan(body);
         assert_eq!(d.len(), 2, "{d:?}"); // naked-f64 + missing-docs
         assert!(d.iter().any(|d| d.rule == Rule::NakedF64 && d.line == 1));
     }
 
     #[test]
-    fn units_module_is_exempt_from_naked_f64() {
-        let body = "/// Doc.\npub fn get(&self) -> f64 { self.0 }\n";
+    fn units_module_is_exempt_from_naked_f64_and_float_env() {
+        let body = "/// Doc.\npub fn get(&self) -> f64 { self.0.to_bits(); self.0 }\n";
         assert!(scan_file("crates/core/src/units.rs", body, FileScope::ALL).is_empty());
     }
 
@@ -732,16 +583,33 @@ mod tests {
     }
 
     #[test]
-    fn json_output_escapes_quotes() {
-        let d = Diagnostic {
-            file: "a.rs".into(),
-            line: 3,
-            rule: Rule::NoPanic,
-            message: "say \"no\"".into(),
-        };
+    fn block_comments_and_strings_are_not_code() {
+        // v3 (lexer-backed comment stripping): a block comment holding
+        // `.unwrap()` is prose, and `//` inside a string does not hide
+        // the rest of the line.
+        let block = "/* x.unwrap() would be wrong */\nfn f() {}\n";
+        assert!(core_scan(block).is_empty());
+        let url = "fn f() { let u = \"https://host/x\"; g.unwrap(); }\n";
+        let d = core_scan(url);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::NoPanic);
+    }
+
+    #[test]
+    fn diagnostics_carry_spans() {
+        let d = core_scan("fn f() { x.unwrap(); }\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].col), (1, 11), "{:?}", d[0]);
+        assert!(d[0].end_col > d[0].col);
+    }
+
+    #[test]
+    fn json_output_escapes_quotes_and_carries_family() {
+        let d = Diagnostic::spanned("a.rs", 3, 5, 9, Rule::NoPanic, "say \"no\"".to_string());
         assert_eq!(
             d.to_json(),
-            "{\"file\":\"a.rs\",\"line\":3,\"rule\":\"no-panic\",\"message\":\"say \\\"no\\\"\"}"
+            "{\"file\":\"a.rs\",\"line\":3,\"col\":5,\"end_col\":9,\"rule\":\"no-panic\",\
+             \"family\":\"style\",\"baselined\":false,\"message\":\"say \\\"no\\\"\"}"
         );
         assert_eq!(to_json(&[]), "[]");
     }

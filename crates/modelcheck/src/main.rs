@@ -1,25 +1,44 @@
 //! CLI for the workspace static-analysis pass.
 //!
 //! ```text
-//! cargo run -p modelcheck            # human-readable file:line diagnostics
-//! cargo run -p modelcheck -- --json  # machine-readable JSON array
-//! cargo run -p modelcheck -- <root>  # scan a different tree (used by tests)
+//! cargo run -p modelcheck                    # human-readable diagnostics
+//! cargo run -p modelcheck -- --json          # machine-readable JSON array
+//! cargo run -p modelcheck -- --fix-baseline  # accept current findings
+//! cargo run -p modelcheck -- --baseline F    # read/write baseline at F
+//! cargo run -p modelcheck -- <root>          # scan a different tree
 //! ```
 //!
-//! Exits 0 when the tree is clean, 1 when any rule fires, 2 on usage
-//! errors — so CI can gate on it directly.
+//! Findings listed in the baseline file (`modelcheck.baseline` at the
+//! scan root by default) are reported as warnings; anything else is an
+//! error. Exits 0 when there are no *new* findings, 1 when any
+//! non-baselined rule fires, 2 on usage errors — so CI can gate on it
+//! directly.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut fix_baseline = false;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--fix-baseline" => fix_baseline = true,
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("modelcheck: --baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: modelcheck [--json] [workspace-root]");
+                eprintln!(
+                    "usage: modelcheck [--json] [--fix-baseline] [--baseline <file>] \
+                     [workspace-root]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if root.is_none() && !other.starts_with('-') => {
@@ -35,21 +54,61 @@ fn main() -> ExitCode {
     // the workspace root is two levels up.
     let root =
         root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
-    let diags = modelcheck::scan_workspace(&root);
+    let baseline_path = baseline_path.unwrap_or_else(|| modelcheck::baseline::default_path(&root));
+
+    let mut diags = modelcheck::scan_workspace(&root);
+
+    if fix_baseline {
+        let text = modelcheck::baseline::render(&diags);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
+            eprintln!("modelcheck: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "modelcheck: baselined {} finding{} into {}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut stale = 0;
+    if let Ok(text) = std::fs::read_to_string(&baseline_path) {
+        let (entries, bad) = modelcheck::baseline::parse(&text);
+        for b in &bad {
+            eprintln!("modelcheck: unparseable baseline line ignored: {b:?}");
+        }
+        stale = modelcheck::baseline::mark(&mut diags, &entries);
+    }
+    let new = diags.iter().filter(|d| !d.baselined).count();
+
     if json {
         println!("{}", modelcheck::to_json(&diags));
     } else {
         for d in &diags {
-            println!("{d}");
+            if d.baselined {
+                println!("{d} (baselined)");
+            } else {
+                println!("{d}");
+            }
         }
         eprintln!(
-            "modelcheck: {} diagnostic{} in {}",
-            diags.len(),
-            if diags.len() == 1 { "" } else { "s" },
+            "modelcheck: {} new diagnostic{}, {} baselined, in {}",
+            new,
+            if new == 1 { "" } else { "s" },
+            diags.len() - new,
             root.display()
         );
+        if stale > 0 {
+            eprintln!(
+                "modelcheck: {stale} stale baseline entr{} — run --fix-baseline to shrink \
+                 the baseline",
+                if stale == 1 { "y" } else { "ies" }
+            );
+        }
     }
-    if diags.is_empty() {
+    if new == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

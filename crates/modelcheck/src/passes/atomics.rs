@@ -1,0 +1,156 @@
+//! The `atomics` pass: memory-ordering hygiene for the relaxed-atomic
+//! metrics and shutdown plumbing.
+//!
+//! Two rules:
+//!
+//! 1. **Strong orderings need a reason.** `Ordering::SeqCst` and
+//!    `Ordering::AcqRel` are global-synchronization sledgehammers; in a
+//!    codebase whose hot path is deliberately `Relaxed`, each use must
+//!    carry a `modelcheck-allow: atomics` comment saying what it
+//!    synchronizes (e.g. a shutdown flag that must be seen before the
+//!    wake connection).
+//! 2. **No torn read-modify-write.** `x.store(x.load(..) + 1, ..)` on
+//!    an atomic loses updates under concurrency; the pass flags any
+//!    `.store(` whose argument expression contains a `.load(` call —
+//!    use `fetch_add`/`fetch_max` instead.
+
+use super::FileInput;
+use crate::lexer::TokKind;
+use crate::{Diagnostic, Rule};
+
+/// Runs the atomics rules over the token stream.
+pub fn run(input: &FileInput<'_>) -> Vec<Diagnostic> {
+    if !input.scope.atomics || input.tokens.is_empty() {
+        return Vec::new();
+    }
+    let toks = input.code_tokens();
+    let mut diags = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || input.in_test(t.line) {
+            continue;
+        }
+        match t.text {
+            "SeqCst" | "AcqRel" if !input.allowed(t.line - 1, Rule::Atomics) => {
+                diags.push(Diagnostic::spanned(
+                    input.rel,
+                    t.line,
+                    t.col,
+                    t.col + t.text.len(),
+                    Rule::Atomics,
+                    format!(
+                        "`Ordering::{}` — strong orderings need a \
+                         `modelcheck-allow: atomics` comment stating what they \
+                         synchronize (the hot path is Relaxed by design)",
+                        t.text
+                    ),
+                ));
+            }
+            "store"
+                if k > 0
+                    && toks[k - 1].text == "."
+                    && toks.get(k + 1).is_some_and(|n| n.text == "(") =>
+            {
+                // Walk the store's argument list; a `.load(` inside it
+                // is a lost-update read-modify-write.
+                let mut depth = 0i64;
+                let mut j = k + 1;
+                while j < toks.len() {
+                    match toks[j].text {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "load"
+                            if toks[j].kind == TokKind::Ident
+                                && toks[j - 1].text == "."
+                                && toks.get(j + 1).is_some_and(|n| n.text == "(") =>
+                        {
+                            if !input.allowed(t.line - 1, Rule::Atomics) {
+                                diags.push(Diagnostic::spanned(
+                                    input.rel,
+                                    t.line,
+                                    t.col,
+                                    t.col + t.text.len(),
+                                    Rule::Atomics,
+                                    "`.store(… .load(…) …)` is a non-atomic \
+                                     read-modify-write and loses updates — use \
+                                     `fetch_add`/`fetch_max`/`compare_exchange`"
+                                        .to_string(),
+                                ));
+                            }
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileScope;
+
+    fn scan(body: &str) -> Vec<Diagnostic> {
+        let (input, diags) = FileInput::build("x.rs", body, FileScope::ALL);
+        assert!(diags.is_empty(), "{diags:?}");
+        run(&input)
+    }
+
+    #[test]
+    fn seqcst_needs_a_justification() {
+        let d = scan("fn f(b: &AtomicBool) { b.store(true, Ordering::SeqCst); }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("SeqCst"));
+        let ok = "fn f(b: &AtomicBool) {\n\
+                  \x20   // modelcheck-allow: atomics — shutdown flag must be visible before wake\n\
+                  \x20   b.store(true, Ordering::SeqCst);\n\
+                  }\n";
+        assert!(scan(ok).is_empty());
+    }
+
+    #[test]
+    fn acqrel_is_also_strong() {
+        assert_eq!(scan("fn f(n: &AtomicU64) { n.fetch_add(1, Ordering::AcqRel); }\n").len(), 1);
+    }
+
+    #[test]
+    fn relaxed_is_free() {
+        assert!(scan("fn f(n: &AtomicU64) { n.fetch_add(1, Ordering::Relaxed); }\n").is_empty());
+    }
+
+    #[test]
+    fn store_of_load_plus_one_is_a_torn_rmw() {
+        let d = scan(
+            "fn f(n: &AtomicU64) { n.store(n.load(Ordering::Relaxed) + 1, Ordering::Relaxed); }\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("read-modify-write"));
+    }
+
+    #[test]
+    fn independent_store_and_load_are_fine() {
+        let src = "fn f(n: &AtomicU64) {\n\
+                   \x20   let v = n.load(Ordering::Relaxed);\n\
+                   \x20   n.store(0, Ordering::Relaxed);\n\
+                   \x20   use_it(v);\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod t {\n\
+                   fn f(b: &AtomicBool) { b.store(true, Ordering::SeqCst); }\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+}

@@ -1,0 +1,501 @@
+//! The `protocol-drift` pass: the wire protocol is defined in three
+//! places and they must agree.
+//!
+//! 1. `crates/predictd/src/proto.rs` — the `Request`/`Response` enums
+//!    and their `kind()` tag strings are the source of truth.
+//! 2. `crates/predictd/src/codec.rs` — the fast path must handle (or
+//!    *explicitly decline*, like `"rank" => None` or
+//!    `Response::Ranked(_) => return false`) every kind; a variant
+//!    added to proto.rs without touching codec.rs silently routes all
+//!    traffic for it through the slow generic path — or worse, drifts
+//!    the fast writer away from byte-identity.
+//! 3. The wire-protocol table in DESIGN.md §8 — operators read the
+//!    docs, not the source.
+//!
+//! The pass lexes proto.rs and harvests `(direction, Variant, "kind")`
+//! triples from the enum declarations and the single-line match arms
+//! that pair a `Request::V`/`Response::V` path with a string literal
+//! (`kind()`, serialization, deserialization — all three agree or
+//! that's a finding too). Codec coverage counts a non-test mention of
+//! either the kind string (standalone, or embedded as a
+//! `"kind":"…"` tag in a write pattern) or the variant path. The
+//! DESIGN table is any set of markdown rows `| `kind` | request | … |`.
+//! `#[cfg(test)]` lines never count as coverage.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use super::FileInput;
+use crate::lexer::{TokKind, Token};
+use crate::{Diagnostic, FileScope, Rule};
+
+/// Workspace-relative location of the protocol source of truth.
+pub const PROTO_REL: &str = "crates/predictd/src/proto.rs";
+/// Workspace-relative location of the fast-path codec.
+pub const CODEC_REL: &str = "crates/predictd/src/codec.rs";
+/// Workspace-relative location of the protocol documentation.
+pub const DESIGN_REL: &str = "DESIGN.md";
+
+/// One protocol side: enum variants and the kind tags paired with them.
+#[derive(Debug, Default)]
+struct Side {
+    /// Variant name → declaration line (1-based).
+    variants: BTreeMap<String, usize>,
+    /// Variant name → kind tag (first seen) and the line it came from.
+    kinds: BTreeMap<String, (String, usize)>,
+}
+
+/// Strips quotes and prefixes off a `Str` token's text; `None` for raw
+/// or escaped strings (the protocol tags are plain).
+fn str_content(text: &str) -> Option<&str> {
+    let inner = text.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('\\') {
+        None
+    } else {
+        Some(inner)
+    }
+}
+
+/// Groups a token stream by 1-based line, excluding comments.
+fn lines_of<'t, 'a>(input: &'t FileInput<'a>) -> BTreeMap<usize, Vec<&'t Token<'a>>> {
+    let mut map: BTreeMap<usize, Vec<&Token<'_>>> = BTreeMap::new();
+    for t in input.code_tokens() {
+        map.entry(t.line).or_default().push(t);
+    }
+    map
+}
+
+/// Harvests both enum declarations from proto.rs tokens.
+fn harvest_enums(input: &FileInput<'_>, sides: &mut BTreeMap<&'static str, Side>) {
+    let toks = input.code_tokens();
+    let mut i = 0;
+    while i + 2 < toks.len() {
+        let is_target = toks[i].text == "enum"
+            && toks[i].kind == TokKind::Ident
+            && matches!(toks[i + 1].text, "Request" | "Response")
+            && toks[i + 2].text == "{";
+        if !is_target {
+            i += 1;
+            continue;
+        }
+        let dir = if toks[i + 1].text == "Request" { "request" } else { "response" };
+        let side = sides.get_mut(dir).expect("both sides pre-seeded");
+        let mut depth = 1i64;
+        let mut k = i + 3;
+        while k < toks.len() && depth > 0 {
+            match toks[k].text {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                "#" if depth == 1 && toks.get(k + 1).is_some_and(|t| t.text == "[") => {
+                    // Skip an attribute's bracket group.
+                    let mut b = 0i64;
+                    k += 1;
+                    while k < toks.len() {
+                        match toks[k].text {
+                            "[" => b += 1,
+                            "]" => {
+                                b -= 1;
+                                if b == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                _ if depth == 1 && toks[k].kind == TokKind::Ident => {
+                    side.variants.insert(toks[k].text.to_string(), toks[k].line);
+                    // Skip a tuple payload so its type names are not
+                    // mistaken for variants.
+                    if toks.get(k + 1).is_some_and(|t| t.text == "(") {
+                        let mut p = 0i64;
+                        k += 1;
+                        while k < toks.len() {
+                            match toks[k].text {
+                                "(" => p += 1,
+                                ")" => {
+                                    p -= 1;
+                                    if p == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = k;
+    }
+}
+
+/// Harvests `Variant → "kind"` pairs from single-line match arms that
+/// mention `Request::V`/`Response::V`, a plain string literal, and
+/// `=>`. Emits a drift diagnostic when two arms disagree.
+fn harvest_kinds(
+    input: &FileInput<'_>,
+    sides: &mut BTreeMap<&'static str, Side>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for (line, toks) in lines_of(input) {
+        if input.in_test(line) {
+            continue;
+        }
+        let has_arrow =
+            toks.windows(2).any(|w| w[0].text == "=" && w[1].text == ">" && w[0].end == w[1].start);
+        if !has_arrow {
+            continue;
+        }
+        let Some(s) =
+            toks.iter().find_map(
+                |t| {
+                    if t.kind == TokKind::Str {
+                        str_content(t.text)
+                    } else {
+                        None
+                    }
+                },
+            )
+        else {
+            continue;
+        };
+        for w in toks.windows(4) {
+            let path = w[0].kind == TokKind::Ident
+                && matches!(w[0].text, "Request" | "Response")
+                && w[1].text == ":"
+                && w[2].text == ":"
+                && w[3].kind == TokKind::Ident;
+            if !path {
+                continue;
+            }
+            let dir = if w[0].text == "Request" { "request" } else { "response" };
+            let side = sides.get_mut(dir).expect("pre-seeded");
+            let variant = w[3].text.to_string();
+            match side.kinds.get(&variant) {
+                Some((prev, prev_line)) if prev != s => diags.push(Diagnostic::at_line(
+                    input.rel,
+                    line,
+                    Rule::ProtocolDrift,
+                    format!(
+                        "{}::{variant} is tagged {s:?} here but {prev:?} on line \
+                         {prev_line} — the kind() / serialize / deserialize arms drifted",
+                        w[0].text
+                    ),
+                )),
+                Some(_) => {}
+                None => {
+                    side.kinds.insert(variant, (s.to_string(), line));
+                }
+            }
+        }
+    }
+}
+
+/// What the codec mentions outside `#[cfg(test)]`: plain string
+/// literals (plus embedded `"kind":"…"` tags) and variant paths.
+#[derive(Debug, Default)]
+struct CodecCoverage {
+    strings: Vec<String>,
+    variants: BTreeMap<&'static str, Vec<String>>,
+}
+
+fn harvest_codec(input: &FileInput<'_>) -> CodecCoverage {
+    let mut cov = CodecCoverage::default();
+    let toks = input.code_tokens();
+    for (k, t) in toks.iter().enumerate() {
+        if input.in_test(t.line) {
+            continue;
+        }
+        if t.kind == TokKind::Str {
+            if let Some(inner) = t.text.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+                cov.strings.push(inner.to_string());
+            }
+        }
+        let path = t.kind == TokKind::Ident
+            && matches!(t.text, "Request" | "Response")
+            && toks.get(k + 1).is_some_and(|n| n.text == ":")
+            && toks.get(k + 2).is_some_and(|n| n.text == ":")
+            && toks.get(k + 3).is_some_and(|n| n.kind == TokKind::Ident);
+        if path {
+            let dir = if t.text == "Request" { "request" } else { "response" };
+            cov.variants.entry(dir).or_default().push(toks[k + 3].text.to_string());
+        }
+    }
+    cov
+}
+
+impl CodecCoverage {
+    /// True when the codec visibly handles (or declines) this kind.
+    fn covers(&self, dir: &str, variant: &str, kind: &str) -> bool {
+        let tag = format!("\\\"kind\\\":\\\"{kind}\\\"");
+        let tag_unescaped = format!("\"kind\":\"{kind}\"");
+        if self
+            .strings
+            .iter()
+            .any(|s| s == kind || s.contains(tag.as_str()) || s.contains(tag_unescaped.as_str()))
+        {
+            return true;
+        }
+        self.variants.get(dir).is_some_and(|v| v.iter().any(|x| x == variant))
+    }
+}
+
+/// A DESIGN.md wire-table row: (direction, kind, 1-based line).
+fn design_rows(design: &str) -> Vec<(String, String, usize)> {
+    let mut rows = Vec::new();
+    for (i, line) in design.lines().enumerate() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // `| `kind` | direction | … |` splits into ["", "`kind`", "direction", …].
+        if cells.len() < 4 {
+            continue;
+        }
+        let Some(kind) = cells[1].strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+            continue;
+        };
+        let dir = cells[2];
+        if matches!(dir, "request" | "response") {
+            rows.push((dir.to_string(), kind.to_string(), i + 1));
+        }
+    }
+    rows
+}
+
+/// The testable core: checks the three protocol views against each
+/// other. `design` is `None` when DESIGN.md is absent.
+pub fn check(
+    proto_rel: &str,
+    proto: &str,
+    codec_rel: &str,
+    codec: &str,
+    design_rel: &str,
+    design: Option<&str>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let (proto_in, lex1) = FileInput::build(proto_rel, proto, FileScope::NONE);
+    let (codec_in, lex2) = FileInput::build(codec_rel, codec, FileScope::NONE);
+    if !lex1.is_empty() || !lex2.is_empty() {
+        // Lex failures are already reported by the per-file passes;
+        // drift checking on a half-lexed protocol would only add noise.
+        return diags;
+    }
+
+    let mut sides: BTreeMap<&'static str, Side> = BTreeMap::new();
+    sides.insert("request", Side::default());
+    sides.insert("response", Side::default());
+    harvest_enums(&proto_in, &mut sides);
+    harvest_kinds(&proto_in, &mut sides, &mut diags);
+    let cov = harvest_codec(&codec_in);
+
+    let rows = design.map(design_rows);
+    if let Some(rows) = &rows {
+        if rows.is_empty() {
+            diags.push(Diagnostic::at_line(
+                design_rel,
+                1,
+                Rule::ProtocolDrift,
+                "no wire-protocol table found (rows of the form \
+                 `| \u{60}kind\u{60} | request | … |`) — document the protocol"
+                    .to_string(),
+            ));
+        }
+    }
+
+    for (dir, side) in &sides {
+        for (variant, line) in &side.variants {
+            let Some((kind, _)) = side.kinds.get(variant) else {
+                diags.push(Diagnostic::at_line(
+                    proto_rel,
+                    *line,
+                    Rule::ProtocolDrift,
+                    format!(
+                        "{dir} variant `{variant}` has no kind tag in any \
+                         `kind()`/serialize/deserialize match arm"
+                    ),
+                ));
+                continue;
+            };
+            if !cov.covers(dir, variant, kind) {
+                diags.push(Diagnostic::at_line(
+                    codec_rel,
+                    1,
+                    Rule::ProtocolDrift,
+                    format!(
+                        "{dir} kind {kind:?} (`{variant}`) has no fast-path arm or \
+                         explicit decline in the codec — add one (or decline it \
+                         explicitly) so the fast and generic paths cannot drift"
+                    ),
+                ));
+            }
+            if let Some(rows) = &rows {
+                if !rows.is_empty() && !rows.iter().any(|(d, k, _)| d == dir && k == kind) {
+                    diags.push(Diagnostic::at_line(
+                        design_rel,
+                        rows.first().map_or(1, |r| r.2),
+                        Rule::ProtocolDrift,
+                        format!(
+                            "wire-protocol table lacks a row for {dir} kind {kind:?} \
+                             (`{variant}`)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(rows) = &rows {
+        for (dir, kind, line) in rows {
+            let side = &sides[dir.as_str()];
+            if !side.kinds.values().any(|(k, _)| k == kind) {
+                diags.push(Diagnostic::at_line(
+                    design_rel,
+                    *line,
+                    Rule::ProtocolDrift,
+                    format!(
+                        "wire-protocol table documents {dir} kind {kind:?}, which \
+                         does not exist in proto.rs"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+/// Runs the drift pass over a workspace root; a no-op when the
+/// workspace has no predictd protocol (fixture trees, other repos).
+pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
+    let Ok(proto) = fs::read_to_string(root.join(PROTO_REL)) else {
+        return Vec::new();
+    };
+    let Ok(codec) = fs::read_to_string(root.join(CODEC_REL)) else {
+        return vec![Diagnostic::at_line(
+            CODEC_REL,
+            1,
+            Rule::ProtocolDrift,
+            "proto.rs exists but codec.rs is missing — the fast path lost its codec".to_string(),
+        )];
+    };
+    let design = fs::read_to_string(root.join(DESIGN_REL)).ok();
+    check(PROTO_REL, &proto, CODEC_REL, &codec, DESIGN_REL, design.as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTO: &str = "\
+pub enum Request {\n\
+    Alpha(Alpha),\n\
+    Beta,\n\
+}\n\
+impl Request {\n\
+    pub fn kind(&self) -> &'static str {\n\
+        match self {\n\
+            Request::Alpha(_) => \"alpha\",\n\
+            Request::Beta => \"beta\",\n\
+        }\n\
+    }\n\
+}\n\
+pub enum Response {\n\
+    Ok,\n\
+}\n\
+impl Response {\n\
+    pub fn kind(&self) -> &'static str {\n\
+        match self {\n\
+            Response::Ok => \"ok\",\n\
+        }\n\
+    }\n\
+}\n";
+
+    const DESIGN_OK: &str = "\
+| kind | direction | payload |\n\
+|------|-----------|---------|\n\
+| `alpha` | request | a |\n\
+| `beta` | request | none |\n\
+| `ok` | response | none |\n";
+
+    fn codec(arms: &str) -> String {
+        format!("fn parse(kind: &str) -> Option<Request> {{\n    match kind {{\n{arms}        _ => None,\n    }}\n}}\nfn write(r: &Response) {{ match r {{ Response::Ok => (), }} }}\n")
+    }
+
+    #[test]
+    fn agreeing_views_are_clean() {
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
+        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(DESIGN_OK));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_codec_arm_is_drift() {
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n");
+        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(DESIGN_OK));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, Rule::ProtocolDrift);
+        assert!(d[0].message.contains("\"beta\""), "{}", d[0].message);
+        assert_eq!(d[0].file, "c.rs");
+    }
+
+    #[test]
+    fn variant_mention_counts_as_explicit_decline() {
+        let c = codec(
+            "        \"alpha\" => Some(Request::Alpha(x)),\n        Request::Beta => None,\n",
+        );
+        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(DESIGN_OK));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn test_code_does_not_count_as_coverage() {
+        let c = format!(
+            "{}\n#[cfg(test)]\nmod t {{\n    fn f() {{ let x = \"beta\"; }}\n}}\n",
+            codec("        \"alpha\" => Some(Request::Alpha(x)),\n")
+        );
+        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(DESIGN_OK));
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn design_table_must_cover_and_not_invent_kinds() {
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
+        let missing = "| `alpha` | request | a |\n| `ok` | response | none |\n";
+        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(missing));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("lacks a row"), "{}", d[0].message);
+
+        let ghost = format!("{DESIGN_OK}| `ghost` | request | ? |\n");
+        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(&ghost));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("does not exist"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn no_table_at_all_is_one_finding() {
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
+        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some("prose only\n"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no wire-protocol table"));
+    }
+
+    #[test]
+    fn variant_without_kind_tag_is_drift() {
+        let proto = "pub enum Request {\n    Alpha(Alpha),\n    Ghost,\n}\nimpl Request {\n    pub fn kind(&self) -> &'static str {\n        match self {\n            Request::Alpha(_) => \"alpha\",\n        }\n    }\n}\n";
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n");
+        let d = check("p.rs", proto, "c.rs", &c, "D.md", None);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("Ghost"), "{}", d[0].message);
+        assert_eq!(d[0].file, "p.rs");
+    }
+
+    #[test]
+    fn disagreeing_tags_inside_proto_are_drift() {
+        let proto = "pub enum Request {\n    Alpha(Alpha),\n}\nimpl Request {\n    pub fn kind(&self) -> &'static str {\n        match self {\n            Request::Alpha(_) => \"alpha\",\n        }\n    }\n    pub fn to_value(&self) {\n        match self {\n            Request::Alpha(p) => tagged(\"alfa\", p),\n        }\n    }\n}\n";
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n");
+        let d = check("p.rs", proto, "c.rs", &c, "D.md", None);
+        assert!(d.iter().any(|d| d.message.contains("drifted")), "{d:?}");
+    }
+}

@@ -1,0 +1,458 @@
+//! The `lock-discipline` pass: shard-lock hygiene for the concurrent
+//! daemon, checked by walking each function body's token stream with a
+//! guard-liveness state machine.
+//!
+//! Three things are diagnosed:
+//!
+//! 1. **Write lock in a read path.** A function annotated with a
+//!    `// modelcheck: read-path` comment (on the `fn` line or in the
+//!    comment/attribute block above it) promises to only ever take read
+//!    locks; any `write_lock(`/`.write()` acquisition inside it is
+//!    flagged.
+//! 2. **Nested shard locks.** Acquiring a second lock while a guard
+//!    from an earlier acquisition is still live is a lock-ordering /
+//!    deadlock hazard (`RwLock` read-then-write on the same shard
+//!    self-deadlocks under a waiting writer).
+//! 3. **Guard held across I/O.** Socket and stream calls under a live
+//!    guard turn a nanosecond critical section into a
+//!    network-round-trip one; serialize the data out of the guard
+//!    first.
+//!
+//! Guard liveness is tracked structurally, not by name resolution: a
+//! `let`-bound guard lives until its enclosing brace closes (or an
+//! explicit `drop(name)`), an unbound temporary dies at the next `;`
+//! at its own depth. Lock acquisition is recognized as the repo's
+//! `read_lock(` / `write_lock(` helpers or argument-less `.read()` /
+//! `.write()` method calls — `.write(buf)` on an `io::Write` sink has
+//! arguments and is not a lock.
+
+use super::FileInput;
+use crate::lexer::{TokKind, Token};
+use crate::{Diagnostic, Rule};
+
+/// Stream/socket methods that mean "doing I/O right now" when called
+/// with a guard live. Channel `send`/`recv` are deliberately absent
+/// (std mpsc sends don't block).
+const IO_METHODS: [&str; 10] = [
+    "write_all",
+    "write_fmt",
+    "flush",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "accept",
+    "send_to",
+    "recv_from",
+];
+
+/// Socket types whose very mention in a body is I/O-adjacent.
+const SOCKET_TYPES: [&str; 3] = ["TcpStream", "TcpListener", "UdpSocket"];
+
+struct Guard {
+    /// Binding name when `let`-bound; `None` for a temporary.
+    name: Option<String>,
+    /// Brace depth at acquisition (body entry is depth 1).
+    depth: i64,
+    /// 1-based line of the acquisition, for messages.
+    line: usize,
+}
+
+/// True when the function starting on 1-based `fn_line` is annotated
+/// `// modelcheck: read-path`, either trailing on the line or in the
+/// contiguous comment/attribute block above.
+fn is_read_path(input: &FileInput<'_>, fn_line: usize) -> bool {
+    let marker = "modelcheck: read-path";
+    let idx = fn_line - 1;
+    if input.raw_lines.get(idx).is_some_and(|l| l.contains(marker)) {
+        return true;
+    }
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = input.raw_lines[j].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") {
+            if t.contains(marker) {
+                return true;
+            }
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// If `toks[k]` is a lock acquisition, returns `(is_write, line)`.
+fn acquisition_at(toks: &[&Token<'_>], k: usize) -> Option<(bool, usize)> {
+    let t = toks[k];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    match t.text {
+        "read_lock" | "write_lock" if toks.get(k + 1).is_some_and(|n| n.text == "(") => {
+            Some((t.text == "write_lock", t.line))
+        }
+        "read" | "write"
+            if k > 0
+                && toks[k - 1].text == "."
+                && toks.get(k + 1).is_some_and(|n| n.text == "(")
+                && toks.get(k + 2).is_some_and(|n| n.text == ")") =>
+        {
+            Some((t.text == "write", t.line))
+        }
+        _ => None,
+    }
+}
+
+/// Index one past the `)` matching the `(` at `toks[open]`.
+fn after_call(toks: &[&Token<'_>], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// If the acquisition whose argument list opens at `toks[open]` is the
+/// whole initializer of a `let` (the guard itself is what gets bound,
+/// not a value read through it — `let g = read_lock(s);` yes,
+/// `let n = read_lock(s).len();` no), returns the binding name.
+/// `?` and trailing `.unwrap()`/`.expect(…)` are transparent.
+fn binding_name(toks: &[&Token<'_>], k: usize, open: usize) -> Option<String> {
+    let mut e = after_call(toks, open);
+    loop {
+        match toks.get(e).map(|t| t.text) {
+            Some("?") => e += 1,
+            Some(".")
+                if toks.get(e + 1).is_some_and(|t| matches!(t.text, "unwrap" | "expect"))
+                    && toks.get(e + 2).is_some_and(|t| t.text == "(") =>
+            {
+                e = after_call(toks, e + 2);
+            }
+            _ => break,
+        }
+    }
+    if toks.get(e).map(|t| t.text) != Some(";") {
+        return None; // part of a larger expression: the guard is a temporary
+    }
+    let mut j = k;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text {
+            ";" | "{" | "}" => return None,
+            "let" if toks[j].kind == TokKind::Ident => {
+                let mut n = j + 1;
+                while toks.get(n).is_some_and(|t| t.text == "mut") {
+                    n += 1;
+                }
+                return toks
+                    .get(n)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.to_string());
+            }
+            _ => {}
+        }
+        if k - j > 48 {
+            return None; // statement-start not found nearby; treat as temporary
+        }
+    }
+    None
+}
+
+/// If `toks[k]` begins an I/O mention, returns a short description.
+fn io_at(toks: &[&Token<'_>], k: usize) -> Option<String> {
+    let t = toks[k];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    if SOCKET_TYPES.contains(&t.text) {
+        return Some(format!("`{}`", t.text));
+    }
+    if t.text == "io"
+        && toks.get(k + 1).is_some_and(|n| n.text == ":")
+        && toks.get(k + 2).is_some_and(|n| n.text == ":")
+    {
+        // `io::Error` / `io::ErrorKind` / `io::Result` are value and
+        // type plumbing, not I/O being performed.
+        let after = toks.get(k + 3).map(|n| n.text).unwrap_or("");
+        if !matches!(after, "Error" | "ErrorKind" | "Result") {
+            return Some(format!("`io::{after}`"));
+        }
+        return None;
+    }
+    if IO_METHODS.contains(&t.text)
+        && k > 0
+        && toks[k - 1].text == "."
+        && toks.get(k + 1).is_some_and(|n| n.text == "(")
+    {
+        return Some(format!("`.{}(`", t.text));
+    }
+    None
+}
+
+/// Runs the lock-discipline rules over every function body.
+pub fn run(input: &FileInput<'_>) -> Vec<Diagnostic> {
+    if !input.scope.lock_discipline || input.tokens.is_empty() {
+        return Vec::new();
+    }
+    let toks = input.code_tokens();
+    let mut diags = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // `fn name` starts a function; `fn(` is a pointer type.
+        let is_fn = toks[i].kind == TokKind::Ident
+            && toks[i].text == "fn"
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident);
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[i].line;
+        // Find the body's opening brace; a `;` at bracket depth 0 first
+        // means a bodyless declaration (trait method, extern).
+        let mut j = i + 2;
+        let mut bracket = 0i64;
+        let mut open = None;
+        while j < toks.len() {
+            match toks[j].text {
+                "(" | "[" => bracket += 1,
+                ")" | "]" => bracket -= 1,
+                "{" => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if bracket == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+
+        let emit = !input.in_test(fn_line);
+        let read_path = is_read_path(input, fn_line);
+        let mut depth = 1i64;
+        let mut guards: Vec<Guard> = Vec::new();
+        let mut last_io_line = 0usize;
+        let mut k = open + 1;
+        while k < toks.len() && depth > 0 {
+            let t = toks[k];
+            match t.text {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                }
+                ";" => guards.retain(|g| !(g.name.is_none() && g.depth == depth)),
+                "drop"
+                    if t.kind == TokKind::Ident
+                        && toks.get(k + 1).is_some_and(|n| n.text == "(")
+                        && toks.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                        && toks.get(k + 3).is_some_and(|n| n.text == ")") =>
+                {
+                    let name = toks[k + 2].text;
+                    guards.retain(|g| g.name.as_deref() != Some(name));
+                }
+                _ => {}
+            }
+
+            if let Some((is_write, line)) = acquisition_at(&toks, k) {
+                let suppressed = !emit || input.allowed(line - 1, Rule::LockDiscipline);
+                if is_write && read_path && !suppressed {
+                    diags.push(Diagnostic::spanned(
+                        input.rel,
+                        line,
+                        t.col,
+                        t.col + t.text.len(),
+                        Rule::LockDiscipline,
+                        "write lock acquired in a `modelcheck: read-path` function — \
+                         read paths must stay read-only"
+                            .to_string(),
+                    ));
+                }
+                if let Some(live) = guards.first() {
+                    if !suppressed {
+                        diags.push(Diagnostic::spanned(
+                            input.rel,
+                            line,
+                            t.col,
+                            t.col + t.text.len(),
+                            Rule::LockDiscipline,
+                            format!(
+                                "second shard lock acquired while the guard from line {} \
+                                 is still live — lock ordering / self-deadlock hazard; \
+                                 close the first guard's scope or `drop` it first",
+                                live.line
+                            ),
+                        ));
+                    }
+                }
+                // Both acquisition forms have their `(` right after `toks[k]`.
+                guards.push(Guard { name: binding_name(&toks, k, k + 1), depth, line });
+            } else if !guards.is_empty() && t.line != last_io_line {
+                if let Some(what) = io_at(&toks, k) {
+                    last_io_line = t.line;
+                    let suppressed = !emit || input.allowed(t.line - 1, Rule::LockDiscipline);
+                    if !suppressed {
+                        let live = &guards[0];
+                        diags.push(Diagnostic::spanned(
+                            input.rel,
+                            t.line,
+                            t.col,
+                            t.col + t.text.len(),
+                            Rule::LockDiscipline,
+                            format!(
+                                "{what} while the lock guard from line {} is live — \
+                                 do the I/O outside the critical section",
+                                live.line
+                            ),
+                        ));
+                    }
+                }
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FileScope;
+
+    fn scan(body: &str) -> Vec<Diagnostic> {
+        let (input, diags) = FileInput::build("x.rs", body, FileScope::ALL);
+        assert!(diags.is_empty(), "{diags:?}");
+        run(&input)
+    }
+
+    #[test]
+    fn write_in_read_path_is_flagged() {
+        let src = "// modelcheck: read-path\n\
+                   fn machine_count(&self) -> usize {\n\
+                   \x20   let g = write_lock(&self.shards[0]);\n\
+                   \x20   g.len()\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("read-path"));
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn read_in_read_path_is_fine() {
+        let src = "// modelcheck: read-path\n\
+                   fn count(&self) -> usize { let g = read_lock(&self.shards[0]); g.len() }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn nested_acquisition_is_flagged_even_via_method_form() {
+        let src = "fn cross(&self) {\n\
+                   \x20   let a = self.shards[0].read();\n\
+                   \x20   let b = self.shards[1].read();\n\
+                   \x20   use_both(a, b);\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("line 2"));
+    }
+
+    #[test]
+    fn sequential_scoped_guards_are_fine() {
+        // The real `with_profile` shape: read guard in an inner block,
+        // write lock only after the block closes.
+        let src = "fn with_profile(&self) {\n\
+                   {\n\
+                   \x20   let guard = read_lock(shard);\n\
+                   \x20   if let Some(p) = guard.get() { return p; }\n\
+                   }\n\
+                   let mut guard = write_lock(shard);\n\
+                   guard.insert();\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn explicit_drop_releases_the_guard() {
+        let src = "fn f(&self) {\n\
+                   \x20   let a = read_lock(s0);\n\
+                   \x20   drop(a);\n\
+                   \x20   let b = write_lock(s1);\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = "fn f(&self) {\n\
+                   \x20   let n = read_lock(s0).len();\n\
+                   \x20   let b = read_lock(s1);\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn guard_across_io_is_flagged() {
+        let src = "fn handle(&self, out: &mut TcpStream) {\n\
+                   \x20   let g = read_lock(shard);\n\
+                   \x20   out.write_all(g.bytes()).ok();\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("write_all"), "{d:?}");
+    }
+
+    #[test]
+    fn io_after_guard_scope_closes_is_fine() {
+        let src = "fn handle(&self, out: &mut W) {\n\
+                   \x20   let bytes = { let g = read_lock(shard); g.bytes() };\n\
+                   \x20   out.write_all(&bytes).ok();\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn write_with_arguments_is_not_a_lock() {
+        let src = "fn sink(&self, out: &mut W) { out.write(buf).ok(); out.write(b).ok(); }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn io_error_plumbing_is_not_io() {
+        let src = "fn f(&self) -> io::Result<()> {\n\
+                   \x20   let g = read_lock(shard);\n\
+                   \x20   Err(io::Error::new(io::ErrorKind::Other, \"x\"))\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_and_tests_are_exempt() {
+        let allowed = "fn f(&self) {\n\
+                       \x20   let a = read_lock(s0);\n\
+                       \x20   // modelcheck-allow: lock-discipline — ordered by shard index\n\
+                       \x20   let b = read_lock(s1);\n\
+                       }\n";
+        assert!(scan(allowed).is_empty());
+        let tested = "#[cfg(test)]\nmod t {\n\
+                      fn f() { let a = read_lock(s0); let b = read_lock(s1); }\n\
+                      }\n";
+        assert!(scan(tested).is_empty());
+    }
+}

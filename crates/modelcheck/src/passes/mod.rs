@@ -1,0 +1,268 @@
+//! The analysis passes and the shared per-file input they run over.
+//!
+//! [`FileInput::build`] lexes a file once and derives everything every
+//! pass needs: the raw lines (for allow comments and doc detection), a
+//! *code view* of each line with comment bytes blanked out (so textual
+//! rules never fire on prose, even in block comments or after `//`
+//! hidden inside a string), the per-line `modelcheck-allow` grants, the
+//! `#[cfg(test)]` mask, and the token stream itself. If the lexer fails
+//! the pass degrades to the v2 line scanner (cut each line at the first
+//! `//`) and a [`crate::Rule::Lex`] diagnostic records the failure.
+
+pub mod atomics;
+pub mod drift;
+pub mod float_env;
+pub mod lock;
+pub mod textual;
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::{Diagnostic, FileScope, Rule};
+
+/// Everything the per-file passes share, computed once per file.
+pub struct FileInput<'a> {
+    /// Workspace-relative path used in diagnostics.
+    pub rel: &'a str,
+    /// The file's lines, verbatim.
+    pub raw_lines: Vec<&'a str>,
+    /// The file's lines with every comment byte blanked to a space
+    /// (string contents are preserved — signatures like `extern "C"`
+    /// must stay visible).
+    pub code_lines: Vec<String>,
+    /// `allows[i]` is the rule name granted on 0-based line `i`, if any.
+    pub allows: Vec<Option<String>>,
+    /// `test_mask[i]` is true when 0-based line `i` sits inside a
+    /// `#[cfg(test)]`-gated item.
+    pub test_mask: Vec<bool>,
+    /// The token stream; empty when lexing failed.
+    pub tokens: Vec<Token<'a>>,
+    /// The rules in force for this file.
+    pub scope: FileScope,
+}
+
+impl<'a> FileInput<'a> {
+    /// Lexes `text` and assembles the shared pass input. The returned
+    /// diagnostics are lex failures (at most one), not rule findings.
+    pub fn build(
+        rel: &'a str,
+        text: &'a str,
+        scope: FileScope,
+    ) -> (FileInput<'a>, Vec<Diagnostic>) {
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut diags = Vec::new();
+        let (tokens, code_lines) = match lex(text) {
+            Ok(tokens) => {
+                let code = blank_comments(text, &tokens);
+                (tokens, code)
+            }
+            Err(e) => {
+                diags.push(Diagnostic::spanned(
+                    rel,
+                    e.line,
+                    e.col,
+                    e.col + 1,
+                    Rule::Lex,
+                    format!("file does not lex ({}); falling back to line scanning", e.message),
+                ));
+                (Vec::new(), raw_lines.iter().map(|l| code_part(l).to_string()).collect())
+            }
+        };
+        let allows = collect_allows(&raw_lines);
+        let test_mask = cfg_test_mask(&code_lines);
+        (FileInput { rel, raw_lines, code_lines, allows, test_mask, tokens, scope }, diags)
+    }
+
+    /// True when 0-based line `i` carries an allow for `rule`: on the
+    /// line itself, or anywhere in the contiguous comment block
+    /// directly above it (so a justification can take several lines).
+    pub fn allowed(&self, i: usize, rule: Rule) -> bool {
+        let hit = |j: usize| self.allows.get(j).and_then(Option::as_deref) == Some(rule.name());
+        if hit(i) {
+            return true;
+        }
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let t = self.raw_lines.get(j).map_or("", |l| l.trim_start());
+            if !(t.starts_with("//") || t.starts_with("#[")) {
+                return false;
+            }
+            if hit(j) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// True when 1-based line `line` is inside a `#[cfg(test)]` block.
+    pub fn in_test(&self, line: usize) -> bool {
+        line >= 1 && self.test_mask.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// The non-comment tokens, in source order.
+    pub fn code_tokens(&self) -> Vec<&Token<'a>> {
+        self.tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect()
+    }
+}
+
+/// Rebuilds the file's lines with every comment token's bytes replaced
+/// by spaces (newlines kept, so line numbering is unchanged).
+fn blank_comments(text: &str, tokens: &[Token<'_>]) -> Vec<String> {
+    let mut bytes = text.as_bytes().to_vec();
+    for t in tokens {
+        if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+            for b in &mut bytes[t.start..t.end] {
+                if *b != b'\n' {
+                    *b = b' ';
+                }
+            }
+        }
+    }
+    // Only ASCII bytes were rewritten (whole comment spans cover whole
+    // chars), so the buffer is still valid UTF-8.
+    String::from_utf8(bytes)
+        .unwrap_or_else(|_| text.to_string())
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// The v2 fallback code view: everything before the first `//`.
+pub(crate) fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Per-line allow annotations: `allows[i]` is the rule name granted on
+/// line `i` (0-based), if any.
+fn collect_allows(lines: &[&str]) -> Vec<Option<String>> {
+    lines
+        .iter()
+        .map(|line| {
+            let marker = "modelcheck-allow:";
+            let at = line.find(marker)?;
+            let rest = line[at + marker.len()..].trim_start();
+            let name: String =
+                rest.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '-').collect();
+            if name.is_empty() {
+                None
+            } else {
+                Some(name)
+            }
+        })
+        .collect()
+}
+
+/// Marks every line inside a `#[cfg(test)]`-gated item by brace counting
+/// from the attribute to the close of the block it opens. Operates on
+/// the comment-blanked code view, so a comment mentioning the attribute
+/// does not start a mask.
+fn cfg_test_mask(code_lines: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; code_lines.len()];
+    let mut i = 0;
+    while i < code_lines.len() {
+        if !code_lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut opened = false;
+        let mut j = i;
+        while j < code_lines.len() {
+            mask[j] = true;
+            for c in code_lines[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// True when `needle` occurs in `hay` with non-identifier characters (or
+/// the string boundary) on both sides — so `f64` does not match inside
+/// `f64_from_u64`.
+pub(crate) fn contains_token(hay: &str, needle: &str) -> bool {
+    find_token(hay, needle).is_some()
+}
+
+pub(crate) fn find_token(hay: &str, needle: &str) -> Option<usize> {
+    token_positions(hay, needle).first().copied()
+}
+
+/// Every token-boundary occurrence of `needle` in `hay`.
+pub(crate) fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let bytes = hay.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let ok_before = start == 0 || !is_ident(bytes[start - 1]);
+        let ok_after = end >= bytes.len() || !is_ident(bytes[end]);
+        if ok_before && ok_after {
+            found.push(start);
+        }
+        from = start + 1;
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_view_blanks_block_and_line_comments_but_keeps_strings() {
+        let text = "let a = 1; /* panic! */ // more\nlet s = \"x // y\";\n";
+        let (input, diags) = FileInput::build("a.rs", text, FileScope::ALL);
+        assert!(diags.is_empty());
+        assert!(!input.code_lines[0].contains("panic"));
+        assert!(!input.code_lines[0].contains("more"));
+        assert!(input.code_lines[0].contains("let a = 1;"));
+        assert!(input.code_lines[1].contains("\"x // y\""));
+    }
+
+    #[test]
+    fn multiline_block_comment_blanks_every_line() {
+        let text = "a\n/*\nx.unwrap()\n*/\nb\n";
+        let (input, _) = FileInput::build("a.rs", text, FileScope::ALL);
+        assert_eq!(input.code_lines.len(), 5);
+        assert!(input.code_lines[2].trim().is_empty());
+        assert_eq!(input.code_lines[4], "b");
+    }
+
+    #[test]
+    fn lex_failure_degrades_with_a_diagnostic() {
+        let text = "let s = \"never closed;\n";
+        let (input, diags) = FileInput::build("a.rs", text, FileScope::ALL);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::Lex);
+        assert!(input.tokens.is_empty());
+        assert_eq!(input.code_lines.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_mask_ignores_comment_mentions() {
+        let text = "// #[cfg(test)] would mask\nfn f() {}\n#[cfg(test)]\nmod t {\n}\n";
+        let (input, _) = FileInput::build("a.rs", text, FileScope::ALL);
+        assert!(!input.test_mask[0] && !input.test_mask[1]);
+        assert!(input.test_mask[2] && input.test_mask[3] && input.test_mask[4]);
+    }
+}

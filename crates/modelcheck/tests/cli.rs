@@ -1,9 +1,12 @@
-//! End-to-end tests: the library scan over a seeded fixture tree, and
-//! the `modelcheck` binary's exit codes on both the fixture tree and the
-//! real workspace (the shipped tree must be clean — that is the
-//! acceptance bar for the pass).
+//! End-to-end tests: the library scan over a seeded fixture tree, the
+//! `modelcheck` binary's exit codes and baseline handling, a lexer
+//! self-test over every shipped `.rs` file, and a drift-injection test
+//! proving a protocol change without a codec arm fails the scan. The
+//! shipped tree must come up clean — that is the acceptance bar.
 
-use modelcheck::{scan_workspace, Rule};
+use modelcheck::passes::drift;
+use modelcheck::{scan_workspace, walk_by, Rule};
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
@@ -23,12 +26,18 @@ fn seeded_violations_are_all_found() {
     assert_eq!(count(Rule::MissingDocs), 1, "{diags:?}");
     assert_eq!(count(Rule::NoPanic), 1, "{diags:?}");
     assert_eq!(count(Rule::LossyCast), 1, "{diags:?}");
-    assert_eq!(count(Rule::NoTodoDbg), 1, "{diags:?}");
+    // One in src/, one in the core crate's tests/ tree: the global rule
+    // covers integration tests, benches, and examples too.
+    assert_eq!(count(Rule::NoTodoDbg), 2, "{diags:?}");
     // The typo fixture's misspelled pragma is itself a diagnostic.
     assert_eq!(count(Rule::Pragma), 1, "{diags:?}");
-    // Nothing beyond the seeded six: the two allow comments held, and the
+    // The conc crate seeds one of each lock shape (write-in-read-path,
+    // nested acquisition, guard across I/O) and both atomics shapes.
+    assert_eq!(count(Rule::LockDiscipline), 3, "{diags:?}");
+    assert_eq!(count(Rule::Atomics), 2, "{diags:?}");
+    // Nothing beyond the seeded set: the allow comments held, and the
     // unscoped crate (no pragma) contributes nothing despite its unwrap.
-    assert_eq!(diags.len(), 6, "{diags:?}");
+    assert_eq!(diags.len(), 12, "{diags:?}");
     assert!(
         !diags.iter().any(|d| d.file.contains("unscoped")),
         "crates without a pragma must stay exempt: {diags:?}"
@@ -40,6 +49,23 @@ fn seeded_violations_are_all_found() {
     let pragma = diags.iter().find(|d| d.rule == Rule::Pragma).unwrap();
     assert_eq!(pragma.file, "crates/typo/src/lib.rs");
     assert!(pragma.message.contains("no-panick"), "{}", pragma.message);
+    // The tests-tree finding names the tests-tree file.
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::NoTodoDbg && d.file == "crates/core/tests/has_dbg.rs"),
+        "{diags:?}"
+    );
+    // But opt-in rules must not leak into tests/ trees: the fixture's
+    // unwrap there stays silent.
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::NoPanic && d.file.contains("tests/")),
+        "{diags:?}"
+    );
+    // The lock findings cover all three shapes, with spans.
+    let locks: Vec<_> = diags.iter().filter(|d| d.rule == Rule::LockDiscipline).collect();
+    assert!(locks.iter().any(|d| d.message.contains("read-path")), "{locks:?}");
+    assert!(locks.iter().any(|d| d.message.contains("second shard lock")), "{locks:?}");
+    assert!(locks.iter().any(|d| d.message.contains("write_all")), "{locks:?}");
+    assert!(locks.iter().all(|d| d.col >= 1 && d.end_col > d.col), "{locks:?}");
 }
 
 #[test]
@@ -59,7 +85,7 @@ fn binary_is_clean_on_the_shipped_tree() {
         .expect("spawn modelcheck");
     assert!(
         out.status.success(),
-        "shipped tree has diagnostics:\n{}",
+        "shipped tree has non-baseline diagnostics:\n{}",
         String::from_utf8_lossy(&out.stdout)
     );
 }
@@ -75,7 +101,139 @@ fn json_output_is_machine_readable() {
     let stdout = String::from_utf8(out.stdout).expect("utf8");
     let body = stdout.trim();
     assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
-    for rule in ["no-panic", "naked-f64", "lossy-cast", "no-todo-dbg", "missing-docs", "pragma"] {
+    for rule in [
+        "no-panic",
+        "naked-f64",
+        "lossy-cast",
+        "no-todo-dbg",
+        "missing-docs",
+        "pragma",
+        "lock-discipline",
+        "atomics",
+    ] {
         assert!(body.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in {body}");
     }
+    // v3 fields: family, span, and baseline status on every finding.
+    for family in ["style", "config", "concurrency"] {
+        assert!(body.contains(&format!("\"family\":\"{family}\"")), "missing {family}");
+    }
+    assert!(body.contains("\"col\":") && body.contains("\"end_col\":"), "{body}");
+    assert!(body.contains("\"baselined\":false"), "{body}");
+}
+
+#[test]
+fn baseline_accepts_findings_and_catches_drift() {
+    let dir = std::env::temp_dir().join(format!("modelcheck-bl-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("mkdir");
+    let bl = dir.join("test.baseline");
+
+    // --fix-baseline accepts the seeded findings and exits 0.
+    let status = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .args(["--baseline", bl.to_str().unwrap(), "--fix-baseline"])
+        .arg(fixture_root())
+        .status()
+        .expect("spawn modelcheck");
+    assert_eq!(status.code(), Some(0));
+    let text = fs::read_to_string(&bl).expect("baseline written");
+    assert!(text.contains("crates/core/src/bad.rs"), "{text}");
+    assert!(text.contains(":no-panic"), "{text}");
+
+    // With everything baselined, the same tree now passes…
+    let out = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .args(["--baseline", bl.to_str().unwrap()])
+        .arg(fixture_root())
+        .output()
+        .expect("spawn modelcheck");
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(baselined)"), "{stdout}");
+
+    // …and baselined findings are marked in the JSON report.
+    let out = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .args(["--baseline", bl.to_str().unwrap(), "--json"])
+        .arg(fixture_root())
+        .output()
+        .expect("spawn modelcheck");
+    assert_eq!(out.status.code(), Some(0));
+    let body = String::from_utf8_lossy(&out.stdout);
+    assert!(body.contains("\"baselined\":true"), "{body}");
+    assert!(!body.contains("\"baselined\":false"), "{body}");
+
+    // A baseline missing one entry leaves that finding an error.
+    let pruned: String =
+        text.lines().filter(|l| !l.contains("no-panic")).collect::<Vec<_>>().join("\n");
+    fs::write(&bl, pruned).expect("rewrite baseline");
+    let status = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .args(["--baseline", bl.to_str().unwrap()])
+        .arg(fixture_root())
+        .status()
+        .expect("spawn modelcheck");
+    assert_eq!(status.code(), Some(1));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Every shipped `.rs` file must tokenize: the passes degrade to line
+/// scanning on a lex failure, and that fallback should never be needed
+/// on our own tree.
+#[test]
+fn lexer_handles_every_workspace_file() {
+    let root = repo_root();
+    let mut checked = 0usize;
+    walk_by(&root, &mut |path: &Path| {
+        if path.extension().is_some_and(|e| e == "rs") {
+            let Ok(text) = fs::read_to_string(path) else { return };
+            if let Err(e) = modelcheck::lexer::lex(&text) {
+                panic!("{} does not lex: {}:{}: {}", path.display(), e.line, e.col, e.message);
+            }
+            checked += 1;
+        }
+    });
+    assert!(checked > 50, "walked only {checked} files under {}", root.display());
+}
+
+/// The acceptance scenario for protocol drift: adding a variant to the
+/// real proto.rs without touching the real codec.rs must fail the scan.
+#[test]
+fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
+    let root = repo_root();
+    let proto = fs::read_to_string(root.join(drift::PROTO_REL)).expect("proto.rs");
+    let codec = fs::read_to_string(root.join(drift::CODEC_REL)).expect("codec.rs");
+    let design = fs::read_to_string(root.join(drift::DESIGN_REL)).expect("DESIGN.md");
+
+    // The shipped protocol agrees with itself.
+    let clean = drift::check(
+        drift::PROTO_REL,
+        &proto,
+        drift::CODEC_REL,
+        &codec,
+        "DESIGN.md",
+        Some(&design),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    // Inject a new request variant + kind arm into the proto text only.
+    let injected = proto
+        .replacen("pub enum Request {", "pub enum Request {\n    Probe,", 1)
+        .replacen("match self {", "match self {\n            Request::Probe => \"probe\",", 1);
+    assert_ne!(injected, proto, "injection points vanished from proto.rs");
+    let diags = drift::check(
+        drift::PROTO_REL,
+        &injected,
+        drift::CODEC_REL,
+        &codec,
+        "DESIGN.md",
+        Some(&design),
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::ProtocolDrift
+            && d.file == drift::CODEC_REL
+            && d.message.contains("\"probe\"")),
+        "expected a codec drift finding for the injected variant: {diags:?}"
+    );
+    // The documentation table is missing the new kind too.
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::ProtocolDrift && d.file == "DESIGN.md"),
+        "{diags:?}"
+    );
 }

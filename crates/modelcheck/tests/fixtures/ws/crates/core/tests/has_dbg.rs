@@ -1,0 +1,10 @@
+// Integration-test fixture: the global no-todo-dbg rule must apply to
+// tests/ trees too, not just src/ — while the crate's opt-in rules
+// (the unwrap below would trip no-panic in src/) must not.
+
+#[test]
+fn leftover_debugging() {
+    let v = vec![1u32];
+    let first = *v.first().unwrap();
+    dbg!(first);
+}

@@ -227,7 +227,7 @@ fn paragon_tasks(s: &mut Scan<'_>) -> Option<Vec<ParagonTask>> {
 /// Parses one request line on the fast path, in any field order.
 /// `None` means "not recognized here" — never "invalid": the caller
 /// falls back to the generic parser, which owns acceptance and errors.
-pub(crate) fn parse_request(line: &str) -> Option<Request> {
+pub fn parse_request(line: &str) -> Option<Request> {
     let mut s = Scan { b: line.as_bytes(), i: 0 };
     let mut kind = None;
     let mut machine: Option<&str> = None;
@@ -271,6 +271,10 @@ pub(crate) fn parse_request(line: &str) -> Option<Request> {
         })),
         "stats" => Some(Request::Stats),
         "shutdown" => Some(Request::Shutdown),
+        // Explicit decline: `rank` carries nested schedule arrays the
+        // flat scanner cannot mirror byte-exactly; the generic serde
+        // path owns it.
+        "rank" => None,
         _ => None,
     }
 }
@@ -389,7 +393,7 @@ fn write_error(out: &mut String, e: &ErrorReply) {
 /// Appends `resp` to `out` on the fast path; false means the caller
 /// must use the generic serializer (`ranked`/`stats` payloads). The
 /// bytes produced are identical to [`serde_json::to_string`]'s.
-pub(crate) fn write_response(resp: &Response, out: &mut String) -> bool {
+pub fn write_response(resp: &Response, out: &mut String) -> bool {
     match resp {
         Response::Ack(a) => write_ack(out, a),
         Response::Prediction(p) => write_prediction(out, p),

@@ -21,12 +21,12 @@
 //! Two binaries ship with the crate: `predictd` (the daemon) and
 //! `predictctl` (a thin command-line client used by tests and CI).
 //!
-//! modelcheck: no-panic, lossy-cast, missing-docs
+//! modelcheck: no-panic, lossy-cast, missing-docs, lock-discipline, atomics, float-env
 
 #![warn(missing_docs)]
 
 pub mod client;
-mod codec;
+pub mod codec;
 pub mod metrics;
 pub mod proto;
 pub mod server;

@@ -111,10 +111,15 @@ pub fn serve_pool(listener: &TcpListener, service: &Service, cfg: &ServerConfig)
                 // Hold the receiver lock only to pull one connection.
                 let conn = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                 let Ok(conn) = conn else { return };
+                // modelcheck-allow: atomics — shutdown handshake: the
+                // store below must be visible to every worker before
+                // the self-connect wake lands, so all three sides use
+                // the same SeqCst fence.
                 if shutdown.load(Ordering::SeqCst) {
                     return;
                 }
                 if serve_conn(conn, service, cfg) {
+                    // modelcheck-allow: atomics — see the load above.
                     shutdown.store(true, Ordering::SeqCst);
                     // Unblock the accept loop so it can observe the flag.
                     let _ = TcpStream::connect(local);
@@ -123,6 +128,8 @@ pub fn serve_pool(listener: &TcpListener, service: &Service, cfg: &ServerConfig)
             });
         }
         for stream in listener.incoming() {
+            // modelcheck-allow: atomics — accept loop must observe the
+            // workers' shutdown store before handling the wake conn.
             if shutdown.load(Ordering::SeqCst) {
                 break;
             }

@@ -95,6 +95,8 @@ impl MachineState {
     /// the mix (and its epoch) stable on same-shape forecasts is what
     /// lets the epoch-keyed cache hit.
     fn sync_mix(&mut self, mf: &MixForecast) {
+        // modelcheck-allow: float-env — the shape key must distinguish
+        // every distinct frac, and bit equality is exactly that.
         let key = (mf.forecast.p, mf.frac.get().to_bits());
         if self.shape != Some(key) {
             self.mix = mf.mix.clone();
@@ -147,6 +149,7 @@ impl Service {
     }
 
     /// Machines that have reported at least once.
+    // modelcheck: read-path
     pub fn machine_count(&self) -> usize {
         self.shards.iter().map(|s| read_lock(s).machines.len()).sum()
     }
@@ -225,6 +228,7 @@ impl Service {
 
     /// The `stats` snapshot: atomic counters plus a brief read lock per
     /// shard for the machine counts and write tallies.
+    // modelcheck: read-path
     fn stats_snapshot(&self) -> crate::proto::StatsReply {
         let mut machines = 0usize;
         let mut shards = Vec::with_capacity(self.shards.len());
@@ -314,6 +318,8 @@ impl Service {
                     Resolved { p: 0, stale: true, forecaster: fc.forecaster, cache_hit: true };
                 return f(&self.dedicated, meta);
             }
+            // modelcheck-allow: float-env — must mirror `sync_mix`'s
+            // bit-exact shape key or cache hits would misfire.
             let key = (fc.p, state.monitor.frac().get().to_bits());
             if state.shape == Some(key) {
                 if let Some(profile) = state.cache.peek() {

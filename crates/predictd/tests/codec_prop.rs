@@ -1,0 +1,168 @@
+//! Fast-codec equivalence properties: for arbitrary protocol values,
+//! the hand-rolled scanner in `predictd::codec` must agree with the
+//! generic serde path — `parse_request` accepts exactly what
+//! `serde_json::from_str` accepts (or declines, for `rank`), and
+//! `write_response` produces byte-identical lines to
+//! `serde_json::to_string` for every fast kind while refusing the
+//! declined ones without touching the buffer.
+
+use contention_model::dataset::DataSet;
+use contention_model::predict::{ParagonTask, Placement, PlacementDecision};
+use contention_model::units::secs;
+use predictd::codec::{parse_request, write_response};
+use predictd::proto::{
+    Ack, DecideBatch, Decisions, ErrorReply, LoadReport, Predict, Prediction, Rank, Ranked,
+    Request, Response,
+};
+use proptest::prelude::*;
+
+/// Names exercising the plain fast path and the escape-handling slow
+/// path (quotes, backslashes, control bytes, non-ASCII).
+fn name_pool() -> Vec<&'static str> {
+    vec!["m0", "machine-17", "node.rack-3", "we\"ird", "back\\slash", "tab\there", "naïve"]
+}
+
+fn task_for(scale: f64, words: usize) -> ParagonTask {
+    let words = words as u64;
+    ParagonTask {
+        dcomp_sun: secs(10.0 + scale),
+        t_paragon: secs(0.5 + scale * 0.25),
+        to_backend: vec![DataSet::burst(4, words), DataSet::single(words / 2 + 1)],
+        from_backend: vec![DataSet::single(words)],
+    }
+}
+
+fn decision_for(a: f64, b: f64, back: bool) -> PlacementDecision {
+    PlacementDecision {
+        t_front: secs(a),
+        t_back: secs(b),
+        c_to: secs(a * 0.125),
+        c_from: secs(b * 0.5),
+        placement: if back { Placement::BackEnd } else { Placement::FrontEnd },
+    }
+}
+
+/// `(kind, name, a, b, c, tasks, words)` decoded into a request; the
+/// vendored proptest has no `prop_oneof`, so kind is an integer.
+type RawReq = (usize, &'static str, f64, f64, f64, usize, usize);
+
+fn request_for(raw: &RawReq) -> Request {
+    let (kind, name, a, b, c, n, words) = *raw;
+    let machine = name.to_string();
+    match kind {
+        0 => Request::LoadReport(LoadReport { machine, at: a, load: b, comm_frac: c }),
+        1 => Request::Predict(Predict {
+            machine,
+            now: a,
+            task: task_for(b, words),
+            j_words: words as u64,
+        }),
+        2 => Request::DecideBatch(DecideBatch {
+            machine,
+            now: a,
+            tasks: (0..n).map(|i| task_for(b + i as f64, words + i)).collect(),
+            j_words: words as u64,
+        }),
+        3 => Request::Stats,
+        4 => Request::Shutdown,
+        _ => Request::Rank(Rank {
+            machine,
+            now: a,
+            workflow: hetsched::example::workflow(),
+            front_end: 0,
+            j_words: words as u64,
+            limit: n,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fast request parser agrees with the generic path on every
+    /// line the generic path can produce: equal value for the fast
+    /// kinds, `None` (explicit decline) for `rank`, and `None` only on
+    /// escape-carrying lines otherwise.
+    #[test]
+    fn fast_request_parse_agrees_with_serde(
+        raw in (
+            0..6usize,
+            proptest::sample::select(name_pool()),
+            0.0..1.0e6f64,
+            0.0..64.0f64,
+            0.0..1.0f64,
+            1..4usize,
+            1..5000usize,
+        )
+    ) {
+        let req = request_for(&raw);
+        let line = serde_json::to_string(&req).expect("encode");
+        let generic: Request = serde_json::from_str(&line).expect(&line);
+        prop_assert_eq!(&generic, &req);
+        match (&req, parse_request(&line)) {
+            // `rank` is declined: nested schedule arrays stay generic.
+            (Request::Rank(_), got) => prop_assert!(got.is_none(), "{}", line),
+            (_, Some(fast)) => prop_assert_eq!(&fast, &req, "{}", line),
+            // The fast scanner may reject escape sequences, but it must
+            // never reject a plain line the generic path accepts.
+            (_, None) => prop_assert!(line.contains('\\'), "fast path rejected {}", line),
+        }
+    }
+
+    /// The fast response writer is byte-identical to the generic
+    /// serializer for every fast kind, appends (never clobbers), and
+    /// declines `ranked` without touching the buffer.
+    #[test]
+    fn fast_response_write_is_byte_identical(
+        raw in (
+            0..6usize,
+            proptest::sample::select(name_pool()),
+            0.0..1.0e4f64,
+            0.0..512.0f64,
+            0..64u64,
+            0..2usize,
+            1..4usize,
+        )
+    ) {
+        let (kind, name, a, b, p, flip, n) = raw;
+        let back = flip == 1;
+        let resp = match kind {
+            0 => Response::Ack(Ack { machine: name.to_string(), accepted: back, p }),
+            1 => Response::Prediction(Prediction {
+                machine: name.to_string(),
+                p,
+                stale: back,
+                forecaster: name.to_string(),
+                cache_hit: !back,
+                decision: decision_for(a, b, back),
+            }),
+            2 => Response::Decisions(Decisions {
+                machine: name.to_string(),
+                p,
+                stale: !back,
+                forecaster: name.to_string(),
+                cache_hit: back,
+                decisions: (0..n).map(|i| decision_for(a + i as f64, b, back)).collect(),
+            }),
+            3 => Response::Ok,
+            4 => Response::Error(ErrorReply { message: format!("bad {name}") }),
+            _ => Response::Ranked(Ranked {
+                machine: name.to_string(),
+                p,
+                stale: back,
+                total: p * 2,
+                schedules: Vec::new(),
+            }),
+        };
+        let expected = serde_json::to_string(&resp).expect("encode");
+        let mut out = String::from("prefix|");
+        let wrote = write_response(&resp, &mut out);
+        if matches!(resp, Response::Ranked(_)) {
+            prop_assert!(!wrote);
+            prop_assert_eq!(out.as_str(), "prefix|");
+        } else {
+            prop_assert!(wrote, "{}", expected);
+            prop_assert_eq!(&out["prefix|".len()..], expected.as_str());
+        }
+    }
+}

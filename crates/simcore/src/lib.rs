@@ -23,6 +23,8 @@
 //! assert_eq!(t.as_secs_f64(), 6.0);
 //! assert_eq!(cpu.on_event(t, gen).len(), 2);
 //! ```
+//!
+//! modelcheck: no-todo-dbg, lossy-cast
 
 #![warn(missing_docs)]
 
