@@ -12,7 +12,9 @@
 //! loadcast ingest+forecast and `predictd` request throughput
 //! (`load_report` and warm-cache `predict`) through `handle_line`, plus
 //! a concurrency sweep over real TCP — a single-threaded closed-loop
-//! baseline against the pooled, pipelined server at 1/4/16 connections.
+//! baseline against the pooled, pipelined server at 1/4/16 connections,
+//! and the evented engine in both the JSON and binary codecs at the
+//! same connection counts, client-observed latency quantiles included.
 
 use bench::paragon_predictor;
 use contention_model::dataset::DataSet;
@@ -20,7 +22,7 @@ use contention_model::mix::WorkloadMix;
 use contention_model::paragon::comm_slowdown;
 use contention_model::predict::ParagonTask;
 use contention_model::profile::ProfileCache;
-use contention_model::units::secs;
+use contention_model::units::{f64_from_u64, f64_from_usize, secs};
 use hetsched::eval::{best_exhaustive_oracle, best_exhaustive_with, SearchScratch};
 use hetsched::task::{Environment, Matrix, Task, Workflow};
 use serde::Value;
@@ -38,7 +40,7 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
             for _ in 0..iters {
                 f();
             }
-            start.elapsed().as_secs_f64() * 1e9 / iters as f64
+            start.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
         })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
@@ -48,8 +50,8 @@ fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
 fn tasks(n: usize) -> Vec<ParagonTask> {
     (0..n)
         .map(|i| ParagonTask {
-            dcomp_sun: secs(5.0 + (i % 17) as f64),
-            t_paragon: secs(0.8 + (i % 5) as f64 * 0.3),
+            dcomp_sun: secs(5.0 + f64_from_usize(i % 17)),
+            t_paragon: secs(0.8 + f64_from_usize(i % 5) * 0.3),
             to_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
             from_backend: vec![DataSet::burst(1000, 128 + (i as u64 % 8) * 128)],
         })
@@ -60,7 +62,7 @@ fn chain_instance(machines: usize, n_tasks: usize) -> (Workflow, Environment) {
     let mut s = 7u64;
     let mut next = move || {
         s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        ((s >> 33) as f64 / (1u64 << 31) as f64) * 10.0
+        (f64_from_u64(s >> 33) / f64_from_u64(1u64 << 31)) * 10.0
     };
     let mut v = Vec::new();
     for i in 0..n_tasks {
@@ -99,7 +101,7 @@ fn main() {
 
     // Batched predictions: 256 tasks, one profile fold per batch.
     let mix = WorkloadMix::from_fracs(
-        &(0..24).map(|i| (i as f64 * 0.37 + 0.11).fract()).collect::<Vec<_>>(),
+        &(0..24).map(|i| (f64_from_u64(i) * 0.37 + 0.11).fract()).collect::<Vec<_>>(),
     );
     let batch = tasks(256);
     let per_call = time_ns(200, || {
@@ -127,7 +129,7 @@ fn main() {
 
     // Slowdown factors at p = 64: direct fold vs cached hit.
     let big = WorkloadMix::from_fracs(
-        &(0..64).map(|i| (i as f64 * 0.37 + 0.11).fract()).collect::<Vec<_>>(),
+        &(0..64).map(|i| (f64_from_u64(i) * 0.37 + 0.11).fract()).collect::<Vec<_>>(),
     );
     let direct = time_ns(20_000, || {
         black_box(comm_slowdown(black_box(&big), black_box(&pred.comm_delays)));
@@ -226,7 +228,8 @@ fn service_report() -> Value {
     ])
 }
 
-/// One measured loadgen run as a JSON record.
+/// One measured loadgen run as a JSON record, client-observed latency
+/// quantiles included.
 fn sweep_point(conns: usize, pipeline: usize, s: &bench::loadgen::Summary) -> Value {
     Value::Map(vec![
         ("conns".to_string(), Value::UInt(conns as u64)),
@@ -235,18 +238,29 @@ fn sweep_point(conns: usize, pipeline: usize, s: &bench::loadgen::Summary) -> Va
         ("errors".to_string(), Value::UInt(s.errors)),
         ("elapsed_secs".to_string(), Value::Float(s.elapsed_secs)),
         ("requests_per_sec".to_string(), Value::Float(s.requests_per_sec)),
+        ("p50_us".to_string(), Value::UInt(s.p50_us)),
+        ("p95_us".to_string(), Value::UInt(s.p95_us)),
+        ("p99_us".to_string(), Value::UInt(s.p99_us)),
+        ("max_us".to_string(), Value::UInt(s.max_us)),
     ])
 }
 
-/// The tentpole's headline numbers: mixed predict/load_report traffic
+/// The service headline numbers: mixed predict/load_report traffic
 /// against (a) the single-threaded server, one closed-loop connection —
-/// the PR 3 configuration — and (b) the pooled, sharded server with
-/// pipelined clients at 1, 4, and 16 connections, all over real TCP on
-/// loopback. `speedup_16_vs_baseline` is the acceptance number.
+/// the PR 3 configuration — (b) the pooled, sharded server with
+/// pipelined clients at 1, 4, and 16 connections, and (c) the evented
+/// engine (per-core epoll loops, `SO_REUSEPORT`, shard-affine replicas)
+/// in both codecs at the same connection counts, all over real TCP on
+/// loopback. `speedup_16_vs_baseline` tracks the PR 4 acceptance
+/// number; `binary_evented_16_vs_pooled_json_4` is this PR's — the
+/// evented binary engine at 16 connections against the pooled JSON
+/// engine at its 4-connection peak.
 fn concurrency_sweep() -> Value {
-    use bench::loadgen::{drive, GenConfig, Mix};
+    use bench::loadgen::{drive, Codec, GenConfig, Mix};
     use predictd::proto::Request;
-    use predictd::{serve, serve_pool, Client, ServerConfig, Service, ServiceConfig};
+    use predictd::{
+        serve, serve_pool, Client, EventedServer, ServerConfig, Service, ServiceConfig,
+    };
     use std::net::TcpListener;
     use std::thread;
 
@@ -284,6 +298,7 @@ fn concurrency_sweep() -> Value {
             requests_per_conn: REQUESTS_PER_CONN,
             pipeline: 1,
             mix: Mix::default(),
+            codec: Codec::Json,
         };
         let summary = best_run(addr, &cfg);
         let mut client = Client::connect(addr).expect("shutdown connection");
@@ -302,16 +317,21 @@ fn concurrency_sweep() -> Value {
     });
     let mut points = Vec::new();
     let mut speedup_16 = 0.0;
+    let mut pooled_json_4 = 0.0;
     for conns in [1usize, 4, 16] {
         let cfg = GenConfig {
             conns,
             requests_per_conn: REQUESTS_PER_CONN,
             pipeline: PIPELINE,
             mix: Mix::default(),
+            codec: Codec::Json,
         };
         let summary = best_run(addr, &cfg);
         if conns == 16 {
             speedup_16 = summary.requests_per_sec / baseline.requests_per_sec;
+        }
+        if conns == 4 {
+            pooled_json_4 = summary.requests_per_sec;
         }
         points.push(sweep_point(conns, PIPELINE, &summary));
     }
@@ -320,9 +340,53 @@ fn concurrency_sweep() -> Value {
     drop(client);
     handle.join().expect("pooled server exits");
 
+    // The evented engine: per-worker epoll loops over SO_REUSEPORT
+    // listeners, swept in both codecs over the same traffic.
+    let server = EventedServer::bind("127.0.0.1:0".parse().expect("loopback addr"), 4)
+        .expect("bind evented");
+    let addr = server.local_addr();
+    let handle = thread::spawn(move || {
+        let service = Service::with_default_predictor(ServiceConfig::default());
+        server.run(&service, &ServerConfig::default()).expect("evented serve");
+    });
+    let mut evented_json = Vec::new();
+    let mut evented_binary = Vec::new();
+    let mut binary_16 = 0.0;
+    for codec in [Codec::Json, Codec::Binary] {
+        for conns in [1usize, 4, 16] {
+            let cfg = GenConfig {
+                conns,
+                requests_per_conn: REQUESTS_PER_CONN,
+                pipeline: PIPELINE,
+                mix: Mix::default(),
+                codec,
+            };
+            let summary = best_run(addr, &cfg);
+            match codec {
+                Codec::Json => evented_json.push(sweep_point(conns, PIPELINE, &summary)),
+                Codec::Binary => {
+                    if conns == 16 {
+                        binary_16 = summary.requests_per_sec;
+                    }
+                    evented_binary.push(sweep_point(conns, PIPELINE, &summary));
+                }
+            }
+        }
+    }
+    let mut client = Client::connect_binary(addr).expect("shutdown connection");
+    client.request(&Request::Shutdown).expect("shutdown");
+    drop(client);
+    handle.join().expect("evented server exits");
+
     Value::Map(vec![
         ("baseline_1conn_closed_loop".to_string(), sweep_point(1, 1, &baseline)),
         ("pooled_workers4".to_string(), Value::Seq(points)),
+        ("evented_workers4_json".to_string(), Value::Seq(evented_json)),
+        ("evented_workers4_binary".to_string(), Value::Seq(evented_binary)),
         ("speedup_16_vs_baseline".to_string(), Value::Float(speedup_16)),
+        (
+            "binary_evented_16_vs_pooled_json_4".to_string(),
+            Value::Float(binary_16 / pooled_json_4.max(1e-9)),
+        ),
     ])
 }

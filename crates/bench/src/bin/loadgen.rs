@@ -3,17 +3,19 @@
 //! ```text
 //! loadgen --connect 127.0.0.1:7171 [--conns 4] [--requests 1000]
 //!         [--pipeline 8] [--mix predict=3,load_report=1,decide_batch=0]
+//!         [--codec json|binary]
 //! ```
 //!
-//! Prints client-side throughput plus the server's own latency
-//! histogram (p50/p99/max from a `stats` request issued after the run),
-//! so the reported tail latencies include server-side queueing, not
-//! just the client's view. `--pipeline 1` is a closed loop.
+//! Prints client-side throughput and client-observed latency quantiles
+//! (flush-to-reply, so pipelined queueing counts), plus the server's
+//! own latency histogram (p50/p99/max from a `stats` request issued
+//! after the run). `--pipeline 1` is a closed loop; `--codec binary`
+//! negotiates the length-prefixed binary codec on every connection.
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::ExitCode;
 
-use bench::loadgen::{drive, GenConfig, Mix};
+use bench::loadgen::{drive, Codec, GenConfig, Mix};
 use predictd::proto::{Request, Response};
 use predictd::Client;
 
@@ -24,7 +26,7 @@ struct Args {
 
 fn usage() -> String {
     "usage: loadgen --connect ADDR [--conns N] [--requests N] [--pipeline K] \
-     [--mix predict=3,load_report=1,decide_batch=0]"
+     [--mix predict=3,load_report=1,decide_batch=0] [--codec json|binary]"
         .to_string()
 }
 
@@ -75,6 +77,13 @@ fn parse_args() -> Result<Args, String> {
                     value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?;
             }
             "--mix" => cfg.mix = parse_mix(&value("--mix")?)?,
+            "--codec" => {
+                cfg.codec = match value("--codec")?.as_str() {
+                    "json" => Codec::Json,
+                    "binary" => Codec::Binary,
+                    other => return Err(format!("--codec must be json or binary, got {other:?}")),
+                }
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -88,14 +97,23 @@ fn parse_args() -> Result<Args, String> {
 
 fn run(args: &Args) -> Result<(), String> {
     let summary = drive(args.addr, &args.cfg).map_err(|e| format!("loadgen run failed: {e}"))?;
+    let codec = match args.cfg.codec {
+        Codec::Json => "json",
+        Codec::Binary => "binary",
+    };
     println!(
-        "loadgen: {} requests over {} conns (pipeline {}) in {:.3}s -> {:.0} req/s, {} errors",
+        "loadgen: {} requests over {} conns (pipeline {}, {codec}) in {:.3}s -> {:.0} req/s, \
+         {} errors",
         summary.requests,
         args.cfg.conns,
         args.cfg.pipeline,
         summary.elapsed_secs,
         summary.requests_per_sec,
         summary.errors,
+    );
+    println!(
+        "client latency: p50 {}us p95 {}us p99 {}us max {}us",
+        summary.p50_us, summary.p95_us, summary.p99_us, summary.max_us,
     );
 
     let mut client =

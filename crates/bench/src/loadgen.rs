@@ -8,16 +8,28 @@
 //! surface, which is what lets the server's syscall-batched write path
 //! show up in the numbers.
 //!
+//! Requests travel as newline-JSON or as the length-prefixed binary
+//! codec ([`Codec`]); either way the whole stream is rendered before
+//! the clock starts, so the timed window measures the server and the
+//! wire, not client-side encoding. Besides throughput, each run reports
+//! client-observed latency quantiles (p50/p95/p99/max): every request
+//! is stamped when its window is flushed and measured when its reply is
+//! read back, and the per-connection histograms are merged into one
+//! fleet-wide distribution.
+//!
 //! Everything is deterministic — the mix pattern, machine names
 //! (`lg0`, `lg1`, ...), and timestamps — so two runs against the same
 //! daemon produce the same request stream.
 
+use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::net::SocketAddr;
 use std::thread;
 use std::time::Instant;
 
-use predictd::{Client, ClientError};
+use contention_model::units::{f64_from_u64, f64_from_usize};
+use predictd::binproto;
+use predictd::{Client, ClientError, LatencyHistogram, Request};
 
 /// Relative weights of the request kinds in the generated stream.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +50,15 @@ impl Default for Mix {
     }
 }
 
+/// Which wire codec the generated connections speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// Newline-delimited JSON (the default).
+    Json,
+    /// Length-prefixed binary frames, negotiated by preamble.
+    Binary,
+}
+
 /// One load-generation run.
 #[derive(Debug, Clone, Copy)]
 pub struct GenConfig {
@@ -49,11 +70,19 @@ pub struct GenConfig {
     pub pipeline: usize,
     /// Request-kind mix.
     pub mix: Mix,
+    /// Wire codec every connection negotiates.
+    pub codec: Codec,
 }
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { conns: 4, requests_per_conn: 1000, pipeline: 8, mix: Mix::default() }
+        GenConfig {
+            conns: 4,
+            requests_per_conn: 1000,
+            pipeline: 8,
+            mix: Mix::default(),
+            codec: Codec::Json,
+        }
     }
 }
 
@@ -68,6 +97,14 @@ pub struct Summary {
     pub elapsed_secs: f64,
     /// `requests / elapsed_secs`.
     pub requests_per_sec: f64,
+    /// Client-observed median request latency, µs (flush → reply read).
+    pub p50_us: u64,
+    /// Client-observed 95th-percentile latency, µs.
+    pub p95_us: u64,
+    /// Client-observed 99th-percentile latency, µs.
+    pub p99_us: u64,
+    /// Worst client-observed latency, µs.
+    pub max_us: u64,
 }
 
 /// One kind slot in the repeating request pattern.
@@ -103,7 +140,7 @@ fn format_request(line: &mut String, kind: Kind, machine: &str, r: usize) {
                         \"to_backend\":[{\"messages\":10,\"words\":2000}],\
                         \"from_backend\":[{\"messages\":1,\"words\":1000}]}";
     line.clear();
-    let at = r as f64 * 0.05;
+    let at = f64_from_usize(r) * 0.05;
     match kind {
         Kind::Report => {
             let _ = write!(
@@ -143,11 +180,62 @@ fn render_lines(conn_id: usize, cfg: &GenConfig) -> Vec<String> {
     lines
 }
 
+/// Re-encodes pre-rendered JSON lines as binary frames (length prefix
+/// included), so a binary run sends a bit-identical request stream.
+fn encode_frames(lines: &[String]) -> Result<Vec<Vec<u8>>, ClientError> {
+    let mut frames = Vec::with_capacity(lines.len());
+    for line in lines {
+        let req: Request =
+            serde_json::from_str(line).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        let mut frame = Vec::with_capacity(line.len());
+        if !binproto::encode_request(&req, &mut frame) {
+            return Err(ClientError::Protocol("request exceeds frame limits".to_string()));
+        }
+        frames.push(frame);
+    }
+    Ok(frames)
+}
+
+/// Per-connection measurement: protocol-error replies and the
+/// client-observed latency of every request.
+struct ConnStats {
+    errors: u64,
+    latency: LatencyHistogram,
+}
+
+/// Stamps a flushed window and measures each reply against its stamp.
+/// With pipelining, "latency" is flush-to-reply for the whole window —
+/// the queueing delay a real scheduler would see, not pure service time.
+struct Stamps {
+    in_flight: VecDeque<Instant>,
+}
+
+impl Stamps {
+    fn flushed(&mut self, window: usize) {
+        let now = Instant::now();
+        for _ in 0..window {
+            self.in_flight.push_back(now);
+        }
+    }
+
+    fn replied(&mut self, latency: &mut LatencyHistogram) {
+        if let Some(sent) = self.in_flight.pop_front() {
+            let us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+            latency.record(us);
+        }
+    }
+}
+
 /// One connection's worth of traffic: the pre-rendered lines sent in
 /// windows of `pipeline`, counting protocol-error replies.
-fn drive_conn(client: &mut Client, lines: &[String], pipeline: usize) -> Result<u64, ClientError> {
+fn drive_conn(
+    client: &mut Client,
+    lines: &[String],
+    pipeline: usize,
+) -> Result<ConnStats, ClientError> {
     let mut reply = String::new();
-    let mut errors = 0u64;
+    let mut stats = ConnStats { errors: 0, latency: LatencyHistogram::new() };
+    let mut stamps = Stamps { in_flight: VecDeque::with_capacity(pipeline.max(1)) };
     let depth = pipeline.max(1);
     let mut sent = 0usize;
     while sent < lines.len() {
@@ -156,15 +244,48 @@ fn drive_conn(client: &mut Client, lines: &[String], pipeline: usize) -> Result<
             client.send_raw(line)?;
         }
         client.flush()?;
+        stamps.flushed(window);
         for _ in 0..window {
             client.recv_raw_into(&mut reply)?;
+            stamps.replied(&mut stats.latency);
             if reply.starts_with("{\"kind\":\"error\"") {
-                errors += 1;
+                stats.errors += 1;
             }
         }
         sent += window;
     }
-    Ok(errors)
+    Ok(stats)
+}
+
+/// The binary twin of [`drive_conn`]: pre-encoded frames pipelined
+/// through [`Client::send_frame`]/[`Client::recv_frame_into`].
+fn drive_conn_binary(
+    client: &mut Client,
+    frames: &[Vec<u8>],
+    pipeline: usize,
+) -> Result<ConnStats, ClientError> {
+    let mut body = Vec::with_capacity(256);
+    let mut stats = ConnStats { errors: 0, latency: LatencyHistogram::new() };
+    let mut stamps = Stamps { in_flight: VecDeque::with_capacity(pipeline.max(1)) };
+    let depth = pipeline.max(1);
+    let mut sent = 0usize;
+    while sent < frames.len() {
+        let window = depth.min(frames.len() - sent);
+        for frame in &frames[sent..sent + window] {
+            client.send_frame(frame)?;
+        }
+        client.flush()?;
+        stamps.flushed(window);
+        for _ in 0..window {
+            client.recv_frame_into(&mut body)?;
+            stamps.replied(&mut stats.latency);
+            if body.first() == Some(&binproto::RESP_ERROR) {
+                stats.errors += 1;
+            }
+        }
+        sent += window;
+    }
+    Ok(stats)
 }
 
 /// Runs the configured traffic against a daemon at `addr` and returns
@@ -179,18 +300,32 @@ pub fn drive(addr: SocketAddr, cfg: &GenConfig) -> Result<Summary, ClientError> 
         let handles: Vec<_> = (0..cfg.conns)
             .map(|c| {
                 scope.spawn(move || {
-                    let setup = Client::connect(addr).map(|cl| (cl, render_lines(c, cfg)));
+                    let setup = match cfg.codec {
+                        Codec::Json => Client::connect(addr),
+                        Codec::Binary => Client::connect_binary(addr),
+                    }
+                    .and_then(|cl| {
+                        let lines = render_lines(c, cfg);
+                        let frames = match cfg.codec {
+                            Codec::Json => Vec::new(),
+                            Codec::Binary => encode_frames(&lines)?,
+                        };
+                        Ok((cl, lines, frames))
+                    });
                     // Reach the barrier even on a failed connect, or the
                     // other threads would wait forever.
                     barrier.wait();
-                    let (mut client, lines) = setup?;
-                    drive_conn(&mut client, &lines, cfg.pipeline)
+                    let (mut client, lines, frames) = setup?;
+                    match cfg.codec {
+                        Codec::Json => drive_conn(&mut client, &lines, cfg.pipeline),
+                        Codec::Binary => drive_conn_binary(&mut client, &frames, cfg.pipeline),
+                    }
                 })
             })
             .collect();
         barrier.wait();
         let started = Instant::now();
-        let results: Vec<Result<u64, ClientError>> = handles
+        let results: Vec<Result<ConnStats, ClientError>> = handles
             .into_iter()
             .map(|h| match h.join() {
                 Ok(r) => r,
@@ -200,15 +335,22 @@ pub fn drive(addr: SocketAddr, cfg: &GenConfig) -> Result<Summary, ClientError> 
         (results, started.elapsed().as_secs_f64())
     });
     let mut errors = 0u64;
+    let mut latency = LatencyHistogram::new();
     for r in results {
-        errors += r?;
+        let stats = r?;
+        errors += stats.errors;
+        latency.merge(&stats.latency);
     }
     let requests = (cfg.conns * cfg.requests_per_conn) as u64;
     Ok(Summary {
         requests,
         errors,
         elapsed_secs: elapsed,
-        requests_per_sec: requests as f64 / elapsed.max(1e-9),
+        requests_per_sec: f64_from_u64(requests) / elapsed.max(1e-9),
+        p50_us: latency.quantile_us(0.50),
+        p95_us: latency.quantile_us(0.95),
+        p99_us: latency.quantile_us(0.99),
+        max_us: latency.max_us(),
     })
 }
 
@@ -222,6 +364,42 @@ mod tests {
         assert_eq!(p.len(), 5);
         assert_eq!(p.iter().filter(|k| **k == Kind::Predict).count(), 3);
         assert_eq!(p[0], Kind::Report, "reports lead each cycle");
+    }
+
+    #[test]
+    fn binary_frames_mirror_the_json_stream() {
+        let cfg = GenConfig {
+            requests_per_conn: 8,
+            mix: Mix { load_report: 1, predict: 2, decide_batch: 1 },
+            ..GenConfig::default()
+        };
+        let lines = render_lines(0, &cfg);
+        let frames = encode_frames(&lines).expect("encode");
+        assert_eq!(lines.len(), frames.len());
+        for (line, frame) in lines.iter().zip(&frames) {
+            let from_json: Request = serde_json::from_str(line).expect("json side");
+            let decoded = binproto::decode_request(&frame[4..]).expect("binary side");
+            assert_eq!(
+                serde_json::to_string(&decoded).expect("serialize"),
+                serde_json::to_string(&from_json).expect("serialize"),
+                "codecs must carry the same request"
+            );
+        }
+    }
+
+    #[test]
+    fn stamps_pair_replies_with_their_window() {
+        let mut stamps = Stamps { in_flight: VecDeque::new() };
+        let mut hist = LatencyHistogram::new();
+        stamps.flushed(3);
+        for _ in 0..3 {
+            stamps.replied(&mut hist);
+        }
+        assert_eq!(hist.count(), 3);
+        assert!(stamps.in_flight.is_empty());
+        // A stray reply without a stamp records nothing.
+        stamps.replied(&mut hist);
+        assert_eq!(hist.count(), 3);
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub trait Forecaster {
 
     /// Short display name (`"last"`, `"mean16"`, `"ewma0.30"`, …).
     fn name(&self) -> &str;
+
+    /// An independent copy of this forecaster with identical state, as
+    /// a fresh boxed trait object. Lets a whole predictor bank be
+    /// duplicated (e.g. into a per-core replica) while staying object
+    /// safe; every implementation is `Clone`, so this is `Box::new
+    /// (self.clone())` throughout.
+    fn clone_box(&self) -> Box<dyn Forecaster + Send + Sync>;
 }
 
 /// Predicts the most recent observation (the NWS "last value" method).
@@ -50,6 +57,10 @@ impl Forecaster for LastValue {
 
     fn name(&self) -> &str {
         "last"
+    }
+
+    fn clone_box(&self) -> Box<dyn Forecaster + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 
@@ -95,6 +106,10 @@ impl Forecaster for WindowedMean {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn clone_box(&self) -> Box<dyn Forecaster + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 
@@ -142,6 +157,10 @@ impl Forecaster for WindowedMedian {
     fn name(&self) -> &str {
         &self.name
     }
+
+    fn clone_box(&self) -> Box<dyn Forecaster + Send + Sync> {
+        Box::new(self.clone())
+    }
 }
 
 /// Exponentially weighted moving average, `s ← s + g·(v − s)`, with the
@@ -181,6 +200,10 @@ impl Forecaster for Ewma {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn clone_box(&self) -> Box<dyn Forecaster + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 

@@ -73,7 +73,11 @@ pub struct MixForecast {
     pub forecast: LoadForecast,
 }
 
-/// Online load monitor for one machine.
+/// Online load monitor for one machine. `Clone` duplicates the whole
+/// monitor — window, forecaster bank with running scores, tracked
+/// fraction — so a copy fed the same subsequent reports stays
+/// bit-identical to the original (every forecaster is deterministic).
+#[derive(Clone)]
 pub struct LoadMonitor {
     cfg: MonitorConfig,
     window: SlidingWindow,

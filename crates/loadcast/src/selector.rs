@@ -115,6 +115,22 @@ impl SelectivePredictor {
     }
 }
 
+impl Clone for SelectivePredictor {
+    fn clone(&self) -> Self {
+        SelectivePredictor {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| Entry {
+                    forecaster: e.forecaster.clone_box(),
+                    abs_err_sum: e.abs_err_sum,
+                    scored: e.scored,
+                })
+                .collect(),
+        }
+    }
+}
+
 impl std::fmt::Debug for SelectivePredictor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SelectivePredictor").field("scores", &self.scores()).finish()

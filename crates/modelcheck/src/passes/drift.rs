@@ -1,4 +1,4 @@
-//! The `protocol-drift` pass: the wire protocol is defined in three
+//! The `protocol-drift` pass: the wire protocol is defined in four
 //! places and they must agree.
 //!
 //! 1. `crates/predictd/src/proto.rs` — the `Request`/`Response` enums
@@ -9,18 +9,24 @@
 //!    added to proto.rs without touching codec.rs silently routes all
 //!    traffic for it through the slow generic path — or worse, drifts
 //!    the fast writer away from byte-identity.
-//! 3. The wire-protocol table in DESIGN.md §8 — operators read the
+//! 3. `crates/predictd/src/binproto.rs` — the binary codec must give
+//!    every kind a frame layout (or decline it explicitly, the same
+//!    variant-mention rule); a kind missing here would serialize over
+//!    JSON but fail the moment a client negotiates binary.
+//! 4. The wire-protocol table in DESIGN.md §8 — operators read the
 //!    docs, not the source.
 //!
 //! The pass lexes proto.rs and harvests `(direction, Variant, "kind")`
 //! triples from the enum declarations and the single-line match arms
 //! that pair a `Request::V`/`Response::V` path with a string literal
 //! (`kind()`, serialization, deserialization — all three agree or
-//! that's a finding too). Codec coverage counts a non-test mention of
-//! either the kind string (standalone, or embedded as a
-//! `"kind":"…"` tag in a write pattern) or the variant path. The
-//! DESIGN table is any set of markdown rows `| `kind` | request | … |`.
-//! `#[cfg(test)]` lines never count as coverage.
+//! that's a finding too). Codec coverage — for the fast JSON path and
+//! the binary codec alike — counts a non-test mention of either the
+//! kind string (standalone, or embedded as a `"kind":"…"` tag in a
+//! write pattern) or the variant path. The DESIGN table is any set of
+//! markdown rows `| `kind` | direction | … |` (extra columns, like the
+//! binary tag, are welcome). `#[cfg(test)]` lines never count as
+//! coverage.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -34,6 +40,8 @@ use crate::{Diagnostic, FileScope, Rule};
 pub const PROTO_REL: &str = "crates/predictd/src/proto.rs";
 /// Workspace-relative location of the fast-path codec.
 pub const CODEC_REL: &str = "crates/predictd/src/codec.rs";
+/// Workspace-relative location of the binary codec.
+pub const BINPROTO_REL: &str = "crates/predictd/src/binproto.rs";
 /// Workspace-relative location of the protocol documentation.
 pub const DESIGN_REL: &str = "DESIGN.md";
 
@@ -266,13 +274,19 @@ fn design_rows(design: &str) -> Vec<(String, String, usize)> {
     rows
 }
 
-/// The testable core: checks the three protocol views against each
-/// other. `design` is `None` when DESIGN.md is absent.
+/// The testable core: checks the four protocol views against each
+/// other. `binproto` is `None` when the binary codec file is absent
+/// (one finding — a protocol without a binary layout is drift in
+/// itself); `design` is `None` when DESIGN.md is absent. The flat
+/// `(rel, text)` pairs keep fixtures trivial to feed in tests.
+#[allow(clippy::too_many_arguments)]
 pub fn check(
     proto_rel: &str,
     proto: &str,
     codec_rel: &str,
     codec: &str,
+    binproto_rel: &str,
+    binproto: Option<&str>,
     design_rel: &str,
     design: Option<&str>,
 ) -> Vec<Diagnostic> {
@@ -291,6 +305,31 @@ pub fn check(
     harvest_enums(&proto_in, &mut sides);
     harvest_kinds(&proto_in, &mut sides, &mut diags);
     let cov = harvest_codec(&codec_in);
+
+    // The binary codec is held to the same coverage rule as the fast
+    // JSON path; a half-lexed binproto is skipped (its own per-file
+    // passes report the lex failure), a missing one is a finding.
+    let bin_cov = match binproto {
+        Some(text) => {
+            let (bin_in, lex3) = FileInput::build(binproto_rel, text, FileScope::NONE);
+            if lex3.is_empty() {
+                Some(harvest_codec(&bin_in))
+            } else {
+                None
+            }
+        }
+        None => {
+            diags.push(Diagnostic::at_line(
+                binproto_rel,
+                1,
+                Rule::ProtocolDrift,
+                "proto.rs exists but the binary codec is missing — every wire kind \
+                 needs a binary frame layout (or an explicit decline)"
+                    .to_string(),
+            ));
+            None
+        }
+    };
 
     let rows = design.map(design_rows);
     if let Some(rows) = &rows {
@@ -331,6 +370,21 @@ pub fn check(
                          explicitly) so the fast and generic paths cannot drift"
                     ),
                 ));
+            }
+            if let Some(bin) = &bin_cov {
+                if !bin.covers(dir, variant, kind) {
+                    diags.push(Diagnostic::at_line(
+                        binproto_rel,
+                        1,
+                        Rule::ProtocolDrift,
+                        format!(
+                            "{dir} kind {kind:?} (`{variant}`) has no binary \
+                             encode/decode arm or explicit decline in the binary \
+                             codec — give it a frame layout (or decline it \
+                             explicitly) so the binary and JSON codecs cannot drift"
+                        ),
+                    ));
+                }
             }
             if let Some(rows) = &rows {
                 if !rows.is_empty() && !rows.iter().any(|(d, k, _)| d == dir && k == kind) {
@@ -380,8 +434,18 @@ pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
             "proto.rs exists but codec.rs is missing — the fast path lost its codec".to_string(),
         )];
     };
+    let binproto = fs::read_to_string(root.join(BINPROTO_REL)).ok();
     let design = fs::read_to_string(root.join(DESIGN_REL)).ok();
-    check(PROTO_REL, &proto, CODEC_REL, &codec, DESIGN_REL, design.as_deref())
+    check(
+        PROTO_REL,
+        &proto,
+        CODEC_REL,
+        &codec,
+        BINPROTO_REL,
+        binproto.as_deref(),
+        DESIGN_REL,
+        design.as_deref(),
+    )
 }
 
 #[cfg(test)]
@@ -419,21 +483,34 @@ impl Response {\n\
 | `beta` | request | none |\n\
 | `ok` | response | none |\n";
 
+    const BINPROTO: &str = "\
+fn encode(r: &Request) { match r { Request::Alpha(_) => (), Request::Beta => (), } }\n\
+fn encode_resp(r: &Response) { match r { Response::Ok => (), } }\n";
+
     fn codec(arms: &str) -> String {
         format!("fn parse(kind: &str) -> Option<Request> {{\n    match kind {{\n{arms}        _ => None,\n    }}\n}}\nfn write(r: &Response) {{ match r {{ Response::Ok => (), }} }}\n")
+    }
+
+    fn check_all(
+        proto: &str,
+        codec: &str,
+        bin: Option<&str>,
+        design: Option<&str>,
+    ) -> Vec<Diagnostic> {
+        check("p.rs", proto, "c.rs", codec, "b.rs", bin, "D.md", design)
     }
 
     #[test]
     fn agreeing_views_are_clean() {
         let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
-        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(DESIGN_OK));
+        let d = check_all(PROTO, &c, Some(BINPROTO), Some(DESIGN_OK));
         assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]
     fn missing_codec_arm_is_drift() {
         let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n");
-        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(DESIGN_OK));
+        let d = check_all(PROTO, &c, Some(BINPROTO), Some(DESIGN_OK));
         assert_eq!(d.len(), 1, "{d:?}");
         assert_eq!(d[0].rule, Rule::ProtocolDrift);
         assert!(d[0].message.contains("\"beta\""), "{}", d[0].message);
@@ -445,7 +522,7 @@ impl Response {\n\
         let c = codec(
             "        \"alpha\" => Some(Request::Alpha(x)),\n        Request::Beta => None,\n",
         );
-        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(DESIGN_OK));
+        let d = check_all(PROTO, &c, Some(BINPROTO), Some(DESIGN_OK));
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -455,7 +532,7 @@ impl Response {\n\
             "{}\n#[cfg(test)]\nmod t {{\n    fn f() {{ let x = \"beta\"; }}\n}}\n",
             codec("        \"alpha\" => Some(Request::Alpha(x)),\n")
         );
-        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(DESIGN_OK));
+        let d = check_all(PROTO, &c, Some(BINPROTO), Some(DESIGN_OK));
         assert_eq!(d.len(), 1, "{d:?}");
     }
 
@@ -463,12 +540,12 @@ impl Response {\n\
     fn design_table_must_cover_and_not_invent_kinds() {
         let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
         let missing = "| `alpha` | request | a |\n| `ok` | response | none |\n";
-        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(missing));
+        let d = check_all(PROTO, &c, Some(BINPROTO), Some(missing));
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("lacks a row"), "{}", d[0].message);
 
         let ghost = format!("{DESIGN_OK}| `ghost` | request | ? |\n");
-        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some(&ghost));
+        let d = check_all(PROTO, &c, Some(BINPROTO), Some(&ghost));
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("does not exist"), "{}", d[0].message);
     }
@@ -476,16 +553,47 @@ impl Response {\n\
     #[test]
     fn no_table_at_all_is_one_finding() {
         let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
-        let d = check("p.rs", PROTO, "c.rs", &c, "D.md", Some("prose only\n"));
+        let d = check_all(PROTO, &c, Some(BINPROTO), Some("prose only\n"));
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("no wire-protocol table"));
+    }
+
+    #[test]
+    fn missing_binary_arm_is_drift() {
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
+        let bin = "fn encode(r: &Request) { match r { Request::Alpha(_) => (), } }\n\
+                   fn encode_resp(r: &Response) { match r { Response::Ok => (), } }\n";
+        let d = check_all(PROTO, &c, Some(bin), Some(DESIGN_OK));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "b.rs");
+        assert!(d[0].message.contains("binary"), "{}", d[0].message);
+        assert!(d[0].message.contains("\"beta\""), "{}", d[0].message);
+    }
+
+    #[test]
+    fn binary_kind_string_counts_as_coverage() {
+        // BINPROTO in the agreeing tests covers by variant mention; a
+        // bare kind string (an explicit textual decline) works too.
+        let bin = "fn enc() { let _ = (\"alpha\", \"beta\", \"ok\"); }\n";
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
+        let d = check_all(PROTO, &c, Some(bin), Some(DESIGN_OK));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn missing_binary_codec_file_is_drift() {
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
+        let d = check_all(PROTO, &c, None, Some(DESIGN_OK));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("binary codec is missing"), "{}", d[0].message);
+        assert_eq!(d[0].file, "b.rs");
     }
 
     #[test]
     fn variant_without_kind_tag_is_drift() {
         let proto = "pub enum Request {\n    Alpha(Alpha),\n    Ghost,\n}\nimpl Request {\n    pub fn kind(&self) -> &'static str {\n        match self {\n            Request::Alpha(_) => \"alpha\",\n        }\n    }\n}\n";
         let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n");
-        let d = check("p.rs", proto, "c.rs", &c, "D.md", None);
+        let d = check_all(proto, &c, Some("fn e(r: &Request) { match r { Request::Alpha(_) => (), Request::Ghost => (), } }\n"), None);
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("Ghost"), "{}", d[0].message);
         assert_eq!(d[0].file, "p.rs");
@@ -495,7 +603,7 @@ impl Response {\n\
     fn disagreeing_tags_inside_proto_are_drift() {
         let proto = "pub enum Request {\n    Alpha(Alpha),\n}\nimpl Request {\n    pub fn kind(&self) -> &'static str {\n        match self {\n            Request::Alpha(_) => \"alpha\",\n        }\n    }\n    pub fn to_value(&self) {\n        match self {\n            Request::Alpha(p) => tagged(\"alfa\", p),\n        }\n    }\n}\n";
         let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n");
-        let d = check("p.rs", proto, "c.rs", &c, "D.md", None);
+        let d = check_all(proto, &c, Some("fn e(r: &Request) { match r { Request::Alpha(_) => (), Request::Ghost => (), } }\n"), None);
         assert!(d.iter().any(|d| d.message.contains("drifted")), "{d:?}");
     }
 }

@@ -199,6 +199,7 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
     let root = repo_root();
     let proto = fs::read_to_string(root.join(drift::PROTO_REL)).expect("proto.rs");
     let codec = fs::read_to_string(root.join(drift::CODEC_REL)).expect("codec.rs");
+    let binproto = fs::read_to_string(root.join(drift::BINPROTO_REL)).expect("binproto.rs");
     let design = fs::read_to_string(root.join(drift::DESIGN_REL)).expect("DESIGN.md");
 
     // The shipped protocol agrees with itself.
@@ -207,6 +208,8 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
         &proto,
         drift::CODEC_REL,
         &codec,
+        drift::BINPROTO_REL,
+        Some(&binproto),
         "DESIGN.md",
         Some(&design),
     );
@@ -222,6 +225,8 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
         &injected,
         drift::CODEC_REL,
         &codec,
+        drift::BINPROTO_REL,
+        Some(&binproto),
         "DESIGN.md",
         Some(&design),
     );
@@ -230,6 +235,14 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
             && d.file == drift::CODEC_REL
             && d.message.contains("\"probe\"")),
         "expected a codec drift finding for the injected variant: {diags:?}"
+    );
+    // The binary codec has no frame layout for the new kind either.
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::ProtocolDrift
+            && d.file == drift::BINPROTO_REL
+            && d.message.contains("\"probe\"")
+            && d.message.contains("binary")),
+        "expected a binary-codec drift finding for the injected variant: {diags:?}"
     );
     // The documentation table is missing the new kind too.
     assert!(

@@ -2,18 +2,22 @@
 //! CI smoke job.
 //!
 //! ```text
-//! predictctl --connect ADDR load-report MACHINE AT LOAD [FRAC]
-//! predictctl --connect ADDR predict MACHINE NOW [DCOMP TPAR MSGS WORDS J]
-//! predictctl --connect ADDR rank MACHINE NOW [FRONT_END J LIMIT]
-//! predictctl --connect ADDR stats
-//! predictctl --connect ADDR shutdown
-//! predictctl --connect ADDR raw JSON_LINE
+//! predictctl --connect ADDR [--binary] load-report MACHINE AT LOAD [FRAC]
+//! predictctl --connect ADDR [--binary] predict MACHINE NOW [DCOMP TPAR MSGS WORDS J]
+//! predictctl --connect ADDR [--binary] rank MACHINE NOW [FRONT_END J LIMIT]
+//! predictctl --connect ADDR [--binary] stats
+//! predictctl --connect ADDR [--binary] shutdown
+//! predictctl --connect ADDR [--binary] raw JSON_LINE
 //! ```
 //!
-//! The raw response line is printed to stdout. Exit code 0 for any
-//! non-error response, 1 when the daemon answers `error`, 2 for usage
-//! or transport problems. `rank` with no workflow argument ranks the
-//! paper's worked example (`hetsched::example::workflow`).
+//! The response is printed to stdout as a JSON line. Exit code 0 for
+//! any non-error response, 1 when the daemon answers `error`, 2 for
+//! usage or transport problems. `--binary` negotiates the binary codec
+//! for the connection and carries the same request as binary frames —
+//! the printed reply is the decoded response re-serialized, so a JSON
+//! and a binary invocation of the same command print identical lines.
+//! `rank` with no workflow argument ranks the paper's worked example
+//! (`hetsched::example::workflow`).
 
 use std::process::ExitCode;
 
@@ -23,7 +27,7 @@ use contention_model::units::secs;
 use predictd::proto::{DecideBatch, LoadReport, Predict, Rank, Request};
 use predictd::Client;
 
-const USAGE: &str = "usage: predictctl --connect ADDR \
+const USAGE: &str = "usage: predictctl --connect ADDR [--binary] \
 (load-report M AT LOAD [FRAC] | predict M NOW [DCOMP TPAR MSGS WORDS J] | \
 decide-batch M NOW COUNT [DCOMP TPAR MSGS WORDS J] | \
 rank M NOW [FRONT_END J LIMIT] | stats | shutdown | raw JSON)";
@@ -110,15 +114,31 @@ fn run() -> Result<bool, String> {
         },
         _ => return Err(USAGE.to_string()),
     };
+    let (binary, rest) = match rest.split_first() {
+        Some((flag, rest)) if flag == "--binary" => (true, rest),
+        _ => (false, rest),
+    };
     let (cmd, args) = rest.split_first().ok_or(format!("missing command\n{USAGE}"))?;
-    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
-    let reply = if cmd == "raw" {
-        let line = arg(args, 0, "JSON")?;
-        client.request_raw(line).map_err(|e| e.to_string())?
+    let reply = if binary {
+        let mut client =
+            Client::connect_binary(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let req = if cmd == "raw" {
+            serde_json::from_str(arg(args, 0, "JSON")?).map_err(|e| e.to_string())?
+        } else {
+            build_request(cmd, args)?
+        };
+        let resp = client.request(&req).map_err(|e| e.to_string())?;
+        serde_json::to_string(&resp).map_err(|e| e.to_string())?
     } else {
-        let req = build_request(cmd, args)?;
-        let line = serde_json::to_string(&req).map_err(|e| e.to_string())?;
-        client.request_raw(&line).map_err(|e| e.to_string())?
+        let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        if cmd == "raw" {
+            let line = arg(args, 0, "JSON")?;
+            client.request_raw(line).map_err(|e| e.to_string())?
+        } else {
+            let req = build_request(cmd, args)?;
+            let line = serde_json::to_string(&req).map_err(|e| e.to_string())?;
+            client.request_raw(&line).map_err(|e| e.to_string())?
+        }
     };
     println!("{reply}");
     Ok(reply.starts_with("{\"kind\":\"error\""))

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! predictd [--listen ADDR] [--port-file PATH] [--stdio]
-//!          [--workers N] [--shards N]
-//!          [--read-timeout-secs S] [--max-line-bytes N]
+//!          [--engine pool|evented] [--workers N] [--shards N]
+//!          [--read-timeout-secs S] [--max-line-bytes N] [--max-frame-bytes N]
 //!          [--window N] [--horizon-secs S] [--frac F] [--max-rank N]
 //! ```
 //!
@@ -12,22 +12,40 @@
 //! OS-assigned port. With `--stdio` the daemon speaks the protocol on
 //! stdin/stdout instead — handy for debugging and piping.
 //!
-//! `--workers` sizes the connection worker pool (default: available
-//! parallelism, clamped to 8); `--shards` sizes the machine-state shard
-//! count (default 8). `--workers 1` reproduces the fully serialized
-//! single-threaded behavior.
+//! `--engine pool` (the default) serves blocking connections from a
+//! fixed worker pool; `--engine evented` runs one nonblocking epoll
+//! event loop per worker over `SO_REUSEPORT` listeners, each with a
+//! per-core replica of the machine state (see `server_evented`). Both
+//! engines speak newline-JSON and the length-prefixed binary codec,
+//! sniffed per connection from the first byte.
+//!
+//! `--workers` sizes the connection worker pool or event-loop count
+//! (default: available parallelism, clamped to 8); `--shards` sizes the
+//! machine-state shard count (default 8). `--workers 1` reproduces the
+//! fully serialized single-threaded behavior. `--max-frame-bytes` caps
+//! a single binary frame (default 1 MiB), as `--max-line-bytes` caps a
+//! JSON line.
 
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use contention_model::units::{Prob, Seconds};
-use predictd::{serve_pool, serve_stdio, ServerConfig, Service, ServiceConfig};
+use predictd::{serve_pool, serve_stdio, EventedServer, ServerConfig, Service, ServiceConfig};
+
+/// Which connection-serving engine to run.
+enum Engine {
+    /// Blocking I/O, fixed worker pool (the default).
+    Pool,
+    /// Nonblocking epoll event loops, one per worker, `SO_REUSEPORT`.
+    Evented,
+}
 
 struct Args {
     listen: String,
     port_file: Option<String>,
     stdio: bool,
+    engine: Engine,
     cfg: ServiceConfig,
     server: ServerConfig,
 }
@@ -37,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         listen: "127.0.0.1:0".to_string(),
         port_file: None,
         stdio: false,
+        engine: Engine::Pool,
         cfg: ServiceConfig::default(),
         server: ServerConfig::default(),
     };
@@ -47,6 +66,15 @@ fn parse_args() -> Result<Args, String> {
             "--listen" => args.listen = value("--listen")?,
             "--port-file" => args.port_file = Some(value("--port-file")?),
             "--stdio" => args.stdio = true,
+            "--engine" => {
+                args.engine = match value("--engine")?.as_str() {
+                    "pool" => Engine::Pool,
+                    "evented" => Engine::Evented,
+                    other => {
+                        return Err(format!("--engine must be pool or evented, got {other:?}"))
+                    }
+                }
+            }
             "--workers" => {
                 args.server.workers = parse_num(&value("--workers")?, "--workers")?;
                 if args.server.workers == 0 {
@@ -73,6 +101,13 @@ fn parse_args() -> Result<Args, String> {
                     parse_num(&value("--max-line-bytes")?, "--max-line-bytes")?;
                 if args.server.max_line_bytes < 64 {
                     return Err("--max-line-bytes must be at least 64".to_string());
+                }
+            }
+            "--max-frame-bytes" => {
+                args.server.max_frame_bytes =
+                    parse_num(&value("--max-frame-bytes")?, "--max-frame-bytes")?;
+                if args.server.max_frame_bytes < 64 {
+                    return Err("--max-frame-bytes must be at least 64".to_string());
                 }
             }
             "--window" => {
@@ -106,8 +141,21 @@ fn parse_num<T: std::str::FromStr>(raw: &str, name: &str) -> Result<T, String> {
 }
 
 const USAGE: &str = "usage: predictd [--listen ADDR] [--port-file PATH] [--stdio] \
-[--workers N] [--shards N] [--read-timeout-secs S] [--max-line-bytes N] \
+[--engine pool|evented] [--workers N] [--shards N] [--read-timeout-secs S] \
+[--max-line-bytes N] [--max-frame-bytes N] \
 [--window N] [--horizon-secs S] [--frac F] [--max-rank N]";
+
+fn announce(args: &Args, bound: std::net::SocketAddr, engine: &str) -> Result<(), String> {
+    println!(
+        "listening on {bound} ({engine} engine, {} workers, {} shards)",
+        args.server.workers, args.cfg.shards
+    );
+    if let Some(path) = &args.port_file {
+        std::fs::write(path, format!("{bound}\n"))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    Ok(())
+}
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
@@ -115,15 +163,29 @@ fn run() -> Result<(), String> {
     if args.stdio {
         return serve_stdio(&service).map_err(|e| format!("stdio transport failed: {e}"));
     }
-    let listener =
-        TcpListener::bind(&args.listen).map_err(|e| format!("cannot bind {}: {e}", args.listen))?;
-    let bound = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
-    println!("listening on {bound} ({} workers, {} shards)", args.server.workers, args.cfg.shards);
-    if let Some(path) = &args.port_file {
-        std::fs::write(path, format!("{bound}\n"))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+    match args.engine {
+        Engine::Pool => {
+            let listener = TcpListener::bind(&args.listen)
+                .map_err(|e| format!("cannot bind {}: {e}", args.listen))?;
+            let bound =
+                listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+            announce(&args, bound, "pool")?;
+            serve_pool(&listener, &service, &args.server).map_err(|e| format!("serve failed: {e}"))
+        }
+        Engine::Evented => {
+            use std::net::ToSocketAddrs;
+            let addr = args
+                .listen
+                .to_socket_addrs()
+                .map_err(|e| format!("cannot resolve {}: {e}", args.listen))?
+                .find(|a| a.is_ipv4())
+                .ok_or_else(|| format!("{}: no IPv4 address (evented needs one)", args.listen))?;
+            let server = EventedServer::bind(addr, args.server.workers)
+                .map_err(|e| format!("cannot bind {}: {e}", args.listen))?;
+            announce(&args, server.local_addr(), "evented")?;
+            server.run(&service, &args.server).map_err(|e| format!("serve failed: {e}"))
+        }
     }
-    serve_pool(&listener, &service, &args.server).map_err(|e| format!("serve failed: {e}"))
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,963 @@
+//! Length-prefixed binary wire codec for the predictd protocol.
+//!
+//! The binary encoding is the newline-JSON protocol's fast sibling: the
+//! same [`Request`]/[`Response`] values, fixed little-endian layouts
+//! instead of text. A connection opts in by sending the 4-byte
+//! [`PREAMBLE`] immediately after connect; because the magic byte
+//! `0xBD` can never start a JSON line (`{`), the server sniffs the
+//! first byte and keeps newline-JSON as the untouched compatibility
+//! surface.
+//!
+//! **Framing.** After the preamble, both directions carry frames:
+//!
+//! ```text
+//! [u32 LE body_len][u8 tag][payload…]      body_len = 1 + payload len
+//! ```
+//!
+//! **Primitives.** All integers little-endian. `f64` is the IEEE-754
+//! bit pattern (8 bytes LE), so values survive the wire bit-exactly —
+//! the property the round-trip proptests pin against the JSON codec.
+//! Strings are `u32` byte length + UTF-8 bytes. Booleans are one byte,
+//! strictly `0` or `1`. Vectors are `u32` element count + elements;
+//! decoders bound the count by the bytes actually remaining in the
+//! frame before allocating, so a hostile length field cannot balloon
+//! memory past the frame cap.
+//!
+//! **Tag table.** One frame kind per protocol kind; the wire tag of a
+//! response has the high bit set.
+//!
+//! | kind | direction | tag |
+//! |---|---|---|
+//! | `load_report` | request | [`REQ_LOAD_REPORT`] |
+//! | `predict` | request | [`REQ_PREDICT`] |
+//! | `decide_batch` | request | [`REQ_DECIDE_BATCH`] |
+//! | `rank` | request | [`REQ_RANK`] |
+//! | `stats` | request | [`REQ_STATS`] |
+//! | `shutdown` | request | [`REQ_SHUTDOWN`] |
+//! | `ack` | response | [`RESP_ACK`] |
+//! | `prediction` | response | [`RESP_PREDICTION`] |
+//! | `decisions` | response | [`RESP_DECISIONS`] |
+//! | `ranked` | response | [`RESP_RANKED`] |
+//! | `stats` | response | [`RESP_STATS`] |
+//! | `ok` | response | [`RESP_OK`] |
+//! | `error` | response | [`RESP_ERROR`] |
+//!
+//! Byte-offset layouts per kind are documented in DESIGN.md §8; this
+//! module is the machine-checked source of truth (modelcheck's
+//! protocol-drift pass cross-checks the tag table against `proto.rs`
+//! and the DESIGN table).
+
+use crate::proto::{
+    Ack, CacheStats, DecideBatch, Decisions, ErrorReply, LatencySummary, LoadReport, Predict,
+    Prediction, Rank, Ranked, Request, RequestCounts, Response, ShardStats, StatsReply,
+};
+use contention_model::dataset::DataSet;
+use contention_model::predict::{ParagonTask, Placement, PlacementDecision};
+use contention_model::units::Seconds;
+use hetsched::eval::Schedule;
+use hetsched::task::{Matrix, Task, Workflow};
+
+/// First preamble byte. Deliberately outside ASCII and unequal to `{`
+/// (0x7B), so one-byte sniffing separates binary clients from JSON.
+pub const MAGIC: u8 = 0xBD;
+
+/// Wire version negotiated by the preamble. Bumped on any layout
+/// change; a server that does not speak the offered version must reject
+/// the connection rather than guess.
+pub const VERSION: u8 = 0x01;
+
+/// The 4-byte connection preamble a binary client sends after connect:
+/// magic, `b"PD"`, version.
+pub const PREAMBLE: [u8; 4] = [MAGIC, b'P', b'D', VERSION];
+
+/// Frame tag: `load_report` request.
+pub const REQ_LOAD_REPORT: u8 = 0x01;
+/// Frame tag: `predict` request.
+pub const REQ_PREDICT: u8 = 0x02;
+/// Frame tag: `decide_batch` request.
+pub const REQ_DECIDE_BATCH: u8 = 0x03;
+/// Frame tag: `rank` request.
+pub const REQ_RANK: u8 = 0x04;
+/// Frame tag: `stats` request.
+pub const REQ_STATS: u8 = 0x05;
+/// Frame tag: `shutdown` request.
+pub const REQ_SHUTDOWN: u8 = 0x06;
+
+/// Frame tag: `ack` response.
+pub const RESP_ACK: u8 = 0x81;
+/// Frame tag: `prediction` response.
+pub const RESP_PREDICTION: u8 = 0x82;
+/// Frame tag: `decisions` response.
+pub const RESP_DECISIONS: u8 = 0x83;
+/// Frame tag: `ranked` response.
+pub const RESP_RANKED: u8 = 0x84;
+/// Frame tag: `stats` response.
+pub const RESP_STATS: u8 = 0x85;
+/// Frame tag: `ok` response.
+pub const RESP_OK: u8 = 0x86;
+/// Frame tag: `error` response.
+pub const RESP_ERROR: u8 = 0x87;
+
+/// Why a frame failed to decode. The message is safe to echo to the
+/// peer inside an `error` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// What was malformed.
+    pub message: String,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn err(message: impl Into<String>) -> FrameError {
+    FrameError { message: message.into() }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Builds one frame in `out`: reserves the length prefix, writes tag
+/// and payload, patches the prefix on `finish`. Length-field overflow
+/// (a string or vector too large for `u32`) flips `ok`; `finish` then
+/// rolls `out` back to where the frame began and reports failure.
+struct FrameWriter<'a> {
+    out: &'a mut Vec<u8>,
+    start: usize,
+    ok: bool,
+}
+
+impl<'a> FrameWriter<'a> {
+    fn begin(out: &'a mut Vec<u8>, tag: u8) -> Self {
+        let start = out.len();
+        out.extend_from_slice(&[0, 0, 0, 0, tag]);
+        FrameWriter { out, start, ok: true }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn boolean(&mut self, v: bool) {
+        self.out.push(u8::from(v));
+    }
+
+    fn secs(&mut self, v: Seconds) {
+        self.f64(v.get());
+    }
+
+    /// Writes a `u32` length/count field; overflow marks the frame bad.
+    fn len32(&mut self, n: usize) {
+        match u32::try_from(n) {
+            Ok(v) => self.u32(v),
+            Err(_) => {
+                self.ok = false;
+                self.u32(0);
+            }
+        }
+    }
+
+    fn str(&mut self, s: &str) {
+        self.len32(s.len());
+        self.out.extend_from_slice(s.as_bytes());
+    }
+
+    fn datasets(&mut self, sets: &[DataSet]) {
+        self.len32(sets.len());
+        for d in sets {
+            self.u64(d.messages);
+            self.u64(d.words);
+        }
+    }
+
+    fn task(&mut self, t: &ParagonTask) {
+        self.secs(t.dcomp_sun);
+        self.secs(t.t_paragon);
+        self.datasets(&t.to_backend);
+        self.datasets(&t.from_backend);
+    }
+
+    fn matrix(&mut self, m: &Matrix) {
+        let n = m.size();
+        self.len32(n);
+        for from in 0..n {
+            for to in 0..n {
+                self.f64(m.get(from, to));
+            }
+        }
+    }
+
+    fn workflow(&mut self, w: &Workflow) {
+        self.len32(w.tasks.len());
+        for t in &w.tasks {
+            self.str(&t.name);
+            self.len32(t.exec.len());
+            for &x in &t.exec {
+                self.f64(x);
+            }
+            match &t.comm_to_next {
+                None => self.u8(0),
+                Some(m) => {
+                    self.u8(1);
+                    self.matrix(m);
+                }
+            }
+        }
+    }
+
+    fn decision(&mut self, d: &PlacementDecision) {
+        self.secs(d.t_front);
+        self.secs(d.t_back);
+        self.secs(d.c_to);
+        self.secs(d.c_from);
+        self.u8(match d.placement {
+            Placement::FrontEnd => 0,
+            Placement::BackEnd => 1,
+        });
+    }
+
+    fn finish(self) -> bool {
+        let body = self.out.len() - self.start - 4;
+        match (self.ok, u32::try_from(body)) {
+            (true, Ok(len)) => {
+                let prefix = len.to_le_bytes();
+                self.out[self.start..self.start + 4].copy_from_slice(&prefix);
+                true
+            }
+            _ => {
+                self.out.truncate(self.start);
+                false
+            }
+        }
+    }
+}
+
+/// Usize fields travel as `u64` so the layout is the same on every
+/// platform.
+fn wire_u64(v: usize) -> u64 {
+    v as u64
+}
+
+/// Appends `req` to `out` as one complete frame (length prefix
+/// included). Returns `false` — leaving `out` as it was — only if a
+/// length field overflows `u32`, which no request that fits in memory
+/// can trigger in practice.
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) -> bool {
+    match req {
+        Request::LoadReport(r) => {
+            let mut w = FrameWriter::begin(out, REQ_LOAD_REPORT);
+            w.str(&r.machine);
+            w.f64(r.at);
+            w.f64(r.load);
+            w.f64(r.comm_frac);
+            w.finish()
+        }
+        Request::Predict(r) => {
+            let mut w = FrameWriter::begin(out, REQ_PREDICT);
+            w.str(&r.machine);
+            w.f64(r.now);
+            w.task(&r.task);
+            w.u64(r.j_words);
+            w.finish()
+        }
+        Request::DecideBatch(r) => {
+            let mut w = FrameWriter::begin(out, REQ_DECIDE_BATCH);
+            w.str(&r.machine);
+            w.f64(r.now);
+            w.len32(r.tasks.len());
+            for t in &r.tasks {
+                w.task(t);
+            }
+            w.u64(r.j_words);
+            w.finish()
+        }
+        Request::Rank(r) => {
+            let mut w = FrameWriter::begin(out, REQ_RANK);
+            w.str(&r.machine);
+            w.f64(r.now);
+            w.workflow(&r.workflow);
+            w.u64(wire_u64(r.front_end));
+            w.u64(r.j_words);
+            w.u64(wire_u64(r.limit));
+            w.finish()
+        }
+        Request::Stats => FrameWriter::begin(out, REQ_STATS).finish(),
+        Request::Shutdown => FrameWriter::begin(out, REQ_SHUTDOWN).finish(),
+    }
+}
+
+/// Appends `resp` to `out` as one complete frame. Same contract as
+/// [`encode_request`].
+pub fn encode_response(resp: &Response, out: &mut Vec<u8>) -> bool {
+    match resp {
+        Response::Ack(r) => {
+            let mut w = FrameWriter::begin(out, RESP_ACK);
+            w.str(&r.machine);
+            w.boolean(r.accepted);
+            w.u64(r.p);
+            w.finish()
+        }
+        Response::Prediction(r) => {
+            let mut w = FrameWriter::begin(out, RESP_PREDICTION);
+            w.str(&r.machine);
+            w.u64(r.p);
+            w.boolean(r.stale);
+            w.str(&r.forecaster);
+            w.boolean(r.cache_hit);
+            w.decision(&r.decision);
+            w.finish()
+        }
+        Response::Decisions(r) => {
+            let mut w = FrameWriter::begin(out, RESP_DECISIONS);
+            w.str(&r.machine);
+            w.u64(r.p);
+            w.boolean(r.stale);
+            w.str(&r.forecaster);
+            w.boolean(r.cache_hit);
+            w.len32(r.decisions.len());
+            for d in &r.decisions {
+                w.decision(d);
+            }
+            w.finish()
+        }
+        Response::Ranked(r) => {
+            let mut w = FrameWriter::begin(out, RESP_RANKED);
+            w.str(&r.machine);
+            w.u64(r.p);
+            w.boolean(r.stale);
+            w.u64(r.total);
+            w.len32(r.schedules.len());
+            for s in &r.schedules {
+                w.len32(s.assignment.len());
+                for &a in &s.assignment {
+                    w.u64(wire_u64(a));
+                }
+                w.f64(s.makespan);
+            }
+            w.finish()
+        }
+        Response::Stats(r) => {
+            let mut w = FrameWriter::begin(out, RESP_STATS);
+            w.u64(r.requests.load_report);
+            w.u64(r.requests.predict);
+            w.u64(r.requests.decide_batch);
+            w.u64(r.requests.rank);
+            w.u64(r.requests.stats);
+            w.u64(r.requests.shutdown);
+            w.u64(r.cache.hits);
+            w.u64(r.cache.misses);
+            w.f64(r.cache.hit_rate);
+            w.u64(r.latency_us.count);
+            w.u64(r.latency_us.p50_us);
+            w.u64(r.latency_us.p99_us);
+            w.u64(r.latency_us.max_us);
+            w.u64(r.machines);
+            w.f64(r.uptime_secs);
+            w.len32(r.shards.len());
+            for s in &r.shards {
+                w.u64(s.shard);
+                w.u64(s.machines);
+                w.u64(s.load_reports);
+            }
+            w.finish()
+        }
+        Response::Ok => FrameWriter::begin(out, RESP_OK).finish(),
+        Response::Error(r) => {
+            let mut w = FrameWriter::begin(out, RESP_ERROR);
+            w.str(&r.message);
+            w.finish()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over one frame body. Every read validates the
+/// remaining byte budget first; count fields are additionally checked
+/// against `count × minimum-element-size ≤ remaining` before any
+/// allocation.
+struct Cur<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Cur { b, i: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.b.len() - self.i
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.i.checked_add(n).ok_or_else(|| err("truncated frame"))?;
+        let slice = self.b.get(self.i..end).ok_or_else(|| err("truncated frame"))?;
+        self.i = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let raw = self.take(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(raw);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let raw = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> Result<f64, FrameError> {
+        let raw = self.take(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(raw);
+        Ok(f64::from_le_bytes(b))
+    }
+
+    fn boolean(&mut self) -> Result<bool, FrameError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(err(format!("invalid boolean byte {v}"))),
+        }
+    }
+
+    fn secs(&mut self, what: &str) -> Result<Seconds, FrameError> {
+        let raw = self.f64()?;
+        Seconds::try_new(raw).ok_or_else(|| err(format!("invalid {what}: {raw}")))
+    }
+
+    fn usize64(&mut self, what: &str) -> Result<usize, FrameError> {
+        let raw = self.u64()?;
+        usize::try_from(raw).map_err(|_| err(format!("{what} out of range: {raw}")))
+    }
+
+    /// Reads a count field and proves `count × min_elem` elements could
+    /// still fit in the frame, so `Vec::with_capacity(count)` below it
+    /// is bounded by the frame size the transport already capped.
+    fn count(&mut self, min_elem: usize, what: &str) -> Result<usize, FrameError> {
+        let n = self.u32()?;
+        let n = usize::try_from(n).map_err(|_| err(format!("{what} count out of range: {n}")))?;
+        let need = n.checked_mul(min_elem).ok_or_else(|| err("truncated frame"))?;
+        if need > self.remaining() {
+            return Err(err(format!("{what} count {n} exceeds frame")));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self, what: &str) -> Result<String, FrameError> {
+        let n = self.count(1, what)?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| err(format!("{what} is not UTF-8")))
+    }
+
+    fn datasets(&mut self) -> Result<Vec<DataSet>, FrameError> {
+        let n = self.count(16, "data set")?;
+        let mut sets = Vec::with_capacity(n);
+        for _ in 0..n {
+            let messages = self.u64()?;
+            let words = self.u64()?;
+            sets.push(DataSet { messages, words });
+        }
+        Ok(sets)
+    }
+
+    fn task(&mut self) -> Result<ParagonTask, FrameError> {
+        Ok(ParagonTask {
+            dcomp_sun: self.secs("dcomp_sun")?,
+            t_paragon: self.secs("t_paragon")?,
+            to_backend: self.datasets()?,
+            from_backend: self.datasets()?,
+        })
+    }
+
+    fn matrix(&mut self) -> Result<Matrix, FrameError> {
+        let n = self.u32()?;
+        let n = usize::try_from(n).map_err(|_| err(format!("matrix size out of range: {n}")))?;
+        let cells = n.checked_mul(n).ok_or_else(|| err("truncated frame"))?;
+        let need = cells.checked_mul(8).ok_or_else(|| err("truncated frame"))?;
+        if need > self.remaining() {
+            return Err(err(format!("matrix size {n} exceeds frame")));
+        }
+        let mut m = Matrix::filled(n, 0.0);
+        for from in 0..n {
+            for to in 0..n {
+                m.set(from, to, self.f64()?);
+            }
+        }
+        Ok(m)
+    }
+
+    fn workflow(&mut self) -> Result<Workflow, FrameError> {
+        // Minimum task: empty name (4) + empty exec (4) + no-matrix flag.
+        let n = self.count(9, "workflow task")?;
+        let mut tasks = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.str("task name")?;
+            let k = self.count(8, "exec row")?;
+            let mut exec = Vec::with_capacity(k);
+            for _ in 0..k {
+                exec.push(self.f64()?);
+            }
+            let comm_to_next = match self.u8()? {
+                0 => None,
+                1 => Some(self.matrix()?),
+                v => return Err(err(format!("invalid matrix-presence byte {v}"))),
+            };
+            tasks.push(Task { name, exec, comm_to_next });
+        }
+        // Structural validity (matching sizes etc.) is the server
+        // handler's job, exactly as with serde-decoded workflows.
+        Ok(Workflow { tasks })
+    }
+
+    fn decision(&mut self) -> Result<PlacementDecision, FrameError> {
+        let t_front = self.secs("t_front")?;
+        let t_back = self.secs("t_back")?;
+        let c_to = self.secs("c_to")?;
+        let c_from = self.secs("c_from")?;
+        let placement = match self.u8()? {
+            0 => Placement::FrontEnd,
+            1 => Placement::BackEnd,
+            v => Err(err(format!("invalid placement byte {v}")))?,
+        };
+        Ok(PlacementDecision { t_front, t_back, c_to, c_from, placement })
+    }
+
+    fn done(&self) -> Result<(), FrameError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(err(format!("{} trailing bytes after payload", self.remaining())))
+        }
+    }
+}
+
+/// Decodes one request frame body (`tag` + payload, the length prefix
+/// already stripped by the transport).
+pub fn decode_request(body: &[u8]) -> Result<Request, FrameError> {
+    let mut c = Cur::new(body);
+    let tag = c.u8().map_err(|_| err("empty frame"))?;
+    let req = match tag {
+        REQ_LOAD_REPORT => Request::LoadReport(LoadReport {
+            machine: c.str("machine")?,
+            at: c.f64()?,
+            load: c.f64()?,
+            comm_frac: c.f64()?,
+        }),
+        REQ_PREDICT => Request::Predict(Predict {
+            machine: c.str("machine")?,
+            now: c.f64()?,
+            task: c.task()?,
+            j_words: c.u64()?,
+        }),
+        REQ_DECIDE_BATCH => {
+            let machine = c.str("machine")?;
+            let now = c.f64()?;
+            let n = c.count(24, "task")?;
+            let mut tasks = Vec::with_capacity(n);
+            for _ in 0..n {
+                tasks.push(c.task()?);
+            }
+            let j_words = c.u64()?;
+            Request::DecideBatch(DecideBatch { machine, now, tasks, j_words })
+        }
+        REQ_RANK => Request::Rank(Rank {
+            machine: c.str("machine")?,
+            now: c.f64()?,
+            workflow: c.workflow()?,
+            front_end: c.usize64("front_end")?,
+            j_words: c.u64()?,
+            limit: c.usize64("limit")?,
+        }),
+        REQ_STATS => Request::Stats,
+        REQ_SHUTDOWN => Request::Shutdown,
+        t => return Err(err(format!("unknown request tag 0x{t:02x}"))),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Decodes one response frame body (`tag` + payload, the length prefix
+/// already stripped by the transport).
+pub fn decode_response(body: &[u8]) -> Result<Response, FrameError> {
+    let mut c = Cur::new(body);
+    let tag = c.u8().map_err(|_| err("empty frame"))?;
+    let resp = match tag {
+        RESP_ACK => {
+            Response::Ack(Ack { machine: c.str("machine")?, accepted: c.boolean()?, p: c.u64()? })
+        }
+        RESP_PREDICTION => Response::Prediction(Prediction {
+            machine: c.str("machine")?,
+            p: c.u64()?,
+            stale: c.boolean()?,
+            forecaster: c.str("forecaster")?,
+            cache_hit: c.boolean()?,
+            decision: c.decision()?,
+        }),
+        RESP_DECISIONS => {
+            let machine = c.str("machine")?;
+            let p = c.u64()?;
+            let stale = c.boolean()?;
+            let forecaster = c.str("forecaster")?;
+            let cache_hit = c.boolean()?;
+            let n = c.count(33, "decision")?;
+            let mut decisions = Vec::with_capacity(n);
+            for _ in 0..n {
+                decisions.push(c.decision()?);
+            }
+            Response::Decisions(Decisions { machine, p, stale, forecaster, cache_hit, decisions })
+        }
+        RESP_RANKED => {
+            let machine = c.str("machine")?;
+            let p = c.u64()?;
+            let stale = c.boolean()?;
+            let total = c.u64()?;
+            // Minimum schedule: empty assignment (4) + makespan (8).
+            let n = c.count(12, "schedule")?;
+            let mut schedules = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = c.count(8, "assignment slot")?;
+                let mut assignment = Vec::with_capacity(k);
+                for _ in 0..k {
+                    assignment.push(c.usize64("assignment")?);
+                }
+                let makespan = c.f64()?;
+                schedules.push(Schedule { assignment, makespan });
+            }
+            Response::Ranked(Ranked { machine, p, stale, total, schedules })
+        }
+        RESP_STATS => {
+            let requests = RequestCounts {
+                load_report: c.u64()?,
+                predict: c.u64()?,
+                decide_batch: c.u64()?,
+                rank: c.u64()?,
+                stats: c.u64()?,
+                shutdown: c.u64()?,
+            };
+            let cache = CacheStats { hits: c.u64()?, misses: c.u64()?, hit_rate: c.f64()? };
+            let latency_us = LatencySummary {
+                count: c.u64()?,
+                p50_us: c.u64()?,
+                p99_us: c.u64()?,
+                max_us: c.u64()?,
+            };
+            let machines = c.u64()?;
+            let uptime_secs = c.f64()?;
+            let n = c.count(24, "shard")?;
+            let mut shards = Vec::with_capacity(n);
+            for _ in 0..n {
+                shards.push(ShardStats {
+                    shard: c.u64()?,
+                    machines: c.u64()?,
+                    load_reports: c.u64()?,
+                });
+            }
+            Response::Stats(StatsReply {
+                requests,
+                cache,
+                latency_us,
+                machines,
+                uptime_secs,
+                shards,
+            })
+        }
+        RESP_OK => Response::Ok,
+        RESP_ERROR => Response::Error(ErrorReply { message: c.str("message")? }),
+        t => return Err(err(format!("unknown response tag 0x{t:02x}"))),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use contention_model::units::secs;
+
+    fn sample_task() -> ParagonTask {
+        ParagonTask {
+            dcomp_sun: secs(10.0),
+            t_paragon: secs(0.5),
+            to_backend: vec![DataSet::new(3, 128), DataSet::new(1, 4096)],
+            from_backend: vec![DataSet::new(2, 64)],
+        }
+    }
+
+    fn sample_workflow() -> Workflow {
+        let m = Matrix::from_rows(&[vec![0.0, 2.5], vec![1.5, 0.0]]);
+        Workflow {
+            tasks: vec![
+                Task { name: "t0".to_string(), exec: vec![1.0, 2.0], comm_to_next: Some(m) },
+                Task { name: "t1".to_string(), exec: vec![3.0, 0.5], comm_to_next: None },
+            ],
+        }
+    }
+
+    fn sample_decision() -> PlacementDecision {
+        PlacementDecision {
+            t_front: secs(10.0),
+            t_back: secs(1.0),
+            c_to: secs(0.25),
+            c_from: secs(0.125),
+            placement: Placement::BackEnd,
+        }
+    }
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::LoadReport(LoadReport {
+                machine: "sun7".to_string(),
+                at: 12.5,
+                load: 3.25,
+                comm_frac: 0.5,
+            }),
+            Request::Predict(Predict {
+                machine: "sun7".to_string(),
+                now: 13.0,
+                task: sample_task(),
+                j_words: 2048,
+            }),
+            Request::DecideBatch(DecideBatch {
+                machine: "sun7".to_string(),
+                now: 13.5,
+                tasks: vec![sample_task(), sample_task()],
+                j_words: 1024,
+            }),
+            Request::Rank(Rank {
+                machine: "sun7".to_string(),
+                now: 14.0,
+                workflow: sample_workflow(),
+                front_end: 0,
+                j_words: 512,
+                limit: 10,
+            }),
+            Request::Stats,
+            Request::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Ack(Ack { machine: "sun7".to_string(), accepted: true, p: 3 }),
+            Response::Prediction(Prediction {
+                machine: "sun7".to_string(),
+                p: 3,
+                stale: false,
+                forecaster: "ewma0.30".to_string(),
+                cache_hit: true,
+                decision: sample_decision(),
+            }),
+            Response::Decisions(Decisions {
+                machine: "sun7".to_string(),
+                p: 2,
+                stale: true,
+                forecaster: "dedicated".to_string(),
+                cache_hit: false,
+                decisions: vec![sample_decision(), sample_decision()],
+            }),
+            Response::Ranked(Ranked {
+                machine: "sun7".to_string(),
+                p: 1,
+                stale: false,
+                total: 8,
+                schedules: vec![
+                    Schedule { assignment: vec![0, 1, 0], makespan: 4.5 },
+                    Schedule { assignment: vec![1, 1, 1], makespan: 6.25 },
+                ],
+            }),
+            Response::Stats(StatsReply {
+                requests: RequestCounts {
+                    load_report: 1,
+                    predict: 2,
+                    decide_batch: 3,
+                    rank: 4,
+                    stats: 5,
+                    shutdown: 6,
+                },
+                cache: CacheStats { hits: 7, misses: 8, hit_rate: 0.875 },
+                latency_us: LatencySummary { count: 9, p50_us: 10, p99_us: 20, max_us: 30 },
+                machines: 2,
+                uptime_secs: 123.5,
+                shards: vec![
+                    ShardStats { shard: 0, machines: 1, load_reports: 5 },
+                    ShardStats { shard: 1, machines: 1, load_reports: 6 },
+                ],
+            }),
+            Response::Ok,
+            Response::Error(ErrorReply { message: "bad request: nope".to_string() }),
+        ]
+    }
+
+    fn body(frame: &[u8]) -> &[u8] {
+        let mut len = [0u8; 4];
+        len.copy_from_slice(&frame[..4]);
+        let len = u32::from_le_bytes(len) as usize;
+        assert_eq!(len, frame.len() - 4, "length prefix covers the whole body");
+        &frame[4..]
+    }
+
+    #[test]
+    fn every_request_kind_round_trips() {
+        for req in all_requests() {
+            let kind = req.kind();
+            let mut buf = Vec::new();
+            assert!(encode_request(&req, &mut buf), "{kind}");
+            let back = decode_request(body(&buf)).expect(kind);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn every_response_kind_round_trips() {
+        for resp in all_responses() {
+            let kind = resp.kind();
+            let mut buf = Vec::new();
+            assert!(encode_response(&resp, &mut buf), "{kind}");
+            let back = decode_response(body(&buf)).expect(kind);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn frames_concatenate_cleanly() {
+        let mut buf = Vec::new();
+        for req in all_requests() {
+            assert!(encode_request(&req, &mut buf));
+        }
+        let mut i = 0;
+        let mut seen = 0;
+        while i < buf.len() {
+            let mut len = [0u8; 4];
+            len.copy_from_slice(&buf[i..i + 4]);
+            let len = u32::from_le_bytes(len) as usize;
+            decode_request(&buf[i + 4..i + 4 + len]).expect("frame in stream");
+            i += 4 + len;
+            seen += 1;
+        }
+        assert_eq!(seen, all_requests().len());
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_not_panicked() {
+        for req in all_requests() {
+            let mut buf = Vec::new();
+            assert!(encode_request(&req, &mut buf));
+            let full = body(&buf);
+            for cut in 0..full.len() {
+                assert!(
+                    decode_request(&full[..cut]).is_err() || cut == full.len(),
+                    "{} truncated at {cut} must not decode",
+                    req.kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        assert!(encode_request(&Request::Stats, &mut buf));
+        let mut b = body(&buf).to_vec();
+        b.push(0);
+        let e = decode_request(&b).expect_err("trailing byte");
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        assert!(decode_request(&[0x7f]).is_err());
+        assert!(decode_response(&[0x01]).is_err(), "request tag is not a response tag");
+        assert!(decode_request(&[]).is_err(), "empty body");
+    }
+
+    #[test]
+    fn hostile_count_fields_are_bounded_by_the_frame() {
+        // decide_batch claiming u32::MAX tasks in a tiny frame must be
+        // rejected before any allocation happens.
+        let mut b = vec![REQ_DECIDE_BATCH];
+        b.extend_from_slice(&2u32.to_le_bytes());
+        b.extend_from_slice(b"m7");
+        b.extend_from_slice(&13.5f64.to_le_bytes());
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        let e = decode_request(&b).expect_err("hostile count");
+        assert!(e.message.contains("exceeds frame"), "{e}");
+    }
+
+    #[test]
+    fn strict_bytes_are_strict() {
+        // ack with boolean byte 2.
+        let mut b = vec![RESP_ACK];
+        b.extend_from_slice(&2u32.to_le_bytes());
+        b.extend_from_slice(b"m7");
+        b.push(2);
+        b.extend_from_slice(&0u64.to_le_bytes());
+        assert!(decode_response(&b).is_err(), "boolean byte must be 0 or 1");
+
+        // negative seconds inside a prediction decision.
+        let mut p = Vec::new();
+        let resp = all_responses().remove(1);
+        assert!(encode_response(&resp, &mut p));
+        let mut pb = body(&p).to_vec();
+        let flip = pb.len() - 9; // final f64 of the decision lives before the placement byte
+        pb[flip..flip + 8].copy_from_slice(&(-1.0f64).to_le_bytes());
+        assert!(decode_response(&pb).is_err(), "negative duration must be rejected");
+    }
+
+    #[test]
+    fn preamble_is_distinguishable_from_json() {
+        assert_ne!(PREAMBLE[0], b'{');
+        assert_eq!(PREAMBLE, [0xBD, b'P', b'D', 0x01]);
+    }
+
+    #[test]
+    fn f64_payloads_survive_bit_exactly() {
+        let values = [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300];
+        for v in values {
+            let req = Request::LoadReport(LoadReport {
+                machine: "m".to_string(),
+                at: v,
+                load: v,
+                comm_frac: 0.5,
+            });
+            let mut buf = Vec::new();
+            assert!(encode_request(&req, &mut buf));
+            let back = decode_request(body(&buf)).expect("round-trip");
+            match back {
+                Request::LoadReport(r) => {
+                    assert_eq!(r.at.to_le_bytes(), v.to_le_bytes());
+                    assert_eq!(r.load.to_le_bytes(), v.to_le_bytes());
+                }
+                other => panic!("wrong kind {}", other.kind()),
+            }
+        }
+    }
+}

@@ -9,9 +9,10 @@
 //! load generator can keep many requests in flight per connection
 //! without allocating per request.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use crate::binproto;
 use crate::proto::{Request, Response};
 
 /// What can go wrong talking to the daemon.
@@ -42,26 +43,88 @@ impl From<std::io::Error> for ClientError {
 
 /// A connected predictd client. `request` keeps one request in flight;
 /// the `send_raw`/`flush`/`recv_raw_into` surface pipelines many.
+///
+/// [`Client::connect`] speaks newline-JSON; [`Client::connect_binary`]
+/// negotiates the length-prefixed binary codec by sending the
+/// [`binproto::PREAMBLE`] right after connect. Either way, [`Client::request`]
+/// transparently uses the connection's codec, and the pipelined raw
+/// surfaces (`send_raw`/`recv_raw_into` for JSON, [`Client::send_frame`]/
+/// [`Client::recv_frame_into`] for binary) keep many requests in flight.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    binary: bool,
 }
 
 impl Client {
-    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7171"`).
+    /// Connects to a daemon at `addr` (e.g. `"127.0.0.1:7171"`),
+    /// speaking newline-JSON.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone()?);
-        Ok(Client { reader, writer: BufWriter::new(stream) })
+        Ok(Client { reader, writer: BufWriter::new(stream), binary: false })
     }
 
-    /// Sends one request and decodes the response.
+    /// Connects speaking the binary codec: sends the 4-byte preamble,
+    /// then exchanges length-prefixed frames.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let mut client = Client::connect(addr)?;
+        client.binary = true;
+        client.writer.write_all(&binproto::PREAMBLE)?;
+        Ok(client)
+    }
+
+    /// True when this connection negotiated the binary codec.
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
+    /// Sends one request and decodes the response, using whichever
+    /// codec the connection negotiated.
     pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.binary {
+            let mut frame = Vec::with_capacity(256);
+            if !binproto::encode_request(req, &mut frame) {
+                return Err(ClientError::Protocol("request exceeds frame limits".to_string()));
+            }
+            self.send_frame(&frame)?;
+            self.flush()?;
+            let mut body = Vec::with_capacity(256);
+            self.recv_frame_into(&mut body)?;
+            return binproto::decode_response(&body)
+                .map_err(|e| ClientError::Protocol(e.to_string()));
+        }
         let line = serde_json::to_string(req).map_err(|e| ClientError::Protocol(e.to_string()))?;
         let reply = self.request_raw(&line)?;
         serde_json::from_str(&reply).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Queues one already-encoded binary frame (length prefix included)
+    /// without flushing, for pipelining.
+    pub fn send_frame(&mut self, frame: &[u8]) -> Result<(), ClientError> {
+        self.writer.write_all(frame)?;
+        Ok(())
+    }
+
+    /// Reads one binary frame body (tag + payload, the length prefix
+    /// stripped) into `body` (cleared first), reusing the caller's
+    /// buffer.
+    pub fn recv_frame_into(&mut self, body: &mut Vec<u8>) -> Result<(), ClientError> {
+        let mut len4 = [0u8; 4];
+        self.reader.read_exact(&mut len4).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                ClientError::Protocol("connection closed by daemon".to_string())
+            } else {
+                ClientError::Io(e)
+            }
+        })?;
+        let len = usize::try_from(u32::from_le_bytes(len4)).unwrap_or(usize::MAX);
+        body.clear();
+        body.resize(len, 0);
+        self.reader.read_exact(body)?;
+        Ok(())
     }
 
     /// Sends one raw request line and returns the raw response line —

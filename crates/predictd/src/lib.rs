@@ -25,18 +25,22 @@
 
 #![warn(missing_docs)]
 
+pub mod binproto;
 pub mod client;
 pub mod codec;
 pub mod metrics;
+pub mod poll;
 pub mod proto;
 pub mod server;
+pub mod server_evented;
 pub mod service;
 
 pub use client::{Client, ClientError};
 pub use metrics::{LatencyHistogram, Metrics, ReqKind};
 pub use proto::{Request, Response};
 pub use server::{serve, serve_pool, serve_stdio, ServerConfig};
-pub use service::{Service, ServiceConfig};
+pub use server_evented::EventedServer;
+pub use service::{Affinity, Service, ServiceConfig};
 
 use contention_model::comm::{LinearCommModel, PiecewiseCommModel};
 use contention_model::delay::{CommDelayTable, CompDelayTable};

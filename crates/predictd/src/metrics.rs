@@ -79,6 +79,17 @@ impl LatencyHistogram {
         self.count
     }
 
+    /// Folds another histogram into this one, bucket by bucket — how a
+    /// load generator aggregates per-connection latencies into one
+    /// fleet-wide distribution without sharing state between threads.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
     /// Largest observation, µs (0 when empty).
     pub fn max_us(&self) -> u64 {
         self.max_us
@@ -250,6 +261,29 @@ mod tests {
         assert_eq!(h.quantile_us(0.99), 900);
         assert_eq!(h.max_us(), 900);
         assert_eq!(LatencyHistogram::new().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_recording_into_one() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for us in [1u64, 7, 900, 4096] {
+            a.record(us);
+            whole.record(us);
+        }
+        for us in [2u64, 65_000, 3] {
+            b.record(us);
+            whole.record(us);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.max_us(), whole.max_us());
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile_us(q), whole.quantile_us(q));
+        }
+        a.merge(&LatencyHistogram::new());
+        assert_eq!(a.count(), whole.count());
     }
 
     #[test]

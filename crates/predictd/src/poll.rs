@@ -1,0 +1,288 @@
+//! Minimal epoll/socket shim for the evented server — raw `extern "C"`
+//! declarations of the half-dozen Linux syscalls the event loop needs,
+//! keeping the crate's zero-heavy-deps discipline (no `libc` crate,
+//! no async runtime).
+//!
+//! Everything unsafe is confined to this module; the surface it exports
+//! ([`Epoll`], [`Waker`], [`bind_reuseport`], the buffer-size setters)
+//! is safe: file descriptors are owned [`OwnedFd`]s closed on drop, and
+//! every syscall result is translated into [`std::io::Error`].
+//!
+//! Linux-only by construction (predictd's evented engine is too); the
+//! blocking pool engine remains the portable fallback.
+
+use std::io;
+use std::net::{SocketAddrV4, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+/// Readiness: data to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: writable without blocking.
+pub const EPOLLOUT: u32 = 0x004;
+/// Condition: error on the descriptor (always reported).
+pub const EPOLLERR: u32 = 0x008;
+/// Condition: hangup (always reported).
+pub const EPOLLHUP: u32 = 0x010;
+/// Condition: peer closed its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0x80000;
+const EFD_CLOEXEC: i32 = 0x80000;
+const EFD_NONBLOCK: i32 = 0x800;
+
+const AF_INET: i32 = 2;
+const SOCK_STREAM: i32 = 1;
+const SOCK_NONBLOCK: i32 = 0x800;
+const SOCK_CLOEXEC: i32 = 0x80000;
+const SOL_SOCKET: i32 = 1;
+const SO_REUSEADDR: i32 = 2;
+const SO_SNDBUF: i32 = 7;
+const SO_RCVBUF: i32 = 8;
+const SO_REUSEPORT: i32 = 15;
+
+/// One epoll readiness record. x86_64 packs the struct (kernel ABI);
+/// other architectures use natural layout.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness bit set ([`EPOLLIN`] | …).
+    pub events: u32,
+    /// The caller's token, returned verbatim.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    sin_port: u16,
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+    fn bind(fd: i32, addr: *const SockAddrIn, len: u32) -> i32;
+    fn listen(fd: i32, backlog: i32) -> i32;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+}
+
+fn check(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// A fresh epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall; the returned fd is immediately owned.
+        let fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: fd was just returned by the kernel and is unowned.
+        Ok(Epoll { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        check(unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Starts watching `fd` with interest `events`, tagging readiness
+    /// records with `token`.
+    pub fn add(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, events)
+    }
+
+    /// Changes the interest set of an already-watched `fd`.
+    pub fn modify(&self, fd: RawFd, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, events)
+    }
+
+    /// Stops watching `fd`.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        // SAFETY: pre-2.6.9 kernels demanded a non-null event even for DEL.
+        check(unsafe { epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Blocks up to `timeout_ms` (-1 = forever) for readiness, filling
+    /// `events` from the front. Returns how many records are valid.
+    /// `EINTR` is retried internally.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let cap = i32::try_from(events.len()).unwrap_or(i32::MAX).max(1);
+        loop {
+            // SAFETY: the buffer is valid for `cap` records for the call.
+            let n =
+                unsafe { epoll_wait(self.fd.as_raw_fd(), events.as_mut_ptr(), cap, timeout_ms) };
+            if n >= 0 {
+                // n is bounded by cap, which came from a usize.
+                return Ok(usize::try_from(n).unwrap_or(0));
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// An eventfd-based cross-thread wakeup: any thread calls [`Waker::wake`],
+/// the owning event loop sees the fd turn readable and [`Waker::drain`]s it.
+pub struct Waker {
+    fd: OwnedFd,
+}
+
+impl Waker {
+    /// A fresh nonblocking eventfd.
+    pub fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall; the returned fd is immediately owned.
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // SAFETY: fd was just returned by the kernel and is unowned.
+        Ok(Waker { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    /// The descriptor to register with an [`Epoll`].
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Wakes the owning loop. Best-effort: a full counter (already
+    /// pending wakeups) is success.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: 8 valid bytes; eventfd writes are atomic.
+        let _ = unsafe { write(self.fd.as_raw_fd(), one.to_ne_bytes().as_ptr(), 8) };
+    }
+
+    /// Clears pending wakeups after the loop observed readability.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: 8 valid bytes.
+        let _ = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), 8) };
+    }
+}
+
+fn set_opt(fd: RawFd, level: i32, name: i32, value: i32) -> io::Result<()> {
+    let sz = u32::try_from(std::mem::size_of::<i32>()).unwrap_or(4);
+    // SAFETY: `value` is a live i32 for the duration of the call.
+    check(unsafe { setsockopt(fd, level, name, &value, sz) })?;
+    Ok(())
+}
+
+/// Binds a nonblocking IPv4 listener with `SO_REUSEPORT` set, so every
+/// event-loop thread can bind the same address and let the kernel
+/// load-balance accepts across them.
+pub fn bind_reuseport(addr: SocketAddrV4) -> io::Result<TcpListener> {
+    // SAFETY: plain syscall; the returned fd is immediately owned.
+    let fd = check(unsafe { socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    // SAFETY: fd was just returned by the kernel and is unowned.
+    let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+    set_opt(fd, SOL_SOCKET, SO_REUSEADDR, 1)?;
+    set_opt(fd, SOL_SOCKET, SO_REUSEPORT, 1)?;
+    let sa = SockAddrIn {
+        sin_family: u16::try_from(AF_INET).unwrap_or(2),
+        sin_port: addr.port().to_be(),
+        // Network order is the octets verbatim.
+        sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+        sin_zero: [0; 8],
+    };
+    let len = u32::try_from(std::mem::size_of::<SockAddrIn>()).unwrap_or(16);
+    // SAFETY: `sa` is a live, fully initialized sockaddr_in.
+    check(unsafe { bind(fd, &sa, len) })?;
+    // SAFETY: plain syscall on an owned fd.
+    check(unsafe { listen(fd, 1024) })?;
+    Ok(TcpListener::from(owned))
+}
+
+/// Shrinks (or grows) the kernel send buffer of a connected stream —
+/// used by tests to provoke partial writes.
+pub fn set_send_buf(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    set_opt(stream.as_raw_fd(), SOL_SOCKET, SO_SNDBUF, i32::try_from(bytes).unwrap_or(i32::MAX))
+}
+
+/// Shrinks (or grows) the kernel receive buffer of a connected stream.
+pub fn set_recv_buf(stream: &TcpStream, bytes: usize) -> io::Result<()> {
+    set_opt(stream.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, i32::try_from(bytes).unwrap_or(i32::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{Ipv4Addr, SocketAddrV4};
+
+    #[test]
+    fn epoll_sees_eventfd_wakeups() {
+        let ep = Epoll::new().expect("epoll");
+        let waker = Waker::new().expect("eventfd");
+        ep.add(waker.as_raw_fd(), 42, EPOLLIN).expect("add");
+        let mut evs = [EpollEvent { events: 0, data: 0 }; 8];
+        assert_eq!(ep.wait(&mut evs, 0).expect("wait"), 0, "nothing pending yet");
+        waker.wake();
+        let n = ep.wait(&mut evs, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let token = evs[0].data;
+        assert_eq!(token, 42);
+        waker.drain();
+        assert_eq!(ep.wait(&mut evs, 0).expect("wait"), 0, "drained");
+    }
+
+    #[test]
+    fn reuseport_listeners_share_an_address() {
+        let first = bind_reuseport(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)).expect("bind 0");
+        let addr = first.local_addr().expect("addr");
+        let port = addr.port();
+        assert_ne!(port, 0);
+        let second = bind_reuseport(SocketAddrV4::new(Ipv4Addr::LOCALHOST, port))
+            .expect("second bind on the same port");
+        assert_eq!(second.local_addr().expect("addr").port(), port);
+
+        // A connection lands on exactly one of them and carries data.
+        let ep = Epoll::new().expect("epoll");
+        ep.add(first.as_raw_fd(), 1, EPOLLIN).expect("add");
+        ep.add(second.as_raw_fd(), 2, EPOLLIN).expect("add");
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(b"hi").expect("write");
+        let mut evs = [EpollEvent { events: 0, data: 0 }; 8];
+        let n = ep.wait(&mut evs, 2000).expect("wait");
+        assert!(n >= 1);
+        let token = evs[0].data;
+        let (mut conn, _) = if token == 1 {
+            first.accept().expect("accept")
+        } else {
+            second.accept().expect("accept")
+        };
+        conn.set_nonblocking(false).expect("blocking");
+        let mut buf = [0u8; 2];
+        conn.read_exact(&mut buf).expect("read");
+        assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn send_buf_can_be_shrunk() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let s = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        set_send_buf(&s, 4096).expect("sndbuf");
+        set_recv_buf(&s, 4096).expect("rcvbuf");
+    }
+}

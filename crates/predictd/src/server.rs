@@ -24,7 +24,7 @@
 //! keeps serving. Only an explicit `shutdown` request (or EOF on
 //! stdio) stops the daemon.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex, PoisonError};
@@ -55,6 +55,11 @@ pub struct ServerConfig {
     /// Longest accepted request line, bytes. Longer lines are answered
     /// with a JSON `error` (and discarded), not a disconnect.
     pub max_line_bytes: usize,
+    /// Longest accepted binary frame body, bytes. Larger frames are
+    /// answered with an `error` frame and skipped — the length prefix
+    /// tells the server exactly how much to discard, so the stream
+    /// stays in sync, mirroring the `max_line_bytes` behavior.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +69,7 @@ impl Default for ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(30)),
             max_line_bytes: 1 << 20,
+            max_frame_bytes: 1 << 20,
         }
     }
 }
@@ -230,7 +236,21 @@ fn drain(writer: &mut TcpStream, out: &mut String) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes and clears pending binary response frames.
+fn drain_bytes(writer: &mut TcpStream, out: &mut Vec<u8>) -> io::Result<()> {
+    if !out.is_empty() {
+        writer.write_all(out)?;
+        out.clear();
+    }
+    Ok(())
+}
+
 /// Serves one connection; true means a `shutdown` request was handled.
+///
+/// The first byte decides the codec: the binary [`binproto::MAGIC`]
+/// byte (which can never start a JSON line) routes the connection to
+/// the frame loop, anything else to the newline-JSON loop — the
+/// untouched compatibility surface.
 fn serve_conn(conn: TcpStream, service: &Service, cfg: &ServerConfig) -> bool {
     let _ = conn.set_nodelay(true);
     let _ = conn.set_read_timeout(cfg.read_timeout);
@@ -240,6 +260,13 @@ fn serve_conn(conn: TcpStream, service: &Service, cfg: &ServerConfig) -> bool {
     };
     let mut reader = BufReader::with_capacity(READ_BUF_BYTES, read_half);
     let mut writer = conn;
+    // Sniff without consuming: binary clients open with the preamble.
+    match reader.fill_buf() {
+        Err(_) => return false,
+        Ok([]) => return false,
+        Ok([crate::binproto::MAGIC, ..]) => return serve_conn_binary(reader, writer, service, cfg),
+        Ok(_) => {}
+    }
     // Reused across every request on the connection: no per-request
     // line or response allocations once the buffers have warmed up.
     let mut line: Vec<u8> = Vec::with_capacity(1024);
@@ -275,6 +302,95 @@ fn serve_conn(conn: TcpStream, service: &Service, cfg: &ServerConfig) -> bool {
         // pipelined burst costs one write, not one per line.
         let more_buffered = reader.buffer().contains(&b'\n');
         if (!more_buffered || out.len() >= FLUSH_BYTES) && drain(&mut writer, &mut out).is_err() {
+            return false;
+        }
+    }
+}
+
+/// Discards exactly `n` bytes from the reader — how an oversized frame
+/// is skipped without ever buffering it (the length prefix keeps the
+/// stream in sync).
+fn skip_bytes(reader: &mut impl BufRead, mut n: usize) -> io::Result<()> {
+    while n > 0 {
+        let available = {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof inside frame"));
+            }
+            buf.len().min(n)
+        };
+        reader.consume(available);
+        n -= available;
+    }
+    Ok(())
+}
+
+/// Serves one binary-codec connection after the magic byte was sniffed;
+/// true means a `shutdown` request was handled. Oversized frames are
+/// rejected-and-skipped (connection survives); a malformed preamble is
+/// answered with an `error` frame and a close.
+fn serve_conn_binary(
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    service: &Service,
+    cfg: &ServerConfig,
+) -> bool {
+    use crate::binproto;
+    let mut out: Vec<u8> = Vec::with_capacity(4096);
+    let mut pre = [0u8; 4];
+    if reader.read_exact(&mut pre).is_err() {
+        return false;
+    }
+    if pre != binproto::PREAMBLE {
+        let _ = binproto::encode_response(
+            &Response::error("bad preamble: expected BD 50 44 01"),
+            &mut out,
+        );
+        let _ = drain_bytes(&mut writer, &mut out);
+        return false;
+    }
+    let mut body: Vec<u8> = Vec::with_capacity(1024);
+    loop {
+        let mut len4 = [0u8; 4];
+        if reader.read_exact(&mut len4).is_err() {
+            // EOF (or timeout) between frames: flush any backlog.
+            let _ = drain_bytes(&mut writer, &mut out);
+            return false;
+        }
+        let len = usize::try_from(u32::from_le_bytes(len4)).unwrap_or(usize::MAX);
+        if len == 0 {
+            let _ = binproto::encode_response(&Response::error("bad frame: empty frame"), &mut out);
+        } else if len > cfg.max_frame_bytes {
+            let _ = binproto::encode_response(
+                &Response::error(format!("frame exceeds {} bytes", cfg.max_frame_bytes)),
+                &mut out,
+            );
+            if skip_bytes(&mut reader, len).is_err() {
+                let _ = drain_bytes(&mut writer, &mut out);
+                return false;
+            }
+        } else {
+            body.resize(len, 0);
+            if reader.read_exact(&mut body).is_err() {
+                return false;
+            }
+            if service.handle_frame_into(&body, &mut out) {
+                let _ = drain_bytes(&mut writer, &mut out);
+                return true;
+            }
+        }
+        // Same syscall batching as the JSON loop: flush only when the
+        // read buffer does not already hold the next complete frame.
+        let buffered = reader.buffer();
+        let more_buffered = buffered.len() >= 4 && {
+            let mut next = [0u8; 4];
+            next.copy_from_slice(&buffered[..4]);
+            let next_len = usize::try_from(u32::from_le_bytes(next)).unwrap_or(usize::MAX);
+            next_len.saturating_add(4) <= buffered.len() || next_len > cfg.max_frame_bytes
+        };
+        if (!more_buffered || out.len() >= FLUSH_BYTES)
+            && drain_bytes(&mut writer, &mut out).is_err()
+        {
             return false;
         }
     }

@@ -31,8 +31,9 @@
 //! dedicated-machine profile, so a machine flapping between fresh and
 //! stale does not thrash its cache.
 
-use std::collections::BTreeMap;
-use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use contention_model::mix::WorkloadMix;
@@ -70,7 +71,12 @@ impl Default for ServiceConfig {
 }
 
 /// Forecasting and caching state for one reported machine.
-#[derive(Debug)]
+///
+/// `Clone` duplicates everything *except* the report counter, which is
+/// shared: a clone is a replica of the same machine, and the shared
+/// [`MachineState::version`] is how a core-local replica later proves
+/// it has seen every accepted report (see [`Affinity`]).
+#[derive(Debug, Clone)]
 struct MachineState {
     monitor: LoadMonitor,
     /// The mix the cache is keyed on; replaced only when the forecast
@@ -79,6 +85,9 @@ struct MachineState {
     /// Shape of `mix`: `(p, frac.to_bits())`.
     shape: Option<(usize, u64)>,
     cache: ProfileCache,
+    /// Count of *accepted* load reports, bumped under the shard write
+    /// lock. Shared (not duplicated) across clones.
+    version: Arc<AtomicU64>,
 }
 
 impl MachineState {
@@ -88,7 +97,23 @@ impl MachineState {
             mix: WorkloadMix::new(),
             shape: None,
             cache: ProfileCache::new(),
+            version: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Applies one *validated* report the same way on every copy of the
+    /// state, keeping the epoch-keyed cache coherent. Deterministic: two
+    /// states with equal history fed the same report stay bit-identical.
+    /// Returns (accepted, forecast contender count).
+    fn apply_report(&mut self, at: Seconds, load: f64, frac: Option<Prob>) -> (bool, usize) {
+        let accepted = self.monitor.report(at, load, frac);
+        // Keep the epoch-keyed cache coherent with the new forecast
+        // shape right away, not lazily at the next predict.
+        let mf = self.monitor.mix_forecast(at);
+        if !mf.forecast.stale {
+            self.sync_mix(&mf);
+        }
+        (accepted, mf.forecast.p)
     }
 
     /// Re-keys the stored mix when the forecast shape changed. Keeping
@@ -119,6 +144,92 @@ struct Resolved {
     stale: bool,
     forecaster: String,
     cache_hit: bool,
+}
+
+/// Upper bound on replicas one core keeps, so a fleet of hostile
+/// machine names cannot multiply shard state by the core count.
+const MAX_REPLICAS: usize = 4096;
+
+/// One core's replica of a machine: a full [`MachineState`] clone plus
+/// the shared report counter value it has caught up to.
+#[derive(Debug)]
+struct Replica {
+    state: MachineState,
+    /// Value of `state.version` this replica reflects. Equal to the
+    /// shared counter ⇔ no other core has accepted a report since.
+    seen: u64,
+}
+
+/// Core-local shard affinity: replicas of the machines whose reporters
+/// this core serves, so warm `predict`/`decide_batch` run with **no
+/// lock at all** — not even a read lock.
+///
+/// The sharded service stays the ground truth: every `load_report` is
+/// applied to its shard first (under the write lock, bumping the
+/// machine's shared report counter), and only then mirrored into the
+/// reporting core's replica. A query is answered locally only when the
+/// replica's `seen` equals the shared counter; if another core accepted
+/// a report in between, the replica is dropped and the query falls back
+/// to the sharded-`RwLock` path (it is rebuilt by the machine's next
+/// local report). Forecasts are deterministic, so a caught-up replica
+/// answers bit-identically to the shard — only the `cache_hit` metadata
+/// may differ, because each core warms its own profile cache.
+///
+/// One `Affinity` belongs to one event-loop thread and is deliberately
+/// not `Sync`-shared; cross-shard requests (`rank`, `stats`) always use
+/// the shared path.
+#[derive(Debug, Default)]
+pub struct Affinity {
+    machines: HashMap<String, Replica>,
+}
+
+impl Affinity {
+    /// An empty affinity map (no replicas yet).
+    pub fn new() -> Self {
+        Affinity::default()
+    }
+
+    /// How many machines this core currently holds replicas of.
+    pub fn replicas(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Mirrors one just-applied report into this core's replica. Must
+    /// be called while the shard write lock on `state` is still held,
+    /// so `prev`/the new counter value cannot race another reporter.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb(
+        &mut self,
+        machine: &str,
+        state: &MachineState,
+        prev: u64,
+        accepted: bool,
+        at: Seconds,
+        load: f64,
+        frac: Option<Prob>,
+    ) {
+        let current = state.version.load(Ordering::Acquire);
+        match self.machines.get_mut(machine) {
+            // Caught up before this report: replay it locally (the
+            // deterministic update keeps the replica bit-identical).
+            Some(rep) if rep.seen == prev => {
+                if accepted {
+                    rep.state.apply_report(at, load, frac);
+                }
+                rep.seen = current;
+            }
+            // Diverged (another core reported meanwhile) or first
+            // sighting: re-clone the ground truth.
+            _ => {
+                if self.machines.len() < MAX_REPLICAS || self.machines.contains_key(machine) {
+                    self.machines.insert(
+                        machine.to_string(),
+                        Replica { state: state.clone(), seen: current },
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// The contention-prediction service: all daemon state minus transport.
@@ -170,6 +281,19 @@ impl Service {
     /// Handles one request; the flag is true when the daemon should stop
     /// (after sending the response).
     pub fn handle(&self, req: &Request) -> (Response, bool) {
+        self.handle_with(req, None)
+    }
+
+    /// Handles one request with a core-local [`Affinity`]: warm
+    /// `predict`/`decide_batch` against a caught-up replica touch no
+    /// shard lock; everything else behaves exactly like
+    /// [`Service::handle`]. Answers are bit-identical either way (see
+    /// [`Affinity`]).
+    pub fn handle_local(&self, req: &Request, aff: &mut Affinity) -> (Response, bool) {
+        self.handle_with(req, Some(aff))
+    }
+
+    fn handle_with(&self, req: &Request, aff: Option<&mut Affinity>) -> (Response, bool) {
         let started = Instant::now();
         self.metrics.count_request(match req {
             Request::LoadReport(_) => ReqKind::LoadReport,
@@ -180,9 +304,9 @@ impl Service {
             Request::Shutdown => ReqKind::Shutdown,
         });
         let (resp, shutdown) = match req {
-            Request::LoadReport(r) => (self.on_load_report(r), false),
-            Request::Predict(q) => (self.on_predict(q), false),
-            Request::DecideBatch(q) => (self.on_decide_batch(q), false),
+            Request::LoadReport(r) => (self.on_load_report(r, aff), false),
+            Request::Predict(q) => (self.on_predict(q, aff), false),
+            Request::DecideBatch(q) => (self.on_decide_batch(q, aff), false),
             Request::Rank(q) => (self.on_rank(q), false),
             // The snapshot includes the stats request itself; its own
             // latency lands in the histogram afterwards.
@@ -199,13 +323,23 @@ impl Service {
     /// the transport hot path. Malformed input yields an `error`
     /// response, never a dropped connection. Returns the shutdown flag.
     pub fn handle_line_into(&self, line: &str, out: &mut String) -> bool {
+        self.handle_line_opt(line, out, None)
+    }
+
+    /// [`Service::handle_line_into`] with a core-local [`Affinity`] —
+    /// the evented server's JSON hot path.
+    pub fn handle_line_local(&self, line: &str, out: &mut String, aff: &mut Affinity) -> bool {
+        self.handle_line_opt(line, out, Some(aff))
+    }
+
+    fn handle_line_opt(&self, line: &str, out: &mut String, aff: Option<&mut Affinity>) -> bool {
         // The specialized codec takes the hot request kinds without a
         // Value tree; anything it declines goes through the generic
         // parser, which owns acceptance and error wording.
         let (resp, shutdown) = match crate::codec::parse_request(line) {
-            Some(req) => self.handle(&req),
+            Some(req) => self.handle_with(&req, aff),
             None => match serde_json::from_str::<Request>(line) {
-                Ok(req) => self.handle(&req),
+                Ok(req) => self.handle_with(&req, aff),
                 Err(e) => (Response::error(format!("bad request: {e}")), false),
             },
         };
@@ -213,6 +347,36 @@ impl Service {
             serde_json::to_string_into(&resp, out);
         }
         out.push('\n');
+        shutdown
+    }
+
+    /// Decodes one binary frame body (tag + payload, length prefix
+    /// already stripped), handles the request, and appends the complete
+    /// response frame to `out` — the binary-transport hot path.
+    /// Malformed frames yield an `error` response frame, never a
+    /// dropped connection. Returns the shutdown flag.
+    pub fn handle_frame_into(&self, body: &[u8], out: &mut Vec<u8>) -> bool {
+        self.handle_frame_opt(body, out, None)
+    }
+
+    /// [`Service::handle_frame_into`] with a core-local [`Affinity`] —
+    /// the evented server's binary hot path.
+    pub fn handle_frame_local(&self, body: &[u8], out: &mut Vec<u8>, aff: &mut Affinity) -> bool {
+        self.handle_frame_opt(body, out, Some(aff))
+    }
+
+    fn handle_frame_opt(&self, body: &[u8], out: &mut Vec<u8>, aff: Option<&mut Affinity>) -> bool {
+        let (resp, shutdown) = match crate::binproto::decode_request(body) {
+            Ok(req) => self.handle_with(&req, aff),
+            Err(e) => (Response::error(format!("bad frame: {e}")), false),
+        };
+        if !crate::binproto::encode_response(&resp, out) {
+            // Unreachable for responses this service builds (a length
+            // field would have to exceed u32); keep the stream framed
+            // with a tiny error rather than dropping the reply.
+            let fallback = Response::error("response exceeds binary frame limits");
+            let _ = crate::binproto::encode_response(&fallback, out);
+        }
         shutdown
     }
 
@@ -244,7 +408,7 @@ impl Service {
         self.metrics.snapshot(machines, self.started.elapsed().as_secs_f64(), shards)
     }
 
-    fn on_load_report(&self, r: &LoadReport) -> Response {
+    fn on_load_report(&self, r: &LoadReport, aff: Option<&mut Affinity>) -> Response {
         let at = match Seconds::try_new(r.at) {
             Some(s) => s,
             None => return Response::error("\"at\" must be finite and non-negative"),
@@ -266,17 +430,22 @@ impl Service {
         shard.load_reports += 1;
         let state =
             shard.machines.entry(r.machine.clone()).or_insert_with(|| MachineState::new(cfg));
-        let accepted = state.monitor.report(at, r.load, frac);
-        // Keep the epoch-keyed cache coherent with the new forecast
-        // shape right away, not lazily at the next predict.
-        let mf = state.monitor.mix_forecast(at);
-        if !mf.forecast.stale {
-            state.sync_mix(&mf);
+        // The shard is the ground truth: apply there first, bump the
+        // shared report counter, and only then mirror into this core's
+        // replica — all under the write lock, so replicas can trust
+        // `seen == counter` to mean "caught up".
+        let prev = state.version.load(Ordering::Acquire);
+        let (accepted, p) = state.apply_report(at, r.load, frac);
+        if accepted {
+            state.version.fetch_add(1, Ordering::Release);
+        }
+        if let Some(aff) = aff {
+            aff.absorb(&r.machine, state, prev, accepted, at, r.load, frac);
         }
         Response::Ack(Ack {
             machine: r.machine.clone(),
             accepted,
-            p: u64::try_from(mf.forecast.p).unwrap_or(u64::MAX),
+            p: u64::try_from(p).unwrap_or(u64::MAX),
         })
     }
 
@@ -350,6 +519,18 @@ impl Service {
             };
             return f(&self.dedicated, meta);
         };
+        self.resolve_state(state, now, f)
+    }
+
+    /// Resolves one mutable machine state (the shard write path, or a
+    /// core-local replica that needs no lock at all) to the profile a
+    /// prediction should use, recording cache metrics, and applies `f`.
+    fn resolve_state<R>(
+        &self,
+        state: &mut MachineState,
+        now: Seconds,
+        f: impl FnOnce(&SlowdownProfile, Resolved) -> R,
+    ) -> R {
         let mf = state.monitor.mix_forecast(now);
         if mf.forecast.stale {
             self.metrics.cache_hit();
@@ -375,12 +556,31 @@ impl Service {
         f(profile, meta)
     }
 
-    fn on_predict(&self, q: &Predict) -> Response {
+    /// Attempts the lock-free core-local path: serve from this core's
+    /// replica if it exists and has seen every accepted report. A
+    /// diverged replica is dropped (rebuilt by the machine's next local
+    /// report) and the caller falls back to the sharded path.
+    fn local_profile<R>(
+        &self,
+        aff: &mut Affinity,
+        machine: &str,
+        now: Seconds,
+        f: impl FnOnce(&SlowdownProfile, Resolved) -> R,
+    ) -> Option<R> {
+        let rep = aff.machines.get_mut(machine)?;
+        if rep.seen != rep.state.version.load(Ordering::Acquire) {
+            aff.machines.remove(machine);
+            return None;
+        }
+        Some(self.resolve_state(&mut rep.state, now, f))
+    }
+
+    fn on_predict(&self, q: &Predict, aff: Option<&mut Affinity>) -> Response {
         let now = match Seconds::try_new(q.now) {
             Some(s) => s,
             None => return Response::error("\"now\" must be finite and non-negative"),
         };
-        self.with_profile(&q.machine, now, |profile, r| {
+        let build = |profile: &SlowdownProfile, r: Resolved| {
             let decision = self.pred.decide_with(&q.task, profile, q.j_words);
             Response::Prediction(Prediction {
                 machine: q.machine.clone(),
@@ -390,15 +590,21 @@ impl Service {
                 cache_hit: r.cache_hit,
                 decision,
             })
-        })
+        };
+        if let Some(aff) = aff {
+            if let Some(resp) = self.local_profile(aff, &q.machine, now, build) {
+                return resp;
+            }
+        }
+        self.with_profile(&q.machine, now, build)
     }
 
-    fn on_decide_batch(&self, q: &DecideBatch) -> Response {
+    fn on_decide_batch(&self, q: &DecideBatch, aff: Option<&mut Affinity>) -> Response {
         let now = match Seconds::try_new(q.now) {
             Some(s) => s,
             None => return Response::error("\"now\" must be finite and non-negative"),
         };
-        self.with_profile(&q.machine, now, |profile, r| {
+        let build = |profile: &SlowdownProfile, r: Resolved| {
             // One profile resolve, one batched fold: the whole batch
             // goes through the batched engine, never per-item dispatch.
             let decisions = self.pred.decide_batch(&q.tasks, profile, q.j_words);
@@ -410,7 +616,13 @@ impl Service {
                 cache_hit: r.cache_hit,
                 decisions,
             })
-        })
+        };
+        if let Some(aff) = aff {
+            if let Some(resp) = self.local_profile(aff, &q.machine, now, build) {
+                return resp;
+            }
+        }
+        self.with_profile(&q.machine, now, build)
     }
 
     fn on_rank(&self, q: &Rank) -> Response {
@@ -663,6 +875,104 @@ mod tests {
             assert!(first < ServiceConfig::default().shards);
             assert_eq!(first, s.shard_of(name), "routing must be deterministic");
         }
+    }
+
+    #[test]
+    fn affinity_replica_answers_bit_identically_without_locks() {
+        let shared = svc();
+        let local = svc();
+        let mut aff = Affinity::new();
+        for t in 0..4 {
+            shared.handle(&report("m0", f64::from(t), 3.0));
+            local.handle_local(&report("m0", f64::from(t), 3.0), &mut aff);
+        }
+        assert_eq!(aff.replicas(), 1, "reporting core must hold the replica");
+        let (want, _) = shared.handle(&predict_at("m0", 3.0));
+        let (got, _) = local.handle_local(&predict_at("m0", 3.0), &mut aff);
+        let Response::Prediction(want) = want else { panic!("want prediction") };
+        let Response::Prediction(got) = got else { panic!("want prediction") };
+        assert_eq!(got.decision, want.decision, "replica answer must be bit-identical");
+        assert_eq!((got.p, got.stale, &got.forecaster), (want.p, want.stale, &want.forecaster));
+        assert_eq!(aff.replicas(), 1, "a caught-up replica survives the query");
+
+        // Batch through the replica matches too.
+        let batch = Request::DecideBatch(DecideBatch {
+            machine: "m0".to_string(),
+            now: 3.5,
+            tasks: vec![task(), task()],
+            j_words: 500,
+        });
+        let (want, _) = shared.handle(&batch);
+        let (got, _) = local.handle_local(&batch, &mut aff);
+        let Response::Decisions(want) = want else { panic!("want decisions") };
+        let Response::Decisions(got) = got else { panic!("want decisions") };
+        assert_eq!(got.decisions, want.decisions);
+    }
+
+    #[test]
+    fn diverged_replica_falls_back_to_the_shard_and_stays_correct() {
+        let s = svc();
+        let mut aff = Affinity::new();
+        for t in 0..3 {
+            s.handle_local(&report("m0", f64::from(t), 3.0), &mut aff);
+        }
+        assert_eq!(aff.replicas(), 1);
+        // Another core (no affinity) accepts a report: the shared
+        // counter moves past what the replica has seen.
+        s.handle(&report("m0", 3.0, 9.0));
+        let (resp, _) = s.handle_local(&predict_at("m0", 3.2), &mut aff);
+        let Response::Prediction(p) = resp else { panic!("want prediction") };
+        assert_eq!(p.p, 9, "fallback must see the report the replica missed");
+        assert_eq!(aff.replicas(), 0, "diverged replica must be dropped");
+        // The machine's next local report rebuilds the replica from the
+        // ground truth, including the missed history.
+        s.handle_local(&report("m0", 4.0, 9.0), &mut aff);
+        assert_eq!(aff.replicas(), 1);
+        let (resp, _) = s.handle_local(&predict_at("m0", 4.1), &mut aff);
+        let Response::Prediction(p) = resp else { panic!("want prediction") };
+        assert_eq!(p.p, 9);
+    }
+
+    #[test]
+    fn rejected_reports_do_not_desync_replicas() {
+        let s = svc();
+        let mut aff = Affinity::new();
+        s.handle_local(&report("m0", 5.0, 2.0), &mut aff);
+        // Time regression: rejected everywhere, version unmoved.
+        let (resp, _) = s.handle_local(&report("m0", 4.0, 7.0), &mut aff);
+        let Response::Ack(a) = resp else { panic!("want ack") };
+        assert!(!a.accepted);
+        s.handle_local(&report("m0", 6.0, 2.0), &mut aff);
+        let (resp, _) = s.handle_local(&predict_at("m0", 6.1), &mut aff);
+        let Response::Prediction(p) = resp else { panic!("want prediction") };
+        assert_eq!(p.p, 2);
+        assert!(!p.stale);
+        assert_eq!(aff.replicas(), 1, "rejected report must not drop the replica");
+    }
+
+    #[test]
+    fn handle_frame_round_trips_the_binary_codec() {
+        let s = svc();
+        let mut frame = Vec::new();
+        assert!(crate::binproto::encode_request(&report("m0", 0.0, 2.0), &mut frame));
+        let mut out = Vec::new();
+        assert!(!s.handle_frame_into(&frame[4..], &mut out));
+        let resp = crate::binproto::decode_response(&out[4..]).expect("ack frame");
+        let Response::Ack(a) = resp else { panic!("want ack, got {resp:?}") };
+        assert!(a.accepted);
+        assert_eq!(a.machine, "m0");
+
+        // Garbage bodies come back as framed errors, not hangups.
+        out.clear();
+        assert!(!s.handle_frame_into(&[0x7f, 1, 2, 3], &mut out));
+        let resp = crate::binproto::decode_response(&out[4..]).expect("error frame");
+        assert_eq!(resp.kind(), "error");
+
+        // Shutdown still flags the caller.
+        frame.clear();
+        assert!(crate::binproto::encode_request(&Request::Shutdown, &mut frame));
+        out.clear();
+        assert!(s.handle_frame_into(&frame[4..], &mut out));
     }
 
     #[test]

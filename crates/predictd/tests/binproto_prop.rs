@@ -1,0 +1,219 @@
+//! Binary-codec equivalence properties: for arbitrary protocol values
+//! of every request and response kind, `predictd::binproto` must
+//! round-trip losslessly and carry exactly the same value as the JSON
+//! codec — the decoded value serializes to a byte-identical JSON line,
+//! so a mixed fleet (JSON schedulers next to binary ones) can never
+//! observe codec-dependent answers. f64 fields travel as raw IEEE-754
+//! little-endian bytes, so bit-exactness holds for every representable
+//! finite value, not just round numbers.
+
+use contention_model::dataset::DataSet;
+use contention_model::predict::{ParagonTask, Placement, PlacementDecision};
+use contention_model::units::secs;
+use hetsched::eval::Schedule;
+use predictd::binproto::{decode_request, decode_response, encode_request, encode_response};
+use predictd::proto::{
+    Ack, CacheStats, DecideBatch, Decisions, ErrorReply, LatencySummary, LoadReport, Predict,
+    Prediction, Rank, Ranked, Request, RequestCounts, Response, ShardStats, StatsReply,
+};
+use proptest::prelude::*;
+
+/// Names exercising ASCII, quotes, backslashes, and non-ASCII UTF-8 —
+/// the binary codec carries raw UTF-8, so none of these need escaping.
+fn name_pool() -> Vec<&'static str> {
+    vec!["m0", "machine-17", "node.rack-3", "we\"ird", "back\\slash", "tab\there", "naïve", ""]
+}
+
+fn task_for(scale: f64, words: usize) -> ParagonTask {
+    let words = words as u64;
+    ParagonTask {
+        dcomp_sun: secs(10.0 + scale),
+        t_paragon: secs(0.5 + scale * 0.25),
+        to_backend: vec![DataSet::burst(4, words), DataSet::single(words / 2 + 1)],
+        from_backend: vec![DataSet::single(words)],
+    }
+}
+
+fn decision_for(a: f64, b: f64, back: bool) -> PlacementDecision {
+    PlacementDecision {
+        t_front: secs(a),
+        t_back: secs(b),
+        c_to: secs(a * 0.125),
+        c_from: secs(b * 0.5),
+        placement: if back { Placement::BackEnd } else { Placement::FrontEnd },
+    }
+}
+
+/// `(kind, name, a, b, c, n, words)` decoded into a request; the
+/// vendored proptest has no `prop_oneof`, so kind is an integer.
+type RawReq = (usize, &'static str, f64, f64, f64, usize, usize);
+
+fn request_for(raw: &RawReq) -> Request {
+    let (kind, name, a, b, c, n, words) = *raw;
+    let machine = name.to_string();
+    match kind {
+        0 => Request::LoadReport(LoadReport { machine, at: a, load: b, comm_frac: c }),
+        1 => Request::Predict(Predict {
+            machine,
+            now: a,
+            task: task_for(b, words),
+            j_words: words as u64,
+        }),
+        2 => Request::DecideBatch(DecideBatch {
+            machine,
+            now: a,
+            tasks: (0..n).map(|i| task_for(b + i as f64, words + i)).collect(),
+            j_words: words as u64,
+        }),
+        3 => Request::Stats,
+        4 => Request::Shutdown,
+        _ => Request::Rank(Rank {
+            machine,
+            now: a,
+            workflow: hetsched::example::workflow(),
+            front_end: 0,
+            j_words: words as u64,
+            limit: n,
+        }),
+    }
+}
+
+type RawResp = (usize, &'static str, f64, f64, u64, usize, usize);
+
+fn response_for(raw: &RawResp) -> Response {
+    let (kind, name, a, b, p, flip, n) = *raw;
+    let back = flip == 1;
+    match kind {
+        0 => Response::Ack(Ack { machine: name.to_string(), accepted: back, p }),
+        1 => Response::Prediction(Prediction {
+            machine: name.to_string(),
+            p,
+            stale: back,
+            forecaster: name.to_string(),
+            cache_hit: !back,
+            decision: decision_for(a, b, back),
+        }),
+        2 => Response::Decisions(Decisions {
+            machine: name.to_string(),
+            p,
+            stale: !back,
+            forecaster: name.to_string(),
+            cache_hit: back,
+            decisions: (0..n).map(|i| decision_for(a + i as f64, b, back)).collect(),
+        }),
+        3 => Response::Ranked(Ranked {
+            machine: name.to_string(),
+            p,
+            stale: back,
+            total: p * 2 + n as u64,
+            schedules: (0..n)
+                .map(|i| Schedule { assignment: vec![i, 0, 1], makespan: a + b * i as f64 })
+                .collect(),
+        }),
+        4 => Response::Stats(StatsReply {
+            requests: RequestCounts {
+                load_report: p,
+                predict: p + 1,
+                decide_batch: 0,
+                rank: n as u64,
+                stats: 1,
+                shutdown: 0,
+            },
+            cache: CacheStats { hits: p, misses: n as u64, hit_rate: a / (a + b + 1.0) },
+            latency_us: LatencySummary { count: p, p50_us: 1, p99_us: p + 7, max_us: p + 9 },
+            machines: n as u64,
+            uptime_secs: b,
+            shards: (0..n)
+                .map(|i| ShardStats {
+                    shard: i as u64,
+                    machines: i as u64 + 1,
+                    load_reports: p + i as u64,
+                })
+                .collect(),
+        }),
+        5 => Response::Ok,
+        _ => Response::Error(ErrorReply { message: format!("bad {name}") }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every request kind survives a binary round trip bit-identically:
+    /// the decoded value equals the original and serializes to the same
+    /// JSON bytes the JSON codec would have sent.
+    #[test]
+    fn binary_request_round_trip_matches_json(
+        raw in (
+            0..6usize,
+            proptest::sample::select(name_pool()),
+            0.0..1.0e6f64,
+            0.0..64.0f64,
+            0.0..1.0f64,
+            1..4usize,
+            1..5000usize,
+        )
+    ) {
+        let req = request_for(&raw);
+        let mut frame = Vec::new();
+        prop_assert!(encode_request(&req, &mut frame), "encodable: {req:?}");
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        prop_assert_eq!(frame.len(), 4 + len, "length prefix covers the body");
+        let decoded = decode_request(&frame[4..]).expect("decode own encoding");
+        prop_assert_eq!(&decoded, &req);
+        let json_side = serde_json::to_string(&req).expect("json");
+        let binary_side = serde_json::to_string(&decoded).expect("json");
+        prop_assert_eq!(json_side, binary_side, "codecs must agree byte-for-byte");
+    }
+
+    /// Every response kind survives a binary round trip bit-identically
+    /// and agrees with the JSON codec on the carried value.
+    #[test]
+    fn binary_response_round_trip_matches_json(
+        raw in (
+            0..7usize,
+            proptest::sample::select(name_pool()),
+            0.0..1.0e4f64,
+            0.0..512.0f64,
+            0..64u64,
+            0..2usize,
+            0..4usize,
+        )
+    ) {
+        let resp = response_for(&raw);
+        let mut frame = Vec::new();
+        prop_assert!(encode_response(&resp, &mut frame), "encodable: {resp:?}");
+        let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+        prop_assert_eq!(frame.len(), 4 + len, "length prefix covers the body");
+        let decoded = decode_response(&frame[4..]).expect("decode own encoding");
+        prop_assert_eq!(&decoded, &resp);
+        let json_side = serde_json::to_string(&resp).expect("json");
+        let binary_side = serde_json::to_string(&decoded).expect("json");
+        prop_assert_eq!(json_side, binary_side, "codecs must agree byte-for-byte");
+    }
+
+    /// Truncating an encoded frame at any byte boundary never decodes —
+    /// the bounds checks hold at every cut, not just the obvious ones.
+    #[test]
+    fn truncated_requests_never_decode(
+        raw in (
+            0..6usize,
+            proptest::sample::select(name_pool()),
+            0.0..1.0e6f64,
+            0.0..64.0f64,
+            0.0..1.0f64,
+            1..3usize,
+            1..500usize,
+        ),
+        cut in 0.0..1.0f64,
+    ) {
+        let req = request_for(&raw);
+        let mut frame = Vec::new();
+        prop_assert!(encode_request(&req, &mut frame));
+        let body = &frame[4..];
+        if body.len() > 1 {
+            let at = 1 + ((body.len() - 1) as f64 * cut) as usize % (body.len() - 1);
+            prop_assert!(decode_request(&body[..at]).is_err(), "cut at {at} of {}", body.len());
+        }
+    }
+}
