@@ -8,6 +8,7 @@
 
 use crate::kernels::{gauss, sor};
 use serde::{Deserialize, Serialize};
+use simcore::num::f64_from_u64;
 use simcore::time::SimDuration;
 
 /// Effective execution rates of the platform's machines.
@@ -27,7 +28,7 @@ impl Default for MachineRates {
 impl MachineRates {
     /// Front-end CPU demand for `flops` floating-point operations.
     pub fn sun_demand(&self, flops: u64) -> SimDuration {
-        SimDuration::from_secs_f64(flops as f64 / self.sun_flops)
+        SimDuration::from_secs_f64(f64_from_u64(flops) / self.sun_flops)
     }
 
     /// Dedicated front-end time for `sweeps` SOR sweeps on an `m × m` grid.
@@ -73,7 +74,7 @@ impl Cm2ProgramParams {
     /// CM2 execution time for one parallel instruction over `elements`
     /// elements at `rate` elements/s.
     pub fn instr_time(&self, elements: u64, rate: f64) -> SimDuration {
-        self.instr_alpha + SimDuration::from_secs_f64(elements as f64 / rate)
+        self.instr_alpha + SimDuration::from_secs_f64(f64_from_u64(elements) / rate)
     }
 
     /// Elimination-instruction time over `elements` elements.

@@ -15,6 +15,7 @@
 
 use hetplat::config::PlatformConfig;
 use hetplat::phase::{AppProcess, Direction, Phase};
+use simcore::num::{f64_from_u64, sat_u64_from_f64};
 use simcore::rng::{jitter_factor, SimRng};
 use simcore::time::{SimDuration, SimTime};
 
@@ -147,7 +148,9 @@ impl AppProcess for IoHog {
     fn next_phase(&mut self, _now: SimTime, rng: &mut SimRng) -> Phase {
         self.do_io_next = !self.do_io_next;
         if self.do_io_next {
-            Phase::DiskIo { words: ((self.io_words as f64) * jitter_factor(rng, 0.3)) as u64 }
+            Phase::DiskIo {
+                words: sat_u64_from_f64(f64_from_u64(self.io_words) * jitter_factor(rng, 0.3)),
+            }
         } else {
             Phase::Compute(self.cpu_slice.mul_f64(jitter_factor(rng, 0.3)))
         }
@@ -267,7 +270,7 @@ impl CommGenerator {
     pub fn burst_count(&self) -> u64 {
         let comm_time = self.cycle.as_secs_f64() * self.comm_frac;
         let per = self.per_message.as_secs_f64().max(1e-9);
-        (comm_time / per).round().max(1.0) as u64
+        sat_u64_from_f64((comm_time / per).round().max(1.0))
     }
 }
 
@@ -282,7 +285,7 @@ impl AppProcess for CommGenerator {
         let jit = jitter_factor(rng, self.jitter);
         if self.comm_next && self.comm_frac > 0.0 {
             self.comm_next = false;
-            let count = ((self.burst_count() as f64) * jit).round().max(1.0) as u64;
+            let count = sat_u64_from_f64((f64_from_u64(self.burst_count()) * jit).round().max(1.0));
             let outbound = match self.dir {
                 GenDirection::Outbound => true,
                 GenDirection::Inbound => false,

@@ -5,6 +5,8 @@
 //! pivoting plus back substitution) supplies correctness tests and the
 //! operation counts that size the simulated workloads.
 
+use simcore::num::{f64_from_u64, f64_from_usize};
+
 /// Dense augmented system `A·x = b` stored as an `m × (m+1)` row-major
 /// matrix (column `m` is `b`).
 #[derive(Debug, Clone)]
@@ -34,11 +36,11 @@ impl Augmented {
         for i in 0..m {
             for j in 0..=m {
                 s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                let v = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0; // [-1, 1)
+                let v = (f64_from_u64(s >> 33) / f64_from_u64(1 << 31)) - 1.0; // [-1, 1)
                 a[i * (m + 1) + j] = v;
             }
             // Diagonal dominance keeps the system well conditioned.
-            a[i * (m + 1) + i] += m as f64;
+            a[i * (m + 1) + i] += f64_from_usize(m);
         }
         Augmented { m, a }
     }

@@ -6,6 +6,8 @@
 //! was CM-Fortran; the asymptotics — Θ(m²) work per sweep — are what the
 //! contention model consumes).
 
+use simcore::num::f64_from_usize;
+
 /// Red-black SOR solver for ∇²u = 0 on the unit square with Dirichlet
 /// boundary conditions.
 #[derive(Debug, Clone)]
@@ -25,7 +27,7 @@ impl SorGrid {
         // Top edge (row 0) held at u = 1.
         u[..m].fill(1.0);
         // Optimal ω for the 5-point Laplacian on an m×m grid.
-        let rho = (std::f64::consts::PI / (m - 1) as f64).cos();
+        let rho = (std::f64::consts::PI / f64_from_usize(m - 1)).cos();
         let omega = 2.0 / (1.0 + (1.0 - rho * rho).sqrt());
         SorGrid { m, u, omega }
     }

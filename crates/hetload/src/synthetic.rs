@@ -10,6 +10,7 @@ use crate::generators::{CommGenerator, GenDirection};
 use hetplat::config::PlatformConfig;
 use hetplat::phase::{Cm2Instr, Cm2Program};
 use rand::Rng;
+use simcore::num::sat_u64_from_f64;
 use simcore::rng::SimRng;
 
 /// A random CM2 program: `steps` algorithm steps, each with serial
@@ -61,7 +62,7 @@ pub fn random_generator_specs(rng: &mut SimRng, count: usize) -> Vec<GeneratorSp
         .map(|_| {
             let comm_frac = rng.gen_range(0.1..0.9);
             let log = rng.gen_range(0.0..=f64::ln(2000.0));
-            let msg_words = log.exp().round().max(1.0) as u64;
+            let msg_words = sat_u64_from_f64(log.exp().round().max(1.0));
             GeneratorSpec { comm_frac, msg_words, dir: GenDirection::Alternate }
         })
         .collect()

@@ -9,6 +9,7 @@
 //! platform it predicts.
 
 use serde::{Deserialize, Serialize};
+use simcore::num::f64_from_u64;
 use simcore::time::SimDuration;
 
 /// Which CPU scheduler the front-end runs.
@@ -188,11 +189,11 @@ impl ParagonParams {
     /// Wire service time for one message of `words` words.
     pub fn wire_service(&self, words: u64) -> SimDuration {
         if words <= self.eager_limit_words {
-            self.wire_latency + SimDuration::from_secs_f64(words as f64 / self.bw_small)
+            self.wire_latency + SimDuration::from_secs_f64(f64_from_u64(words) / self.bw_small)
         } else {
             self.wire_latency
                 + self.rendezvous_overhead
-                + SimDuration::from_secs_f64(words as f64 / self.bw_large)
+                + SimDuration::from_secs_f64(f64_from_u64(words) / self.bw_large)
         }
     }
 
@@ -235,7 +236,7 @@ impl Default for DiskParams {
 impl DiskParams {
     /// Service time for one I/O of `words` words.
     pub fn service(&self, words: u64) -> SimDuration {
-        self.seek + SimDuration::from_secs_f64(words as f64 / self.rate)
+        self.seek + SimDuration::from_secs_f64(f64_from_u64(words) / self.rate)
     }
 }
 

@@ -1,0 +1,899 @@
+//! A lightweight per-file AST, parsed by recursive descent over the
+//! [`crate::lexer`] token stream.
+//!
+//! The v3 passes walked raw tokens with ad-hoc state machines (brace
+//! depth, guard liveness). v4 parses each file once into a small tree —
+//! items, functions, blocks, statements, `let` bindings, calls, and
+//! if/match arms, every node carrying token-index spans — and the
+//! passes become structural walks: guard liveness is a scope-tree
+//! traversal, taint is a per-statement dataflow over `let` bindings.
+//!
+//! The parser is deliberately *tolerant*: it recognizes the structures
+//! the passes need and skips everything else token by token, so any
+//! file the lexer accepts parses (pinned by a workspace self-test).
+//! The only hard error is a mismatched delimiter, which valid Rust
+//! cannot produce; that surfaces as a [`crate::Rule::Parse`]
+//! diagnostic, never a panic. Macro *bodies* (`macro_rules!`,
+//! item-level invocations) are skipped wholesale: token soup inside a
+//! macro is not code the dataflow rules can reason about.
+//!
+//! Nodes live in arenas indexed by [`BlockId`]/[`ExprId`]; spans are
+//! `[start, end)` ranges of indices into the *code-token* slice the
+//! tree was parsed from (comments excluded, see
+//! [`crate::passes::FileInput::code_tokens`]).
+
+use crate::lexer::{TokKind, Token};
+
+/// Token-index span `[start, end)` into the code-token slice.
+pub type Span = (usize, usize);
+/// Index into [`Ast::blocks`].
+pub type BlockId = usize;
+/// Index into [`Ast::exprs`].
+pub type ExprId = usize;
+
+/// Keywords that can never be call names.
+const NON_CALL_KEYWORDS: [&str; 29] = [
+    "if", "while", "for", "match", "loop", "return", "break", "continue", "in", "as", "move",
+    "else", "unsafe", "fn", "let", "mut", "ref", "pub", "use", "where", "impl", "dyn", "box",
+    "await", "yield", "async", "const", "static", "extern",
+];
+
+/// A function definition (free fn, method, trait default, nested fn).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// 1-based source line of the `fn` keyword.
+    pub line: usize,
+    /// Signature span: `[fn_tok, body-open)` (or to the `;` for
+    /// bodyless declarations).
+    pub sig: Span,
+    /// The body block, when the declaration has one.
+    pub body: Option<BlockId>,
+}
+
+/// A `{ … }` block: statements between matched braces.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Token index of the `{`.
+    pub open: usize,
+    /// Token index of the matching `}`.
+    pub close: usize,
+    /// The statements, in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement inside a block.
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    /// Tokens the statement covers (terminating `;` excluded).
+    pub span: Span,
+    /// What kind of statement this is.
+    pub kind: StmtKind,
+}
+
+/// Statement kinds, at the granularity the passes need.
+#[derive(Debug, Clone)]
+pub enum StmtKind {
+    /// `let <pat> = <init>;` — `name` is `Some` only for a simple
+    /// identifier pattern (what the dataflow layer can track).
+    Let {
+        /// Binding name for `let x = …` / `let mut x = …`.
+        name: Option<String>,
+        /// The initializer expression, when present.
+        init: Option<ExprId>,
+    },
+    /// An expression statement (or tail expression).
+    Expr(ExprId),
+    /// A nested item; nested `fn`s are also recorded in [`Ast::fns`].
+    Item,
+}
+
+/// An expression region: a token span plus the blocks nested in it.
+#[derive(Debug, Clone)]
+pub struct Expr {
+    /// Tokens the expression covers.
+    pub span: Span,
+    /// Structure, where the passes care about it.
+    pub kind: ExprKind,
+    /// Directly nested blocks, in source order (then/else blocks for
+    /// `If`, the loop body for `For`/`While`, closure and bare blocks
+    /// for `Plain`). Match arm bodies live in [`Arm::body`] instead.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Expression structure the dataflow passes consume.
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    /// `if c0 { b0 } else if c1 { b1 } else { b2 }`: `conds[i]` guards
+    /// `blocks[i]`; a trailing block with no cond is the final `else`.
+    If {
+        /// Condition spans, aligned with the leading `blocks`.
+        conds: Vec<Span>,
+    },
+    /// `match head { arms }`.
+    Match {
+        /// The scrutinee span.
+        head: Span,
+        /// The arms, in source order.
+        arms: Vec<Arm>,
+    },
+    /// `for <pat> in <iter> { … }`.
+    For {
+        /// The iterator span (after `in`, before the body `{`).
+        iter: Span,
+    },
+    /// `while <cond> { … }` (including `while let`).
+    While {
+        /// The condition span.
+        cond: Span,
+    },
+    /// Anything else (method chains, literals, struct literals, …).
+    Plain,
+}
+
+/// One `pat => body` match arm.
+#[derive(Debug, Clone)]
+pub struct Arm {
+    /// The pattern span (guard included, when present).
+    pub pat: Span,
+    /// The arm body expression.
+    pub body: ExprId,
+}
+
+/// A call site: `name(…)`, `.name(…)`, or `name!(…)`.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Token index of the callee's final path segment (or macro name).
+    pub name_tok: usize,
+    /// True for `.name(…)` method syntax.
+    pub is_method: bool,
+    /// True for `name!…` macro invocations.
+    pub is_macro: bool,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the matching closing delimiter.
+    pub close: usize,
+    /// The argument tokens: `(open + 1, close)`.
+    pub args: Span,
+}
+
+/// Where and why parsing failed (a mismatched delimiter).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The parsed file: arenas of nodes plus a flat, source-ordered call
+/// list. Spans index the code-token slice passed to [`parse`].
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// Every function definition, methods and nested fns included.
+    pub fns: Vec<FnDef>,
+    /// Block arena.
+    pub blocks: Vec<Block>,
+    /// Expression arena.
+    pub exprs: Vec<Expr>,
+    /// Every call site, ordered by `name_tok`.
+    pub calls: Vec<Call>,
+    /// `pairs[open]` is the close index for each open delimiter
+    /// (`usize::MAX` elsewhere) — shared so passes can jump groups.
+    pub pairs: Vec<usize>,
+}
+
+impl Ast {
+    /// The calls whose name token falls inside `span`.
+    pub fn calls_in(&self, span: Span) -> &[Call] {
+        let lo = self.calls.partition_point(|c| c.name_tok < span.0);
+        let hi = self.calls.partition_point(|c| c.name_tok < span.1);
+        &self.calls[lo..hi]
+    }
+
+    /// Every block nested anywhere inside `expr` (match arms followed),
+    /// appended to `out` — the scope-tree walk the lock pass runs on.
+    pub fn blocks_of_expr(&self, expr: ExprId, out: &mut Vec<BlockId>) {
+        let e = &self.exprs[expr];
+        out.extend_from_slice(&e.blocks);
+        if let ExprKind::Match { arms, .. } = &e.kind {
+            for arm in arms {
+                self.blocks_of_expr(arm.body, out);
+            }
+        }
+    }
+}
+
+/// Parses one file's code tokens into an [`Ast`]. The only failure is
+/// a mismatched delimiter.
+pub fn parse(toks: &[&Token<'_>]) -> Result<Ast, ParseError> {
+    let pairs = match_delims(toks)?;
+    let mut p = Parser { toks, pairs, ast: Ast::default() };
+    p.parse_items(0, toks.len());
+    p.ast.calls = collect_calls(toks, &p.pairs);
+    p.ast.pairs = p.pairs;
+    Ok(p.ast)
+}
+
+/// Builds the open → close map for `(` `[` `{`; errors on mismatch.
+fn match_delims(toks: &[&Token<'_>]) -> Result<Vec<usize>, ParseError> {
+    let mut pairs = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<(usize, &str)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.text {
+            "(" | "[" | "{" => stack.push((i, t.text)),
+            ")" | "]" | "}" => {
+                let want = match t.text {
+                    ")" => "(",
+                    "]" => "[",
+                    _ => "{",
+                };
+                match stack.pop() {
+                    Some((open, kind)) if kind == want => pairs[open] = i,
+                    _ => {
+                        return Err(ParseError {
+                            line: t.line,
+                            col: t.col,
+                            message: format!("unmatched `{}`", t.text),
+                        })
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some((open, kind)) = stack.pop() {
+        let t = toks[open];
+        return Err(ParseError { line: t.line, col: t.col, message: format!("unclosed `{kind}`") });
+    }
+    Ok(pairs)
+}
+
+/// Flat scan for call sites; independent of the tree so calls inside
+/// skipped constructs are still visible to the passes.
+fn collect_calls(toks: &[&Token<'_>], pairs: &[usize]) -> Vec<Call> {
+    let mut calls = Vec::new();
+    for k in 0..toks.len() {
+        if toks[k].kind != TokKind::Ident || NON_CALL_KEYWORDS.contains(&toks[k].text) {
+            continue;
+        }
+        if k > 0 && toks[k - 1].text == "fn" {
+            continue; // a definition, not a call
+        }
+        let mut open = k + 1;
+        let is_macro = toks.get(open).is_some_and(|t| t.text == "!");
+        if is_macro {
+            open += 1;
+        }
+        let delim_ok = match toks.get(open).map(|t| t.text) {
+            Some("(") => true,
+            Some("[") | Some("{") => is_macro,
+            _ => false,
+        };
+        if !delim_ok || pairs[open] == usize::MAX {
+            continue;
+        }
+        let close = pairs[open];
+        calls.push(Call {
+            name_tok: k,
+            is_method: k > 0 && toks[k - 1].text == ".",
+            is_macro,
+            open,
+            close,
+            args: (open + 1, close),
+        });
+    }
+    calls
+}
+
+struct Parser<'t, 'a> {
+    toks: &'t [&'t Token<'a>],
+    pairs: Vec<usize>,
+    ast: Ast,
+}
+
+impl Parser<'_, '_> {
+    fn txt(&self, i: usize) -> &str {
+        self.toks.get(i).map_or("", |t| t.text)
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.toks.get(i).is_some_and(|t| t.kind == TokKind::Ident)
+    }
+
+    /// The close index matching the open delimiter at `i` (`i` if the
+    /// token is not an open delimiter with a recorded pair).
+    fn close_of(&self, i: usize) -> usize {
+        match self.txt(i) {
+            "(" | "[" | "{" if self.pairs[i] != usize::MAX => self.pairs[i],
+            _ => i,
+        }
+    }
+
+    /// True when tokens `i` and `i + 1` touch (multi-char operator).
+    fn fused(&self, i: usize) -> bool {
+        match (self.toks.get(i), self.toks.get(i + 1)) {
+            (Some(a), Some(b)) => a.end == b.start,
+            _ => false,
+        }
+    }
+
+    /// Scans `[from, end)` at group depth 0 for a token matching
+    /// `pred`; groups are jumped wholesale.
+    fn scan0(&self, from: usize, end: usize, pred: impl Fn(&str) -> bool) -> usize {
+        let mut i = from;
+        while i < end {
+            match self.txt(i) {
+                "(" | "[" | "{" => i = self.close_of(i) + 1,
+                t if pred(t) => return i,
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// The statement-terminating `;` at depth 0, or `end`.
+    fn find_semi(&self, from: usize, end: usize) -> usize {
+        self.scan0(from, end, |t| t == ";")
+    }
+
+    /// The body-opening `{` at depth 0, or `end`.
+    fn find_brace(&self, from: usize, end: usize) -> usize {
+        let mut i = from;
+        while i < end {
+            match self.txt(i) {
+                "{" => return i,
+                "(" | "[" => i = self.close_of(i) + 1,
+                _ => i += 1,
+            }
+        }
+        end
+    }
+
+    /// Skips `#[…]` / `#![…]` attributes starting at `i`.
+    fn skip_attrs(&self, mut i: usize, end: usize) -> usize {
+        while i < end && self.txt(i) == "#" {
+            let j = if self.txt(i + 1) == "!" { i + 2 } else { i + 1 };
+            if self.txt(j) == "[" {
+                i = self.close_of(j) + 1;
+            } else {
+                break;
+            }
+        }
+        i
+    }
+
+    /// True when an item begins at `i` (attributes already skipped).
+    fn starts_item(&self, i: usize) -> bool {
+        match self.txt(i) {
+            "fn" => self.is_ident(i + 1),
+            "struct" | "enum" | "trait" | "impl" | "mod" | "use" | "static" | "macro_rules"
+            | "type" => true,
+            "union" => self.is_ident(i + 1) && self.txt(i + 2) == "{",
+            "const" => self.is_ident(i + 1) && self.txt(i + 2) == ":" || self.txt(i + 1) == "_",
+            "extern" => {
+                self.toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Str)
+                    || self.txt(i + 1) == "crate"
+            }
+            "pub" => true,
+            "unsafe" | "async" | "default" => self.starts_item(i + 1),
+            _ => false,
+        }
+    }
+
+    fn parse_items(&mut self, mut i: usize, end: usize) {
+        while i < end {
+            i = self.parse_item(i, end);
+        }
+    }
+
+    /// Parses (or tolerantly skips) one item at `i`; always advances.
+    fn parse_item(&mut self, i: usize, end: usize) -> usize {
+        let mut j = self.skip_attrs(i, end);
+        // Visibility and fn qualifiers.
+        loop {
+            match self.txt(j) {
+                "pub" => {
+                    j += 1;
+                    if self.txt(j) == "(" {
+                        j = self.close_of(j) + 1;
+                    }
+                }
+                "unsafe" | "async" | "default" => j += 1,
+                "const" if matches!(self.txt(j + 1), "fn" | "unsafe" | "async" | "extern") => {
+                    j += 1
+                }
+                "extern"
+                    if self.toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Str)
+                        && self.txt(j + 2) == "fn" =>
+                {
+                    j += 2
+                }
+                _ => break,
+            }
+        }
+        match self.txt(j) {
+            "fn" if self.is_ident(j + 1) => self.parse_fn(j, end),
+            "mod" => {
+                let brace = self.scan0(j + 1, end, |t| t == "{" || t == ";");
+                if self.txt(brace) == "{" {
+                    let close = self.close_of(brace);
+                    self.parse_items(brace + 1, close);
+                    close + 1
+                } else {
+                    brace + 1
+                }
+            }
+            "impl" | "trait" => {
+                let brace = self.find_brace(j + 1, end);
+                if brace < end {
+                    let close = self.close_of(brace);
+                    self.parse_items(brace + 1, close);
+                    close + 1
+                } else {
+                    end
+                }
+            }
+            "extern"
+                if self.toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Str)
+                    && self.txt(j + 2) == "{" =>
+            {
+                let close = self.close_of(j + 2);
+                self.parse_items(j + 3, close);
+                close + 1
+            }
+            "struct" | "enum" | "union" => {
+                let stop = self.scan0(j + 1, end, |t| t == ";");
+                // A brace body ends the item without a `;` (`struct S { … }`).
+                let brace = self.find_brace(j + 1, stop.min(end));
+                if brace < stop.min(end) {
+                    self.close_of(brace) + 1
+                } else {
+                    stop + 1
+                }
+            }
+            "macro_rules" => {
+                // macro_rules ! name { … }
+                let mut k = j + 1;
+                while k < end && !matches!(self.txt(k), "(" | "[" | "{") {
+                    k += 1;
+                }
+                self.close_of(k) + 1
+            }
+            "use" | "type" | "static" | "const" | "extern" => self.find_semi(j, end) + 1,
+            name if self.is_ident(j) && self.txt(j + 1) == "!" => {
+                // Item-level macro invocation: `name! { … }` / `name!(…);`
+                let _ = name;
+                let mut k = j + 2;
+                if self.is_ident(k) {
+                    k += 1; // `macro_rules!`-style `name! ident { … }`
+                }
+                if matches!(self.txt(k), "(" | "[" | "{") {
+                    let after = self.close_of(k) + 1;
+                    if self.txt(after) == ";" {
+                        after + 1
+                    } else {
+                        after
+                    }
+                } else {
+                    j + 2
+                }
+            }
+            _ => i.max(j).max(i + 1).min(end.max(i + 1)), // tolerant skip
+        }
+    }
+
+    /// Parses `fn name …` at `j`; records the [`FnDef`].
+    fn parse_fn(&mut self, j: usize, end: usize) -> usize {
+        let name = self.txt(j + 1).to_string();
+        let tok = self.toks[j];
+        let mut k = j + 2;
+        let mut open = None;
+        while k < end {
+            match self.txt(k) {
+                "(" | "[" => k = self.close_of(k) + 1,
+                "{" => {
+                    open = Some(k);
+                    break;
+                }
+                ";" => break,
+                _ => k += 1,
+            }
+        }
+        let (body, after) = match open {
+            Some(o) => {
+                let b = self.parse_block(o);
+                (Some(b), self.close_of(o) + 1)
+            }
+            None => (None, k + 1),
+        };
+        self.ast.fns.push(FnDef {
+            name,
+            fn_tok: j,
+            line: tok.line,
+            sig: (j, open.unwrap_or(k)),
+            body,
+        });
+        after
+    }
+
+    /// Parses the block opening at `open`; returns its arena id.
+    fn parse_block(&mut self, open: usize) -> BlockId {
+        let close = self.close_of(open);
+        let mut stmts = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            if self.txt(i) == ";" {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut d = self.skip_attrs(i, close);
+            if d >= close {
+                break;
+            }
+            // A loop label (`'outer: for …`) prefixes the construct.
+            if self.toks.get(d).is_some_and(|t| t.kind == TokKind::Lifetime)
+                && self.txt(d + 1) == ":"
+            {
+                d += 2;
+            }
+            if self.txt(d) == "let" {
+                let (stmt, next) = self.parse_let(start, d, close);
+                stmts.push(stmt);
+                i = next;
+            } else if self.starts_item(d) {
+                let next = self.parse_item(d, close);
+                stmts.push(Stmt { span: (start, next), kind: StmtKind::Item });
+                i = next;
+            } else {
+                let stmt_end = self.stmt_end_from(d, close);
+                let e = self.parse_expr(d, stmt_end);
+                stmts.push(Stmt { span: (start, stmt_end), kind: StmtKind::Expr(e) });
+                i = stmt_end.max(d + 1);
+            }
+        }
+        self.ast.blocks.push(Block { open, close, stmts });
+        self.ast.blocks.len() - 1
+    }
+
+    /// Where the statement beginning at `d` ends. Block-ended
+    /// constructs in statement position (`if`/`match`/`for`/`while`/
+    /// `loop`/`unsafe`/bare blocks) terminate at their final `}` with
+    /// no `;`, so splitting on semicolons alone would swallow the next
+    /// statement into their span.
+    fn stmt_end_from(&self, d: usize, close: usize) -> usize {
+        match self.txt(d) {
+            "if" | "match" => {
+                let mut i = d;
+                loop {
+                    let brace = self.find_brace(i + 1, close);
+                    if brace >= close {
+                        return self.find_semi(d, close);
+                    }
+                    i = self.close_of(brace) + 1;
+                    if self.txt(d) == "if" && self.txt(i) == "else" {
+                        if self.txt(i + 1) == "if" {
+                            i += 1;
+                            continue;
+                        }
+                        if self.txt(i + 1) == "{" {
+                            return self.close_of(i + 1) + 1;
+                        }
+                    }
+                    return i;
+                }
+            }
+            "for" | "while" | "loop" => {
+                let brace = self.find_brace(d + 1, close);
+                if brace >= close {
+                    self.find_semi(d, close)
+                } else {
+                    self.close_of(brace) + 1
+                }
+            }
+            "unsafe" if self.txt(d + 1) == "{" => self.close_of(d + 1) + 1,
+            "{" => self.close_of(d) + 1,
+            _ => self.find_semi(d, close),
+        }
+    }
+
+    /// Parses `let …;` starting at `let_idx` (`start` includes any
+    /// attributes). Returns the statement and the index after its `;`.
+    fn parse_let(&mut self, start: usize, let_idx: usize, block_close: usize) -> (Stmt, usize) {
+        let stmt_end = self.find_semi(let_idx, block_close);
+        let mut n = let_idx + 1;
+        while self.txt(n) == "mut" {
+            n += 1;
+        }
+        let name = if self.is_ident(n) && matches!(self.txt(n + 1), "=" | ":" | ";") {
+            Some(self.txt(n).to_string())
+        } else {
+            None
+        };
+        // The initializer `=`: first stand-alone `=` at depth 0 (not
+        // part of `==`, `=>`, `<=`, `>=`, `!=`, or a compound assign).
+        let mut eq = None;
+        let mut k = let_idx + 1;
+        while k < stmt_end {
+            match self.txt(k) {
+                "(" | "[" | "{" => k = self.close_of(k) + 1,
+                "=" => {
+                    let fused_next = self.fused(k) && matches!(self.txt(k + 1), "=" | ">");
+                    let fused_prev = k > 0
+                        && self.fused(k - 1)
+                        && matches!(
+                            self.txt(k - 1),
+                            "=" | "<" | ">" | "!" | "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+                        );
+                    if !fused_next && !fused_prev {
+                        eq = Some(k);
+                        break;
+                    }
+                    k += 1;
+                }
+                _ => k += 1,
+            }
+        }
+        let init = eq.map(|e| self.parse_expr(e + 1, stmt_end));
+        (Stmt { span: (start, stmt_end), kind: StmtKind::Let { name, init } }, stmt_end + 1)
+    }
+
+    /// Parses one expression region `[start, end)`.
+    fn parse_expr(&mut self, start: usize, end: usize) -> ExprId {
+        if start >= end {
+            return self.push_expr(Expr {
+                span: (start, end),
+                kind: ExprKind::Plain,
+                blocks: vec![],
+            });
+        }
+        match self.txt(start) {
+            "if" => self.parse_if(start, end),
+            "match" => self.parse_match(start, end),
+            "for" => {
+                let in_kw = self.scan0(start + 1, end, |t| t == "in");
+                let brace = self.find_brace(in_kw + 1, end);
+                let mut blocks = Vec::new();
+                let after = if brace < end {
+                    blocks.push(self.parse_block(brace));
+                    self.close_of(brace) + 1
+                } else {
+                    end
+                };
+                self.plain_tail(after, end, &mut blocks);
+                self.push_expr(Expr {
+                    span: (start, end),
+                    kind: ExprKind::For { iter: (in_kw + 1, brace) },
+                    blocks,
+                })
+            }
+            "while" => {
+                let brace = self.find_brace(start + 1, end);
+                let mut blocks = Vec::new();
+                let after = if brace < end {
+                    blocks.push(self.parse_block(brace));
+                    self.close_of(brace) + 1
+                } else {
+                    end
+                };
+                self.plain_tail(after, end, &mut blocks);
+                self.push_expr(Expr {
+                    span: (start, end),
+                    kind: ExprKind::While { cond: (start + 1, brace) },
+                    blocks,
+                })
+            }
+            _ => {
+                let mut blocks = Vec::new();
+                self.plain_tail(start, end, &mut blocks);
+                self.push_expr(Expr { span: (start, end), kind: ExprKind::Plain, blocks })
+            }
+        }
+    }
+
+    /// Collects every block in `[i, end)`, parsing each; parens and
+    /// brackets are transparent so closure bodies are captured.
+    fn plain_tail(&mut self, mut i: usize, end: usize, blocks: &mut Vec<BlockId>) {
+        while i < end {
+            if self.txt(i) == "{" {
+                let close = self.close_of(i);
+                blocks.push(self.parse_block(i));
+                i = close + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn parse_if(&mut self, start: usize, end: usize) -> ExprId {
+        let mut conds = Vec::new();
+        let mut blocks = Vec::new();
+        let mut i = start;
+        loop {
+            // At an `if`.
+            let cond_start = i + 1;
+            let brace = self.find_brace(cond_start, end);
+            if brace >= end {
+                break;
+            }
+            conds.push((cond_start, brace));
+            blocks.push(self.parse_block(brace));
+            i = self.close_of(brace) + 1;
+            if i < end && self.txt(i) == "else" {
+                if self.txt(i + 1) == "if" {
+                    i += 1;
+                    continue;
+                }
+                if self.txt(i + 1) == "{" {
+                    blocks.push(self.parse_block(i + 1));
+                    i = self.close_of(i + 1) + 1;
+                }
+            }
+            break;
+        }
+        let mut tail_blocks = Vec::new();
+        self.plain_tail(i, end, &mut tail_blocks);
+        blocks.extend(tail_blocks);
+        self.push_expr(Expr { span: (start, end), kind: ExprKind::If { conds }, blocks })
+    }
+
+    fn parse_match(&mut self, start: usize, end: usize) -> ExprId {
+        let brace = self.find_brace(start + 1, end);
+        if brace >= end {
+            let mut blocks = Vec::new();
+            self.plain_tail(start, end, &mut blocks);
+            return self.push_expr(Expr { span: (start, end), kind: ExprKind::Plain, blocks });
+        }
+        let head = (start + 1, brace);
+        let body_close = self.close_of(brace);
+        let mut arms = Vec::new();
+        let mut i = brace + 1;
+        while i < body_close {
+            if self.txt(i) == "," {
+                i += 1;
+                continue;
+            }
+            let pat_start = i;
+            // The arm's `=>` at depth 0.
+            let mut arrow = None;
+            let mut j = i;
+            while j < body_close {
+                match self.txt(j) {
+                    "(" | "[" | "{" => j = self.close_of(j) + 1,
+                    "=" if self.fused(j) && self.txt(j + 1) == ">" => {
+                        arrow = Some(j);
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            let Some(arrow) = arrow else { break };
+            let body_start = arrow + 2;
+            let arm_end = if self.txt(body_start) == "{" {
+                self.close_of(body_start) + 1
+            } else {
+                self.scan0(body_start, body_close, |t| t == ",")
+            };
+            let body = self.parse_expr(body_start, arm_end);
+            arms.push(Arm { pat: (pat_start, arrow), body });
+            i = arm_end;
+        }
+        let after = body_close + 1;
+        let mut blocks = Vec::new();
+        self.plain_tail(after, end, &mut blocks);
+        self.push_expr(Expr { span: (start, end), kind: ExprKind::Match { head, arms }, blocks })
+    }
+
+    fn push_expr(&mut self, e: Expr) -> ExprId {
+        self.ast.exprs.push(e);
+        self.ast.exprs.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> (Vec<crate::lexer::Token<'_>>, Ast) {
+        let toks = lex(src).expect("lexes");
+        let refs: Vec<&Token<'_>> = toks
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let ast = parse(&refs).expect("parses");
+        (toks, ast)
+    }
+
+    #[test]
+    fn fns_and_bodies_are_found() {
+        let (_, ast) = parsed(
+            "fn a() { let x = 1; }\n\
+             impl S { fn b(&self) -> usize { self.0 } }\n\
+             trait T { fn c(&self); }\n",
+        );
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert!(ast.fns[0].body.is_some());
+        assert!(ast.fns[1].body.is_some());
+        assert!(ast.fns[2].body.is_none());
+    }
+
+    #[test]
+    fn let_bindings_carry_names_and_inits() {
+        let (_, ast) = parsed("fn f() { let mut n = g(); let (a, b) = h(); let t: u32 = 3; }\n");
+        let body = ast.fns[0].body.unwrap();
+        let kinds: Vec<Option<&str>> = ast.blocks[body]
+            .stmts
+            .iter()
+            .map(|s| match &s.kind {
+                StmtKind::Let { name, .. } => name.as_deref(),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![Some("n"), None, Some("t")]);
+    }
+
+    #[test]
+    fn if_chains_have_aligned_conds() {
+        let (_, ast) =
+            parsed("fn f() { if a > 1 { x(); } else if b < 2 { y(); } else { z(); } }\n");
+        let body = ast.fns[0].body.unwrap();
+        let StmtKind::Expr(e) = &ast.blocks[body].stmts[0].kind else { panic!() };
+        let ExprKind::If { conds } = &ast.exprs[*e].kind else { panic!("{:?}", ast.exprs[*e]) };
+        assert_eq!(conds.len(), 2);
+        assert_eq!(ast.exprs[*e].blocks.len(), 3);
+    }
+
+    #[test]
+    fn match_arms_split_on_fat_arrows() {
+        let (_, ast) = parsed(
+            "fn f(x: u8) -> u8 { match x { 0 => 1, n if n > 4 => { big(n) } _ => other(x), } }\n",
+        );
+        let body = ast.fns[0].body.unwrap();
+        let StmtKind::Expr(e) = &ast.blocks[body].stmts[0].kind else { panic!() };
+        let ExprKind::Match { arms, .. } = &ast.exprs[*e].kind else { panic!() };
+        assert_eq!(arms.len(), 3);
+    }
+
+    #[test]
+    fn calls_record_method_and_macro_forms() {
+        let (_, ast) = parsed("fn f() { a.b(1); Vec::with_capacity(n); vec![0; n]; g(); }\n");
+        let shapes: Vec<(bool, bool)> =
+            ast.calls.iter().map(|c| (c.is_method, c.is_macro)).collect();
+        assert_eq!(shapes, vec![(true, false), (false, false), (false, true), (false, false)]);
+    }
+
+    #[test]
+    fn closure_bodies_inside_args_become_blocks() {
+        let (_, ast) = parsed("fn f() { xs.iter().map(|x| { x + 1 }).sum::<u32>(); }\n");
+        let body = ast.fns[0].body.unwrap();
+        let StmtKind::Expr(e) = &ast.blocks[body].stmts[0].kind else { panic!() };
+        assert_eq!(ast.exprs[*e].blocks.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_delimiter_is_an_error_not_a_panic() {
+        let toks = lex("fn f( { }\n").expect("lexes");
+        let refs: Vec<&Token<'_>> = toks.iter().collect();
+        assert!(parse(&refs).is_err());
+    }
+
+    #[test]
+    fn macro_items_and_extern_blocks_are_tolerated() {
+        let (_, ast) = parsed(
+            "macro_rules! m { ($x:expr) => { $x }; }\n\
+             thread_local! { static T: u32 = 0; }\n\
+             extern \"C\" { fn read(fd: i32) -> isize; }\n\
+             fn after() {}\n",
+        );
+        assert!(ast.fns.iter().any(|f| f.name == "after"));
+        assert!(ast.fns.iter().any(|f| f.name == "read" && f.body.is_none()));
+    }
+}

@@ -2,13 +2,19 @@
 //!
 //! `modelcheck` is a standalone, no-network lint pass that enforces
 //! rules the compiler cannot express but the model's correctness
-//! depends on. v3 is a *lexer-based, multi-pass analyzer*: every file
-//! is tokenized by a hand-rolled Rust lexer ([`lexer`] — raw/normal
-//! strings, char literals vs lifetimes, nested block comments, token
-//! spans; still zero dependencies), and a set of passes ([`passes`])
-//! walks the lines and token streams. A cross-file pass checks the
-//! wire protocol for drift between `proto.rs`, `codec.rs`, and the
-//! DESIGN.md protocol table.
+//! depends on. v4 is an *AST-based analyzer*: every file is tokenized
+//! by a hand-rolled Rust lexer ([`lexer`] — raw/normal strings, char
+//! literals vs lifetimes, nested block comments, token spans; still
+//! zero dependencies), parsed by a tolerant recursive-descent parser
+//! ([`ast`] — items, fns, blocks, let-bindings, calls, if/match arms,
+//! all with token spans), and a set of passes ([`passes`]) walks the
+//! tree: structural rules (lock discipline, atomics) as scope-tree
+//! walks, the wire-taint rule as a per-function dataflow over `let`
+//! bindings, and the event-loop purity rule as a crate-level
+//! reachability check ([`resolve`] holds the shared name/annotation
+//! helpers). Cheap textual rules stay on the line/token path, and a
+//! cross-file pass checks the wire protocol for drift between
+//! `proto.rs`, `codec.rs`, and the DESIGN.md protocol table.
 //!
 //! **Crates opt in via a root pragma.** Each crate declares the rules
 //! it holds itself to with a doc line in its crate root (`src/lib.rs`,
@@ -34,10 +40,13 @@
 //! | `missing-docs` | style | a public item with no doc comment |
 //! | `lock-discipline` | concurrency | `write()` in a `// modelcheck: read-path` fn; a second shard lock while a guard is live; a guard held across I/O |
 //! | `atomics` | concurrency | `SeqCst`/`AcqRel` without a justification; `store(load(..))` read-modify-write of an atomic |
+//! | `event-loop` | concurrency | a blocking call (`.lock(`, `write_lock(`, `sleep`, `read_to_end`, `write_all`, stdio macros) in a fn reachable from a `// modelcheck: event-loop` entry point |
+//! | `wire-taint` | dataflow | a wire-decoded value reaching `with_capacity`/`reserve`/`resize`/`vec![_; n]`, a slice index, or a loop bound without a dominating bounds check |
 //! | `float-env` | numeric | `to_bits`/`from_bits`/`EPSILON` outside `units.rs` |
 //! | `protocol-drift` | protocol | a wire kind present in `proto.rs`, `codec.rs`, or the DESIGN.md table but missing from another |
 //! | `pragma` | config | a `modelcheck:` pragma naming an unknown rule |
 //! | `lex` | lexer | a file the lexer cannot tokenize |
+//! | `parse` | parser | a file with mismatched delimiters the parser cannot structure |
 //!
 //! A diagnostic on line *n* is suppressed by `// modelcheck-allow: <rule>`
 //! on line *n* or anywhere in the contiguous comment block directly
@@ -56,9 +65,11 @@
 
 #![warn(missing_docs)]
 
+pub mod ast;
 pub mod baseline;
 pub mod lexer;
 pub mod passes;
+pub mod resolve;
 
 use std::fmt;
 use std::fs;
@@ -84,6 +95,13 @@ pub enum Rule {
     /// Atomics ordering hygiene: unjustified `SeqCst`/`AcqRel`,
     /// non-atomic read-modify-write of relaxed counters.
     Atomics,
+    /// Wire-taint dataflow: a value decoded from the wire used as an
+    /// allocation size, slice index, or loop bound without a dominating
+    /// bounds check.
+    WireTaint,
+    /// Event-loop purity: a blocking call in a fn reachable from a
+    /// `// modelcheck: event-loop` entry point.
+    EventLoop,
     /// Bit-level float access (`to_bits`/`from_bits`/`EPSILON`) outside
     /// `units.rs`.
     FloatEnv,
@@ -94,9 +112,29 @@ pub enum Rule {
     Pragma,
     /// A file the lexer failed to tokenize.
     Lex,
+    /// A file the parser could not structure (mismatched delimiters).
+    Parse,
 }
 
 impl Rule {
+    /// Every rule, in the order `--list-rules` prints them.
+    pub const ALL: [Rule; 14] = [
+        Rule::NoPanic,
+        Rule::NakedF64,
+        Rule::LossyCast,
+        Rule::NoTodoDbg,
+        Rule::MissingDocs,
+        Rule::LockDiscipline,
+        Rule::Atomics,
+        Rule::EventLoop,
+        Rule::WireTaint,
+        Rule::FloatEnv,
+        Rule::ProtocolDrift,
+        Rule::Pragma,
+        Rule::Lex,
+        Rule::Parse,
+    ];
+
     /// The rule's name as written in pragmas and `modelcheck-allow`
     /// comments.
     pub fn name(self) -> &'static str {
@@ -108,10 +146,60 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::LockDiscipline => "lock-discipline",
             Rule::Atomics => "atomics",
+            Rule::WireTaint => "wire-taint",
+            Rule::EventLoop => "event-loop",
             Rule::FloatEnv => "float-env",
             Rule::ProtocolDrift => "protocol-drift",
             Rule::Pragma => "pragma",
             Rule::Lex => "lex",
+            Rule::Parse => "parse",
+        }
+    }
+
+    /// One-line description, as printed by `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "`.unwrap()`, `.expect(`, `panic!` in model code",
+            Rule::NakedF64 => "bare `f64`/`f32` in a `pub fn` signature (units.rs exempt)",
+            Rule::LossyCast => "lossy `as` casts between integer and float types",
+            // Spelled via concat! so the textual pass does not flag
+            // its own description.
+            Rule::NoTodoDbg => concat!("`to", "do!` / `d", "bg!` anywhere, tests included"),
+            Rule::MissingDocs => "a public item with no doc comment",
+            Rule::LockDiscipline => {
+                "write locks in read paths, nested shard locks, guards held across I/O"
+            }
+            Rule::Atomics => "unjustified `SeqCst`/`AcqRel`; `store(load(..))` read-modify-write",
+            Rule::WireTaint => {
+                "wire-decoded value used as allocation size, index, or loop bound unchecked"
+            }
+            Rule::EventLoop => {
+                "blocking call in a fn reachable from a `modelcheck: event-loop` entry point"
+            }
+            Rule::FloatEnv => "`to_bits`/`from_bits`/`EPSILON` outside units.rs",
+            Rule::ProtocolDrift => {
+                "wire kind present in proto.rs, codec.rs, or DESIGN.md but missing elsewhere"
+            }
+            Rule::Pragma => "a crate-root `modelcheck:` pragma naming an unknown rule",
+            Rule::Lex => "a file the lexer cannot tokenize",
+            Rule::Parse => "a file with mismatched delimiters the parser cannot structure",
+        }
+    }
+
+    /// How a crate opts in: the pragma spelling for opt-in rules,
+    /// `None` for rules that always run.
+    pub fn pragma_spelling(self) -> Option<&'static str> {
+        match self {
+            Rule::NoPanic
+            | Rule::NakedF64
+            | Rule::LossyCast
+            | Rule::MissingDocs
+            | Rule::LockDiscipline
+            | Rule::Atomics
+            | Rule::WireTaint
+            | Rule::EventLoop
+            | Rule::FloatEnv => Some(self.name()),
+            Rule::NoTodoDbg | Rule::ProtocolDrift | Rule::Pragma | Rule::Lex | Rule::Parse => None,
         }
     }
 
@@ -124,11 +212,13 @@ impl Rule {
             | Rule::LossyCast
             | Rule::NoTodoDbg
             | Rule::MissingDocs => "style",
-            Rule::LockDiscipline | Rule::Atomics => "concurrency",
+            Rule::LockDiscipline | Rule::Atomics | Rule::EventLoop => "concurrency",
+            Rule::WireTaint => "dataflow",
             Rule::FloatEnv => "numeric",
             Rule::ProtocolDrift => "protocol",
             Rule::Pragma => "config",
             Rule::Lex => "lexer",
+            Rule::Parse => "parser",
         }
     }
 }
@@ -244,6 +334,10 @@ pub struct FileScope {
     pub lock_discipline: bool,
     /// `atomics` applies.
     pub atomics: bool,
+    /// `wire-taint` applies.
+    pub wire_taint: bool,
+    /// `event-loop` applies.
+    pub event_loop: bool,
     /// `float-env` applies.
     pub float_env: bool,
 }
@@ -257,6 +351,8 @@ impl FileScope {
         missing_docs: false,
         lock_discipline: false,
         atomics: false,
+        wire_taint: false,
+        event_loop: false,
         float_env: false,
     };
 
@@ -268,6 +364,8 @@ impl FileScope {
         missing_docs: true,
         lock_discipline: true,
         atomics: true,
+        wire_taint: true,
+        event_loop: true,
         float_env: true,
     };
 
@@ -287,6 +385,8 @@ impl FileScope {
                 "missing-docs" => scope.missing_docs = true,
                 "lock-discipline" => scope.lock_discipline = true,
                 "atomics" => scope.atomics = true,
+                "wire-taint" => scope.wire_taint = true,
+                "event-loop" => scope.event_loop = true,
                 "float-env" => scope.float_env = true,
                 "no-todo-dbg" => {}
                 other => unknown.push(other.to_string()),
@@ -325,15 +425,49 @@ pub fn parse_pragma(text: &str) -> Option<(usize, Vec<String>)> {
 /// Scans one file's text under an explicit rule scope; `rel` is the
 /// workspace-relative path used in diagnostics. ([`scan_workspace`]
 /// derives the scope from the owning crate's root pragma.) Runs the
-/// per-file passes: the textual style pass plus the token-based
-/// concurrency and numeric passes.
+/// per-file passes: the textual style pass, the numeric pass, and —
+/// when the file lexes and parses — the AST passes (lock discipline,
+/// atomics, wire-taint, and single-file event-loop purity).
 pub fn scan_file(rel: &str, text: &str, scope: FileScope) -> Vec<Diagnostic> {
+    scan_file_impl(rel, text, scope, true)
+}
+
+/// The per-file pipeline. `run_event_loop` is false when the caller
+/// ([`scan_workspace`]) runs the event-loop pass itself per crate, so
+/// its one-level call propagation can cross file boundaries.
+fn scan_file_impl(
+    rel: &str,
+    text: &str,
+    scope: FileScope,
+    run_event_loop: bool,
+) -> Vec<Diagnostic> {
     let scope = scope.for_file(rel);
     let (input, mut diags) = passes::FileInput::build(rel, text, scope);
     diags.extend(passes::textual::run(&input));
-    diags.extend(passes::lock::run(&input));
-    diags.extend(passes::atomics::run(&input));
     diags.extend(passes::float_env::run(&input));
+    if input.tokens.is_empty() {
+        return diags; // lexing failed: the AST passes cannot run
+    }
+    let toks = input.code_tokens();
+    match ast::parse(&toks) {
+        Ok(tree) => {
+            diags.extend(passes::lock::run(&input, &toks, &tree));
+            diags.extend(passes::atomics::run(&input, &toks, &tree));
+            diags.extend(passes::taint::run(&input, &toks, &tree));
+            if run_event_loop {
+                let file = passes::event_loop::CrateFile { input: &input, toks: &toks, ast: &tree };
+                diags.extend(passes::event_loop::run_crate(&[file]));
+            }
+        }
+        Err(e) => diags.push(Diagnostic::spanned(
+            rel,
+            e.line,
+            e.col,
+            e.col + 1,
+            Rule::Parse,
+            format!("file does not parse ({}); structural passes skipped", e.message),
+        )),
+    }
     diags
 }
 
@@ -425,13 +559,23 @@ pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
             files.push(path.to_path_buf());
         }
     });
+    // Load every file once; remember which crate owns it so the
+    // event-loop pass can run per crate (its one-level call
+    // propagation crosses file boundaries within a crate).
+    struct Loaded {
+        rel: String,
+        text: String,
+        scope: FileScope,
+        crate_dir: Option<String>,
+    }
+    let mut loaded = Vec::new();
     for path in files {
         let rel = rel_of(&path, root);
         // The owning crate is the one whose src/ tree contains the file;
         // the longest directory prefix wins for nested layouts. Files
         // outside any src/ tree (tests/, benches/, examples/) get the
         // global rules only.
-        let scope = crates
+        let owner = crates
             .iter()
             .filter(|c| {
                 if c.dir.is_empty() {
@@ -440,10 +584,41 @@ pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
                     rel.starts_with(&format!("{}/src/", c.dir))
                 }
             })
-            .max_by_key(|c| c.dir.len())
-            .map_or(FileScope::NONE, |c| c.scope);
+            .max_by_key(|c| c.dir.len());
         let Ok(text) = fs::read_to_string(&path) else { continue };
-        diags.extend(scan_file(&rel, &text, scope));
+        loaded.push(Loaded {
+            rel,
+            text,
+            scope: owner.map_or(FileScope::NONE, |c| c.scope),
+            crate_dir: owner.map(|c| c.dir.clone()),
+        });
+    }
+    for l in &loaded {
+        diags.extend(scan_file_impl(&l.rel, &l.text, l.scope, false));
+    }
+    // Event-loop purity, one crate at a time.
+    let mut dirs: Vec<&String> =
+        loaded.iter().filter(|l| l.scope.event_loop).filter_map(|l| l.crate_dir.as_ref()).collect();
+    dirs.sort();
+    dirs.dedup();
+    for dir in dirs {
+        let group: Vec<&Loaded> =
+            loaded.iter().filter(|l| l.crate_dir.as_ref() == Some(dir)).collect();
+        let inputs: Vec<passes::FileInput<'_>> = group
+            .iter()
+            .map(|l| passes::FileInput::build(&l.rel, &l.text, l.scope.for_file(&l.rel)).0)
+            .collect();
+        let toks: Vec<Vec<&lexer::Token<'_>>> = inputs.iter().map(|i| i.code_tokens()).collect();
+        let asts: Vec<Option<ast::Ast>> = toks.iter().map(|t| ast::parse(t).ok()).collect();
+        let crate_files: Vec<passes::event_loop::CrateFile<'_, '_>> = inputs
+            .iter()
+            .zip(&toks)
+            .zip(&asts)
+            .filter_map(|((input, toks), ast)| {
+                ast.as_ref().map(|ast| passes::event_loop::CrateFile { input, toks, ast })
+            })
+            .collect();
+        diags.extend(passes::event_loop::run_crate(&crate_files));
     }
     diags.extend(passes::drift::check_workspace(root));
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));

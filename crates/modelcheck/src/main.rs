@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p modelcheck                    # human-readable diagnostics
 //! cargo run -p modelcheck -- --json          # machine-readable JSON array
+//! cargo run -p modelcheck -- --list-rules    # every rule, one per line
 //! cargo run -p modelcheck -- --fix-baseline  # accept current findings
 //! cargo run -p modelcheck -- --baseline F    # read/write baseline at F
 //! cargo run -p modelcheck -- <root>          # scan a different tree
@@ -13,6 +14,33 @@
 //! error. Exits 0 when there are no *new* findings, 1 when any
 //! non-baselined rule fires, 2 on usage errors — so CI can gate on it
 //! directly.
+//!
+//! ## `--json` output schema
+//!
+//! One JSON array of finding objects, sorted by (file, line, col).
+//! Every object carries exactly these keys, in this order:
+//!
+//! ```text
+//! file       string  path relative to the scan root, `/`-separated
+//! line       number  1-based line of the finding
+//! col        number  1-based starting column on that line
+//! end_col    number  1-based column one past the flagged token
+//! rule       string  rule name as printed by --list-rules
+//! family     string  rule family (style, concurrency, dataflow,
+//!                    numeric, protocol, config, lexer, parser)
+//! baselined  bool    true when the finding is in the baseline file
+//! message    string  human-readable explanation with the fix hint
+//! ```
+//!
+//! The schema is append-only: consumers may rely on these keys keeping
+//! their meaning, and must ignore keys they do not recognize.
+//!
+//! ## `--list-rules` output format
+//!
+//! One line per rule, `tab`-separated:
+//! `name<TAB>family<TAB>pragma<TAB>description`, where `pragma` is the
+//! spelling to put in a `//! modelcheck:` header line to opt a file in
+//! (or `-` for always-on rules that no pragma controls).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,6 +54,18 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--list-rules" => {
+                for rule in modelcheck::Rule::ALL {
+                    println!(
+                        "{}\t{}\t{}\t{}",
+                        rule.name(),
+                        rule.family(),
+                        rule.pragma_spelling().unwrap_or("-"),
+                        rule.describe()
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
             "--fix-baseline" => fix_baseline = true,
             "--baseline" => match args.next() {
                 Some(p) => baseline_path = Some(PathBuf::from(p)),
@@ -36,8 +76,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: modelcheck [--json] [--fix-baseline] [--baseline <file>] \
-                     [workspace-root]"
+                    "usage: modelcheck [--json] [--list-rules] [--fix-baseline] \
+                     [--baseline <file>] [workspace-root]"
                 );
                 return ExitCode::SUCCESS;
             }

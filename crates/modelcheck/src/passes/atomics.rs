@@ -11,98 +11,86 @@
 //!    wake connection).
 //! 2. **No torn read-modify-write.** `x.store(x.load(..) + 1, ..)` on
 //!    an atomic loses updates under concurrency; the pass flags any
-//!    `.store(` whose argument expression contains a `.load(` call —
-//!    use `fetch_add`/`fetch_max` instead.
+//!    `.store(` call whose argument span contains a `.load(` call (both
+//!    read straight off the AST's call table) — use
+//!    `fetch_add`/`fetch_max` instead.
 
 use super::FileInput;
-use crate::lexer::TokKind;
+use crate::ast::Ast;
+use crate::lexer::{TokKind, Token};
 use crate::{Diagnostic, Rule};
 
-/// Runs the atomics rules over the token stream.
-pub fn run(input: &FileInput<'_>) -> Vec<Diagnostic> {
-    if !input.scope.atomics || input.tokens.is_empty() {
+/// Runs the atomics rules over the parsed file.
+pub fn run(input: &FileInput<'_>, toks: &[&Token<'_>], ast: &Ast) -> Vec<Diagnostic> {
+    if !input.scope.atomics {
         return Vec::new();
     }
-    let toks = input.code_tokens();
     let mut diags = Vec::new();
-    for (k, t) in toks.iter().enumerate() {
+    // Rule 1: strong-ordering mentions, straight off the tokens (an
+    // ordering is a path expression, not a call).
+    for t in toks {
         if t.kind != TokKind::Ident || input.in_test(t.line) {
             continue;
         }
-        match t.text {
-            "SeqCst" | "AcqRel" if !input.allowed(t.line - 1, Rule::Atomics) => {
-                diags.push(Diagnostic::spanned(
-                    input.rel,
-                    t.line,
-                    t.col,
-                    t.col + t.text.len(),
-                    Rule::Atomics,
-                    format!(
-                        "`Ordering::{}` — strong orderings need a \
-                         `modelcheck-allow: atomics` comment stating what they \
-                         synchronize (the hot path is Relaxed by design)",
-                        t.text
-                    ),
-                ));
-            }
-            "store"
-                if k > 0
-                    && toks[k - 1].text == "."
-                    && toks.get(k + 1).is_some_and(|n| n.text == "(") =>
-            {
-                // Walk the store's argument list; a `.load(` inside it
-                // is a lost-update read-modify-write.
-                let mut depth = 0i64;
-                let mut j = k + 1;
-                while j < toks.len() {
-                    match toks[j].text {
-                        "(" => depth += 1,
-                        ")" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        "load"
-                            if toks[j].kind == TokKind::Ident
-                                && toks[j - 1].text == "."
-                                && toks.get(j + 1).is_some_and(|n| n.text == "(") =>
-                        {
-                            if !input.allowed(t.line - 1, Rule::Atomics) {
-                                diags.push(Diagnostic::spanned(
-                                    input.rel,
-                                    t.line,
-                                    t.col,
-                                    t.col + t.text.len(),
-                                    Rule::Atomics,
-                                    "`.store(… .load(…) …)` is a non-atomic \
-                                     read-modify-write and loses updates — use \
-                                     `fetch_add`/`fetch_max`/`compare_exchange`"
-                                        .to_string(),
-                                ));
-                            }
-                            break;
-                        }
-                        _ => {}
-                    }
-                    j += 1;
-                }
-            }
-            _ => {}
+        if matches!(t.text, "SeqCst" | "AcqRel") && !input.allowed(t.line - 1, Rule::Atomics) {
+            diags.push(Diagnostic::spanned(
+                input.rel,
+                t.line,
+                t.col,
+                t.col + t.text.len(),
+                Rule::Atomics,
+                format!(
+                    "`Ordering::{}` — strong orderings need a \
+                     `modelcheck-allow: atomics` comment stating what they \
+                     synchronize (the hot path is Relaxed by design)",
+                    t.text
+                ),
+            ));
         }
     }
+    // Rule 2: a `.store(…)` whose arguments contain a `.load(…)`.
+    for c in &ast.calls {
+        if !c.is_method || toks[c.name_tok].text != "store" {
+            continue;
+        }
+        let t = toks[c.name_tok];
+        if input.in_test(t.line) || input.allowed(t.line - 1, Rule::Atomics) {
+            continue;
+        }
+        let torn = ast
+            .calls_in(c.args)
+            .iter()
+            .any(|inner| inner.is_method && toks[inner.name_tok].text == "load");
+        if torn {
+            diags.push(Diagnostic::spanned(
+                input.rel,
+                t.line,
+                t.col,
+                t.col + t.text.len(),
+                Rule::Atomics,
+                "`.store(… .load(…) …)` is a non-atomic \
+                 read-modify-write and loses updates — use \
+                 `fetch_add`/`fetch_max`/`compare_exchange`"
+                    .to_string(),
+            ));
+        }
+    }
+    diags.sort_by_key(|d| (d.line, d.col));
     diags
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::parse;
     use crate::FileScope;
 
     fn scan(body: &str) -> Vec<Diagnostic> {
         let (input, diags) = FileInput::build("x.rs", body, FileScope::ALL);
         assert!(diags.is_empty(), "{diags:?}");
-        run(&input)
+        let toks = input.code_tokens();
+        let ast = parse(&toks).expect("parses");
+        run(&input, &toks, &ast)
     }
 
     #[test]

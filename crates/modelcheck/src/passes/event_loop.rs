@@ -1,0 +1,209 @@
+//! The `event-loop` pass: no blocking calls in code reachable from the
+//! evented engine.
+//!
+//! Entry points are marked with a `// modelcheck: event-loop` comment
+//! on the `fn` (trailing or in the block above, like
+//! `modelcheck: read-path`). The marked set is closed one call level
+//! deep within the crate: a call whose name resolves to exactly one
+//! function definition in the crate pulls that function in too.
+//! Resolution is deliberately unique-name-only — a name with several
+//! definitions (every `new`, both `drain`s) resolves to nothing, so
+//! the propagation never chases lookalikes across impls.
+//!
+//! Inside the reachable set, these shapes are findings:
+//!
+//! * `.lock(` / `write_lock(` — mutex or shard write-lock acquisition
+//!   parks the loop thread behind whoever holds it. (`read_lock` is
+//!   exempt: core-local replica reads are the designed hot path.)
+//! * `sleep(` — `std::thread::sleep` stalls every connection on the
+//!   core.
+//! * `.read_to_end(` / `.read_to_string(` / `.write_all(` — these
+//!   retry until EOF/full write, defeating nonblocking registration.
+//! * `println!` / `eprintln!` / `print!` / `eprint!` — stdio locks and
+//!   blocks on a slow consumer; use the metrics path instead.
+//!
+//! `modelcheck-allow: event-loop — <why>` suppresses a finding;
+//! `#[cfg(test)]` code is exempt.
+
+use super::FileInput;
+use crate::ast::Ast;
+use crate::lexer::Token;
+use crate::resolve::fn_annotated;
+use crate::{Diagnostic, Rule};
+use std::collections::HashMap;
+
+/// The annotation that marks an event-loop entry point.
+pub const MARKER: &str = "modelcheck: event-loop";
+
+/// Blocking method-call names.
+const BLOCKING_METHODS: [&str; 4] = ["lock", "read_to_end", "read_to_string", "write_all"];
+/// Blocking free/path call names.
+const BLOCKING_CALLS: [&str; 2] = ["write_lock", "sleep"];
+/// Blocking macros.
+const BLOCKING_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
+
+/// One file of a crate, pre-lexed and pre-parsed by the caller.
+pub struct CrateFile<'t, 'a> {
+    /// The shared per-file input.
+    pub input: &'t FileInput<'a>,
+    /// The file's code tokens (comments stripped).
+    pub toks: &'t [&'t Token<'a>],
+    /// The file's AST.
+    pub ast: &'t Ast,
+}
+
+/// Runs the event-loop purity rule over one crate's files, so call
+/// propagation can cross file boundaries within the crate.
+pub fn run_crate(files: &[CrateFile<'_, '_>]) -> Vec<Diagnostic> {
+    // Index every fn by name for unique-name resolution, and collect
+    // the annotated roots.
+    let mut by_name: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
+    let mut reachable: Vec<(usize, usize, String)> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        if !f.input.scope.event_loop {
+            continue;
+        }
+        for (di, def) in f.ast.fns.iter().enumerate() {
+            by_name.entry(def.name.as_str()).or_default().push((fi, di));
+            if fn_annotated(f.input, def.line, MARKER) {
+                reachable.push((fi, di, def.name.clone()));
+            }
+        }
+    }
+    // Close one call level deep.
+    let roots: Vec<(usize, usize, String)> = reachable.clone();
+    for (fi, di, root_name) in &roots {
+        let f = &files[*fi];
+        let def = &f.ast.fns[*di];
+        let Some(body) = def.body else { continue };
+        let block = &f.ast.blocks[body];
+        for call in f.ast.calls_in((block.open, block.close + 1)) {
+            let callee = f.toks[call.name_tok].text;
+            if let Some(&[(cfi, cdi)]) = by_name.get(callee).map(Vec::as_slice) {
+                if !reachable.iter().any(|(a, b, _)| (*a, *b) == (cfi, cdi)) {
+                    reachable.push((cfi, cdi, root_name.clone()));
+                }
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (fi, di, root) in &reachable {
+        let f = &files[*fi];
+        let def = &f.ast.fns[*di];
+        let Some(body) = def.body else { continue };
+        if f.input.in_test(def.line) {
+            continue;
+        }
+        let block = &f.ast.blocks[body];
+        for call in f.ast.calls_in((block.open, block.close + 1)) {
+            let name = f.toks[call.name_tok].text;
+            let shape = if call.is_macro && BLOCKING_MACROS.contains(&name) {
+                Some(format!("`{name}!`"))
+            } else if call.is_method && BLOCKING_METHODS.contains(&name) {
+                Some(format!("`.{name}(`"))
+            } else if !call.is_method && BLOCKING_CALLS.contains(&name) {
+                Some(format!("`{name}(`"))
+            } else {
+                None
+            };
+            let Some(shape) = shape else { continue };
+            let t = f.toks[call.name_tok];
+            if f.input.allowed(t.line - 1, Rule::EventLoop) || f.input.in_test(t.line) {
+                continue;
+            }
+            let via =
+                if def.name == *root { String::new() } else { format!(" (called from `{root}`)") };
+            diags.push(Diagnostic::spanned(
+                f.input.rel,
+                t.line,
+                t.col,
+                t.col + t.text.len(),
+                Rule::EventLoop,
+                format!(
+                    "blocking call {shape} in event-loop-reachable `fn {}`{via} — the evented \
+                     engine must never block; move this off-loop or justify with \
+                     `modelcheck-allow: event-loop`",
+                    def.name
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::FileScope;
+
+    fn scan(src: &str) -> Vec<Diagnostic> {
+        let (input, diags) = FileInput::build("x.rs", src, FileScope::ALL);
+        assert!(diags.is_empty(), "{diags:?}");
+        let toks = input.code_tokens();
+        let ast = parse(&toks).expect("parses");
+        run_crate(&[CrateFile { input: &input, toks: &toks, ast: &ast }])
+    }
+
+    #[test]
+    fn sleep_in_annotated_fn_fires() {
+        let src = "// modelcheck: event-loop\n\
+                   fn event_loop(&mut self) {\n\
+                   \x20   std::thread::sleep(d);\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("sleep"));
+    }
+
+    #[test]
+    fn propagates_one_level_to_unique_callees() {
+        let src = "// modelcheck: event-loop\n\
+                   fn event_loop(&mut self) { self.accept_ready(); }\n\
+                   fn accept_ready(&mut self) { let g = self.shards.lock().unwrap(); }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("accept_ready"));
+        assert!(d[0].message.contains("called from `event_loop`"), "{d:?}");
+    }
+
+    #[test]
+    fn ambiguous_names_do_not_propagate() {
+        let src = "// modelcheck: event-loop\n\
+                   fn event_loop(&mut self) { self.conn.drain(); }\n\
+                   impl A { fn drain(&self) { std::thread::sleep(d); } }\n\
+                   impl B { fn drain(&self) { std::thread::sleep(d); } }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn unannotated_fns_and_read_lock_are_fine() {
+        let src = "fn offline() { std::thread::sleep(d); }\n\
+                   // modelcheck: event-loop\n\
+                   fn on_readable(&mut self) { let g = read_lock(&self.shard); }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn stdio_macros_write_all_and_write_lock_fire() {
+        let src = "// modelcheck: event-loop\n\
+                   fn process(&mut self) {\n\
+                   \x20   eprintln!(\"slow\");\n\
+                   \x20   out.write_all(b);\n\
+                   \x20   let g = write_lock(&self.shard);\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 3, "{d:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_with_justification() {
+        let src = "// modelcheck: event-loop\n\
+                   fn process(&mut self) {\n\
+                   \x20   // modelcheck-allow: event-loop — startup banner, before the loop spins\n\
+                   \x20   eprintln!(\"listening\");\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+}

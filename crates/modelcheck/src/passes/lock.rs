@@ -1,6 +1,5 @@
 //! The `lock-discipline` pass: shard-lock hygiene for the concurrent
-//! daemon, checked by walking each function body's token stream with a
-//! guard-liveness state machine.
+//! daemon, checked as a scope-tree walk over the parsed AST.
 //!
 //! Three things are diagnosed:
 //!
@@ -18,16 +17,18 @@
 //!    network-round-trip one; serialize the data out of the guard
 //!    first.
 //!
-//! Guard liveness is tracked structurally, not by name resolution: a
-//! `let`-bound guard lives until its enclosing brace closes (or an
-//! explicit `drop(name)`), an unbound temporary dies at the next `;`
-//! at its own depth. Lock acquisition is recognized as the repo's
-//! `read_lock(` / `write_lock(` helpers or argument-less `.read()` /
-//! `.write()` method calls — `.write(buf)` on an `io::Write` sink has
-//! arguments and is not a lock.
+//! Guard liveness follows the block tree (v3 re-derived it from brace
+//! counting): a `let`-bound guard lives until its enclosing block
+//! closes (or an explicit `drop(name)`), an unbound temporary dies at
+//! the end of its statement. Lock acquisition is recognized as the
+//! repo's `read_lock(` / `write_lock(` helpers or argument-less
+//! `.read()` / `.write()` method calls — `.write(buf)` on an
+//! `io::Write` sink has arguments and is not a lock.
 
 use super::FileInput;
+use crate::ast::{Ast, BlockId, Span, StmtKind};
 use crate::lexer::{TokKind, Token};
+use crate::resolve::fn_annotated;
 use crate::{Diagnostic, Rule};
 
 /// Stream/socket methods that mean "doing I/O right now" when called
@@ -52,34 +53,10 @@ const SOCKET_TYPES: [&str; 3] = ["TcpStream", "TcpListener", "UdpSocket"];
 struct Guard {
     /// Binding name when `let`-bound; `None` for a temporary.
     name: Option<String>,
-    /// Brace depth at acquisition (body entry is depth 1).
+    /// Block depth at acquisition (body entry is depth 1).
     depth: i64,
     /// 1-based line of the acquisition, for messages.
     line: usize,
-}
-
-/// True when the function starting on 1-based `fn_line` is annotated
-/// `// modelcheck: read-path`, either trailing on the line or in the
-/// contiguous comment/attribute block above.
-fn is_read_path(input: &FileInput<'_>, fn_line: usize) -> bool {
-    let marker = "modelcheck: read-path";
-    let idx = fn_line - 1;
-    if input.raw_lines.get(idx).is_some_and(|l| l.contains(marker)) {
-        return true;
-    }
-    let mut j = idx;
-    while j > 0 {
-        j -= 1;
-        let t = input.raw_lines[j].trim_start();
-        if t.starts_with("//") || t.starts_with("#[") {
-            if t.contains(marker) {
-                return true;
-            }
-        } else {
-            break;
-        }
-    }
-    false
 }
 
 /// If `toks[k]` is a lock acquisition, returns `(is_write, line)`.
@@ -201,79 +178,72 @@ fn io_at(toks: &[&Token<'_>], k: usize) -> Option<String> {
     None
 }
 
-/// Runs the lock-discipline rules over every function body.
-pub fn run(input: &FileInput<'_>) -> Vec<Diagnostic> {
-    if !input.scope.lock_discipline || input.tokens.is_empty() {
-        return Vec::new();
+struct Walker<'t, 'a, 'i> {
+    input: &'i FileInput<'a>,
+    toks: &'t [&'t Token<'a>],
+    ast: &'t Ast,
+    emit: bool,
+    read_path: bool,
+    guards: Vec<Guard>,
+    depth: i64,
+    last_io_line: usize,
+    diags: Vec<Diagnostic>,
+}
+
+impl Walker<'_, '_, '_> {
+    fn walk_block(&mut self, b: BlockId) {
+        self.depth += 1;
+        let stmts = self.ast.blocks[b].stmts.clone();
+        for stmt in &stmts {
+            let mut nested: Vec<BlockId> = Vec::new();
+            match &stmt.kind {
+                StmtKind::Item => continue, // nested fns are walked on their own
+                StmtKind::Let { init: Some(e), .. } | StmtKind::Expr(e) => {
+                    self.ast.blocks_of_expr(*e, &mut nested);
+                }
+                StmtKind::Let { .. } => {}
+            }
+            nested.sort_by_key(|&nb| self.ast.blocks[nb].open);
+            self.scan_span(stmt.span, &nested);
+            // Unbound temporaries die at statement end.
+            let d = self.depth;
+            self.guards.retain(|g| !(g.name.is_none() && g.depth == d));
+        }
+        self.depth -= 1;
+        let d = self.depth;
+        self.guards.retain(|g| g.depth <= d);
     }
-    let toks = input.code_tokens();
-    let mut diags = Vec::new();
-    let mut i = 0;
-    while i < toks.len() {
-        // `fn name` starts a function; `fn(` is a pointer type.
-        let is_fn = toks[i].kind == TokKind::Ident
-            && toks[i].text == "fn"
-            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident);
-        if !is_fn {
-            i += 1;
-            continue;
-        }
-        let fn_line = toks[i].line;
-        // Find the body's opening brace; a `;` at bracket depth 0 first
-        // means a bodyless declaration (trait method, extern).
-        let mut j = i + 2;
-        let mut bracket = 0i64;
-        let mut open = None;
-        while j < toks.len() {
-            match toks[j].text {
-                "(" | "[" => bracket += 1,
-                ")" | "]" => bracket -= 1,
-                "{" => {
-                    open = Some(j);
-                    break;
-                }
-                ";" if bracket == 0 => break,
-                _ => {}
-            }
-            j += 1;
-        }
-        let Some(open) = open else {
-            i = j + 1;
-            continue;
-        };
 
-        let emit = !input.in_test(fn_line);
-        let read_path = is_read_path(input, fn_line);
-        let mut depth = 1i64;
-        let mut guards: Vec<Guard> = Vec::new();
-        let mut last_io_line = 0usize;
-        let mut k = open + 1;
-        while k < toks.len() && depth > 0 {
-            let t = toks[k];
-            match t.text {
-                "{" => depth += 1,
-                "}" => {
-                    depth -= 1;
-                    guards.retain(|g| g.depth <= depth);
-                }
-                ";" => guards.retain(|g| !(g.name.is_none() && g.depth == depth)),
-                "drop"
-                    if t.kind == TokKind::Ident
-                        && toks.get(k + 1).is_some_and(|n| n.text == "(")
-                        && toks.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident)
-                        && toks.get(k + 3).is_some_and(|n| n.text == ")") =>
-                {
-                    let name = toks[k + 2].text;
-                    guards.retain(|g| g.name.as_deref() != Some(name));
-                }
-                _ => {}
+    /// Scans a statement's tokens in source order, recursing into each
+    /// nested block at its position so guard lifetimes stay accurate.
+    fn scan_span(&mut self, span: Span, nested: &[BlockId]) {
+        let mut ni = 0;
+        let mut k = span.0;
+        while k < span.1.min(self.toks.len()) {
+            if ni < nested.len() && self.ast.blocks[nested[ni]].open == k {
+                let close = self.ast.blocks[nested[ni]].close;
+                self.walk_block(nested[ni]);
+                ni += 1;
+                k = close + 1;
+                continue;
             }
-
-            if let Some((is_write, line)) = acquisition_at(&toks, k) {
-                let suppressed = !emit || input.allowed(line - 1, Rule::LockDiscipline);
-                if is_write && read_path && !suppressed {
-                    diags.push(Diagnostic::spanned(
-                        input.rel,
+            let t = self.toks[k];
+            if t.text == "drop"
+                && t.kind == TokKind::Ident
+                && self.toks.get(k + 1).is_some_and(|n| n.text == "(")
+                && self.toks.get(k + 2).is_some_and(|n| n.kind == TokKind::Ident)
+                && self.toks.get(k + 3).is_some_and(|n| n.text == ")")
+            {
+                let name = self.toks[k + 2].text;
+                self.guards.retain(|g| g.name.as_deref() != Some(name));
+                k += 4;
+                continue;
+            }
+            if let Some((is_write, line)) = acquisition_at(self.toks, k) {
+                let suppressed = !self.emit || self.input.allowed(line - 1, Rule::LockDiscipline);
+                if is_write && self.read_path && !suppressed {
+                    self.diags.push(Diagnostic::spanned(
+                        self.input.rel,
                         line,
                         t.col,
                         t.col + t.text.len(),
@@ -283,10 +253,10 @@ pub fn run(input: &FileInput<'_>) -> Vec<Diagnostic> {
                             .to_string(),
                     ));
                 }
-                if let Some(live) = guards.first() {
+                if let Some(live) = self.guards.first() {
                     if !suppressed {
-                        diags.push(Diagnostic::spanned(
-                            input.rel,
+                        self.diags.push(Diagnostic::spanned(
+                            self.input.rel,
                             line,
                             t.col,
                             t.col + t.text.len(),
@@ -301,15 +271,20 @@ pub fn run(input: &FileInput<'_>) -> Vec<Diagnostic> {
                     }
                 }
                 // Both acquisition forms have their `(` right after `toks[k]`.
-                guards.push(Guard { name: binding_name(&toks, k, k + 1), depth, line });
-            } else if !guards.is_empty() && t.line != last_io_line {
-                if let Some(what) = io_at(&toks, k) {
-                    last_io_line = t.line;
-                    let suppressed = !emit || input.allowed(t.line - 1, Rule::LockDiscipline);
+                self.guards.push(Guard {
+                    name: binding_name(self.toks, k, k + 1),
+                    depth: self.depth,
+                    line,
+                });
+            } else if !self.guards.is_empty() && t.line != self.last_io_line {
+                if let Some(what) = io_at(self.toks, k) {
+                    self.last_io_line = t.line;
+                    let suppressed =
+                        !self.emit || self.input.allowed(t.line - 1, Rule::LockDiscipline);
                     if !suppressed {
-                        let live = &guards[0];
-                        diags.push(Diagnostic::spanned(
-                            input.rel,
+                        let live = &self.guards[0];
+                        self.diags.push(Diagnostic::spanned(
+                            self.input.rel,
                             t.line,
                             t.col,
                             t.col + t.text.len(),
@@ -325,7 +300,30 @@ pub fn run(input: &FileInput<'_>) -> Vec<Diagnostic> {
             }
             k += 1;
         }
-        i = k;
+    }
+}
+
+/// Runs the lock-discipline rules over every function body.
+pub fn run(input: &FileInput<'_>, toks: &[&Token<'_>], ast: &Ast) -> Vec<Diagnostic> {
+    if !input.scope.lock_discipline {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for f in &ast.fns {
+        let Some(body) = f.body else { continue };
+        let mut w = Walker {
+            input,
+            toks,
+            ast,
+            emit: !input.in_test(f.line),
+            read_path: fn_annotated(input, f.line, "modelcheck: read-path"),
+            guards: Vec::new(),
+            depth: 0,
+            last_io_line: 0,
+            diags: Vec::new(),
+        };
+        w.walk_block(body);
+        diags.append(&mut w.diags);
     }
     diags
 }
@@ -333,12 +331,15 @@ pub fn run(input: &FileInput<'_>) -> Vec<Diagnostic> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::parse;
     use crate::FileScope;
 
     fn scan(body: &str) -> Vec<Diagnostic> {
         let (input, diags) = FileInput::build("x.rs", body, FileScope::ALL);
         assert!(diags.is_empty(), "{diags:?}");
-        run(&input)
+        let toks = input.code_tokens();
+        let ast = parse(&toks).expect("parses");
+        run(&input, &toks, &ast)
     }
 
     #[test]

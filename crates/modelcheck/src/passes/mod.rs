@@ -11,8 +11,10 @@
 
 pub mod atomics;
 pub mod drift;
+pub mod event_loop;
 pub mod float_env;
 pub mod lock;
+pub mod taint;
 pub mod textual;
 
 use crate::lexer::{lex, TokKind, Token};

@@ -1,0 +1,537 @@
+//! The `wire-taint` pass: a per-function dataflow over `let` bindings
+//! that tracks values decoded from the wire and flags their use as an
+//! allocation size, slice index, or loop bound without a dominating
+//! bounds check.
+//!
+//! **Sources** — a binding is tainted when its initializer contains:
+//! `.u8(`/`.u16(`/`.u32(`/`.u64(` cursor reads, `from_le_bytes` /
+//! `from_be_bytes`, or any `recv_frame*` call; or when it mentions an
+//! already-tainted binding (derivation). Plain `.read(` is *not* a
+//! source (the kernel bounds the returned count by the buffer length),
+//! and neither are the repo's own sanitizing helpers (`Cur::count`
+//! proves its result against the remaining frame before returning).
+//!
+//! **Sinks** — a tainted value reaching `Vec::with_capacity`,
+//! `.reserve(`/`.reserve_exact(`/`.resize(`, `vec![x; n]`, a postfix
+//! slice index `buf[n]`, or a `for _ in 0..n` loop bound.
+//!
+//! **Sanitizers** — `.min(`/`.clamp(` in the initializer or at the
+//! sink use; an `if` whose ordering comparison (`<` `<=` `>` `>=`)
+//! mentions the value and whose body exits early (`return`/`break`/
+//! `continue`) sanitizes it for the rest of the scope; entering a
+//! later branch of an `if`/`else if` chain sanitizes values the
+//! earlier ordering conditions compared (else-branch domination);
+//! `assert!`-family macros with an ordering comparison. Equality
+//! comparisons prove nothing about an upper bound and never sanitize.
+//! Sanitization closes over derivation links in both directions:
+//! checking `need = n * 8` against the frame budget clears `n` too.
+//!
+//! Known limits (by design, to stay zero-dependency and fast): only
+//! simple `let name = …` bindings are tracked — values bound through
+//! match/`if let` patterns, struct fields, or function parameters are
+//! not followed, and comparison *direction* is not checked.
+
+use super::FileInput;
+use crate::ast::{Ast, ExprId, ExprKind, Span, StmtKind};
+use crate::lexer::{TokKind, Token};
+use crate::resolve::{block_has_early_exit, has_ordering_cmp, span_mentions};
+use crate::{Diagnostic, Rule};
+use std::collections::{HashMap, HashSet};
+
+/// Method-call names whose result is wire-derived.
+const SOURCE_METHODS: [&str; 4] = ["u8", "u16", "u32", "u64"];
+/// Free/associated call names whose result is wire-derived.
+const SOURCE_CALLS: [&str; 2] = ["from_le_bytes", "from_be_bytes"];
+/// Method sinks that allocate by the argument amount.
+const ALLOC_METHODS: [&str; 3] = ["reserve", "reserve_exact", "resize"];
+
+struct Ctx<'t, 'a, 'i> {
+    input: &'i FileInput<'a>,
+    toks: &'t [&'t Token<'a>],
+    ast: &'t Ast,
+    /// Currently-tainted binding names.
+    tainted: HashSet<String>,
+    /// Derivation links: binding → tainted names its initializer read.
+    deps: HashMap<String, Vec<String>>,
+    /// Whether findings are emitted (false inside `#[cfg(test)]`).
+    emit: bool,
+    /// (line, col) pairs already reported, to dedup branch re-walks.
+    seen: HashSet<(usize, usize)>,
+    diags: Vec<Diagnostic>,
+}
+
+/// Runs the wire-taint rule over every function body.
+pub fn run(input: &FileInput<'_>, toks: &[&Token<'_>], ast: &Ast) -> Vec<Diagnostic> {
+    if !input.scope.wire_taint {
+        return Vec::new();
+    }
+    let mut diags = Vec::new();
+    for f in &ast.fns {
+        let Some(body) = f.body else { continue };
+        let mut ctx = Ctx {
+            input,
+            toks,
+            ast,
+            tainted: HashSet::new(),
+            deps: HashMap::new(),
+            emit: !input.in_test(f.line),
+            seen: HashSet::new(),
+            diags: Vec::new(),
+        };
+        walk_block(&mut ctx, body);
+        diags.append(&mut ctx.diags);
+    }
+    diags
+}
+
+fn walk_block(ctx: &mut Ctx<'_, '_, '_>, block: usize) {
+    let entry_tainted = ctx.tainted.clone();
+    let entry_deps = ctx.deps.clone();
+    let stmts = ctx.ast.blocks[block].stmts.clone();
+    for stmt in &stmts {
+        match &stmt.kind {
+            StmtKind::Let { name, init } => {
+                if let Some(init) = *init {
+                    let span = ctx.ast.exprs[init].span;
+                    check_sinks(ctx, span);
+                    walk_expr_blocks(ctx, init);
+                    apply_assert_sanitizers(ctx, span);
+                    if let Some(name) = name {
+                        bind(ctx, name, span);
+                    }
+                } else if let Some(name) = name {
+                    ctx.tainted.remove(name);
+                }
+            }
+            StmtKind::Expr(e) => walk_expr(ctx, *e),
+            StmtKind::Item => {}
+        }
+    }
+    // Bindings introduced here go out of scope, and `let` can only
+    // shadow (never rebind) an outer name, so exiting the block simply
+    // restores the entry state.
+    ctx.tainted = entry_tainted;
+    ctx.deps = entry_deps;
+}
+
+/// Records the binding produced by `let name = <init span>;`.
+fn bind(ctx: &mut Ctx<'_, '_, '_>, name: &str, init: Span) {
+    if sanitized_at_use(ctx, init) {
+        ctx.tainted.remove(name);
+        ctx.deps.remove(name);
+        return;
+    }
+    let mut sources: Vec<String> = Vec::new();
+    for t in &ctx.toks[init.0..init.1.min(ctx.toks.len())] {
+        if t.kind == TokKind::Ident && ctx.tainted.contains(t.text) {
+            sources.push(t.text.to_string());
+        }
+    }
+    let is_source = span_has_source(ctx, init);
+    if is_source || !sources.is_empty() {
+        ctx.tainted.insert(name.to_string());
+        sources.sort();
+        sources.dedup();
+        sources.retain(|s| s != name); // self-rebind keeps taint, not a link
+        ctx.deps.insert(name.to_string(), sources);
+    } else {
+        ctx.tainted.remove(name);
+        ctx.deps.remove(name);
+    }
+}
+
+/// True when the span contains a wire-read source call.
+fn span_has_source(ctx: &Ctx<'_, '_, '_>, span: Span) -> bool {
+    ctx.ast.calls_in(span).iter().any(|c| {
+        let name = ctx.toks[c.name_tok].text;
+        (c.is_method && SOURCE_METHODS.contains(&name))
+            || SOURCE_CALLS.contains(&name)
+            || name.starts_with("recv_frame")
+    })
+}
+
+/// True when the span caps the value right where it is used.
+fn sanitized_at_use(ctx: &Ctx<'_, '_, '_>, span: Span) -> bool {
+    ctx.ast
+        .calls_in(span)
+        .iter()
+        .any(|c| c.is_method && matches!(ctx.toks[c.name_tok].text, "min" | "clamp"))
+}
+
+/// Sanitizes `name` and everything linked to it through derivation,
+/// in both directions (checking `need = n * 8` also clears `n`).
+fn sanitize_closure(ctx: &mut Ctx<'_, '_, '_>, name: &str) {
+    let mut work = vec![name.to_string()];
+    while let Some(n) = work.pop() {
+        if !ctx.tainted.remove(&n) {
+            continue;
+        }
+        if let Some(srcs) = ctx.deps.get(&n) {
+            work.extend(srcs.iter().cloned());
+        }
+        for (k, srcs) in &ctx.deps {
+            if srcs.iter().any(|s| s == &n) {
+                work.push(k.clone());
+            }
+        }
+    }
+}
+
+/// The tainted names an ordering comparison in `span` mentions.
+fn checked_names(ctx: &Ctx<'_, '_, '_>, span: Span) -> Vec<String> {
+    if !has_ordering_cmp(ctx.toks, span) {
+        return Vec::new();
+    }
+    ctx.tainted.iter().filter(|n| span_mentions(ctx.toks, span, n)).cloned().collect()
+}
+
+/// `assert!`/`debug_assert!` with an ordering comparison sanitizes the
+/// names it mentions for the rest of the scope.
+fn apply_assert_sanitizers(ctx: &mut Ctx<'_, '_, '_>, span: Span) {
+    let mut cleared = Vec::new();
+    for c in ctx.ast.calls_in(span) {
+        if c.is_macro && matches!(ctx.toks[c.name_tok].text, "assert" | "debug_assert") {
+            cleared.extend(checked_names(ctx, c.args));
+        }
+    }
+    for n in cleared {
+        sanitize_closure(ctx, &n);
+    }
+}
+
+fn walk_expr(ctx: &mut Ctx<'_, '_, '_>, e: ExprId) {
+    let expr = ctx.ast.exprs[e].clone();
+    match &expr.kind {
+        ExprKind::If { conds } => {
+            for c in conds {
+                check_sinks(ctx, *c);
+            }
+            for (i, b) in expr.blocks.iter().enumerate() {
+                // Entering branch i: every ordering comparison in the
+                // chain up to and including cond i dominates it — an
+                // earlier one was false, the current one true; either
+                // way the value was checked against a bound.
+                let saved_tainted = ctx.tainted.clone();
+                let saved_deps = ctx.deps.clone();
+                let upto = (i + 1).min(conds.len());
+                let mut cleared = Vec::new();
+                for c in &conds[..upto] {
+                    cleared.extend(checked_names(ctx, *c));
+                }
+                for n in cleared {
+                    sanitize_closure(ctx, &n);
+                }
+                walk_block(ctx, *b);
+                ctx.tainted = saved_tainted;
+                ctx.deps = saved_deps;
+            }
+            // After the statement: a guard branch that exits early
+            // leaves its checked names sanitized on the fall-through.
+            for (i, c) in conds.iter().enumerate() {
+                let Some(&b) = expr.blocks.get(i) else { continue };
+                if block_has_early_exit(ctx.toks, &ctx.ast.blocks[b]) {
+                    for n in checked_names(ctx, *c) {
+                        sanitize_closure(ctx, &n);
+                    }
+                }
+            }
+        }
+        ExprKind::Match { head, arms } => {
+            check_sinks(ctx, *head);
+            for arm in arms {
+                let saved_tainted = ctx.tainted.clone();
+                let saved_deps = ctx.deps.clone();
+                walk_expr(ctx, arm.body);
+                ctx.tainted = saved_tainted;
+                ctx.deps = saved_deps;
+            }
+        }
+        ExprKind::For { iter } => {
+            check_loop_bound(ctx, *iter);
+            check_sinks(ctx, *iter);
+            for b in &expr.blocks {
+                walk_block(ctx, *b);
+            }
+        }
+        ExprKind::While { cond } => {
+            // A `while` condition is neither a sink nor a sanitizer:
+            // it is re-evaluated, so it neither allocates once nor
+            // proves a bound for code after the loop.
+            check_sinks(ctx, *cond);
+            for b in &expr.blocks {
+                walk_block(ctx, *b);
+            }
+        }
+        ExprKind::Plain => {
+            check_sinks(ctx, expr.span);
+            apply_assert_sanitizers(ctx, expr.span);
+            for b in &expr.blocks {
+                walk_block(ctx, *b);
+            }
+        }
+    }
+}
+
+/// Walks only the nested blocks of an expression (used for `let`
+/// initializers, whose span is sink-checked separately).
+fn walk_expr_blocks(ctx: &mut Ctx<'_, '_, '_>, e: ExprId) {
+    let blocks = ctx.ast.exprs[e].blocks.clone();
+    for b in blocks {
+        walk_block(ctx, b);
+    }
+}
+
+/// The tainted name `span` mentions, if any (first in token order).
+fn tainted_in(ctx: &Ctx<'_, '_, '_>, span: Span) -> Option<(usize, String)> {
+    for k in span.0..span.1.min(ctx.toks.len()) {
+        let t = ctx.toks[k];
+        if t.kind == TokKind::Ident && ctx.tainted.contains(t.text) {
+            return Some((k, t.text.to_string()));
+        }
+    }
+    None
+}
+
+fn report(ctx: &mut Ctx<'_, '_, '_>, at: usize, name: &str, sink: &str) {
+    let t = ctx.toks[at];
+    if !ctx.emit || ctx.input.allowed(t.line - 1, Rule::WireTaint) {
+        return;
+    }
+    if !ctx.seen.insert((t.line, t.col)) {
+        return;
+    }
+    ctx.diags.push(Diagnostic::spanned(
+        ctx.input.rel,
+        t.line,
+        t.col,
+        t.col + t.text.len(),
+        Rule::WireTaint,
+        format!(
+            "wire-tainted value `{name}` used as {sink} without a dominating bounds check — \
+             cap it first (`.min(…)`, compare against a `MAX_*`/`max_frame_bytes` limit with \
+             an early return, or justify with `modelcheck-allow: wire-taint`)"
+        ),
+    ));
+}
+
+/// Allocation, index, and `vec![…; n]` sinks inside `span`.
+fn check_sinks(ctx: &mut Ctx<'_, '_, '_>, span: Span) {
+    let calls: Vec<_> = ctx.ast.calls_in(span).to_vec();
+    for c in &calls {
+        let name = ctx.toks[c.name_tok].text;
+        let is_alloc = (name == "with_capacity" && !c.is_method)
+            || (c.is_method && ALLOC_METHODS.contains(&name))
+            || (c.is_macro && name == "vec" && args_have_repeat_semi(ctx, c.args));
+        if !is_alloc || sanitized_at_use(ctx, c.args) {
+            continue;
+        }
+        let direct_source = span_has_source(ctx, c.args);
+        if let Some((_, tname)) = tainted_in(ctx, c.args) {
+            report(ctx, c.name_tok, &tname, &format!("the allocation size of `{name}`"));
+        } else if direct_source {
+            report(ctx, c.name_tok, "<wire read>", &format!("the allocation size of `{name}`"));
+        }
+    }
+    // Postfix slice indexes: `expr[…]` where the bracket follows a
+    // value position (identifier, `)`, `]`, or `?`).
+    let end = span.1.min(ctx.toks.len());
+    for k in span.0..end {
+        if ctx.toks[k].text != "[" || k == 0 {
+            continue;
+        }
+        let prev = ctx.toks[k - 1];
+        let value_pos = prev.kind == TokKind::Ident && prev.text != "return"
+            || matches!(prev.text, ")" | "]" | "?");
+        if !value_pos {
+            continue;
+        }
+        let close = ctx.ast.pairs.get(k).copied().unwrap_or(usize::MAX);
+        if close == usize::MAX || close > end {
+            continue;
+        }
+        let interior = (k + 1, close);
+        if sanitized_at_use(ctx, interior) {
+            continue;
+        }
+        if let Some((at, tname)) = tainted_in(ctx, interior) {
+            report(ctx, at, &tname, "a slice index");
+        }
+    }
+}
+
+/// `for _ in 0..n` with tainted `n`: a wire-controlled loop bound.
+fn check_loop_bound(ctx: &mut Ctx<'_, '_, '_>, iter: Span) {
+    let end = iter.1.min(ctx.toks.len());
+    let has_range = (iter.0..end.saturating_sub(1)).any(|k| {
+        ctx.toks[k].text == "."
+            && ctx.toks[k + 1].text == "."
+            && ctx.toks[k].end == ctx.toks[k + 1].start
+    });
+    if !has_range || sanitized_at_use(ctx, iter) {
+        return;
+    }
+    if let Some((at, tname)) = tainted_in(ctx, iter) {
+        report(ctx, at, &tname, "a loop bound");
+    }
+}
+
+/// True for `vec![elem; count]` (the repeat form, which allocates
+/// `count` elements) as opposed to `vec![a, b, c]`.
+fn args_have_repeat_semi(ctx: &Ctx<'_, '_, '_>, args: Span) -> bool {
+    let mut k = args.0;
+    let end = args.1.min(ctx.toks.len());
+    while k < end {
+        match ctx.toks[k].text {
+            "(" | "[" | "{" => {
+                let close = ctx.ast.pairs.get(k).copied().unwrap_or(usize::MAX);
+                if close == usize::MAX || close >= end {
+                    return false;
+                }
+                k = close + 1;
+            }
+            ";" => return true,
+            _ => k += 1,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use crate::FileScope;
+
+    fn scan(body: &str) -> Vec<Diagnostic> {
+        let (input, diags) = FileInput::build("x.rs", body, FileScope::ALL);
+        assert!(diags.is_empty(), "{diags:?}");
+        let toks = input.code_tokens();
+        let ast = parse(&toks).expect("parses");
+        run(&input, &toks, &ast)
+    }
+
+    #[test]
+    fn unguarded_with_capacity_from_cursor_read_fires() {
+        let src = "fn f(c: &mut Cur) -> R {\n\
+                   \x20   let n = c.u32()? as usize;\n\
+                   \x20   let v = Vec::with_capacity(n);\n\
+                   \x20   Ok(v)\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("with_capacity"), "{d:?}");
+    }
+
+    #[test]
+    fn resize_of_recv_frame_len_fires() {
+        let src = "fn f(s: &mut S, body: &mut Vec<u8>) {\n\
+                   \x20   let len = recv_frame_len(s);\n\
+                   \x20   body.resize(len, 0);\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("resize"));
+    }
+
+    #[test]
+    fn min_at_use_and_in_init_sanitize() {
+        let src = "fn f(c: &mut Cur) {\n\
+                   \x20   let n = c.u32()? as usize;\n\
+                   \x20   let v = Vec::with_capacity(n.min(64));\n\
+                   \x20   let m = n.min(MAX_MACHINES);\n\
+                   \x20   let w = Vec::with_capacity(m);\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn early_return_guard_sanitizes_via_derivation_links() {
+        // The `Cur::matrix` shape: the *product* is checked, which must
+        // clear the underlying count for the later loop bound.
+        let src = "fn f(c: &mut Cur) -> R {\n\
+                   \x20   let n = c.u32()? as usize;\n\
+                   \x20   let need = n * 8;\n\
+                   \x20   if need > c.remaining() { return Err(e()); }\n\
+                   \x20   for i in 0..n { touch(i); }\n\
+                   \x20   Ok(())\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn unguarded_loop_bound_and_index_fire() {
+        let src = "fn f(c: &mut Cur, buf: &[u8]) {\n\
+                   \x20   let n = u32::from_le_bytes(four(buf)) as usize;\n\
+                   \x20   for i in 0..n { touch(i); }\n\
+                   \x20   let b = buf[n];\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].message.contains("loop bound"));
+        assert!(d[1].message.contains("slice index"));
+    }
+
+    #[test]
+    fn else_branch_domination_sanitizes() {
+        // The `server.rs` frame loop shape.
+        let src = "fn f(c: &mut Cur, body: &mut Vec<u8>, max: usize) {\n\
+                   \x20   let len = c.u32()? as usize;\n\
+                   \x20   if len == 0 { tiny(); } else if len > max { huge(); } else {\n\
+                   \x20       body.resize(len, 0);\n\
+                   \x20   }\n\
+                   }\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn equality_check_does_not_sanitize() {
+        let src = "fn f(c: &mut Cur, body: &mut Vec<u8>) {\n\
+                   \x20   let len = c.u32()? as usize;\n\
+                   \x20   if len == 0 { return; }\n\
+                   \x20   body.resize(len, 0);\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn vec_repeat_macro_is_a_sink_but_list_form_is_not() {
+        let src = "fn f(c: &mut Cur) {\n\
+                   \x20   let n = c.u16()? as usize;\n\
+                   \x20   let a = vec![0u8; n];\n\
+                   \x20   let b = vec![n, n, n];\n\
+                   }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("vec"));
+    }
+
+    #[test]
+    fn assert_sanitizes_and_allow_suppresses() {
+        let ok = "fn f(c: &mut Cur) {\n\
+                  \x20   let n = c.u32()? as usize;\n\
+                  \x20   assert!(n <= CAP);\n\
+                  \x20   let v = Vec::with_capacity(n);\n\
+                  }\n";
+        assert!(scan(ok).is_empty());
+        let allowed = "fn f(c: &mut Cur) {\n\
+                       \x20   let n = c.u32()? as usize;\n\
+                       \x20   // modelcheck-allow: wire-taint — n is operator-controlled config\n\
+                       \x20   let v = Vec::with_capacity(n);\n\
+                       }\n";
+        assert!(scan(allowed).is_empty());
+    }
+
+    #[test]
+    fn plain_read_is_not_a_source_and_tests_are_exempt() {
+        let reads = "fn f(s: &mut S, scratch: &mut [u8]) {\n\
+                     \x20   let n = s.read(scratch).unwrap();\n\
+                     \x20   let v = Vec::with_capacity(n);\n\
+                     }\n";
+        assert!(scan(reads).is_empty());
+        let tested = "#[cfg(test)]\nmod t {\n\
+                      fn f(c: &mut Cur) { let n = c.u32().unwrap(); let v = vec![0; n]; }\n\
+                      }\n";
+        assert!(scan(tested).is_empty());
+    }
+}

@@ -35,9 +35,17 @@ fn seeded_violations_are_all_found() {
     // nested acquisition, guard across I/O) and both atomics shapes.
     assert_eq!(count(Rule::LockDiscipline), 3, "{diags:?}");
     assert_eq!(count(Rule::Atomics), 2, "{diags:?}");
+    // The wire crate seeds every taint sink shape: with_capacity,
+    // reserve, resize, repeat-count vec!, slice index, loop bound, and
+    // a raw recv_frame* length; its guarded twins stay silent.
+    assert_eq!(count(Rule::WireTaint), 7, "{diags:?}");
+    // The evloop crate seeds every blocking shape: lock, sleep, and a
+    // stdio macro in the annotated loop, plus write_lock and write_all
+    // one call level down.
+    assert_eq!(count(Rule::EventLoop), 5, "{diags:?}");
     // Nothing beyond the seeded set: the allow comments held, and the
     // unscoped crate (no pragma) contributes nothing despite its unwrap.
-    assert_eq!(diags.len(), 12, "{diags:?}");
+    assert_eq!(diags.len(), 24, "{diags:?}");
     assert!(
         !diags.iter().any(|d| d.file.contains("unscoped")),
         "crates without a pragma must stay exempt: {diags:?}"
@@ -66,6 +74,14 @@ fn seeded_violations_are_all_found() {
     assert!(locks.iter().any(|d| d.message.contains("second shard lock")), "{locks:?}");
     assert!(locks.iter().any(|d| d.message.contains("write_all")), "{locks:?}");
     assert!(locks.iter().all(|d| d.col >= 1 && d.end_col > d.col), "{locks:?}");
+    // Taint findings name the value, the sink, and the fix.
+    let taints: Vec<_> = diags.iter().filter(|d| d.rule == Rule::WireTaint).collect();
+    for sink in ["with_capacity", "reserve", "resize", "vec", "slice index", "loop bound"] {
+        assert!(taints.iter().any(|d| d.message.contains(sink)), "missing {sink}: {taints:?}");
+    }
+    // Propagated event-loop findings say which root reaches them.
+    let evs: Vec<_> = diags.iter().filter(|d| d.rule == Rule::EventLoop).collect();
+    assert_eq!(evs.iter().filter(|d| d.message.contains("called from `event_loop`")).count(), 2);
 }
 
 #[test]
@@ -110,11 +126,13 @@ fn json_output_is_machine_readable() {
         "pragma",
         "lock-discipline",
         "atomics",
+        "wire-taint",
+        "event-loop",
     ] {
         assert!(body.contains(&format!("\"rule\":\"{rule}\"")), "missing {rule} in {body}");
     }
     // v3 fields: family, span, and baseline status on every finding.
-    for family in ["style", "config", "concurrency"] {
+    for family in ["style", "config", "concurrency", "dataflow"] {
         assert!(body.contains(&format!("\"family\":\"{family}\"")), "missing {family}");
     }
     assert!(body.contains("\"col\":") && body.contains("\"end_col\":"), "{body}");
@@ -249,4 +267,139 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
         diags.iter().any(|d| d.rule == Rule::ProtocolDrift && d.file == "DESIGN.md"),
         "{diags:?}"
     );
+}
+
+/// Every shipped `.rs` file must also *parse*: the structural passes
+/// skip a file on delimiter mismatch, and that degradation should
+/// never trigger on our own tree.
+#[test]
+fn parser_handles_every_workspace_file() {
+    use modelcheck::lexer::{lex, TokKind, Token};
+    let root = repo_root();
+    let mut checked = 0usize;
+    walk_by(&root, &mut |path: &Path| {
+        if path.extension().is_some_and(|e| e == "rs") {
+            let Ok(text) = fs::read_to_string(path) else { return };
+            let toks = lex(&text)
+                .unwrap_or_else(|e| panic!("{} does not lex: {}", path.display(), e.message));
+            let refs: Vec<&Token<'_>> = toks
+                .iter()
+                .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+                .collect();
+            if let Err(e) = modelcheck::ast::parse(&refs) {
+                panic!("{} does not parse: {}:{}: {}", path.display(), e.line, e.col, e.message);
+            }
+            checked += 1;
+        }
+    });
+    assert!(checked > 50, "walked only {checked} files under {}", root.display());
+}
+
+/// `--list-rules` pins the catalog: one tab-separated line per rule in
+/// `Rule::ALL` order, with family, pragma spelling (or `-` for
+/// always-on rules), and a description.
+#[test]
+fn list_rules_pins_the_catalog() {
+    let out = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .arg("--list-rules")
+        .output()
+        .expect("spawn modelcheck");
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), Rule::ALL.len(), "{stdout}");
+    for (line, rule) in lines.iter().zip(Rule::ALL) {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 4, "{line}");
+        assert_eq!(fields[0], rule.name(), "{line}");
+        assert_eq!(fields[1], rule.family(), "{line}");
+        assert_eq!(fields[2], rule.pragma_spelling().unwrap_or("-"), "{line}");
+        assert!(!fields[3].is_empty(), "{line}");
+    }
+    // Spot-pin the two v4 rules and one always-on rule.
+    assert!(lines.iter().any(|l| l.starts_with("wire-taint\tdataflow\twire-taint\t")), "{stdout}");
+    assert!(
+        lines.iter().any(|l| l.starts_with("event-loop\tconcurrency\tevent-loop\t")),
+        "{stdout}"
+    );
+    assert!(lines.iter().any(|l| l.starts_with("protocol-drift\tprotocol\t-\t")), "{stdout}");
+}
+
+/// Builds a one-crate temp tree whose root pragma opts into `rules`,
+/// with `files` under `crates/p/src/`, and returns the scan's exit
+/// code plus stdout.
+fn scan_temp_tree(tag: &str, rules: &str, files: &[(&str, &str)]) -> (i32, String) {
+    let dir = std::env::temp_dir().join(format!("modelcheck-inj-{tag}-{}", std::process::id()));
+    let src = dir.join("crates").join("p").join("src");
+    fs::create_dir_all(&src).expect("mkdir");
+    // A Cargo.toml marks the directory as a crate root, which is what
+    // makes the scanner read the lib.rs pragma for the whole crate.
+    fs::write(
+        dir.join("crates").join("p").join("Cargo.toml"),
+        "[package]\nname = \"p\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    )
+    .expect("write Cargo.toml");
+    let mut lib = format!("//! Injection fixture crate root.\n//!\n//! modelcheck: {rules}\n\n");
+    for (name, _) in files {
+        lib.push_str(&format!("pub mod {};\n", name.trim_end_matches(".rs")));
+    }
+    fs::write(src.join("lib.rs"), lib).expect("write lib.rs");
+    for (name, text) in files {
+        fs::write(src.join(name), text).expect("write module");
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .arg(&dir)
+        .output()
+        .expect("spawn modelcheck");
+    let _ = fs::remove_dir_all(&dir);
+    (out.status.code().unwrap_or(-1), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// The acceptance scenario for wire-taint: deleting the real bounds
+/// check in `binproto.rs`'s matrix decoder must fail the scan — the
+/// decoded dimension flows to a loop bound with nothing dominating it.
+#[test]
+fn wire_taint_fires_when_a_real_bounds_check_is_deleted() {
+    let binproto =
+        fs::read_to_string(repo_root().join("crates/predictd/src/binproto.rs")).expect("binproto");
+
+    // The shipped decoder is clean under the wire-taint rule.
+    let (code, stdout) = scan_temp_tree("wt-clean", "wire-taint", &[("binproto.rs", &binproto)]);
+    assert_eq!(code, 0, "shipped binproto.rs must scan clean:\n{stdout}");
+
+    // Delete the matrix-size guard and nothing else.
+    let guard = "if need > self.remaining() {\n            \
+                 return Err(err(format!(\"matrix size {n} exceeds frame\")));\n        }";
+    let mutated = binproto.replacen(guard, "let _ = need;", 1);
+    assert_ne!(mutated, binproto, "the matrix bounds check moved; update this test");
+
+    let (code, stdout) = scan_temp_tree("wt-inj", "wire-taint", &[("binproto.rs", &mutated)]);
+    assert_eq!(code, 1, "deleting the bounds check must fail the scan:\n{stdout}");
+    assert!(stdout.contains("wire-taint"), "{stdout}");
+    assert!(stdout.contains("`n`"), "the finding names the tainted value: {stdout}");
+}
+
+/// The acceptance scenario for event-loop purity: a `thread::sleep`
+/// planted in the evented engine's annotated entry point must fail the
+/// scan.
+#[test]
+fn event_loop_fires_when_sleep_is_planted_in_the_real_loop() {
+    let engine = fs::read_to_string(repo_root().join("crates/predictd/src/server_evented.rs"))
+        .expect("server_evented");
+
+    // The shipped engine is clean under the event-loop rule.
+    let (code, stdout) = scan_temp_tree("ev-clean", "event-loop", &[("engine.rs", &engine)]);
+    assert_eq!(code, 0, "shipped server_evented.rs must scan clean:\n{stdout}");
+
+    // Plant a sleep right after the loop sets up its epoll.
+    let anchor = "let epoll = Epoll::new()?;";
+    let planted = format!("{anchor}\n    std::thread::sleep(std::time::Duration::from_millis(1));");
+    let mutated = engine.replacen(anchor, &planted, 1);
+    assert_ne!(mutated, engine, "the epoll setup anchor moved; update this test");
+
+    let (code, stdout) = scan_temp_tree("ev-inj", "event-loop", &[("engine.rs", &mutated)]);
+    assert_eq!(code, 1, "a planted sleep must fail the scan:\n{stdout}");
+    assert!(stdout.contains("event-loop"), "{stdout}");
+    assert!(stdout.contains("sleep"), "{stdout}");
+    assert!(stdout.contains("event_loop"), "the finding names the entry point: {stdout}");
 }

@@ -1,0 +1,68 @@
+//! Fixture crate opting into the event-loop purity rule. Seeded
+//! violations: the annotated loop blocks three ways itself (mutex
+//! lock, sleep, stdio macro), and its directly-called helper blocks
+//! two more (shard write-lock, `write_all`). Unannotated functions,
+//! `read_lock`, and the justified allow stay silent.
+//!
+//! modelcheck: event-loop
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Shared loop state.
+pub struct State {
+    /// Request tally, mutex-guarded (wrongly, for the fixture).
+    pub hits: Mutex<u64>,
+    /// Lock-free epoch counter for the designed read path.
+    pub epoch: AtomicU64,
+}
+
+/// Seeded: the annotated loop itself blocks three ways.
+// modelcheck: event-loop
+pub fn event_loop(st: &State) {
+    let mut g = st.hits.lock().unwrap();
+    *g += 1;
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    println!("tick {g}");
+    drop(g);
+    accept_ready(st);
+}
+
+/// Seeded: a shard write-lock and blocking I/O one call level down.
+pub fn accept_ready(st: &State) {
+    use std::io::Write as _;
+    let hits = write_lock(st);
+    let mut out: Vec<u8> = Vec::new();
+    let _ = out.write_all(&hits.to_le_bytes());
+}
+
+/// A stand-in shard write-lock acquisition (lock-free here so its own
+/// body seeds nothing — only the *call* above is the finding).
+pub fn write_lock(st: &State) -> u64 {
+    st.epoch.load(Ordering::Relaxed)
+}
+
+/// Not seeded: `read_lock` is the designed hot path and stays exempt.
+// modelcheck: event-loop
+pub fn on_readable(st: &State) -> u64 {
+    read_lock(st)
+}
+
+/// A stand-in core-local replica read (lock-free by design).
+pub fn read_lock(st: &State) -> u64 {
+    st.epoch.load(Ordering::Relaxed)
+}
+
+/// Not seeded: blocking is fine off-loop in an unannotated fn.
+pub fn offline_maintenance(st: &State) {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let mut g = st.hits.lock().unwrap();
+    *g = 0;
+}
+
+/// Not seeded: the allow escape hatch holds with a stated reason.
+// modelcheck: event-loop
+pub fn startup(st: &State) {
+    // modelcheck-allow: event-loop — fixture: banner prints before the loop spins
+    eprintln!("listening, epoch {}", st.epoch.load(Ordering::Relaxed));
+}

@@ -1,0 +1,124 @@
+//! Fixture crate opting into the wire-taint dataflow rule. Seeded
+//! violations: one of each sink shape fed by an unguarded wire-decoded
+//! length — capacity allocation, `reserve`, `resize`, the repeat-count
+//! `vec!`, a slice index, a loop bound, and a raw `recv_frame*`
+//! length. The guarded twins stay silent: `.min(` caps at the binding
+//! or the use, an early-return bounds check, else-branch domination,
+//! and an `assert!`.
+//!
+//! modelcheck: wire-taint
+
+/// A stand-in wire cursor over a received frame.
+pub struct Cur {
+    /// Remaining frame bytes.
+    pub buf: Vec<u8>,
+}
+
+impl Cur {
+    /// Decodes a little-endian length word off the wire.
+    pub fn u32(&mut self) -> u32 {
+        let mut word = [0u8; 4];
+        word.copy_from_slice(&self.buf[..4]);
+        u32::from_le_bytes(word)
+    }
+}
+
+/// A stand-in frame receive whose name marks its result wire-derived.
+pub fn recv_frame_len(_sock: &mut impl std::io::Read) -> usize {
+    8
+}
+
+/// Seeded: a tainted capacity allocation.
+pub fn alloc_with_capacity(cur: &mut Cur) -> Vec<u8> {
+    let len = cur.u32() as usize;
+    Vec::with_capacity(len)
+}
+
+/// Seeded: a tainted `reserve`.
+pub fn grow_reserve(cur: &mut Cur, out: &mut Vec<u8>) {
+    let extra = cur.u32() as usize;
+    out.reserve(extra);
+}
+
+/// Seeded: a tainted `resize`.
+pub fn grow_resize(cur: &mut Cur, out: &mut Vec<u8>) {
+    let len = cur.u32() as usize;
+    out.resize(len, 0);
+}
+
+/// Seeded: a tainted repeat count in `vec!`.
+pub fn alloc_vec_macro(cur: &mut Cur) -> Vec<u8> {
+    let n = cur.u32() as usize;
+    vec![0u8; n]
+}
+
+/// Seeded: a tainted slice index.
+pub fn index_unchecked(cur: &mut Cur, table: &[u8]) -> u8 {
+    let idx = cur.u32() as usize;
+    table[idx]
+}
+
+/// Seeded: a tainted loop bound.
+pub fn loop_unchecked(cur: &mut Cur) -> u64 {
+    let rows = cur.u32() as usize;
+    let mut acc = 0u64;
+    for _ in 0..rows {
+        acc += 1;
+    }
+    acc
+}
+
+/// Seeded: a raw `recv_frame*` length used directly as a resize.
+pub fn recv_unchecked(sock: &mut impl std::io::Read) -> Vec<u8> {
+    let len = recv_frame_len(sock);
+    let mut body = Vec::new();
+    body.resize(len, 0);
+    body
+}
+
+/// Not seeded: `.min(` at the use site caps the allocation.
+pub fn capped_at_use(cur: &mut Cur) -> Vec<u8> {
+    let len = cur.u32() as usize;
+    Vec::with_capacity(len.min(4096))
+}
+
+/// Not seeded: `.min(` at the binding cleans every later use.
+pub fn capped_at_binding(sock: &mut impl std::io::Read) -> Vec<u8> {
+    let len = recv_frame_len(sock).min(4096);
+    let mut body = Vec::new();
+    body.resize(len, 0);
+    body
+}
+
+/// Not seeded: an early-return bounds check dominates the sink.
+pub fn guarded_by_early_return(cur: &mut Cur, max: usize) -> Vec<u8> {
+    let len = cur.u32() as usize;
+    if len > max {
+        return Vec::new();
+    }
+    vec![0u8; len]
+}
+
+/// Not seeded: the branches of a bounds check are each dominated.
+pub fn guarded_by_else(cur: &mut Cur, max: usize) -> Vec<u8> {
+    let len = cur.u32() as usize;
+    if len > max {
+        Vec::new()
+    } else {
+        Vec::with_capacity(len)
+    }
+}
+
+/// Not seeded: an `assert!` establishes the bound before the index.
+pub fn guarded_by_assert(cur: &mut Cur, table: &[u8]) -> u8 {
+    let idx = cur.u32() as usize;
+    assert!(idx < table.len());
+    table[idx]
+}
+
+/// Not seeded: the allow escape hatch holds with a stated reason.
+pub fn allowed_with_reason(cur: &mut Cur) -> Vec<u8> {
+    let len = cur.u32() as usize;
+    // modelcheck-allow: wire-taint — fixture: peer is loopback-only here
+    Vec::with_capacity(len)
+}

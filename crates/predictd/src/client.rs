@@ -15,6 +15,12 @@ use std::net::{TcpStream, ToSocketAddrs};
 use crate::binproto;
 use crate::proto::{Request, Response};
 
+/// Largest reply frame the client will accept. The daemon's default
+/// request limit is 1 MiB (`ServerConfig::max_frame_bytes`); 16 MiB
+/// leaves headroom for large responses while keeping a corrupt or
+/// hostile length word from forcing a multi-gigabyte allocation.
+pub const MAX_REPLY_FRAME_BYTES: usize = 16 << 20;
+
 /// What can go wrong talking to the daemon.
 #[derive(Debug)]
 pub enum ClientError {
@@ -110,7 +116,10 @@ impl Client {
 
     /// Reads one binary frame body (tag + payload, the length prefix
     /// stripped) into `body` (cleared first), reusing the caller's
-    /// buffer.
+    /// buffer. Frames longer than [`MAX_REPLY_FRAME_BYTES`] are
+    /// rejected before any allocation: the length word arrives off the
+    /// wire, and a corrupt or hostile peer must not be able to make the
+    /// client allocate 4 GiB.
     pub fn recv_frame_into(&mut self, body: &mut Vec<u8>) -> Result<(), ClientError> {
         let mut len4 = [0u8; 4];
         self.reader.read_exact(&mut len4).map_err(|e| {
@@ -121,6 +130,11 @@ impl Client {
             }
         })?;
         let len = usize::try_from(u32::from_le_bytes(len4)).unwrap_or(usize::MAX);
+        if len > MAX_REPLY_FRAME_BYTES {
+            return Err(ClientError::Protocol(format!(
+                "reply frame of {len} bytes exceeds the {MAX_REPLY_FRAME_BYTES}-byte limit"
+            )));
+        }
         body.clear();
         body.resize(len, 0);
         self.reader.read_exact(body)?;

@@ -85,6 +85,22 @@ fn check(ret: i32) -> io::Result<i32> {
     }
 }
 
+/// Re-runs a syscall-shaped operation while it reports `EINTR`.
+///
+/// A signal delivered mid-call (profiler ticks, `SIGCHLD` from a test
+/// harness) makes the kernel return early with `EINTR`; treating that
+/// as failure silently drops wakeups. Every other error — including
+/// `EAGAIN` on the nonblocking eventfd, which callers treat as
+/// success-with-nothing-to-do — passes straight through.
+fn retry_eintr<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
 /// An owned epoll instance.
 pub struct Epoll {
     fd: OwnedFd,
@@ -130,19 +146,14 @@ impl Epoll {
     /// `EINTR` is retried internally.
     pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
         let cap = i32::try_from(events.len()).unwrap_or(i32::MAX).max(1);
-        loop {
+        let n = retry_eintr(|| {
             // SAFETY: the buffer is valid for `cap` records for the call.
             let n =
                 unsafe { epoll_wait(self.fd.as_raw_fd(), events.as_mut_ptr(), cap, timeout_ms) };
-            if n >= 0 {
-                // n is bounded by cap, which came from a usize.
-                return Ok(usize::try_from(n).unwrap_or(0));
-            }
-            let e = io::Error::last_os_error();
-            if e.kind() != io::ErrorKind::Interrupted {
-                return Err(e);
-            }
-        }
+            check(n)
+        })?;
+        // n is bounded by cap, which came from a usize.
+        Ok(usize::try_from(n).unwrap_or(0))
     }
 }
 
@@ -167,18 +178,35 @@ impl Waker {
     }
 
     /// Wakes the owning loop. Best-effort: a full counter (already
-    /// pending wakeups) is success.
+    /// pending wakeups, `EAGAIN`) is success — but an `EINTR`'d write
+    /// is retried, because dropping it would lose the wakeup entirely.
     pub fn wake(&self) {
         let one: u64 = 1;
-        // SAFETY: 8 valid bytes; eventfd writes are atomic.
-        let _ = unsafe { write(self.fd.as_raw_fd(), one.to_ne_bytes().as_ptr(), 8) };
+        let _ = retry_eintr(|| {
+            // SAFETY: 8 valid bytes; eventfd writes are atomic.
+            let n = unsafe { write(self.fd.as_raw_fd(), one.to_ne_bytes().as_ptr(), 8) };
+            if n < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        });
     }
 
     /// Clears pending wakeups after the loop observed readability.
+    /// `EINTR` is retried: leaving the counter set would make the
+    /// level-triggered epoll re-report readability and spin the loop.
     pub fn drain(&self) {
         let mut buf = [0u8; 8];
-        // SAFETY: 8 valid bytes.
-        let _ = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), 8) };
+        let _ = retry_eintr(|| {
+            // SAFETY: 8 valid bytes.
+            let n = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), 8) };
+            if n < 0 {
+                Err(io::Error::last_os_error())
+            } else {
+                Ok(())
+            }
+        });
     }
 }
 
@@ -276,6 +304,31 @@ mod tests {
         let mut buf = [0u8; 2];
         conn.read_exact(&mut buf).expect("read");
         assert_eq!(&buf, b"hi");
+    }
+
+    #[test]
+    fn retry_eintr_retries_interrupts_and_passes_other_errors_through() {
+        // Two simulated signal interruptions, then success.
+        let mut calls = 0;
+        let out = retry_eintr(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::from(io::ErrorKind::Interrupted))
+            } else {
+                Ok(8isize)
+            }
+        });
+        assert_eq!(out.expect("retried to success"), 8);
+        assert_eq!(calls, 3);
+
+        // A non-EINTR error is not retried: one call, error returned.
+        let mut calls = 0;
+        let out: io::Result<()> = retry_eintr(|| {
+            calls += 1;
+            Err(io::Error::from(io::ErrorKind::WouldBlock))
+        });
+        assert_eq!(out.expect_err("passed through").kind(), io::ErrorKind::WouldBlock);
+        assert_eq!(calls, 1);
     }
 
     #[test]

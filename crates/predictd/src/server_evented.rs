@@ -178,6 +178,7 @@ const TOKEN_CONNS: u64 = 2;
 
 /// One worker's loop: accept, sniff, parse, handle (with core-local
 /// affinity), write — all nonblocking, all level-triggered.
+// modelcheck: event-loop
 fn event_loop(
     listener: TcpListener,
     waker: &Waker,
@@ -331,6 +332,7 @@ fn on_readable(
 
 /// Sniffs the codec if needed, then parses and handles everything
 /// complete in `rbuf`, appending encoded responses to `wbuf`.
+// modelcheck: event-loop
 fn process_rbuf(
     conn: &mut Conn,
     service: &Service,

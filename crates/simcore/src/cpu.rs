@@ -93,7 +93,7 @@ impl PsCpu {
         debug_assert!(now >= self.last_update, "PsCpu time went backwards");
         let total_w: f64 = self.jobs.iter().map(|&(_, _, w)| w).sum();
         if total_w > 0.0 {
-            let elapsed = (now - self.last_update).as_nanos() as f64;
+            let elapsed = crate::num::f64_approx_from_nanos((now - self.last_update).as_nanos());
             for (_, rem, w) in &mut self.jobs {
                 *rem = (*rem - elapsed * *w / total_w).max(0.0);
             }
@@ -106,7 +106,7 @@ impl PsCpu {
         self.jobs
             .iter()
             .find(|(j, _, _)| *j == id)
-            .map(|(_, rem, _)| SimDuration(rem.ceil() as u64))
+            .map(|(_, rem, _)| SimDuration(crate::num::sat_u64_from_f64(rem.ceil())))
     }
 }
 
@@ -115,7 +115,7 @@ impl Cpu for PsCpu {
         assert!(!self.contains(id), "job {id} already on CPU");
         assert!(weight > 0.0, "weight must be positive");
         self.advance(now);
-        self.jobs.push((id, work.as_nanos() as f64, weight));
+        self.jobs.push((id, crate::num::f64_approx_from_nanos(work.as_nanos()), weight));
         self.generation += 1;
     }
 
@@ -124,7 +124,7 @@ impl Cpu for PsCpu {
         let pos = self.jobs.iter().position(|(j, _, _)| *j == id)?;
         let (_, rem, _) = self.jobs.swap_remove(pos);
         self.generation += 1;
-        Some(SimDuration(rem.ceil() as u64))
+        Some(SimDuration(crate::num::sat_u64_from_f64(rem.ceil())))
     }
 
     fn next_event(&self) -> Option<(SimTime, Gen)> {
@@ -137,7 +137,7 @@ impl Cpu for PsCpu {
         // finishes the job.
         let eta_ns =
             self.jobs.iter().map(|&(_, rem, w)| rem * total_w / w).fold(f64::INFINITY, f64::min);
-        let eta = SimDuration(eta_ns.ceil() as u64);
+        let eta = SimDuration(crate::num::sat_u64_from_f64(eta_ns.ceil()));
         Some((self.last_update + eta, self.generation))
     }
 

@@ -32,6 +32,7 @@ pub mod cpu;
 pub mod engine;
 pub mod fifo;
 pub mod ids;
+pub mod num;
 pub mod queue;
 pub mod rng;
 pub mod stats;

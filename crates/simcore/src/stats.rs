@@ -23,7 +23,7 @@ impl Accum {
     pub fn push(&mut self, x: f64) {
         self.n += 1;
         let delta = x - self.mean;
-        self.mean += delta / self.n as f64;
+        self.mean += delta / crate::num::f64_from_u64(self.n);
         self.m2 += delta * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
@@ -48,7 +48,7 @@ impl Accum {
         if self.n < 2 {
             0.0
         } else {
-            self.m2 / (self.n - 1) as f64
+            self.m2 / crate::num::f64_from_u64(self.n - 1)
         }
     }
 
@@ -151,8 +151,8 @@ pub fn kendall_tau(a: &[f64], b: &[f64]) -> Option<f64> {
             }
         }
     }
-    let pairs = (n * (n - 1) / 2) as f64;
-    Some((concordant - discordant) as f64 / pairs)
+    let pairs = crate::num::f64_from_usize(n * (n - 1) / 2);
+    Some(crate::num::f64_from_i64(concordant - discordant) / pairs)
 }
 
 /// Least-squares line fit `y ≈ intercept + slope·x`.
@@ -170,7 +170,7 @@ impl LinearFit {
     /// Fits a line to `(x, y)` points. Requires at least two points with
     /// distinct x values; returns `None` otherwise.
     pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
-        let n = points.len() as f64;
+        let n = crate::num::f64_from_usize(points.len());
         if points.len() < 2 {
             return None;
         }

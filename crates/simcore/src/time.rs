@@ -35,7 +35,7 @@ impl SimTime {
 
     /// This instant as seconds since the start of the run.
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / NANOS_PER_SEC_F
+        crate::num::f64_approx_from_nanos(self.0) / NANOS_PER_SEC_F
     }
 
     /// Time elapsed since `earlier`. Panics in debug builds if `earlier`
@@ -85,7 +85,7 @@ impl SimDuration {
 
     /// This span in seconds.
     pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / NANOS_PER_SEC_F
+        crate::num::f64_approx_from_nanos(self.0) / NANOS_PER_SEC_F
     }
 
     /// This span in whole nanoseconds.
@@ -116,16 +116,13 @@ impl SimDuration {
 }
 
 /// Converts non-negative seconds to nanoseconds, rounding up, saturating.
+/// NaN and negatives map to zero; overflow clamps to `u64::MAX` inside
+/// [`crate::num::sat_u64_from_f64`].
 fn secs_to_nanos(secs: f64) -> u64 {
     if secs.is_nan() || secs <= 0.0 {
         return 0;
     }
-    let nanos = (secs * NANOS_PER_SEC_F).ceil();
-    if nanos >= u64::MAX as f64 {
-        u64::MAX
-    } else {
-        nanos as u64
-    }
+    crate::num::sat_u64_from_f64((secs * NANOS_PER_SEC_F).ceil())
 }
 
 impl Add<SimDuration> for SimTime {

@@ -105,8 +105,13 @@ impl Tracer {
         for lane in &lanes {
             let mut row = vec![b'.'; width];
             for s in self.spans.iter().filter(|s| &s.lane == lane) {
-                let a = (((s.start - t0).as_secs_f64() / total) * width as f64) as usize;
-                let b = (((s.end - t0).as_secs_f64() / total) * width as f64).ceil() as usize;
+                let a = crate::num::sat_usize_from_f64(
+                    ((s.start - t0).as_secs_f64() / total) * crate::num::f64_from_usize(width),
+                );
+                let b = crate::num::sat_usize_from_f64(
+                    (((s.end - t0).as_secs_f64() / total) * crate::num::f64_from_usize(width))
+                        .ceil(),
+                );
                 let ch = s.label.bytes().next().unwrap_or(b'?');
                 for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
                     *cell = ch;
