@@ -225,6 +225,7 @@ fn service_report() -> Value {
         ("predictd_load_report".to_string(), throughput(load_report)),
         ("predictd_predict".to_string(), throughput(predict)),
         ("concurrency_sweep".to_string(), concurrency_sweep()),
+        ("gateway_sweep".to_string(), gateway_sweep()),
     ])
 }
 
@@ -387,6 +388,121 @@ fn concurrency_sweep() -> Value {
         (
             "binary_evented_16_vs_pooled_json_4".to_string(),
             Value::Float(binary_16 / pooled_json_4.max(1e-9)),
+        ),
+    ])
+}
+
+/// Federation overhead per hop: the same mixed binary traffic against
+/// one monolithic evented predictd, then against one `predictgw`
+/// fronting 1, 2, and 4 backends. Every gateway request pays at least
+/// one extra loopback hop (and `load_report` pays one per backend, by
+/// broadcast), so `gateway_1backend_vs_monolithic` is the per-hop cost
+/// tracked across PRs; the 2- and 4-backend points show how fan-out
+/// amortizes it. Fixtures are leaked per point — this is a short-lived
+/// dump process, the same trade the e2e tests make.
+fn gateway_sweep() -> Value {
+    use bench::loadgen::{drive, Codec, GenConfig, Mix};
+    use predictd::proto::Request;
+    use predictd::{Client, EventedServer, ServerConfig, Service, ServiceConfig};
+    use predictgw::{Gateway, GatewayConfig, GatewayServer};
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    const REQUESTS_PER_CONN: usize = 1000;
+    const PIPELINE: usize = 32;
+    const CONNS: usize = 4;
+    const TRIALS: usize = 2;
+
+    let cfg = GenConfig {
+        conns: CONNS,
+        requests_per_conn: REQUESTS_PER_CONN,
+        pipeline: PIPELINE,
+        mix: Mix::default(),
+        codec: Codec::Binary,
+    };
+    let best_run = |addr| {
+        let mut best: Option<bench::loadgen::Summary> = None;
+        for _ in 0..TRIALS {
+            let s = drive(addr, &cfg).expect("loadgen run");
+            if best.as_ref().is_none_or(|b| s.requests_per_sec > b.requests_per_sec) {
+                best = Some(s);
+            }
+        }
+        best.expect("at least one trial")
+    };
+    let spawn_backend = || {
+        let service: &'static Service =
+            Box::leak(Box::new(Service::with_default_predictor(ServiceConfig::default())));
+        let scfg: &'static ServerConfig = Box::leak(Box::new(ServerConfig::default()));
+        let server =
+            EventedServer::bind("127.0.0.1:0".parse().expect("loopback addr"), 2).expect("bind");
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.run(service, scfg).expect("backend run"));
+        (addr, handle)
+    };
+    let shutdown = |addr| {
+        let mut client = Client::connect_binary(addr).expect("shutdown connection");
+        client.request(&Request::Shutdown).expect("shutdown");
+    };
+
+    // Monolithic baseline: the same engine the gateway's backends run.
+    let (mono_addr, mono_handle) = spawn_backend();
+    let mono = best_run(mono_addr);
+    shutdown(mono_addr);
+    mono_handle.join().expect("monolithic server exits");
+
+    let mut points = Vec::new();
+    let mut one_backend_rps = 0.0;
+    for n in [1usize, 2, 4] {
+        let mut addrs = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..n {
+            let (addr, handle) = spawn_backend();
+            addrs.push(addr);
+            handles.push(handle);
+        }
+        let gateway: &'static Gateway = Box::leak(Box::new(
+            Gateway::new(GatewayConfig {
+                backends: addrs.iter().map(|a| a.to_string()).collect(),
+                ..GatewayConfig::default()
+            })
+            .expect("gateway"),
+        ));
+        let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let scfg: &'static ServerConfig = Box::leak(Box::new(ServerConfig::default()));
+        let server = GatewayServer::bind("127.0.0.1:0".parse().expect("loopback addr"), 2)
+            .expect("bind gateway");
+        let gw_addr = server.local_addr();
+        let gw_handle =
+            thread::spawn(move || server.run(gateway, scfg, stop).expect("gateway run"));
+
+        let summary = best_run(gw_addr);
+        if n == 1 {
+            one_backend_rps = summary.requests_per_sec;
+        }
+        let point = match sweep_point(CONNS, PIPELINE, &summary) {
+            Value::Map(mut entries) => {
+                entries.insert(0, ("backends".to_string(), Value::UInt(n as u64)));
+                Value::Map(entries)
+            }
+            other => other,
+        };
+        points.push(point);
+
+        shutdown(gw_addr);
+        gw_handle.join().expect("gateway exits");
+        for (addr, handle) in addrs.iter().zip(handles) {
+            shutdown(*addr);
+            handle.join().expect("backend exits");
+        }
+    }
+
+    Value::Map(vec![
+        ("monolithic_baseline".to_string(), sweep_point(CONNS, PIPELINE, &mono)),
+        ("gateway".to_string(), Value::Seq(points)),
+        (
+            "gateway_1backend_vs_monolithic".to_string(),
+            Value::Float(one_backend_rps / mono.requests_per_sec.max(1e-9)),
         ),
     ])
 }

@@ -1,4 +1,6 @@
-//! Command-line traffic generator for a running `predictd`.
+//! Command-line traffic generator for a running `predictd` — or a
+//! `predictgw` federation gateway, which speaks the same protocol and
+//! answers the post-run `stats` probe with its per-backend counters.
 //!
 //! ```text
 //! loadgen --connect 127.0.0.1:7171 [--conns 4] [--requests 1000]
@@ -119,18 +121,42 @@ fn run(args: &Args) -> Result<(), String> {
     let mut client =
         Client::connect(args.addr).map_err(|e| format!("stats connection failed: {e}"))?;
     let resp = client.request(&Request::Stats).map_err(|e| format!("stats request failed: {e}"))?;
-    let Response::Stats(st) = resp else {
-        return Err(format!("want stats reply, got {resp:?}"));
-    };
-    println!(
-        "server histogram: count {} p50 {}us p99 {}us max {}us (uptime {:.1}s, {} machines)",
-        st.latency_us.count,
-        st.latency_us.p50_us,
-        st.latency_us.p99_us,
-        st.latency_us.max_us,
-        st.uptime_secs,
-        st.machines,
-    );
+    match resp {
+        Response::Stats(st) => println!(
+            "server histogram: count {} p50 {}us p99 {}us max {}us (uptime {:.1}s, {} machines)",
+            st.latency_us.count,
+            st.latency_us.p50_us,
+            st.latency_us.p99_us,
+            st.latency_us.max_us,
+            st.uptime_secs,
+            st.machines,
+        ),
+        // A gateway target answers with its federation counters; print
+        // the routing split and the per-backend request distribution.
+        Response::GwStats(gs) => {
+            println!(
+                "gateway: {} hits, {} misses, {} failovers, journal {} frames / {} bytes \
+                 (uptime {:.1}s)",
+                gs.hits,
+                gs.misses,
+                gs.failovers,
+                gs.journal_frames,
+                gs.journal_bytes,
+                gs.uptime_secs,
+            );
+            for b in &gs.backends {
+                println!(
+                    "backend {}: {} requests, {} failovers, {} replayed{}",
+                    b.addr,
+                    b.requests,
+                    b.failovers,
+                    b.replayed,
+                    if b.healthy { "" } else { " (down)" },
+                );
+            }
+        }
+        other => return Err(format!("want stats reply, got {other:?}")),
+    }
     Ok(())
 }
 

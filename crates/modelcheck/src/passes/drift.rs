@@ -1,20 +1,33 @@
 //! The `protocol-drift` pass: the wire protocol is defined in four
 //! places and they must agree.
 //!
-//! 1. `crates/predictd/src/proto.rs` — the `Request`/`Response` enums
+//! 1. `crates/proto/src/proto.rs` — the `Request`/`Response` enums
 //!    and their `kind()` tag strings are the source of truth.
-//! 2. `crates/predictd/src/codec.rs` — the fast path must handle (or
+//! 2. `crates/proto/src/codec.rs` — the fast path must handle (or
 //!    *explicitly decline*, like `"rank" => None` or
 //!    `Response::Ranked(_) => return false`) every kind; a variant
 //!    added to proto.rs without touching codec.rs silently routes all
 //!    traffic for it through the slow generic path — or worse, drifts
 //!    the fast writer away from byte-identity.
-//! 3. `crates/predictd/src/binproto.rs` — the binary codec must give
+//! 3. `crates/proto/src/binproto.rs` — the binary codec must give
 //!    every kind a frame layout (or decline it explicitly, the same
 //!    variant-mention rule); a kind missing here would serialize over
 //!    JSON but fail the moment a client negotiates binary.
 //! 4. The wire-protocol table in DESIGN.md §8 — operators read the
 //!    docs, not the source.
+//! 5. `crates/predictgw/src/gateway.rs` — the federation gateway's
+//!    dispatch must mention every *request* kind (route it, fan it
+//!    out, or decline it explicitly); a request kind added to proto.rs
+//!    without a gateway arm would error at the gateway for traffic
+//!    every backend understands. Response kinds are exempt: the
+//!    gateway forwards backend responses opaquely.
+//! 6. The journal-record table in DESIGN.md §9 against the `REC_*`
+//!    constants in `crates/predictgw/src/journal.rs` — the journal is
+//!    an on-disk format operators may have to inspect long after the
+//!    gateway that wrote it is gone, so its documented record tags are
+//!    held to the same no-drift rule as the wire table. Rows look like
+//!    `| `0x02` | `REC_REPORT` | … |`; both name and tag byte must
+//!    match the constants exactly.
 //!
 //! The pass lexes proto.rs and harvests `(direction, Variant, "kind")`
 //! triples from the enum declarations and the single-line match arms
@@ -37,13 +50,17 @@ use crate::lexer::{TokKind, Token};
 use crate::{Diagnostic, FileScope, Rule};
 
 /// Workspace-relative location of the protocol source of truth.
-pub const PROTO_REL: &str = "crates/predictd/src/proto.rs";
+pub const PROTO_REL: &str = "crates/proto/src/proto.rs";
 /// Workspace-relative location of the fast-path codec.
-pub const CODEC_REL: &str = "crates/predictd/src/codec.rs";
+pub const CODEC_REL: &str = "crates/proto/src/codec.rs";
 /// Workspace-relative location of the binary codec.
-pub const BINPROTO_REL: &str = "crates/predictd/src/binproto.rs";
+pub const BINPROTO_REL: &str = "crates/proto/src/binproto.rs";
 /// Workspace-relative location of the protocol documentation.
 pub const DESIGN_REL: &str = "DESIGN.md";
+/// Workspace-relative location of the federation gateway's dispatch.
+pub const GATEWAY_REL: &str = "crates/predictgw/src/gateway.rs";
+/// Workspace-relative location of the journal record format.
+pub const JOURNAL_REL: &str = "crates/predictgw/src/journal.rs";
 
 /// One protocol side: enum variants and the kind tags paired with them.
 #[derive(Debug, Default)]
@@ -254,6 +271,66 @@ impl CodecCoverage {
     }
 }
 
+/// Parses a numeric token (or table cell) like `0x02` into its value.
+/// `None` for anything that is not a plain hex literal.
+fn hex_value(text: &str) -> Option<u64> {
+    let digits = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))?;
+    let digits: String = digits.chars().filter(|c| *c != '_').collect();
+    u64::from_str_radix(&digits, 16).ok()
+}
+
+/// Harvests `const REC_* : u8 = 0x…` declarations from journal.rs
+/// tokens: `(name, tag value, 1-based line)`.
+fn journal_consts(input: &FileInput<'_>) -> Vec<(String, u64, usize)> {
+    let mut out = Vec::new();
+    let toks = input.code_tokens();
+    for (k, t) in toks.iter().enumerate() {
+        let decl = t.kind == TokKind::Ident
+            && t.text == "const"
+            && toks.get(k + 1).is_some_and(|n| n.kind == TokKind::Ident)
+            && toks[k + 1].text.starts_with("REC_")
+            && toks.get(k + 2).is_some_and(|n| n.text == ":")
+            && toks.get(k + 3).is_some_and(|n| n.text == "u8")
+            && toks.get(k + 4).is_some_and(|n| n.text == "=")
+            && toks.get(k + 5).is_some_and(|n| n.kind == TokKind::Number);
+        if !decl || input.in_test(t.line) {
+            continue;
+        }
+        if let Some(v) = hex_value(toks[k + 5].text) {
+            out.push((toks[k + 1].text.to_string(), v, t.line));
+        }
+    }
+    out
+}
+
+/// A DESIGN.md journal-table row `| `0xNN` | `REC_X` | … |`:
+/// `(tag value, record name, 1-based line)`. The hex-tag first cell
+/// keeps these rows disjoint from the wire table's `| `kind` |
+/// request/response |` shape, so neither check misreads the other's
+/// table.
+fn design_journal_rows(design: &str) -> Vec<(u64, String, usize)> {
+    let mut rows = Vec::new();
+    for (i, line) in design.lines().enumerate() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() < 4 {
+            continue;
+        }
+        let Some(tag) = cells[1].strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+            continue;
+        };
+        let Some(name) = cells[2].strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+            continue;
+        };
+        if !name.starts_with("REC_") {
+            continue;
+        }
+        if let Some(v) = hex_value(tag) {
+            rows.push((v, name.to_string(), i + 1));
+        }
+    }
+    rows
+}
+
 /// A DESIGN.md wire-table row: (direction, kind, 1-based line).
 fn design_rows(design: &str) -> Vec<(String, String, usize)> {
     let mut rows = Vec::new();
@@ -274,11 +351,14 @@ fn design_rows(design: &str) -> Vec<(String, String, usize)> {
     rows
 }
 
-/// The testable core: checks the four protocol views against each
+/// The testable core: checks the six protocol views against each
 /// other. `binproto` is `None` when the binary codec file is absent
 /// (one finding — a protocol without a binary layout is drift in
-/// itself); `design` is `None` when DESIGN.md is absent. The flat
-/// `(rel, text)` pairs keep fixtures trivial to feed in tests.
+/// itself); `design` is `None` when DESIGN.md is absent; `gateway` and
+/// `journal` are `None` when the workspace has no gateway tier
+/// (silently skipped — the gateway is a subscriber to the protocol,
+/// not part of it). The flat `(rel, text)` pairs keep fixtures trivial
+/// to feed in tests.
 #[allow(clippy::too_many_arguments)]
 pub fn check(
     proto_rel: &str,
@@ -289,6 +369,10 @@ pub fn check(
     binproto: Option<&str>,
     design_rel: &str,
     design: Option<&str>,
+    gateway_rel: &str,
+    gateway: Option<&str>,
+    journal_rel: &str,
+    journal: Option<&str>,
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let (proto_in, lex1) = FileInput::build(proto_rel, proto, FileScope::NONE);
@@ -330,6 +414,18 @@ pub fn check(
             None
         }
     };
+
+    // The gateway dispatch is held to the coverage rule for request
+    // kinds only; a half-lexed gateway is skipped (its own per-file
+    // passes report the lex failure).
+    let gw_cov = gateway.and_then(|text| {
+        let (gw_in, lex4) = FileInput::build(gateway_rel, text, FileScope::NONE);
+        if lex4.is_empty() {
+            Some(harvest_codec(&gw_in))
+        } else {
+            None
+        }
+    });
 
     let rows = design.map(design_rows);
     if let Some(rows) = &rows {
@@ -386,6 +482,23 @@ pub fn check(
                     ));
                 }
             }
+            if *dir == "request" {
+                if let Some(gw) = &gw_cov {
+                    if !gw.covers(dir, variant, kind) {
+                        diags.push(Diagnostic::at_line(
+                            gateway_rel,
+                            1,
+                            Rule::ProtocolDrift,
+                            format!(
+                                "request kind {kind:?} (`{variant}`) has no dispatch \
+                                 arm or explicit decline in the gateway — route it, \
+                                 fan it out, or decline it explicitly so federated \
+                                 clients cannot drift from the backends"
+                            ),
+                        ));
+                    }
+                }
+            }
             if let Some(rows) = &rows {
                 if !rows.is_empty() && !rows.iter().any(|(d, k, _)| d == dir && k == kind) {
                     diags.push(Diagnostic::at_line(
@@ -417,6 +530,65 @@ pub fn check(
             }
         }
     }
+
+    // The journal on-disk format: every REC_* constant needs a
+    // documented row with the matching tag byte, and every documented
+    // row must name a live constant. A half-lexed journal is skipped
+    // (its own per-file passes report the lex failure).
+    if let (Some(journal), Some(design)) = (journal, design) {
+        let (j_in, lexj) = FileInput::build(journal_rel, journal, FileScope::NONE);
+        if lexj.is_empty() {
+            let consts = journal_consts(&j_in);
+            let rows = design_journal_rows(design);
+            if !consts.is_empty() && rows.is_empty() {
+                diags.push(Diagnostic::at_line(
+                    design_rel,
+                    1,
+                    Rule::ProtocolDrift,
+                    "no journal-record table found (rows of the form \
+                     `| \u{60}0xNN\u{60} | \u{60}REC_X\u{60} | … |`) — document the \
+                     journal's on-disk format"
+                        .to_string(),
+                ));
+            }
+            for (name, value, line) in &consts {
+                match rows.iter().find(|(_, n, _)| n == name) {
+                    None if !rows.is_empty() => diags.push(Diagnostic::at_line(
+                        journal_rel,
+                        *line,
+                        Rule::ProtocolDrift,
+                        format!(
+                            "journal record `{name}` (tag {value:#04x}) has no row in \
+                             the DESIGN.md journal-record table"
+                        ),
+                    )),
+                    Some((tag, _, row_line)) if tag != value => diags.push(Diagnostic::at_line(
+                        design_rel,
+                        *row_line,
+                        Rule::ProtocolDrift,
+                        format!(
+                            "journal-record table tags `{name}` as {tag:#04x}, but \
+                             journal.rs defines it as {value:#04x}"
+                        ),
+                    )),
+                    _ => {}
+                }
+            }
+            for (tag, name, line) in &rows {
+                if !consts.iter().any(|(n, _, _)| n == name) {
+                    diags.push(Diagnostic::at_line(
+                        design_rel,
+                        *line,
+                        Rule::ProtocolDrift,
+                        format!(
+                            "journal-record table documents `{name}` (tag {tag:#04x}), \
+                             which does not exist in journal.rs"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
     diags
 }
 
@@ -436,6 +608,8 @@ pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
     };
     let binproto = fs::read_to_string(root.join(BINPROTO_REL)).ok();
     let design = fs::read_to_string(root.join(DESIGN_REL)).ok();
+    let gateway = fs::read_to_string(root.join(GATEWAY_REL)).ok();
+    let journal = fs::read_to_string(root.join(JOURNAL_REL)).ok();
     check(
         PROTO_REL,
         &proto,
@@ -445,6 +619,10 @@ pub fn check_workspace(root: &Path) -> Vec<Diagnostic> {
         binproto.as_deref(),
         DESIGN_REL,
         design.as_deref(),
+        GATEWAY_REL,
+        gateway.as_deref(),
+        JOURNAL_REL,
+        journal.as_deref(),
     )
 }
 
@@ -497,7 +675,118 @@ fn encode_resp(r: &Response) { match r { Response::Ok => (), } }\n";
         bin: Option<&str>,
         design: Option<&str>,
     ) -> Vec<Diagnostic> {
-        check("p.rs", proto, "c.rs", codec, "b.rs", bin, "D.md", design)
+        check("p.rs", proto, "c.rs", codec, "b.rs", bin, "D.md", design, "g.rs", None, "j.rs", None)
+    }
+
+    #[test]
+    fn gateway_must_dispatch_every_request_kind() {
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
+        // Full dispatch (variant mentions) is clean.
+        let gw =
+            "fn route(r: &Request) { match r { Request::Alpha(_) => (), Request::Beta => (), } }\n";
+        let d = check(
+            "p.rs",
+            PROTO,
+            "c.rs",
+            &c,
+            "b.rs",
+            Some(BINPROTO),
+            "D.md",
+            Some(DESIGN_OK),
+            "g.rs",
+            Some(gw),
+            "j.rs",
+            None,
+        );
+        assert!(d.is_empty(), "{d:?}");
+
+        // A request kind with no gateway arm is drift, filed at g.rs.
+        let gw = "fn route(r: &Request) { match r { Request::Alpha(_) => (), } }\n";
+        let d = check(
+            "p.rs",
+            PROTO,
+            "c.rs",
+            &c,
+            "b.rs",
+            Some(BINPROTO),
+            "D.md",
+            Some(DESIGN_OK),
+            "g.rs",
+            Some(gw),
+            "j.rs",
+            None,
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "g.rs");
+        assert!(d[0].message.contains("\"beta\""), "{}", d[0].message);
+        assert!(d[0].message.contains("gateway"), "{}", d[0].message);
+
+        // Response kinds are exempt: a gateway that never names
+        // Response::Ok stays clean (responses forward opaquely).
+        let gw = "fn route(r: &Request) { match r { Request::Alpha(_) => (), Request::Beta => (), } }\nfn fwd(bytes: &[u8]) -> &[u8] { bytes }\n";
+        let d = check(
+            "p.rs",
+            PROTO,
+            "c.rs",
+            &c,
+            "b.rs",
+            Some(BINPROTO),
+            "D.md",
+            Some(DESIGN_OK),
+            "g.rs",
+            Some(gw),
+            "j.rs",
+            None,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn journal_record_table_must_match_the_constants() {
+        let c = codec("        \"alpha\" => Some(Request::Alpha(x)),\n        \"beta\" => Some(Request::Beta),\n");
+        let journal = "pub const REC_META: u8 = 0x01;\npub const REC_REPORT: u8 = 0x02;\n";
+        let table =
+            |rows: &str| format!("{DESIGN_OK}\n| tag | record | payload |\n|---|---|---|\n{rows}");
+        let full = table("| `0x01` | `REC_META` | magic |\n| `0x02` | `REC_REPORT` | report |\n");
+        let ok = |design: &str| {
+            check(
+                "p.rs",
+                PROTO,
+                "c.rs",
+                &c,
+                "b.rs",
+                Some(BINPROTO),
+                "D.md",
+                Some(design),
+                "g.rs",
+                None,
+                "j.rs",
+                Some(journal),
+            )
+        };
+        assert!(ok(&full).is_empty(), "{:?}", ok(&full));
+
+        // A constant without a row is drift, filed at the constant.
+        let d = ok(&table("| `0x01` | `REC_META` | magic |\n"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "j.rs");
+        assert!(d[0].message.contains("REC_REPORT"), "{}", d[0].message);
+
+        // A row whose tag byte disagrees with the constant is drift.
+        let d = ok(&table("| `0x01` | `REC_META` | magic |\n| `0x07` | `REC_REPORT` | report |\n"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].file, "D.md");
+        assert!(d[0].message.contains("0x07") && d[0].message.contains("0x02"), "{}", d[0].message);
+
+        // A row documenting a record the code no longer writes is drift.
+        let d = ok(&format!("{full}| `0x03` | `REC_GHOST` | ? |\n"));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("does not exist"), "{}", d[0].message);
+
+        // Constants with no table at all is one finding.
+        let d = ok(DESIGN_OK);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("no journal-record table"), "{}", d[0].message);
     }
 
     #[test]

@@ -219,6 +219,8 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
     let codec = fs::read_to_string(root.join(drift::CODEC_REL)).expect("codec.rs");
     let binproto = fs::read_to_string(root.join(drift::BINPROTO_REL)).expect("binproto.rs");
     let design = fs::read_to_string(root.join(drift::DESIGN_REL)).expect("DESIGN.md");
+    let gateway = fs::read_to_string(root.join(drift::GATEWAY_REL)).expect("gateway.rs");
+    let journal = fs::read_to_string(root.join(drift::JOURNAL_REL)).expect("journal.rs");
 
     // The shipped protocol agrees with itself.
     let clean = drift::check(
@@ -230,6 +232,10 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
         Some(&binproto),
         "DESIGN.md",
         Some(&design),
+        drift::GATEWAY_REL,
+        Some(&gateway),
+        drift::JOURNAL_REL,
+        Some(&journal),
     );
     assert!(clean.is_empty(), "{clean:?}");
 
@@ -247,6 +253,10 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
         Some(&binproto),
         "DESIGN.md",
         Some(&design),
+        drift::GATEWAY_REL,
+        Some(&gateway),
+        drift::JOURNAL_REL,
+        Some(&journal),
     );
     assert!(
         diags.iter().any(|d| d.rule == Rule::ProtocolDrift
@@ -266,6 +276,44 @@ fn drift_fires_when_a_proto_variant_lacks_a_codec_arm() {
     assert!(
         diags.iter().any(|d| d.rule == Rule::ProtocolDrift && d.file == "DESIGN.md"),
         "{diags:?}"
+    );
+    // And the gateway has no dispatch arm for it: a federated client
+    // would be rejected at the gateway for a kind the backends accept.
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::ProtocolDrift
+            && d.file == drift::GATEWAY_REL
+            && d.message.contains("\"probe\"")
+            && d.message.contains("gateway")),
+        "expected a gateway drift finding for the injected variant: {diags:?}"
+    );
+
+    // Same rule for the journal's on-disk format: a new record tag in
+    // journal.rs without a DESIGN.md table row must fail the scan.
+    let j_injected = journal.replacen(
+        "pub const REC_META",
+        "pub const REC_PROBE: u8 = 0x7f;\npub const REC_META",
+        1,
+    );
+    assert_ne!(j_injected, journal, "injection point vanished from journal.rs");
+    let diags = drift::check(
+        drift::PROTO_REL,
+        &proto,
+        drift::CODEC_REL,
+        &codec,
+        drift::BINPROTO_REL,
+        Some(&binproto),
+        "DESIGN.md",
+        Some(&design),
+        drift::GATEWAY_REL,
+        Some(&gateway),
+        drift::JOURNAL_REL,
+        Some(&j_injected),
+    );
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::ProtocolDrift
+            && d.file == drift::JOURNAL_REL
+            && d.message.contains("REC_PROBE")),
+        "expected a journal drift finding for the injected record: {diags:?}"
     );
 }
 
@@ -361,7 +409,7 @@ fn scan_temp_tree(tag: &str, rules: &str, files: &[(&str, &str)]) -> (i32, Strin
 #[test]
 fn wire_taint_fires_when_a_real_bounds_check_is_deleted() {
     let binproto =
-        fs::read_to_string(repo_root().join("crates/predictd/src/binproto.rs")).expect("binproto");
+        fs::read_to_string(repo_root().join("crates/proto/src/binproto.rs")).expect("binproto");
 
     // The shipped decoder is clean under the wire-taint rule.
     let (code, stdout) = scan_temp_tree("wt-clean", "wire-taint", &[("binproto.rs", &binproto)]);

@@ -82,6 +82,38 @@ impl Client {
         Ok(client)
     }
 
+    /// Connects speaking the binary codec with a bounded connect and
+    /// bounded per-call reads/writes (`None` = block forever) — what
+    /// the gateway uses toward its backends, so one dead or wedged
+    /// backend stalls a request for at most the timeout instead of
+    /// pinning a worker indefinitely. Every resolved address is tried
+    /// in order; the last connect error is returned if all fail.
+    pub fn connect_binary_timeout(
+        addr: impl ToSocketAddrs,
+        connect: std::time::Duration,
+        io: Option<std::time::Duration>,
+    ) -> Result<Self, ClientError> {
+        let mut last: Option<std::io::Error> = None;
+        for a in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&a, connect) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.set_read_timeout(io)?;
+                    stream.set_write_timeout(io)?;
+                    let reader = BufReader::new(stream.try_clone()?);
+                    let mut client =
+                        Client { reader, writer: BufWriter::new(stream), binary: true };
+                    client.writer.write_all(&binproto::PREAMBLE)?;
+                    return Ok(client);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })))
+    }
+
     /// True when this connection negotiated the binary codec.
     pub fn is_binary(&self) -> bool {
         self.binary

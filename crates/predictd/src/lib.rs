@@ -13,8 +13,10 @@
 //! concurrently by a fixed worker pool over a sharded service — machine
 //! state is partitioned across [`std::sync::RwLock`]-guarded shards and
 //! metrics are lock-free atomics, so warm predictions run under read
-//! locks and `stats` never blocks the request path. See [`proto`] for
-//! the wire protocol, [`service`] for the request handler and sharding,
+//! locks and `stats` never blocks the request path. The wire surface
+//! (request/response types, JSON fast path, binary codec) lives in the
+//! shared [`proto`] crate and is re-exported here under its historical
+//! paths; see [`service`] for the request handler and sharding,
 //! [`server`]/[`client`] for transport, and [`metrics`] for the
 //! per-request bookkeeping behind `stats`.
 //!
@@ -25,15 +27,14 @@
 
 #![warn(missing_docs)]
 
-pub mod binproto;
 pub mod client;
-pub mod codec;
 pub mod metrics;
 pub mod poll;
-pub mod proto;
 pub mod server;
 pub mod server_evented;
 pub mod service;
+
+pub use ::proto::{binproto, codec, proto};
 
 pub use client::{Client, ClientError};
 pub use metrics::{LatencyHistogram, Metrics, ReqKind};

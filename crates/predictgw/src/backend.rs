@@ -1,0 +1,190 @@
+//! Per-backend state and connections: the shared health/cursor record
+//! every thread consults, and the per-thread lazy connection each
+//! worker (and the health checker) drives requests through.
+//!
+//! The split matters: health and the replication cursor are fleet-wide
+//! facts — one backend is down for *everyone* — so they live in shared
+//! atomics ([`BackendState`]). Connections are the opposite: sockets
+//! are cheap and mutably owned, so each event-loop worker keeps its own
+//! [`BackendConn`] per backend and never contends on I/O. A connection
+//! failure tears down only the caller's socket; marking the backend
+//! down is the health checker's call (via its consecutive-failure
+//! threshold), not any single request's.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::time::Duration;
+
+use predictd::{Client, ClientError};
+use proto::{Request, Response};
+
+/// Fleet-wide facts about one backend, shared by every thread.
+#[derive(Debug)]
+pub struct BackendState {
+    addr: String,
+    /// Routable right now? Flipped only by the health checker.
+    healthy: AtomicBool,
+    /// Consecutive failed health probes (reset by any success).
+    probe_failures: AtomicU32,
+    /// Replication cursor: how many journal reports this backend has
+    /// been sent (broadcast or replay). Compared against the journal's
+    /// report count to size the catch-up suffix, and against the
+    /// backend's own `load_report` counter to detect a restart.
+    sent_reports: AtomicU64,
+}
+
+impl BackendState {
+    /// Fresh state for a backend at `addr`, presumed healthy until the
+    /// first probe says otherwise (so a cold fleet takes traffic
+    /// immediately instead of waiting out a probe interval).
+    pub fn new(addr: String) -> Self {
+        BackendState {
+            addr,
+            healthy: AtomicBool::new(true),
+            probe_failures: AtomicU32::new(0),
+            sent_reports: AtomicU64::new(0),
+        }
+    }
+
+    /// The backend's address, as configured.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Routable right now? Acquire pairs with the checker's Release so
+    /// a worker that sees `true` also sees the replay that preceded it.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Acquire)
+    }
+
+    /// Records a successful probe; returns `true` on a Down→Up
+    /// transition (the caller replays the journal *before* calling
+    /// this, so traffic only resumes against caught-up state).
+    pub fn mark_up(&self) -> bool {
+        self.probe_failures.store(0, Ordering::Relaxed);
+        !self.healthy.swap(true, Ordering::Release)
+    }
+
+    /// Records a failed probe; after `threshold` consecutive failures
+    /// the backend is marked down. Returns `true` on the Up→Down
+    /// transition.
+    pub fn mark_probe_failure(&self, threshold: u32) -> bool {
+        let failures = self.probe_failures.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        if failures >= threshold {
+            self.healthy.swap(false, Ordering::Release)
+        } else {
+            false
+        }
+    }
+
+    /// Reports sent to this backend so far (the replication cursor).
+    pub fn cursor(&self) -> u64 {
+        self.sent_reports.load(Ordering::Acquire)
+    }
+
+    /// Advances the replication cursor by `n` sent reports.
+    pub fn advance_cursor(&self, n: u64) {
+        self.sent_reports.fetch_add(n, Ordering::Release);
+    }
+
+    /// Rewinds the cursor to `to` (journal truncation compacted away
+    /// records below it, or a replay proved the backend holds exactly
+    /// `to` reports).
+    pub fn set_cursor(&self, to: u64) {
+        self.sent_reports.store(to, Ordering::Release);
+    }
+}
+
+/// One thread's lazily-connected binary-codec channel to one backend.
+#[derive(Debug)]
+pub struct BackendConn {
+    addr: String,
+    client: Option<Client>,
+    connect_timeout: Duration,
+    io_timeout: Option<Duration>,
+}
+
+impl BackendConn {
+    /// A handle that will connect on first use.
+    pub fn new(addr: String, connect_timeout: Duration, io_timeout: Option<Duration>) -> Self {
+        BackendConn { addr, client: None, connect_timeout, io_timeout }
+    }
+
+    /// Sends one request and decodes the response, connecting (or
+    /// reconnecting) as needed. Any transport error tears down this
+    /// thread's socket so the next call starts from a clean connect —
+    /// the caller decides whether to fail over; this type never does.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        if self.client.is_none() {
+            self.client = Some(Client::connect_binary_timeout(
+                self.addr.as_str(),
+                self.connect_timeout,
+                self.io_timeout,
+            )?);
+        }
+        let Some(client) = self.client.as_mut() else {
+            return Err(ClientError::Protocol("no connection".to_string()));
+        };
+        match client.request(req) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.client = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops the cached connection (e.g. after the health checker saw
+    /// the backend bounce: the old socket may be half-dead).
+    pub fn disconnect(&mut self) {
+        self.client = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_transitions_respect_the_threshold() {
+        let b = BackendState::new("127.0.0.1:1".to_string());
+        assert!(b.is_healthy(), "presumed healthy at boot");
+        assert!(!b.mark_probe_failure(3), "1st failure: still up");
+        assert!(!b.mark_probe_failure(3), "2nd failure: still up");
+        assert!(b.is_healthy());
+        assert!(b.mark_probe_failure(3), "3rd failure: transitions down");
+        assert!(!b.is_healthy());
+        assert!(!b.mark_probe_failure(3), "already down: no transition");
+        assert!(b.mark_up(), "recovery transitions up");
+        assert!(!b.mark_up(), "already up: no transition");
+        // A success reset the failure streak: two more failures do not
+        // re-trip a threshold of 3.
+        assert!(!b.mark_probe_failure(3));
+        assert!(!b.mark_probe_failure(3));
+        assert!(b.is_healthy());
+    }
+
+    #[test]
+    fn cursor_advances_and_rewinds() {
+        let b = BackendState::new("127.0.0.1:1".to_string());
+        assert_eq!(b.cursor(), 0);
+        b.advance_cursor(5);
+        b.advance_cursor(2);
+        assert_eq!(b.cursor(), 7);
+        b.set_cursor(3);
+        assert_eq!(b.cursor(), 3);
+    }
+
+    #[test]
+    fn conn_surfaces_connect_failure_and_stays_usable() {
+        // A port from the ephemeral range with nothing listening:
+        // connect fails fast, and the handle can be retried.
+        let mut c = BackendConn::new(
+            "127.0.0.1:1".to_string(),
+            Duration::from_millis(200),
+            Some(Duration::from_millis(200)),
+        );
+        assert!(c.request(&Request::Stats).is_err());
+        assert!(c.request(&Request::Stats).is_err(), "retryable after failure");
+        c.disconnect();
+    }
+}

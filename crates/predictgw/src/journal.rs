@@ -1,0 +1,441 @@
+//! The replayable load-report journal: an append-only file of
+//! length-prefixed binary records, fsync-batched on the write path and
+//! streamed back out to warm-start recovering backends.
+//!
+//! The journal is the gateway's replication log. Every `load_report`
+//! accepted by the gateway is appended here *before* it is broadcast to
+//! the backends, so the file is a faithful, ordered transcript of the
+//! state every backend is supposed to hold. A backend that restarts
+//! empty (or missed a window of broadcasts) is brought back to the
+//! fleet's state by replaying the suffix it is missing — bit-identical
+//! to having received the original broadcasts, because replay preserves
+//! the append order and the forecaster state is a pure function of the
+//! per-machine report sequence.
+//!
+//! ## Frame layout
+//!
+//! Records reuse the wire's framing discipline: `[u32 LE len][u8 tag]`
+//! `[payload]`, where `len` counts the tag byte plus the payload. Tags:
+//!
+//! | tag | name | payload |
+//! |-----|------|---------|
+//! | `0x01` | `REC_META` | `"PGWJ"` magic + `u8` version (`0x01`) |
+//! | `0x02` | `REC_REPORT` | a binproto `load_report` request frame body |
+//! | `0x03` | `REC_TRUNCATE` | `f64` LE cutoff: older reports were compacted away |
+//!
+//! A `REC_REPORT` payload is exactly what [`binproto::encode_request`]
+//! produces for the report minus the outer length word, so replay is
+//! one [`binproto::decode_request`] per record and the journal format
+//! can never drift from the wire format — they are the same bytes.
+//!
+//! ## Durability
+//!
+//! Appends go to the OS immediately (`write_all`) but `fsync` is
+//! batched: one `sync_data` per [`Journal::fsync_every`] appends, plus
+//! one on [`Journal::sync`] (called at snapshot and shutdown). A crash
+//! can therefore lose at most the last batch of reports — an explicit
+//! trade: reports arrive at fleet rates, and per-record fsync would put
+//! a disk round-trip on every request. A torn trailing record (crash
+//! mid-append) is detected on open and truncated away.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use proto::binproto;
+use proto::proto::LoadReport;
+use proto::Request;
+
+/// Journal record: file metadata (first record of every journal).
+pub const REC_META: u8 = 0x01;
+/// Journal record: one `load_report`, binproto-encoded.
+pub const REC_REPORT: u8 = 0x02;
+/// Journal record: compaction marker carrying the `f64` cutoff.
+pub const REC_TRUNCATE: u8 = 0x03;
+
+/// Magic bytes opening the `REC_META` payload.
+pub const META_MAGIC: [u8; 4] = *b"PGWJ";
+/// Journal format version.
+pub const META_VERSION: u8 = 0x01;
+
+/// Largest record the reader will accept. Reports are tiny (tens of
+/// bytes); anything near this is corruption, and bounding it keeps a
+/// corrupt length word from driving a huge allocation.
+const MAX_RECORD_BYTES: usize = 1 << 20;
+
+/// How many appends may ride on one `fsync` by default.
+pub const DEFAULT_FSYNC_EVERY: usize = 64;
+
+/// The gateway's append handle on the journal file.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    /// Records in the file (all tags).
+    frames: u64,
+    /// File length in bytes.
+    bytes: u64,
+    /// `REC_REPORT` records in the file.
+    reports: u64,
+    /// Appends since the last fsync.
+    unsynced: usize,
+    fsync_every: usize,
+    scratch: Vec<u8>,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` for appending.
+    ///
+    /// An existing file is scanned front to back: the `REC_META` header
+    /// is validated, whole records are counted, and a torn trailing
+    /// record is truncated away so the next append lands on a clean
+    /// frame boundary. `fsync_every` is clamped to at least 1.
+    pub fn open(path: impl Into<PathBuf>, fsync_every: usize) -> io::Result<Journal> {
+        let path = path.into();
+        let mut file = OpenOptions::new().read(true).create(true).append(true).open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+        let mut journal = Journal {
+            file,
+            path,
+            frames: 0,
+            bytes: 0,
+            reports: 0,
+            unsynced: 0,
+            fsync_every: fsync_every.max(1),
+            scratch: Vec::with_capacity(256),
+        };
+        if raw.is_empty() {
+            let mut meta = Vec::with_capacity(META_MAGIC.len() + 1);
+            meta.extend_from_slice(&META_MAGIC);
+            meta.push(META_VERSION);
+            journal.append(REC_META, &meta)?;
+            journal.sync()?;
+            return Ok(journal);
+        }
+        let (clean_len, frames, reports) = scan(&raw, journal.path.display())?;
+        if clean_len < raw.len() {
+            // Torn tail from a crash mid-append: drop it.
+            journal.file.set_len(u64::try_from(clean_len).unwrap_or(0))?;
+            journal.file.sync_data()?;
+        }
+        journal.frames = frames;
+        journal.reports = reports;
+        journal.bytes = u64::try_from(clean_len).unwrap_or(0);
+        Ok(journal)
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records in the file (every tag, the `REC_META` header included).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// File length in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// `REC_REPORT` records in the file — the replication sequence
+    /// number the per-backend cursors are measured against.
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// Appends one load report. The record reaches the OS before this
+    /// returns; it reaches the platter on the next batched fsync.
+    pub fn append_report(&mut self, report: &LoadReport) -> io::Result<()> {
+        self.scratch.clear();
+        let req = Request::LoadReport(report.clone());
+        if !binproto::encode_request(&req, &mut self.scratch) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "load report exceeds binproto frame limits",
+            ));
+        }
+        // encode_request framed it as [u32 len][tag][fields]; the
+        // journal record's payload is the body (tag onward).
+        let body = self.scratch.split_off(4);
+        self.append(REC_REPORT, &body)?;
+        self.reports += 1;
+        self.unsynced += 1;
+        if self.unsynced >= self.fsync_every {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Forces the file to stable storage now (resets the fsync batch).
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Copies the journal (synced first) to `dst` — the `journal
+    /// snapshot` subcommand. The copy is a valid journal: replaying or
+    /// restoring from it is indistinguishable from the original.
+    pub fn snapshot_to(&mut self, dst: &Path) -> io::Result<u64> {
+        self.sync()?;
+        std::fs::copy(&self.path, dst)
+    }
+
+    /// Drops every report older than `cutoff_at` (exclusive) by
+    /// rewriting the journal compacted, leaving a `REC_TRUNCATE` marker
+    /// recording the cutoff. Returns how many reports were dropped.
+    ///
+    /// This is the horizon-keyed truncation valve: reports older than
+    /// the forecaster's sliding horizon no longer influence answers, so
+    /// once every backend is caught up past them they are dead weight.
+    /// It is deliberately opt-in (`--journal-horizon-secs`) because a
+    /// truncated journal can no longer warm-start a backend from
+    /// before the cutoff.
+    pub fn truncate_before(&mut self, cutoff_at: f64) -> io::Result<u64> {
+        let kept: Vec<LoadReport> =
+            read_reports(&self.path)?.into_iter().filter(|r| r.at >= cutoff_at).collect();
+        let kept_n = u64::try_from(kept.len()).unwrap_or(u64::MAX);
+        let dropped = self.reports.saturating_sub(kept_n);
+        if dropped == 0 {
+            return Ok(0);
+        }
+        let tmp = self.path.with_extension("compact.tmp");
+        {
+            let mut next = Journal::open(&tmp, usize::MAX)?;
+            next.append(REC_TRUNCATE, &cutoff_at.to_le_bytes())?;
+            for r in &kept {
+                next.append_report(r)?;
+            }
+            next.sync()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        // Reopen the compacted file so the append handle and counters
+        // track the new contents.
+        *self = Journal::open(&self.path, self.fsync_every)?;
+        Ok(dropped)
+    }
+
+    /// Low-level append of one framed record (no fsync bookkeeping).
+    fn append(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(1 + payload.len()).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "journal record exceeds u32 length")
+        })?;
+        let mut frame = Vec::with_capacity(5 + payload.len());
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.push(tag);
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.frames += 1;
+        self.bytes += u64::try_from(frame.len()).unwrap_or(0);
+        Ok(())
+    }
+}
+
+/// Walks the raw journal bytes, validating the header and counting
+/// whole records. Returns `(clean prefix length, frames, reports)`;
+/// a torn trailing record is excluded from the clean prefix, but a
+/// malformed record *body* (bad tag, corrupt report) is an error —
+/// silently replaying past corruption would desync the fleet.
+fn scan(raw: &[u8], path: impl std::fmt::Display) -> io::Result<(usize, u64, u64)> {
+    let corrupt = |what: &str| {
+        Err(io::Error::new(io::ErrorKind::InvalidData, format!("journal {path}: {what}")))
+    };
+    let mut pos = 0usize;
+    let mut frames = 0u64;
+    let mut reports = 0u64;
+    while pos < raw.len() {
+        let rest = &raw[pos..];
+        if rest.len() < 4 {
+            break; // torn length word
+        }
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&rest[..4]);
+        let len = usize::try_from(u32::from_le_bytes(len4)).unwrap_or(usize::MAX);
+        if len == 0 || len > MAX_RECORD_BYTES {
+            return corrupt("record length is zero or absurd");
+        }
+        if rest.len() < 4 + len {
+            break; // torn record body
+        }
+        let tag = rest[4];
+        let payload = &rest[5..4 + len];
+        match tag {
+            REC_META => {
+                if frames != 0 {
+                    return corrupt("REC_META is only valid as the first record");
+                }
+                if payload.len() < 5 || payload[..4] != META_MAGIC || payload[4] != META_VERSION {
+                    return corrupt("bad or unsupported journal header");
+                }
+            }
+            REC_REPORT => {
+                match binproto::decode_request(payload) {
+                    Ok(Request::LoadReport(_)) => {}
+                    Ok(_) => return corrupt("REC_REPORT does not hold a load_report"),
+                    Err(_) => return corrupt("undecodable REC_REPORT record"),
+                }
+                reports += 1;
+            }
+            REC_TRUNCATE => {
+                if payload.len() != 8 {
+                    return corrupt("REC_TRUNCATE payload is not 8 bytes");
+                }
+            }
+            _ => return corrupt("unknown record tag"),
+        }
+        if frames == 0 && tag != REC_META {
+            return corrupt("journal does not start with REC_META");
+        }
+        frames += 1;
+        pos += 4 + len;
+    }
+    Ok((pos, frames, reports))
+}
+
+/// Reads every report from a journal file, in append order — the
+/// replay source for warm-starting backends and the `journal restore`
+/// subcommand.
+pub fn read_reports(path: &Path) -> io::Result<Vec<LoadReport>> {
+    let raw = std::fs::read(path)?;
+    let (clean_len, _, reports) = scan(&raw, path.display())?;
+    let mut out = Vec::with_capacity(usize::try_from(reports).unwrap_or(0));
+    let mut pos = 0usize;
+    while pos < clean_len {
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&raw[pos..pos + 4]);
+        let len = usize::try_from(u32::from_le_bytes(len4)).unwrap_or(usize::MAX);
+        // scan() already proved every record fits and decodes; the cap
+        // re-establishes the bound locally for this second walk.
+        let end = (pos + 4 + len).min(clean_len);
+        let tag = raw[pos + 4];
+        if tag == REC_REPORT {
+            if let Ok(Request::LoadReport(r)) = binproto::decode_request(&raw[pos + 5..end]) {
+                out.push(r);
+            }
+        }
+        pos += 4 + len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        let pid = std::process::id();
+        p.push(format!("predictgw-journal-{pid}-{name}"));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn report(machine: &str, at: f64) -> LoadReport {
+        LoadReport { machine: machine.to_string(), at, load: 1.5, comm_frac: 0.25 }
+    }
+
+    #[test]
+    fn appends_survive_reopen_and_replay_in_order() {
+        let path = tmp("roundtrip.j");
+        {
+            let mut j = Journal::open(&path, 2).expect("open");
+            for i in 0..5 {
+                j.append_report(&report(&format!("m{i}"), f64::from(i))).expect("append");
+            }
+            assert_eq!(j.reports(), 5);
+            assert_eq!(j.frames(), 6, "meta + 5 reports");
+        }
+        let j = Journal::open(&path, 2).expect("reopen");
+        assert_eq!(j.reports(), 5);
+        let replayed = read_reports(&path).expect("read");
+        assert_eq!(replayed.len(), 5);
+        for (i, r) in replayed.iter().enumerate() {
+            assert_eq!(r.machine, format!("m{i}"));
+            assert_eq!(r.at, f64::from(u8::try_from(i).unwrap_or(0)));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp("torn.j");
+        {
+            let mut j = Journal::open(&path, 1).expect("open");
+            j.append_report(&report("alpha", 1.0)).expect("append");
+            j.append_report(&report("beta", 2.0)).expect("append");
+        }
+        // Chop bytes off the end, mid-record.
+        let raw = std::fs::read(&path).expect("read");
+        std::fs::write(&path, &raw[..raw.len() - 3]).expect("write torn");
+        let j = Journal::open(&path, 1).expect("reopen");
+        assert_eq!(j.reports(), 1, "the torn second report is gone");
+        let replayed = read_reports(&path).expect("read");
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].machine, "alpha");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_bodies_are_rejected_not_skipped() {
+        let path = tmp("corrupt.j");
+        {
+            let mut j = Journal::open(&path, 1).expect("open");
+            j.append_report(&report("alpha", 1.0)).expect("append");
+        }
+        let mut raw = std::fs::read(&path).expect("read");
+        // The meta record is 10 bytes, so the report's journal tag sits
+        // at offset 14 (after its own length word); make it unknown.
+        raw[14] = 0xEE;
+        std::fs::write(&path, &raw).expect("write corrupt");
+        assert!(Journal::open(&path, 1).is_err(), "corruption must not be replayed past");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_drops_old_reports_and_leaves_a_marker() {
+        let path = tmp("truncate.j");
+        let mut j = Journal::open(&path, 1).expect("open");
+        for i in 0..10 {
+            j.append_report(&report(&format!("m{i}"), f64::from(i))).expect("append");
+        }
+        let dropped = j.truncate_before(6.0).expect("truncate");
+        assert_eq!(dropped, 6, "at 0..=5 dropped");
+        assert_eq!(j.reports(), 4);
+        let replayed = read_reports(&path).expect("read");
+        assert_eq!(replayed.len(), 4);
+        assert!(replayed.iter().all(|r| r.at >= 6.0));
+        // Idempotent once compacted.
+        assert_eq!(j.truncate_before(6.0).expect("truncate again"), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_is_a_byte_identical_valid_journal() {
+        let src = tmp("snap-src.j");
+        let dst = tmp("snap-dst.j");
+        let mut j = Journal::open(&src, 4).expect("open");
+        for i in 0..3 {
+            j.append_report(&report("m", f64::from(i))).expect("append");
+        }
+        j.snapshot_to(&dst).expect("snapshot");
+        assert_eq!(std::fs::read(&src).expect("src"), std::fs::read(&dst).expect("dst"));
+        assert_eq!(read_reports(&dst).expect("read").len(), 3);
+        let _ = std::fs::remove_file(&src);
+        let _ = std::fs::remove_file(&dst);
+    }
+
+    #[test]
+    fn empty_or_garbage_files_are_handled() {
+        let path = tmp("fresh.j");
+        let j = Journal::open(&path, 1).expect("fresh journal");
+        assert_eq!(j.reports(), 0);
+        assert_eq!(j.frames(), 1, "just the header");
+        drop(j);
+        std::fs::write(&path, b"definitely not a journal, much too long").expect("write");
+        assert!(Journal::open(&path, 1).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

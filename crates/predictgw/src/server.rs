@@ -1,0 +1,504 @@
+//! The gateway's client-facing transport: the same readiness-based
+//! event-loop engine as predictd's evented server — nonblocking
+//! accept/read/write over epoll, thread-per-core `SO_REUSEPORT`
+//! listeners, per-connection codec sniff and partial-I/O state
+//! machines — with one structural difference: each worker owns a set of
+//! backend [`Lanes`](crate::gateway::Lanes) it forwards through.
+//!
+//! Backend calls are blocking (bounded by the configured I/O timeout),
+//! which is a deliberate trade: the gateway's unit of work is "forward
+//! and wait for one answer", its concurrency comes from running one
+//! loop per core, and a wedged backend costs at most the timeout before
+//! the failover path takes over. The event loop's nonblocking
+//! discipline still buys what it bought predictd — slow *clients*
+//! never pin a worker, backpressure is per-connection, and shutdown
+//! drains cleanly.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, SocketAddrV4, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use predictd::poll::{
+    bind_reuseport, Epoll, EpollEvent, Waker, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use predictd::ServerConfig;
+use proto::binproto;
+use proto::Response;
+
+use crate::gateway::{Gateway, Lanes};
+
+/// Reads per readiness wakeup go through this per-loop scratch buffer.
+const SCRATCH_BYTES: usize = 64 * 1024;
+
+/// Stop reading from a connection whose unsent response backlog grows
+/// past this; reading resumes once the peer drains below it.
+const HIGH_WATER_BYTES: usize = 1 << 20;
+
+/// Readiness records fetched per `epoll_wait`.
+const MAX_EVENTS: usize = 256;
+
+/// How a connection's bytes are interpreted.
+enum Mode {
+    /// First byte not seen yet.
+    Sniff,
+    /// Newline-delimited JSON.
+    Json,
+    /// Length-prefixed binary frames (preamble already validated).
+    Binary,
+}
+
+/// One client connection's state machine (see the predictd evented
+/// server for the full rationale; this is the same machine).
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    mode: Mode,
+    json_discard: bool,
+    bin_discard: usize,
+    closing: bool,
+    interest: u32,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            rbuf: Vec::with_capacity(4096),
+            wbuf: Vec::with_capacity(4096),
+            wpos: 0,
+            mode: Mode::Sniff,
+            json_discard: false,
+            bin_discard: 0,
+            closing: false,
+            interest: EPOLLIN | EPOLLRDHUP,
+        }
+    }
+
+    fn pending_write(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+}
+
+/// A bound-but-not-yet-running gateway server: bind first (so the
+/// caller learns the port), then [`GatewayServer::run`] until a
+/// `shutdown` request arrives.
+pub struct GatewayServer {
+    listeners: Vec<TcpListener>,
+    addr: SocketAddr,
+}
+
+impl GatewayServer {
+    /// Binds `workers` `SO_REUSEPORT` listeners (clamped to ≥ 1) on
+    /// `addr` — IPv4 only, like the predictd evented engine.
+    pub fn bind(addr: SocketAddr, workers: usize) -> io::Result<Self> {
+        let v4 = match addr {
+            SocketAddr::V4(v4) => v4,
+            SocketAddr::V6(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "gateway listens on IPv4 only",
+                ))
+            }
+        };
+        let workers = workers.max(1);
+        let first = bind_reuseport(v4)?;
+        let bound = first.local_addr()?;
+        let port = bound.port();
+        let mut listeners = vec![first];
+        for _ in 1..workers {
+            listeners.push(bind_reuseport(SocketAddrV4::new(*v4.ip(), port))?);
+        }
+        Ok(GatewayServer { listeners, addr: bound })
+    }
+
+    /// The address the listeners are bound to (port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs one event loop per listener until a `shutdown` request is
+    /// handled on any of them; `stop` is also honored (and set), so the
+    /// caller can wind down the health checker with the same flag.
+    pub fn run(self, gateway: &Gateway, cfg: &ServerConfig, stop: &AtomicBool) -> io::Result<()> {
+        let mut wakers = Vec::with_capacity(self.listeners.len());
+        for _ in 0..self.listeners.len() {
+            wakers.push(Waker::new()?);
+        }
+        let mut listeners = self.listeners;
+        std::thread::scope(|scope| {
+            let wakers = &wakers[..];
+            let mut handles = Vec::new();
+            for (i, listener) in listeners.drain(1..).enumerate() {
+                handles.push(scope.spawn(move || {
+                    event_loop(listener, &wakers[i + 1], gateway, cfg, stop, wakers)
+                }));
+            }
+            let first = match listeners.pop() {
+                Some(l) => event_loop(l, &wakers[0], gateway, cfg, stop, wakers),
+                None => Ok(()),
+            };
+            for h in handles {
+                match h.join() {
+                    Ok(r) => r?,
+                    Err(_) => return Err(io::Error::other("gateway event loop panicked")),
+                }
+            }
+            first
+        })
+    }
+}
+
+/// Slab token of the listener.
+const TOKEN_LISTENER: u64 = 0;
+/// Slab token of the wakeup eventfd.
+const TOKEN_WAKER: u64 = 1;
+/// First token available for connections.
+const TOKEN_CONNS: u64 = 2;
+
+/// One worker's loop: accept, sniff, parse, forward through its own
+/// backend lanes, write — client I/O nonblocking and level-triggered.
+// modelcheck: event-loop
+fn event_loop(
+    listener: TcpListener,
+    waker: &Waker,
+    gateway: &Gateway,
+    cfg: &ServerConfig,
+    stop: &AtomicBool,
+    all_wakers: &[Waker],
+) -> io::Result<()> {
+    let epoll = Epoll::new()?;
+    epoll.add(listener.as_raw_fd(), TOKEN_LISTENER, EPOLLIN)?;
+    epoll.add(waker.as_raw_fd(), TOKEN_WAKER, EPOLLIN)?;
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+    let mut scratch = vec![0u8; SCRATCH_BYTES];
+    // This worker's private connections to every backend. Forwarding
+    // through them blocks (bounded by the backend I/O timeout); see the
+    // module docs for why that is the chosen trade.
+    // modelcheck-allow: event-loop — backend forwarding is deliberately bounded-blocking
+    let mut lanes = gateway.lanes();
+    // After `stop`, linger briefly to flush pending responses (most
+    // importantly the `ok` reply to the shutdown request itself).
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            let deadline = *drain_deadline
+                .get_or_insert_with(|| Instant::now() + std::time::Duration::from_secs(1));
+            let pending = conns.iter().flatten().any(|c| c.pending_write() > 0);
+            if !pending || Instant::now() >= deadline {
+                return Ok(());
+            }
+        }
+        let timeout = if drain_deadline.is_some() { 20 } else { -1 };
+        let n = epoll.wait(&mut events, timeout)?;
+        for ev in events.iter().take(n) {
+            let token = ev.data;
+            let bits = ev.events;
+            match token {
+                TOKEN_LISTENER => accept_ready(&listener, &epoll, &mut conns, &mut free),
+                TOKEN_WAKER => waker.drain(),
+                t => {
+                    let idx = usize::try_from(t.saturating_sub(TOKEN_CONNS)).unwrap_or(usize::MAX);
+                    let Some(slot) = conns.get_mut(idx) else { continue };
+                    let Some(conn) = slot.as_mut() else { continue };
+                    let mut dead = bits & (EPOLLERR | EPOLLHUP) != 0;
+                    if !dead && bits & (EPOLLIN | EPOLLRDHUP) != 0 {
+                        dead = !on_readable(
+                            conn,
+                            gateway,
+                            cfg,
+                            &mut scratch,
+                            &mut lanes,
+                            stop,
+                            all_wakers,
+                        );
+                    }
+                    if !dead {
+                        dead = !on_writable(conn);
+                    }
+                    if dead || (conn.closing && conn.pending_write() == 0) {
+                        let _ = epoll.delete(conn.stream.as_raw_fd());
+                        *slot = None;
+                        free.push(idx);
+                    } else {
+                        refresh_interest(&epoll, conn, t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Accepts every pending connection (level-triggered listener).
+fn accept_ready(
+    listener: &TcpListener,
+    epoll: &Epoll,
+    conns: &mut Vec<Option<Conn>>,
+    free: &mut Vec<usize>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                let fd = stream.as_raw_fd();
+                let conn = Conn::new(stream);
+                let idx = match free.pop() {
+                    Some(i) => {
+                        conns[i] = Some(conn);
+                        i
+                    }
+                    None => {
+                        conns.push(Some(conn));
+                        conns.len() - 1
+                    }
+                };
+                let token = TOKEN_CONNS + u64::try_from(idx).unwrap_or(0);
+                if epoll.add(fd, token, EPOLLIN | EPOLLRDHUP).is_err() {
+                    conns[idx] = None;
+                    free.push(idx);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Drains the socket into the connection's read buffer and processes
+/// every complete request. Returns false when the connection is dead.
+fn on_readable(
+    conn: &mut Conn,
+    gateway: &Gateway,
+    cfg: &ServerConfig,
+    scratch: &mut [u8],
+    lanes: &mut Lanes,
+    stop: &AtomicBool,
+    all_wakers: &[Waker],
+) -> bool {
+    if conn.closing {
+        return true;
+    }
+    loop {
+        if conn.pending_write() > HIGH_WATER_BYTES {
+            break;
+        }
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.closing = true;
+                break;
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&scratch[..n]);
+                if n < scratch.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    process_rbuf(conn, gateway, cfg, lanes, stop, all_wakers);
+    true
+}
+
+/// Sniffs the codec if needed, then parses and handles everything
+/// complete in `rbuf`, appending encoded responses to `wbuf`.
+// modelcheck: event-loop
+fn process_rbuf(
+    conn: &mut Conn,
+    gateway: &Gateway,
+    cfg: &ServerConfig,
+    lanes: &mut Lanes,
+    stop: &AtomicBool,
+    all_wakers: &[Waker],
+) {
+    if matches!(conn.mode, Mode::Sniff) && !conn.rbuf.is_empty() {
+        if conn.rbuf[0] == binproto::MAGIC {
+            if conn.rbuf.len() < binproto::PREAMBLE.len() {
+                return; // partial preamble: wait for more bytes
+            }
+            if conn.rbuf[..4] == binproto::PREAMBLE {
+                conn.rbuf.drain(..4);
+                conn.mode = Mode::Binary;
+            } else {
+                let _ = binproto::encode_response(
+                    &Response::error("bad preamble: expected BD 50 44 01"),
+                    &mut conn.wbuf,
+                );
+                conn.closing = true;
+                return;
+            }
+        } else {
+            conn.mode = Mode::Json;
+        }
+    }
+    let shutdown = match conn.mode {
+        Mode::Sniff => false,
+        Mode::Json => process_json(conn, gateway, cfg, lanes),
+        Mode::Binary => process_binary(conn, gateway, cfg, lanes),
+    };
+    if shutdown {
+        conn.closing = true;
+        stop.store(true, Ordering::Release);
+        for w in all_wakers {
+            w.wake();
+        }
+    }
+}
+
+/// JSON mode: handle every complete line in `rbuf`. Returns the
+/// shutdown flag.
+fn process_json(conn: &mut Conn, gateway: &Gateway, cfg: &ServerConfig, lanes: &mut Lanes) -> bool {
+    let mut shutdown = false;
+    let mut consumed = 0;
+    let mut out = String::new();
+    while let Some(nl) = conn.rbuf[consumed..].iter().position(|&b| b == b'\n') {
+        let line_end = consumed + nl;
+        if conn.json_discard {
+            conn.json_discard = false;
+            consumed = line_end + 1;
+            continue;
+        }
+        let line = &conn.rbuf[consumed..line_end];
+        consumed = line_end + 1;
+        if line.len() > cfg.max_line_bytes {
+            append_json_error(
+                &mut out,
+                &format!("request line exceeds {} bytes", cfg.max_line_bytes),
+            );
+        } else {
+            match std::str::from_utf8(line) {
+                Ok(text) => {
+                    let text = text.trim();
+                    if !text.is_empty() && gateway.handle_line(text, &mut out, lanes) {
+                        shutdown = true;
+                        break;
+                    }
+                }
+                Err(_) => append_json_error(&mut out, "request line is not valid UTF-8"),
+            }
+        }
+    }
+    conn.wbuf.extend_from_slice(out.as_bytes());
+    conn.rbuf.drain(..consumed);
+    if conn.json_discard {
+        conn.rbuf.clear();
+    } else if conn.rbuf.len() > cfg.max_line_bytes {
+        let mut err = String::new();
+        append_json_error(&mut err, &format!("request line exceeds {} bytes", cfg.max_line_bytes));
+        conn.wbuf.extend_from_slice(err.as_bytes());
+        conn.rbuf.clear();
+        conn.json_discard = true;
+    }
+    shutdown
+}
+
+/// Binary mode: handle every complete frame in `rbuf`. Returns the
+/// shutdown flag.
+fn process_binary(
+    conn: &mut Conn,
+    gateway: &Gateway,
+    cfg: &ServerConfig,
+    lanes: &mut Lanes,
+) -> bool {
+    let mut shutdown = false;
+    let mut consumed = 0;
+    loop {
+        if conn.bin_discard > 0 {
+            let available = conn.rbuf.len() - consumed;
+            let skip = conn.bin_discard.min(available);
+            consumed += skip;
+            conn.bin_discard -= skip;
+            if conn.bin_discard > 0 {
+                break;
+            }
+        }
+        let rest = &conn.rbuf[consumed..];
+        if rest.len() < 4 {
+            break;
+        }
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&rest[..4]);
+        let len = usize::try_from(u32::from_le_bytes(len4)).unwrap_or(usize::MAX);
+        if len == 0 {
+            consumed += 4;
+            let _ = binproto::encode_response(
+                &Response::error("bad frame: empty frame"),
+                &mut conn.wbuf,
+            );
+            continue;
+        }
+        if len > cfg.max_frame_bytes {
+            consumed += 4;
+            conn.bin_discard = len;
+            let _ = binproto::encode_response(
+                &Response::error(format!("frame exceeds {} bytes", cfg.max_frame_bytes)),
+                &mut conn.wbuf,
+            );
+            continue;
+        }
+        if rest.len() < 4 + len {
+            break; // partial frame: wait for more bytes
+        }
+        let done = gateway.handle_frame(&rest[4..4 + len], &mut conn.wbuf, lanes);
+        consumed += 4 + len;
+        if done {
+            shutdown = true;
+            break;
+        }
+    }
+    conn.rbuf.drain(..consumed);
+    shutdown
+}
+
+/// Appends a JSON `error` response line.
+fn append_json_error(out: &mut String, message: &str) {
+    serde_json::to_string_into(&Response::error(message), out);
+    out.push('\n');
+}
+
+/// Pushes pending response bytes into the socket, advancing the
+/// partial-write cursor. Returns false when the connection is dead.
+fn on_writable(conn: &mut Conn) -> bool {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.wpos == conn.wbuf.len() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    } else if conn.wpos > HIGH_WATER_BYTES {
+        conn.wbuf.drain(..conn.wpos);
+        conn.wpos = 0;
+    }
+    true
+}
+
+/// Re-registers the connection's epoll interest to match its state.
+fn refresh_interest(epoll: &Epoll, conn: &mut Conn, token: u64) {
+    let mut want = 0;
+    if !conn.closing && conn.pending_write() <= HIGH_WATER_BYTES {
+        want |= EPOLLIN | EPOLLRDHUP;
+    }
+    if conn.pending_write() > 0 {
+        want |= EPOLLOUT;
+    }
+    if want != conn.interest && epoll.modify(conn.stream.as_raw_fd(), token, want).is_ok() {
+        conn.interest = want;
+    }
+}

@@ -39,6 +39,7 @@
 //! | `decisions` | response | [`RESP_DECISIONS`] |
 //! | `ranked` | response | [`RESP_RANKED`] |
 //! | `stats` | response | [`RESP_STATS`] |
+//! | `gw_stats` | response | [`RESP_GW_STATS`] |
 //! | `ok` | response | [`RESP_OK`] |
 //! | `error` | response | [`RESP_ERROR`] |
 //!
@@ -48,8 +49,9 @@
 //! and the DESIGN table).
 
 use crate::proto::{
-    Ack, CacheStats, DecideBatch, Decisions, ErrorReply, LatencySummary, LoadReport, Predict,
-    Prediction, Rank, Ranked, Request, RequestCounts, Response, ShardStats, StatsReply,
+    Ack, BackendStats, CacheStats, DecideBatch, Decisions, ErrorReply, GwStatsReply,
+    LatencySummary, LoadReport, Predict, Prediction, Rank, Ranked, Request, RequestCounts,
+    Response, ShardStats, StatsReply,
 };
 use contention_model::dataset::DataSet;
 use contention_model::predict::{ParagonTask, Placement, PlacementDecision};
@@ -97,6 +99,9 @@ pub const RESP_STATS: u8 = 0x85;
 pub const RESP_OK: u8 = 0x86;
 /// Frame tag: `error` response.
 pub const RESP_ERROR: u8 = 0x87;
+/// Frame tag: `gw_stats` response (gateway metrics snapshot). Tags are
+/// append-only, so the gateway's addition sits after `error`.
+pub const RESP_GW_STATS: u8 = 0x88;
 
 /// Why a frame failed to decode. The message is safe to echo to the
 /// peer inside an `error` response.
@@ -376,6 +381,24 @@ pub fn encode_response(resp: &Response, out: &mut Vec<u8>) -> bool {
                 w.u64(s.machines);
                 w.u64(s.load_reports);
             }
+            w.finish()
+        }
+        Response::GwStats(r) => {
+            let mut w = FrameWriter::begin(out, RESP_GW_STATS);
+            w.len32(r.backends.len());
+            for b in &r.backends {
+                w.str(&b.addr);
+                w.boolean(b.healthy);
+                w.u64(b.requests);
+                w.u64(b.failovers);
+                w.u64(b.replayed);
+            }
+            w.u64(r.hits);
+            w.u64(r.misses);
+            w.u64(r.failovers);
+            w.u64(r.journal_frames);
+            w.u64(r.journal_bytes);
+            w.f64(r.uptime_secs);
             w.finish()
         }
         Response::Ok => FrameWriter::begin(out, RESP_OK).finish(),
@@ -688,6 +711,29 @@ pub fn decode_response(body: &[u8]) -> Result<Response, FrameError> {
                 machines,
                 uptime_secs,
                 shards,
+            })
+        }
+        RESP_GW_STATS => {
+            // Minimum backend entry: empty addr (4) + bool (1) + 3×u64.
+            let n = c.count(29, "backend")?;
+            let mut backends = Vec::with_capacity(n);
+            for _ in 0..n {
+                backends.push(BackendStats {
+                    addr: c.str("addr")?,
+                    healthy: c.boolean()?,
+                    requests: c.u64()?,
+                    failovers: c.u64()?,
+                    replayed: c.u64()?,
+                });
+            }
+            Response::GwStats(GwStatsReply {
+                backends,
+                hits: c.u64()?,
+                misses: c.u64()?,
+                failovers: c.u64()?,
+                journal_frames: c.u64()?,
+                journal_bytes: c.u64()?,
+                uptime_secs: c.f64()?,
             })
         }
         RESP_OK => Response::Ok,

@@ -400,7 +400,10 @@ pub fn write_response(resp: &Response, out: &mut String) -> bool {
         Response::Decisions(d) => write_decisions(out, d),
         Response::Ok => out.push_str("{\"kind\":\"ok\"}"),
         Response::Error(e) => write_error(out, e),
-        Response::Ranked(_) | Response::Stats(_) => return false,
+        // Explicit declines: nested/large cold payloads stay on the
+        // generic serializer (`ranked`, `stats`, and the gateway's
+        // `gw_stats`).
+        Response::Ranked(_) | Response::Stats(_) | Response::GwStats(_) => return false,
     }
     true
 }

@@ -4,8 +4,8 @@
 //! Every message is a flat JSON object tagged by a `"kind"` field
 //! (snake_case). Requests: `load_report`, `predict`, `decide_batch`,
 //! `rank`, `stats`, `shutdown`. Responses: `ack`, `prediction`,
-//! `decisions`, `ranked`, `stats`, `ok`, `error`. Payload fields sit
-//! next to the tag, so a predict request reads
+//! `decisions`, `ranked`, `stats`, `gw_stats`, `ok`, `error`. Payload
+//! fields sit next to the tag, so a predict request reads
 //! `{"kind":"predict","machine":"m0","now":12.0,...}`.
 //!
 //! All payload fields are required (the vendored serde rejects missing
@@ -244,6 +244,42 @@ pub struct StatsReply {
     pub shards: Vec<ShardStats>,
 }
 
+/// Per-backend slice of a gateway `gw_stats` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendStats {
+    /// Backend address as configured at the gateway (`host:port`).
+    pub addr: String,
+    /// True when the backend is currently passing health probes.
+    pub healthy: bool,
+    /// Requests the gateway has routed to this backend.
+    pub requests: u64,
+    /// Requests that failed over *away* from this backend mid-flight.
+    pub failovers: u64,
+    /// Journal frames replayed into this backend at warm-starts.
+    pub replayed: u64,
+}
+
+/// Reply to `stats` when the answering daemon is a federation gateway
+/// (`predictgw`) rather than a predictd backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GwStatsReply {
+    /// Per-backend request counts, in configured ring order.
+    pub backends: Vec<BackendStats>,
+    /// Requests dispatched to their ring owner on the first try.
+    pub hits: u64,
+    /// Requests dispatched to a ring successor because the owner was
+    /// already marked unhealthy.
+    pub misses: u64,
+    /// Requests re-sent to a ring successor after an in-flight failure.
+    pub failovers: u64,
+    /// Load-report frames currently in the journal.
+    pub journal_frames: u64,
+    /// Bytes currently in the journal (length prefixes included).
+    pub journal_bytes: u64,
+    /// Seconds since the gateway came up.
+    pub uptime_secs: f64,
+}
+
 /// Error reply (bad request; the connection stays open).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorReply {
@@ -264,6 +300,8 @@ pub enum Response {
     Ranked(Ranked),
     /// `stats` — metrics snapshot.
     Stats(StatsReply),
+    /// `gw_stats` — gateway metrics snapshot (per-backend counts).
+    GwStats(GwStatsReply),
     /// `ok` — acknowledged with no payload (shutdown).
     Ok,
     /// `error` — request rejected.
@@ -279,6 +317,7 @@ impl Response {
             Response::Decisions(_) => "decisions",
             Response::Ranked(_) => "ranked",
             Response::Stats(_) => "stats",
+            Response::GwStats(_) => "gw_stats",
             Response::Ok => "ok",
             Response::Error(_) => "error",
         }
@@ -345,6 +384,7 @@ impl Serialize for Response {
             Response::Decisions(p) => tagged("decisions", p.to_value()),
             Response::Ranked(p) => tagged("ranked", p.to_value()),
             Response::Stats(p) => tagged("stats", p.to_value()),
+            Response::GwStats(p) => tagged("gw_stats", p.to_value()),
             Response::Ok => tagged("ok", Value::Map(Vec::new())),
             Response::Error(p) => tagged("error", p.to_value()),
         }
@@ -359,6 +399,7 @@ impl Deserialize for Response {
             "decisions" => Ok(Response::Decisions(Decisions::from_value(v)?)),
             "ranked" => Ok(Response::Ranked(Ranked::from_value(v)?)),
             "stats" => Ok(Response::Stats(StatsReply::from_value(v)?)),
+            "gw_stats" => Ok(Response::GwStats(GwStatsReply::from_value(v)?)),
             "ok" => Ok(Response::Ok),
             "error" => Ok(Response::Error(ErrorReply::from_value(v)?)),
             other => Err(serde::Error::msg(format!("unknown response kind {other:?}"))),

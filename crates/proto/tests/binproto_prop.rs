@@ -1,5 +1,5 @@
 //! Binary-codec equivalence properties: for arbitrary protocol values
-//! of every request and response kind, `predictd::binproto` must
+//! of every request and response kind, `proto::binproto` must
 //! round-trip losslessly and carry exactly the same value as the JSON
 //! codec — the decoded value serializes to a byte-identical JSON line,
 //! so a mixed fleet (JSON schedulers next to binary ones) can never
@@ -11,12 +11,13 @@ use contention_model::dataset::DataSet;
 use contention_model::predict::{ParagonTask, Placement, PlacementDecision};
 use contention_model::units::secs;
 use hetsched::eval::Schedule;
-use predictd::binproto::{decode_request, decode_response, encode_request, encode_response};
-use predictd::proto::{
-    Ack, CacheStats, DecideBatch, Decisions, ErrorReply, LatencySummary, LoadReport, Predict,
-    Prediction, Rank, Ranked, Request, RequestCounts, Response, ShardStats, StatsReply,
-};
 use proptest::prelude::*;
+use proto::binproto::{decode_request, decode_response, encode_request, encode_response};
+use proto::proto::{
+    Ack, BackendStats, CacheStats, DecideBatch, Decisions, ErrorReply, GwStatsReply,
+    LatencySummary, LoadReport, Predict, Prediction, Rank, Ranked, Request, RequestCounts,
+    Response, ShardStats, StatsReply,
+};
 
 /// Names exercising ASCII, quotes, backslashes, and non-ASCII UTF-8 —
 /// the binary codec carries raw UTF-8, so none of these need escaping.
@@ -132,6 +133,23 @@ fn response_for(raw: &RawResp) -> Response {
                 .collect(),
         }),
         5 => Response::Ok,
+        6 => Response::GwStats(GwStatsReply {
+            backends: (0..n)
+                .map(|i| BackendStats {
+                    addr: format!("{name}:{}", 7000 + i),
+                    healthy: (i + flip) % 2 == 0,
+                    requests: p + i as u64,
+                    failovers: i as u64,
+                    replayed: p * i as u64,
+                })
+                .collect(),
+            hits: p,
+            misses: n as u64,
+            failovers: p / 2,
+            journal_frames: p + 1,
+            journal_bytes: p * 64,
+            uptime_secs: b,
+        }),
         _ => Response::Error(ErrorReply { message: format!("bad {name}") }),
     }
 }
@@ -171,7 +189,7 @@ proptest! {
     #[test]
     fn binary_response_round_trip_matches_json(
         raw in (
-            0..7usize,
+            0..8usize,
             proptest::sample::select(name_pool()),
             0.0..1.0e4f64,
             0.0..512.0f64,

@@ -1,5 +1,5 @@
 //! Fast-codec equivalence properties: for arbitrary protocol values,
-//! the hand-rolled scanner in `predictd::codec` must agree with the
+//! the hand-rolled scanner in `proto::codec` must agree with the
 //! generic serde path — `parse_request` accepts exactly what
 //! `serde_json::from_str` accepts (or declines, for `rank`), and
 //! `write_response` produces byte-identical lines to
@@ -9,12 +9,30 @@
 use contention_model::dataset::DataSet;
 use contention_model::predict::{ParagonTask, Placement, PlacementDecision};
 use contention_model::units::secs;
-use predictd::codec::{parse_request, write_response};
-use predictd::proto::{
-    Ack, DecideBatch, Decisions, ErrorReply, LoadReport, Predict, Prediction, Rank, Ranked,
-    Request, Response,
-};
 use proptest::prelude::*;
+use proto::codec::{parse_request, write_response};
+use proto::proto::{
+    Ack, DecideBatch, Decisions, ErrorReply, GwStatsReply, LoadReport, Predict, Prediction, Rank,
+    Ranked, Request, Response,
+};
+
+/// `gw_stats` (like `ranked` and `stats`) is declined by the fast
+/// writer and left to the generic serializer, buffer untouched.
+#[test]
+fn fast_response_writer_declines_gw_stats() {
+    let resp = Response::GwStats(GwStatsReply {
+        backends: Vec::new(),
+        hits: 0,
+        misses: 0,
+        failovers: 0,
+        journal_frames: 0,
+        journal_bytes: 0,
+        uptime_secs: 0.0,
+    });
+    let mut out = String::from("prefix|");
+    assert!(!write_response(&resp, &mut out));
+    assert_eq!(out, "prefix|");
+}
 
 /// Names exercising the plain fast path and the escape-handling slow
 /// path (quotes, backslashes, control bytes, non-ASCII).

@@ -6,9 +6,10 @@ use contention_model::dataset::DataSet;
 use contention_model::predict::{ParagonTask, Placement, PlacementDecision};
 use contention_model::units::secs;
 use hetsched::eval::Schedule;
-use predictd::proto::{
-    Ack, CacheStats, DecideBatch, Decisions, ErrorReply, LatencySummary, LoadReport, Predict,
-    Prediction, Rank, Ranked, Request, RequestCounts, Response, ShardStats, StatsReply,
+use proto::proto::{
+    Ack, BackendStats, CacheStats, DecideBatch, Decisions, ErrorReply, GwStatsReply,
+    LatencySummary, LoadReport, Predict, Prediction, Rank, Ranked, Request, RequestCounts,
+    Response, ShardStats, StatsReply,
 };
 
 fn task() -> ParagonTask {
@@ -118,6 +119,30 @@ fn every_response_kind_roundtrips() {
             ShardStats { shard: 1, machines: 1, load_reports: 2 },
         ],
     }));
+    roundtrip_response(Response::GwStats(GwStatsReply {
+        backends: vec![
+            BackendStats {
+                addr: "127.0.0.1:7171".to_string(),
+                healthy: true,
+                requests: 41,
+                failovers: 0,
+                replayed: 0,
+            },
+            BackendStats {
+                addr: "127.0.0.1:7172".to_string(),
+                healthy: false,
+                requests: 17,
+                failovers: 3,
+                replayed: 24,
+            },
+        ],
+        hits: 50,
+        misses: 5,
+        failovers: 3,
+        journal_frames: 25,
+        journal_bytes: 1912,
+        uptime_secs: 99.5,
+    }));
     roundtrip_response(Response::Ok);
     roundtrip_response(Response::Error(ErrorReply { message: "nope \"quoted\"".to_string() }));
 }
@@ -167,6 +192,7 @@ fn malformed_responses_are_rejected() {
         "{\"kind\":\"prediction\"}",
         "{\"kind\":\"mystery\"}",
         "{\"kind\":\"stats\",\"requests\":{}}",
+        "{\"kind\":\"gw_stats\",\"backends\":[{\"addr\":\"x\"}]}",
     ] {
         assert!(serde_json::from_str::<Response>(bad).is_err(), "accepted: {bad}");
     }
