@@ -161,13 +161,15 @@ fn main() {
     println!("{json}");
 }
 
-/// Wall time and finding counts of a full `modelcheck` workspace scan
-/// (lex + every pass + the cross-file drift check), so the analyzer's
-/// own cost is tracked per commit alongside the model numbers.
+/// Wall time, finding counts, and call-graph size of a full
+/// `modelcheck` workspace scan (lex + AST + graph passes + the
+/// cross-file drift check), so the analyzer's own cost — and how much
+/// structure the interprocedural passes see — is tracked per commit
+/// alongside the model numbers.
 fn modelcheck_report() -> Value {
     let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
     let start = Instant::now();
-    let mut diags = modelcheck::scan_workspace(root);
+    let (mut diags, stats) = modelcheck::scan_workspace_with_stats(root);
     let scan_secs = start.elapsed().as_secs_f64();
     let text =
         std::fs::read_to_string(modelcheck::baseline::default_path(root)).unwrap_or_default();
@@ -176,6 +178,9 @@ fn modelcheck_report() -> Value {
     let baselined = diags.iter().filter(|d| d.baselined).count();
     Value::Map(vec![
         ("scan_ms".to_string(), Value::Float(scan_secs * 1e3)),
+        ("files".to_string(), Value::UInt(stats.files as u64)),
+        ("graph_nodes".to_string(), Value::UInt(stats.graph_nodes as u64)),
+        ("graph_edges".to_string(), Value::UInt(stats.graph_edges as u64)),
         ("diagnostics".to_string(), Value::UInt(diags.len() as u64)),
         ("baselined".to_string(), Value::UInt(baselined as u64)),
         ("new".to_string(), Value::UInt((diags.len() - baselined) as u64)),

@@ -108,20 +108,22 @@ impl Dag {
         // Overflow saturates and is then rejected by the size guard.
         let combos = m.checked_pow(k).unwrap_or(u64::MAX);
         assert!(combos <= 5_000_000, "exhaustive DAG search too large");
-        let mut best: Option<(Vec<usize>, f64)> = None;
+        // combos ≥ 1, so the first iteration always replaces the
+        // infinite seed; seeding (rather than an `Option` + `expect`)
+        // keeps the function total.
         let mut assignment = vec![0usize; self.tasks.len()];
+        let mut best = (assignment.clone(), f64::INFINITY);
         for mut code in 0..combos {
             for slot in assignment.iter_mut() {
                 *slot = (code % m) as usize;
                 code /= m;
             }
             let cost = self.evaluate(&assignment, env);
-            if best.as_ref().is_none_or(|b| cost < b.1) {
-                best = Some((assignment.clone(), cost));
+            if cost < best.1 {
+                best = (assignment.clone(), cost);
             }
         }
-        // modelcheck-allow: no-panic — combos ≥ 1, so the loop always sets `best`
-        best.expect("at least one assignment")
+        best
     }
 
     /// Mean slowdown-adjusted execution time of a task (HEFT's `w̄ᵢ`).
@@ -183,7 +185,9 @@ impl Dag {
             // Dependencies are always scheduled first: upward ranks
             // strictly decrease along edges (rank(dep) ≥ w̄ + rank(i)).
             let t = &self.tasks[i];
-            let mut best: Option<(usize, f64, f64)> = None; // (machine, start, end)
+            // (machine, start, end); machine_free is nonempty for any
+            // schedulable DAG, so the loop always improves on the seed.
+            let mut best = (0usize, 0.0f64, f64::INFINITY);
             for (m, &free) in machine_free.iter().enumerate() {
                 let mut ready = 0.0f64;
                 for &(dep, ref comm) in &t.deps {
@@ -195,12 +199,11 @@ impl Dag {
                 }
                 let start = ready.max(free);
                 let end = start + t.exec[m] * env.comp_slowdown[m];
-                if best.is_none_or(|b| end < b.2) {
-                    best = Some((m, start, end));
+                if end < best.2 {
+                    best = (m, start, end);
                 }
             }
-            // modelcheck-allow: no-panic — machine_free is nonempty for any schedulable DAG
-            let (m, _start, end) = best.expect("at least one machine");
+            let (m, _start, end) = best;
             assignment[i] = m;
             finish[i] = end;
             machine_free[m] = end;

@@ -184,7 +184,6 @@ impl std::fmt::Debug for LoadMonitor {
 pub fn contenders(load: f64) -> usize {
     let bounded = load.max(0.0).round().min(1024.0);
     debug_assert!((0.0..=1024.0).contains(&bounded));
-    // modelcheck-allow: lossy-cast — rounded and clamped to [0, 1024] above
     bounded as usize
 }
 

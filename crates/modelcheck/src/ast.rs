@@ -420,7 +420,13 @@ impl Parser<'_, '_> {
         match self.txt(j) {
             "fn" if self.is_ident(j + 1) => self.parse_fn(j, end),
             "mod" => {
-                let brace = self.scan0(j + 1, end, |t| t == "{" || t == ";");
+                // `scan0` would descend *past* a `{` instead of
+                // returning it, so walk for the body brace (or the
+                // `mod foo;` semicolon) by hand.
+                let mut brace = j + 1;
+                while brace < end && !matches!(self.txt(brace), "{" | ";") {
+                    brace += 1;
+                }
                 if self.txt(brace) == "{" {
                     let close = self.close_of(brace);
                     self.parse_items(brace + 1, close);
@@ -823,6 +829,20 @@ mod tests {
         assert!(ast.fns[0].body.is_some());
         assert!(ast.fns[1].body.is_some());
         assert!(ast.fns[2].body.is_none());
+    }
+
+    #[test]
+    fn items_after_an_inline_module_are_still_found() {
+        // A `mod x { … }` mid-file must not swallow what follows it —
+        // the regression hid every fn after a tests module.
+        let (_, ast) = parsed(
+            "mod early { fn inner() { let x = 1; } }\n\
+             fn after(&self) { let y = 2; }\n\
+             mod decl;\n\
+             fn last() {}\n",
+        );
+        let names: Vec<&str> = ast.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["inner", "after", "last"]);
     }
 
     #[test]

@@ -40,8 +40,9 @@
 //! | `missing-docs` | style | a public item with no doc comment |
 //! | `lock-discipline` | concurrency | `write()` in a `// modelcheck: read-path` fn; a second shard lock while a guard is live; a guard held across I/O |
 //! | `atomics` | concurrency | `SeqCst`/`AcqRel` without a justification; `store(load(..))` read-modify-write of an atomic |
-//! | `event-loop` | concurrency | a blocking call (`.lock(`, `write_lock(`, `sleep`, `read_to_end`, `write_all`, stdio macros) in a fn reachable from a `// modelcheck: event-loop` entry point |
-//! | `wire-taint` | dataflow | a wire-decoded value reaching `with_capacity`/`reserve`/`resize`/`vec![_; n]`, a slice index, or a loop bound without a dominating bounds check |
+//! | `event-loop` | concurrency | a blocking call (`.lock(`, `write_lock(`, `sleep`, `read_to_end`, `write_all`, stdio macros) in a fn reachable from a `// modelcheck: event-loop` entry point, transitively through the workspace call graph |
+//! | `lock-order` | concurrency | a cycle in the workspace lock-order graph (including orders split across functions), or a guard held across a call whose callee (transitively) blocks on I/O |
+//! | `wire-taint` | dataflow | a wire-decoded value reaching `with_capacity`/`reserve`/`resize`/`vec![_; n]`, a slice index, or a loop bound without a dominating bounds check — in the decoding function or through any resolved call chain |
 //! | `float-env` | numeric | `to_bits`/`from_bits`/`EPSILON` outside `units.rs` |
 //! | `protocol-drift` | protocol | a wire kind present in `proto.rs`, `codec.rs`, or the DESIGN.md table but missing from another |
 //! | `pragma` | config | a `modelcheck:` pragma naming an unknown rule |
@@ -67,6 +68,7 @@
 
 pub mod ast;
 pub mod baseline;
+pub mod graph;
 pub mod lexer;
 pub mod passes;
 pub mod resolve;
@@ -102,6 +104,9 @@ pub enum Rule {
     /// Event-loop purity: a blocking call in a fn reachable from a
     /// `// modelcheck: event-loop` entry point.
     EventLoop,
+    /// Lock-order hygiene: cycles in the workspace lock-order graph,
+    /// and guards held across calls into (transitively) blocking code.
+    LockOrder,
     /// Bit-level float access (`to_bits`/`from_bits`/`EPSILON`) outside
     /// `units.rs`.
     FloatEnv,
@@ -118,7 +123,7 @@ pub enum Rule {
 
 impl Rule {
     /// Every rule, in the order `--list-rules` prints them.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::NoPanic,
         Rule::NakedF64,
         Rule::LossyCast,
@@ -127,6 +132,7 @@ impl Rule {
         Rule::LockDiscipline,
         Rule::Atomics,
         Rule::EventLoop,
+        Rule::LockOrder,
         Rule::WireTaint,
         Rule::FloatEnv,
         Rule::ProtocolDrift,
@@ -148,6 +154,7 @@ impl Rule {
             Rule::Atomics => "atomics",
             Rule::WireTaint => "wire-taint",
             Rule::EventLoop => "event-loop",
+            Rule::LockOrder => "lock-order",
             Rule::FloatEnv => "float-env",
             Rule::ProtocolDrift => "protocol-drift",
             Rule::Pragma => "pragma",
@@ -176,6 +183,9 @@ impl Rule {
             Rule::EventLoop => {
                 "blocking call in a fn reachable from a `modelcheck: event-loop` entry point"
             }
+            Rule::LockOrder => {
+                "lock-order cycle across functions, or a guard held across a blocking callee"
+            }
             Rule::FloatEnv => "`to_bits`/`from_bits`/`EPSILON` outside units.rs",
             Rule::ProtocolDrift => {
                 "wire kind present in proto.rs, codec.rs, or DESIGN.md but missing elsewhere"
@@ -198,6 +208,7 @@ impl Rule {
             | Rule::Atomics
             | Rule::WireTaint
             | Rule::EventLoop
+            | Rule::LockOrder
             | Rule::FloatEnv => Some(self.name()),
             Rule::NoTodoDbg | Rule::ProtocolDrift | Rule::Pragma | Rule::Lex | Rule::Parse => None,
         }
@@ -212,7 +223,9 @@ impl Rule {
             | Rule::LossyCast
             | Rule::NoTodoDbg
             | Rule::MissingDocs => "style",
-            Rule::LockDiscipline | Rule::Atomics | Rule::EventLoop => "concurrency",
+            Rule::LockDiscipline | Rule::Atomics | Rule::EventLoop | Rule::LockOrder => {
+                "concurrency"
+            }
             Rule::WireTaint => "dataflow",
             Rule::FloatEnv => "numeric",
             Rule::ProtocolDrift => "protocol",
@@ -338,6 +351,8 @@ pub struct FileScope {
     pub wire_taint: bool,
     /// `event-loop` applies.
     pub event_loop: bool,
+    /// `lock-order` applies.
+    pub lock_order: bool,
     /// `float-env` applies.
     pub float_env: bool,
 }
@@ -353,6 +368,7 @@ impl FileScope {
         atomics: false,
         wire_taint: false,
         event_loop: false,
+        lock_order: false,
         float_env: false,
     };
 
@@ -366,6 +382,7 @@ impl FileScope {
         atomics: true,
         wire_taint: true,
         event_loop: true,
+        lock_order: true,
         float_env: true,
     };
 
@@ -387,6 +404,7 @@ impl FileScope {
                 "atomics" => scope.atomics = true,
                 "wire-taint" => scope.wire_taint = true,
                 "event-loop" => scope.event_loop = true,
+                "lock-order" => scope.lock_order = true,
                 "float-env" => scope.float_env = true,
                 "no-todo-dbg" => {}
                 other => unknown.push(other.to_string()),
@@ -425,22 +443,11 @@ pub fn parse_pragma(text: &str) -> Option<(usize, Vec<String>)> {
 /// Scans one file's text under an explicit rule scope; `rel` is the
 /// workspace-relative path used in diagnostics. ([`scan_workspace`]
 /// derives the scope from the owning crate's root pragma.) Runs the
-/// per-file passes: the textual style pass, the numeric pass, and —
-/// when the file lexes and parses — the AST passes (lock discipline,
-/// atomics, wire-taint, and single-file event-loop purity).
+/// per-file passes (textual, numeric, lock discipline, atomics) and
+/// the graph passes (wire-taint, lock-order, event-loop purity) over a
+/// one-file call graph, so a lone file behaves exactly like a one-file
+/// workspace.
 pub fn scan_file(rel: &str, text: &str, scope: FileScope) -> Vec<Diagnostic> {
-    scan_file_impl(rel, text, scope, true)
-}
-
-/// The per-file pipeline. `run_event_loop` is false when the caller
-/// ([`scan_workspace`]) runs the event-loop pass itself per crate, so
-/// its one-level call propagation can cross file boundaries.
-fn scan_file_impl(
-    rel: &str,
-    text: &str,
-    scope: FileScope,
-    run_event_loop: bool,
-) -> Vec<Diagnostic> {
     let scope = scope.for_file(rel);
     let (input, mut diags) = passes::FileInput::build(rel, text, scope);
     diags.extend(passes::textual::run(&input));
@@ -453,11 +460,10 @@ fn scan_file_impl(
         Ok(tree) => {
             diags.extend(passes::lock::run(&input, &toks, &tree));
             diags.extend(passes::atomics::run(&input, &toks, &tree));
-            diags.extend(passes::taint::run(&input, &toks, &tree));
-            if run_event_loop {
-                let file = passes::event_loop::CrateFile { input: &input, toks: &toks, ast: &tree };
-                diags.extend(passes::event_loop::run_crate(&[file]));
-            }
+            let files =
+                [graph::FileCtx { input: &input, toks: &toks, ast: &tree, crate_dir: None }];
+            let g = graph::CallGraph::build(&files);
+            diags.extend(run_graph_passes(&files, &g, false).0);
         }
         Err(e) => diags.push(Diagnostic::spanned(
             rel,
@@ -469,6 +475,100 @@ fn scan_file_impl(
         )),
     }
     diags
+}
+
+/// Runs the workspace graph passes (interprocedural wire-taint,
+/// lock-order, transitive event-loop purity) over the parsed files;
+/// returns the diagnostics plus, when asked, the serialized
+/// per-function summaries.
+fn run_graph_passes(
+    files: &[graph::FileCtx<'_, '_>],
+    g: &graph::CallGraph,
+    want_summaries: bool,
+) -> (Vec<Diagnostic>, Vec<String>) {
+    let taint = passes::taint::summarize(files, g);
+    let locks = passes::lock_order::harvest(files, g);
+    let mut diags = passes::taint::emit(files, g, &taint);
+    diags.extend(passes::lock_order::emit(files, g, &locks));
+    diags.extend(passes::event_loop::run_workspace(files, g));
+    let summaries =
+        if want_summaries { render_summaries(files, g, &taint, &locks) } else { Vec::new() };
+    (diags, summaries)
+}
+
+/// Serializes the per-function summaries, one line per graph node in
+/// (file, line) order: taint flow (`ret=`, `sinks=`), lock behavior
+/// (`locks=`, `held=`, `returns-lock=`), and the first blocking site
+/// (`blocking=`). `-` marks an empty section. The format is consumed
+/// by `--dump-summaries` and pinned by the CLI tests.
+fn render_summaries(
+    files: &[graph::FileCtx<'_, '_>],
+    g: &graph::CallGraph,
+    taint: &[passes::taint::FnTaint],
+    locks: &[passes::lock_order::FnLocks],
+) -> Vec<String> {
+    let mut lines = Vec::with_capacity(g.nodes.len());
+    for (id, n) in g.nodes.iter().enumerate() {
+        let f = &files[n.file];
+        let ret = passes::taint::render_labels(taint[id].ret, &n.params);
+        let sinks = if taint[id].sinks.is_empty() {
+            "-".to_string()
+        } else {
+            taint[id]
+                .sinks
+                .iter()
+                .map(|s| {
+                    format!(
+                        "p{}({}):{}@{}",
+                        s.param,
+                        n.params.get(s.param).map(String::as_str).unwrap_or("?"),
+                        s.what,
+                        s.trace.join("->")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let acq = if locks[id].acquires.is_empty() {
+            "-".to_string()
+        } else {
+            locks[id]
+                .acquires
+                .iter()
+                .map(|a| format!("{}:{}@{}", a.class, if a.write { "w" } else { "r" }, a.line))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let held = if locks[id].held_calls.is_empty() {
+            "-".to_string()
+        } else {
+            locks[id]
+                .held_calls
+                .iter()
+                .map(|h| format!("{}->{}@{}", h.class, g.nodes[h.callee].name, h.line))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let returns_lock = locks[id].returns_lock.as_deref().unwrap_or("-");
+        let blocking = locks[id]
+            .blocking
+            .as_ref()
+            .map_or("-".to_string(), |(what, line)| format!("{what}@{line}"));
+        lines.push(format!(
+            "{}:{} fn {}({}) ret={} sinks={} locks={} held={} returns-lock={} blocking={}",
+            f.input.rel,
+            n.line,
+            n.name,
+            n.params.join(","),
+            ret,
+            sinks,
+            acq,
+            held,
+            returns_lock,
+            blocking,
+        ));
+    }
+    lines
 }
 
 /// Directory names never descended into.
@@ -546,12 +646,47 @@ pub fn discover_crates(root: &Path) -> (Vec<CrateScope>, Vec<Diagnostic>) {
     (crates, diags)
 }
 
+/// Aggregate size/shape numbers from a workspace scan, recorded in
+/// `BENCH_model_eval.json` so analyzer growth is tracked across PRs.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanStats {
+    /// `.rs` files scanned.
+    pub files: usize,
+    /// Call-graph nodes (function definitions with bodies).
+    pub graph_nodes: usize,
+    /// Call-graph edges (resolved call sites).
+    pub graph_edges: usize,
+}
+
 /// Scans every `.rs` file under `root` (skipping `vendor/`, `target/`,
 /// `.git/`, and `fixtures/`), scoping each file by its owning crate's
 /// root pragma, runs the cross-file protocol-drift pass, and returns
 /// all diagnostics ordered by path and line. Baseline status is *not*
 /// applied here — see [`baseline::mark`].
 pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
+    scan_workspace_with_stats(root).0
+}
+
+/// [`scan_workspace`] plus the call-graph size statistics.
+pub fn scan_workspace_with_stats(root: &Path) -> (Vec<Diagnostic>, ScanStats) {
+    let (diags, stats, _) = analyze(root, false);
+    (diags, stats)
+}
+
+/// Scans the workspace and returns the serialized per-function
+/// summaries (taint flow, lock behavior, blocking sites) instead of
+/// diagnostics; backs the CLI's `--dump-summaries`.
+pub fn dump_summaries(root: &Path) -> String {
+    let mut out = analyze(root, true).2.join("\n");
+    out.push('\n');
+    out
+}
+
+/// The workspace pipeline: discover crates, lex + parse every file
+/// once, run the per-file passes from the shared inputs, build the
+/// workspace call graph over everything that parsed, and run the graph
+/// passes on top.
+fn analyze(root: &Path, want_summaries: bool) -> (Vec<Diagnostic>, ScanStats, Vec<String>) {
     let (crates, mut diags) = discover_crates(root);
     let mut files = Vec::new();
     walk_by(root, &mut |path| {
@@ -559,9 +694,6 @@ pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
             files.push(path.to_path_buf());
         }
     });
-    // Load every file once; remember which crate owns it so the
-    // event-loop pass can run per crate (its one-level call
-    // propagation crosses file boundaries within a crate).
     struct Loaded {
         rel: String,
         text: String,
@@ -593,36 +725,68 @@ pub fn scan_workspace(root: &Path) -> Vec<Diagnostic> {
             crate_dir: owner.map(|c| c.dir.clone()),
         });
     }
+    // Lex and parse each file exactly once; every pass below reads
+    // these shared inputs.
+    let mut inputs: Vec<passes::FileInput<'_>> = Vec::with_capacity(loaded.len());
     for l in &loaded {
-        diags.extend(scan_file_impl(&l.rel, &l.text, l.scope, false));
+        let (input, d) = passes::FileInput::build(&l.rel, &l.text, l.scope.for_file(&l.rel));
+        diags.extend(d);
+        inputs.push(input);
     }
-    // Event-loop purity, one crate at a time.
-    let mut dirs: Vec<&String> =
-        loaded.iter().filter(|l| l.scope.event_loop).filter_map(|l| l.crate_dir.as_ref()).collect();
-    dirs.sort();
-    dirs.dedup();
-    for dir in dirs {
-        let group: Vec<&Loaded> =
-            loaded.iter().filter(|l| l.crate_dir.as_ref() == Some(dir)).collect();
-        let inputs: Vec<passes::FileInput<'_>> = group
-            .iter()
-            .map(|l| passes::FileInput::build(&l.rel, &l.text, l.scope.for_file(&l.rel)).0)
-            .collect();
-        let toks: Vec<Vec<&lexer::Token<'_>>> = inputs.iter().map(|i| i.code_tokens()).collect();
-        let asts: Vec<Option<ast::Ast>> = toks.iter().map(|t| ast::parse(t).ok()).collect();
-        let crate_files: Vec<passes::event_loop::CrateFile<'_, '_>> = inputs
-            .iter()
-            .zip(&toks)
-            .zip(&asts)
-            .filter_map(|((input, toks), ast)| {
-                ast.as_ref().map(|ast| passes::event_loop::CrateFile { input, toks, ast })
+    let toks: Vec<Vec<&lexer::Token<'_>>> = inputs.iter().map(|i| i.code_tokens()).collect();
+    let mut asts: Vec<Option<ast::Ast>> = Vec::with_capacity(inputs.len());
+    for (i, input) in inputs.iter().enumerate() {
+        if input.tokens.is_empty() {
+            asts.push(None); // lexing failed: the AST passes cannot run
+            continue;
+        }
+        match ast::parse(&toks[i]) {
+            Ok(t) => asts.push(Some(t)),
+            Err(e) => {
+                diags.push(Diagnostic::spanned(
+                    input.rel,
+                    e.line,
+                    e.col,
+                    e.col + 1,
+                    Rule::Parse,
+                    format!("file does not parse ({}); structural passes skipped", e.message),
+                ));
+                asts.push(None);
+            }
+        }
+    }
+    for (i, input) in inputs.iter().enumerate() {
+        diags.extend(passes::textual::run(input));
+        diags.extend(passes::float_env::run(input));
+        if let Some(t) = &asts[i] {
+            diags.extend(passes::lock::run(input, &toks[i], t));
+            diags.extend(passes::atomics::run(input, &toks[i], t));
+        }
+    }
+    // Workspace call graph over every file that parsed, then the
+    // interprocedural passes.
+    let ctxs: Vec<graph::FileCtx<'_, '_>> = inputs
+        .iter()
+        .zip(&toks)
+        .zip(&asts)
+        .zip(&loaded)
+        .filter_map(|(((input, toks), ast), l)| {
+            ast.as_ref().map(|ast| graph::FileCtx {
+                input,
+                toks,
+                ast,
+                crate_dir: l.crate_dir.as_deref(),
             })
-            .collect();
-        diags.extend(passes::event_loop::run_crate(&crate_files));
-    }
+        })
+        .collect();
+    let g = graph::CallGraph::build(&ctxs);
+    let (gd, summaries) = run_graph_passes(&ctxs, &g, want_summaries);
+    diags.extend(gd);
     diags.extend(passes::drift::check_workspace(root));
     diags.sort_by(|a, b| (a.file.as_str(), a.line, a.col).cmp(&(b.file.as_str(), b.line, b.col)));
-    diags
+    let stats =
+        ScanStats { files: inputs.len(), graph_nodes: g.nodes.len(), graph_edges: g.edge_count() };
+    (diags, stats, summaries)
 }
 
 #[cfg(test)]

@@ -3,12 +3,14 @@
 //!
 //! Entry points are marked with a `// modelcheck: event-loop` comment
 //! on the `fn` (trailing or in the block above, like
-//! `modelcheck: read-path`). The marked set is closed one call level
-//! deep within the crate: a call whose name resolves to exactly one
-//! function definition in the crate pulls that function in too.
-//! Resolution is deliberately unique-name-only — a name with several
-//! definitions (every `new`, both `drain`s) resolves to nothing, so
-//! the propagation never chases lookalikes across impls.
+//! `modelcheck: read-path`). v5 closes the marked set over the whole
+//! workspace call graph ([`crate::graph`]): every function reachable
+//! from a root through resolved calls — any depth, across files and
+//! crates — is checked. Resolution is deliberately unique-name-only
+//! (a name with several definitions resolves to nothing, so the
+//! propagation never chases lookalikes across impls), and findings are
+//! only emitted in files whose crate opted into the rule; helpers in
+//! other crates are traversed but report nothing themselves.
 //!
 //! Inside the reachable set, these shapes are findings:
 //!
@@ -25,12 +27,10 @@
 //! `modelcheck-allow: event-loop — <why>` suppresses a finding;
 //! `#[cfg(test)]` code is exempt.
 
-use super::FileInput;
-use crate::ast::Ast;
-use crate::lexer::Token;
+use crate::graph::{CallGraph, FileCtx, NodeId};
 use crate::resolve::fn_annotated;
 use crate::{Diagnostic, Rule};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// The annotation that marks an event-loop entry point.
 pub const MARKER: &str = "modelcheck: event-loop";
@@ -42,60 +42,43 @@ const BLOCKING_CALLS: [&str; 2] = ["write_lock", "sleep"];
 /// Blocking macros.
 const BLOCKING_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
 
-/// One file of a crate, pre-lexed and pre-parsed by the caller.
-pub struct CrateFile<'t, 'a> {
-    /// The shared per-file input.
-    pub input: &'t FileInput<'a>,
-    /// The file's code tokens (comments stripped).
-    pub toks: &'t [&'t Token<'a>],
-    /// The file's AST.
-    pub ast: &'t Ast,
-}
-
-/// Runs the event-loop purity rule over one crate's files, so call
-/// propagation can cross file boundaries within the crate.
-pub fn run_crate(files: &[CrateFile<'_, '_>]) -> Vec<Diagnostic> {
-    // Index every fn by name for unique-name resolution, and collect
-    // the annotated roots.
-    let mut by_name: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
-    let mut reachable: Vec<(usize, usize, String)> = Vec::new();
-    for (fi, f) in files.iter().enumerate() {
-        if !f.input.scope.event_loop {
-            continue;
-        }
-        for (di, def) in f.ast.fns.iter().enumerate() {
-            by_name.entry(def.name.as_str()).or_default().push((fi, di));
-            if fn_annotated(f.input, def.line, MARKER) {
-                reachable.push((fi, di, def.name.clone()));
-            }
+/// Runs the event-loop purity rule over the workspace: BFS from the
+/// annotated roots across the call graph, then check every reachable
+/// body for blocking shapes.
+pub fn run_workspace(files: &[FileCtx<'_, '_>], g: &CallGraph) -> Vec<Diagnostic> {
+    let n = g.nodes.len();
+    // BFS parents, for the call-path in the message; `root_of` doubles
+    // as the visited set.
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut root_of: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::new();
+    for (id, node) in g.nodes.iter().enumerate() {
+        let f = &files[node.file];
+        if f.input.scope.event_loop && fn_annotated(f.input, node.line, MARKER) {
+            root_of[id] = Some(id);
+            queue.push_back(id);
         }
     }
-    // Close one call level deep.
-    let roots: Vec<(usize, usize, String)> = reachable.clone();
-    for (fi, di, root_name) in &roots {
-        let f = &files[*fi];
-        let def = &f.ast.fns[*di];
-        let Some(body) = def.body else { continue };
-        let block = &f.ast.blocks[body];
-        for call in f.ast.calls_in((block.open, block.close + 1)) {
-            let callee = f.toks[call.name_tok].text;
-            if let Some(&[(cfi, cdi)]) = by_name.get(callee).map(Vec::as_slice) {
-                if !reachable.iter().any(|(a, b, _)| (*a, *b) == (cfi, cdi)) {
-                    reachable.push((cfi, cdi, root_name.clone()));
-                }
+    while let Some(id) = queue.pop_front() {
+        for site in &g.edges[id] {
+            if root_of[site.callee].is_none() {
+                root_of[site.callee] = root_of[id];
+                parent[site.callee] = Some(id);
+                queue.push_back(site.callee);
             }
         }
     }
 
     let mut diags = Vec::new();
-    for (fi, di, root) in &reachable {
-        let f = &files[*fi];
-        let def = &f.ast.fns[*di];
-        let Some(body) = def.body else { continue };
-        if f.input.in_test(def.line) {
+    for (id, node) in g.nodes.iter().enumerate() {
+        if root_of[id].is_none() {
             continue;
         }
-        let block = &f.ast.blocks[body];
+        let f = &files[node.file];
+        if !f.input.scope.event_loop || f.input.in_test(node.line) {
+            continue;
+        }
+        let block = &f.ast.blocks[node.body];
         for call in f.ast.calls_in((block.open, block.close + 1)) {
             let name = f.toks[call.name_tok].text;
             let shape = if call.is_macro && BLOCKING_MACROS.contains(&name) {
@@ -112,8 +95,22 @@ pub fn run_crate(files: &[CrateFile<'_, '_>]) -> Vec<Diagnostic> {
             if f.input.allowed(t.line - 1, Rule::EventLoop) || f.input.in_test(t.line) {
                 continue;
             }
-            let via =
-                if def.name == *root { String::new() } else { format!(" (called from `{root}`)") };
+            // Reconstruct the BFS path root → … → this fn's caller.
+            let mut chain = Vec::new();
+            let mut cur = id;
+            while let Some(p) = parent[cur] {
+                chain.push(p);
+                cur = p;
+            }
+            chain.reverse();
+            let names: Vec<&str> = chain.iter().map(|&i| g.nodes[i].name.as_str()).collect();
+            let via = match names.as_slice() {
+                [] => String::new(),
+                [root] => format!(" (called from `{root}`)"),
+                [root, rest @ ..] => {
+                    format!(" (called from `{root}` through `{}`)", rest.join("` -> `"))
+                }
+            };
             diags.push(Diagnostic::spanned(
                 f.input.rel,
                 t.line,
@@ -124,7 +121,7 @@ pub fn run_crate(files: &[CrateFile<'_, '_>]) -> Vec<Diagnostic> {
                     "blocking call {shape} in event-loop-reachable `fn {}`{via} — the evented \
                      engine must never block; move this off-loop or justify with \
                      `modelcheck-allow: event-loop`",
-                    def.name
+                    node.name
                 ),
             ));
         }
@@ -136,6 +133,7 @@ pub fn run_crate(files: &[CrateFile<'_, '_>]) -> Vec<Diagnostic> {
 mod tests {
     use super::*;
     use crate::ast::parse;
+    use crate::passes::FileInput;
     use crate::FileScope;
 
     fn scan(src: &str) -> Vec<Diagnostic> {
@@ -143,7 +141,9 @@ mod tests {
         assert!(diags.is_empty(), "{diags:?}");
         let toks = input.code_tokens();
         let ast = parse(&toks).expect("parses");
-        run_crate(&[CrateFile { input: &input, toks: &toks, ast: &ast }])
+        let files = [FileCtx { input: &input, toks: &toks, ast: &ast, crate_dir: None }];
+        let g = CallGraph::build(&files);
+        run_workspace(&files, &g)
     }
 
     #[test]
@@ -166,6 +166,23 @@ mod tests {
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("accept_ready"));
         assert!(d[0].message.contains("called from `event_loop`"), "{d:?}");
+    }
+
+    #[test]
+    fn propagates_transitively_with_the_full_path() {
+        let src = "// modelcheck: event-loop\n\
+                   fn event_loop(&mut self) { self.on_readable(); }\n\
+                   fn on_readable(&mut self) { self.process_rbuf(); }\n\
+                   fn process_rbuf(&mut self) { flush_metrics(); }\n\
+                   fn flush_metrics() { out.write_all(b); }\n";
+        let d = scan(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("`fn flush_metrics`"), "{d:?}");
+        assert!(
+            d[0].message
+                .contains("called from `event_loop` through `on_readable` -> `process_rbuf`"),
+            "{d:?}"
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ struct Guard {
 }
 
 /// If `toks[k]` is a lock acquisition, returns `(is_write, line)`.
-fn acquisition_at(toks: &[&Token<'_>], k: usize) -> Option<(bool, usize)> {
+pub(crate) fn acquisition_at(toks: &[&Token<'_>], k: usize) -> Option<(bool, usize)> {
     let t = toks[k];
     if t.kind != TokKind::Ident {
         return None;
@@ -82,7 +82,7 @@ fn acquisition_at(toks: &[&Token<'_>], k: usize) -> Option<(bool, usize)> {
 }
 
 /// Index one past the `)` matching the `(` at `toks[open]`.
-fn after_call(toks: &[&Token<'_>], open: usize) -> usize {
+pub(crate) fn after_call(toks: &[&Token<'_>], open: usize) -> usize {
     let mut depth = 0i64;
     let mut j = open;
     while j < toks.len() {
@@ -106,7 +106,7 @@ fn after_call(toks: &[&Token<'_>], open: usize) -> usize {
 /// not a value read through it — `let g = read_lock(s);` yes,
 /// `let n = read_lock(s).len();` no), returns the binding name.
 /// `?` and trailing `.unwrap()`/`.expect(…)` are transparent.
-fn binding_name(toks: &[&Token<'_>], k: usize, open: usize) -> Option<String> {
+pub(crate) fn binding_name(toks: &[&Token<'_>], k: usize, open: usize) -> Option<String> {
     let mut e = after_call(toks, open);
     loop {
         match toks.get(e).map(|t| t.text) {
@@ -148,7 +148,7 @@ fn binding_name(toks: &[&Token<'_>], k: usize, open: usize) -> Option<String> {
 }
 
 /// If `toks[k]` begins an I/O mention, returns a short description.
-fn io_at(toks: &[&Token<'_>], k: usize) -> Option<String> {
+pub(crate) fn io_at(toks: &[&Token<'_>], k: usize) -> Option<String> {
     let t = toks[k];
     if t.kind != TokKind::Ident {
         return None;

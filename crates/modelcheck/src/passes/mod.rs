@@ -14,6 +14,7 @@ pub mod drift;
 pub mod event_loop;
 pub mod float_env;
 pub mod lock;
+pub mod lock_order;
 pub mod taint;
 pub mod textual;
 

@@ -364,13 +364,54 @@ fn list_rules_pins_the_catalog() {
         assert_eq!(fields[2], rule.pragma_spelling().unwrap_or("-"), "{line}");
         assert!(!fields[3].is_empty(), "{line}");
     }
-    // Spot-pin the two v4 rules and one always-on rule.
+    // Spot-pin the v4 rules, the v5 rule, and one always-on rule.
     assert!(lines.iter().any(|l| l.starts_with("wire-taint\tdataflow\twire-taint\t")), "{stdout}");
     assert!(
         lines.iter().any(|l| l.starts_with("event-loop\tconcurrency\tevent-loop\t")),
         "{stdout}"
     );
+    assert!(
+        lines.iter().any(|l| l.starts_with("lock-order\tconcurrency\tlock-order\t")),
+        "{stdout}"
+    );
     assert!(lines.iter().any(|l| l.starts_with("protocol-drift\tprotocol\t-\t")), "{stdout}");
+}
+
+/// `--emit github` renders one workflow command per finding, with the
+/// span properties CI needs to attach inline PR annotations, and keeps
+/// the baselined/new split (warning vs error).
+#[test]
+fn github_emit_renders_workflow_commands() {
+    let out = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .args(["--emit", "github"])
+        .arg(fixture_root())
+        .output()
+        .expect("spawn modelcheck");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for line in stdout.lines() {
+        assert!(line.starts_with("::error ") || line.starts_with("::warning "), "{line}");
+        assert!(line.contains("file=") && line.contains(",line="), "{line}");
+        assert!(line.contains(",col=") && line.contains(",endColumn="), "{line}");
+        assert!(line.contains("title=modelcheck "), "{line}");
+        assert!(line.contains("::"), "{line}");
+    }
+    // The seeded naked-f64 finding is annotated at its real location…
+    assert!(
+        stdout.contains("::error file=crates/core/src/bad.rs,line=3,"),
+        "missing the naked-f64 annotation: {stdout}"
+    );
+    // …and message text never leaks a raw newline (workflow commands
+    // are line-oriented; the emitter escapes to %0A).
+    assert_eq!(stdout.lines().count(), 24, "{stdout}");
+
+    // An unknown emit mode is a usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_modelcheck"))
+        .args(["--emit", "sarif"])
+        .arg(fixture_root())
+        .output()
+        .expect("spawn modelcheck");
+    assert_eq!(out.status.code(), Some(2));
 }
 
 /// Builds a one-crate temp tree whose root pragma opts into `rules`,
@@ -425,6 +466,77 @@ fn wire_taint_fires_when_a_real_bounds_check_is_deleted() {
     assert_eq!(code, 1, "deleting the bounds check must fail the scan:\n{stdout}");
     assert!(stdout.contains("wire-taint"), "{stdout}");
     assert!(stdout.contains("`n`"), "the finding names the tainted value: {stdout}");
+}
+
+/// The acceptance scenario for lock-order: two functions that each
+/// hold one shard lock while calling a helper that takes the *other*
+/// shard — an ordering cycle no single function exhibits — planted in
+/// the real service.rs must fail the scan.
+#[test]
+fn lock_order_fires_on_an_opposite_order_cycle_split_across_functions() {
+    let service =
+        fs::read_to_string(repo_root().join("crates/predictd/src/service.rs")).expect("service");
+
+    // The shipped service is clean under the lock-order rule.
+    let (code, stdout) = scan_temp_tree("lo-clean", "lock-order", &[("service.rs", &service)]);
+    assert_eq!(code, 0, "shipped service.rs must scan clean:\n{stdout}");
+
+    // Each injected pair is individually innocent: one guard, one call.
+    // Only the cross-function order — 0 then 1 in the even path, 1 then
+    // 0 in the odd path — closes the cycle.
+    let injected = format!(
+        "{service}\n\
+         impl Service {{\n\
+         \x20   fn merge_even(&self) {{\n\
+         \x20       let a = write_lock(&self.shards[0]);\n\
+         \x20       self.finish_even();\n\
+         \x20       drop(a);\n\
+         \x20   }}\n\
+         \x20   fn finish_even(&self) {{\n\
+         \x20       let b = write_lock(&self.shards[1]);\n\
+         \x20       drop(b);\n\
+         \x20   }}\n\
+         \x20   fn merge_odd(&self) {{\n\
+         \x20       let a = write_lock(&self.shards[1]);\n\
+         \x20       self.finish_odd();\n\
+         \x20       drop(a);\n\
+         \x20   }}\n\
+         \x20   fn finish_odd(&self) {{\n\
+         \x20       let b = write_lock(&self.shards[0]);\n\
+         \x20       drop(b);\n\
+         \x20   }}\n\
+         }}\n"
+    );
+    let (code, stdout) = scan_temp_tree("lo-inj", "lock-order", &[("service.rs", &injected)]);
+    assert_eq!(code, 1, "the opposite-order pair must fail the scan:\n{stdout}");
+    assert!(stdout.contains("lock-order"), "{stdout}");
+    assert!(
+        stdout.contains("shards[0]") && stdout.contains("shards[1]"),
+        "the finding names both lock classes: {stdout}"
+    );
+}
+
+/// The acceptance scenario for interprocedural wire-taint: deleting
+/// the caller-side `.min(clean_len)` cap in the real journal replay —
+/// the bound that re-establishes what `scan()` proved — must fail the
+/// scan, because the on-disk length flows to a slice index unchecked.
+#[test]
+fn wire_taint_fires_when_the_journal_replay_cap_is_deleted() {
+    let journal =
+        fs::read_to_string(repo_root().join("crates/predictgw/src/journal.rs")).expect("journal");
+
+    // The shipped journal is clean under the wire-taint rule.
+    let (code, stdout) = scan_temp_tree("jr-clean", "wire-taint", &[("journal.rs", &journal)]);
+    assert_eq!(code, 0, "shipped journal.rs must scan clean:\n{stdout}");
+
+    // Delete the replay cap and nothing else.
+    let mutated = journal.replacen("(pos + 4 + len).min(clean_len)", "pos + 4 + len", 1);
+    assert_ne!(mutated, journal, "the replay cap moved; update this test");
+
+    let (code, stdout) = scan_temp_tree("jr-inj", "wire-taint", &[("journal.rs", &mutated)]);
+    assert_eq!(code, 1, "deleting the replay cap must fail the scan:\n{stdout}");
+    assert!(stdout.contains("wire-taint"), "{stdout}");
+    assert!(stdout.contains("`end`"), "the finding names the tainted value: {stdout}");
 }
 
 /// The acceptance scenario for event-loop purity: a `thread::sleep`

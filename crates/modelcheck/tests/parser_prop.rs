@@ -1,0 +1,246 @@
+//! Robustness properties for the hand-rolled lexer and tolerant AST
+//! parser: *no input panics them*. The passes run over every `.rs`
+//! file in the workspace — including half-saved editor states in a
+//! dirty tree — so the frontend must reject or tolerate arbitrary
+//! garbage, never crash on it.
+//!
+//! Two generators attack from opposite directions:
+//!
+//! * **Token soup** — syntactically plausible fragments (keywords,
+//!   idents, delimiters, operators, literals) shuffled into nonsense.
+//!   This stresses the parser's recovery paths with input the lexer
+//!   happily accepts.
+//! * **Byte mutations** — real workspace sources with bytes
+//!   overwritten, inserted, or deleted at random offsets. This
+//!   stresses the lexer's literal/comment scanning and the parser's
+//!   delimiter matching with *almost*-valid input, where tolerant
+//!   parsing bugs actually live.
+//!
+//! Both check the same contract: `lex` returns `Ok` or `Err` (never
+//! panics), every token's byte span and line/col sit inside the input,
+//! and when the tokens parse, every recorded fn/block/call index is in
+//! bounds.
+
+use modelcheck::ast::{self, Ast};
+use modelcheck::lexer::{lex, TokKind, Token};
+use proptest::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Lex → parse, asserting every span and cross-index is in bounds.
+/// Returns without asserting anything else when either stage declines.
+fn frontend_holds(text: &str) {
+    let Ok(toks) = lex(text) else { return };
+    for t in &toks {
+        assert!(t.start <= t.end && t.end <= text.len(), "token span out of bounds");
+        assert!(t.line >= 1 && t.col >= 1, "token line/col not 1-based");
+        assert!(text.get(t.start..t.end).is_some(), "token span splits a char");
+    }
+    let refs: Vec<&Token<'_>> = toks
+        .iter()
+        .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .collect();
+    let Ok(ast) = ast::parse(&refs) else { return };
+    assert_indices_in_bounds(&ast, refs.len());
+}
+
+/// Every index the AST records must point into the token slice (or a
+/// real arena slot) — a stale index panics some later pass instead.
+fn assert_indices_in_bounds(ast: &Ast, n_toks: usize) {
+    for f in &ast.fns {
+        assert!(f.fn_tok < n_toks, "fn_tok out of bounds");
+        if let Some(b) = f.body {
+            assert!(b < ast.blocks.len(), "fn body block out of bounds");
+        }
+    }
+    for b in &ast.blocks {
+        assert!(b.open <= b.close && b.close < n_toks, "block span out of bounds");
+        for s in &b.stmts {
+            assert!(s.span.0 <= s.span.1 && s.span.1 <= n_toks, "stmt span out of bounds");
+        }
+    }
+    for c in &ast.calls {
+        assert!(c.name_tok < n_toks, "call name out of bounds");
+        assert!(c.open <= c.close && c.close < n_toks, "call parens out of bounds");
+    }
+    for e in &ast.exprs {
+        assert!(e.span.0 <= e.span.1 && e.span.1 <= n_toks, "expr span out of bounds");
+        for &b in &e.blocks {
+            assert!(b < ast.blocks.len(), "expr block out of bounds");
+        }
+    }
+}
+
+/// The token-soup fragment pool: keywords the parser dispatches on,
+/// idents, literals, every delimiter, and the operators the item/stmt
+/// scanners treat specially.
+fn fragment_pool() -> Vec<&'static str> {
+    vec![
+        "fn",
+        "let",
+        "impl",
+        "mod",
+        "match",
+        "if",
+        "else",
+        "for",
+        "while",
+        "return",
+        "pub",
+        "use",
+        "struct",
+        "enum",
+        "trait",
+        "union",
+        "macro_rules",
+        "const",
+        "static",
+        "unsafe",
+        "async",
+        "extern",
+        "type",
+        "self",
+        "mut",
+        "in",
+        "x",
+        "foo",
+        "bar_2",
+        "shards",
+        "try_from",
+        "write_lock",
+        "0",
+        "42",
+        "0xff",
+        "1.5e3",
+        "\"str\"",
+        "\"{ unbalanced\"",
+        "'c'",
+        "'{'",
+        "'static",
+        "{",
+        "}",
+        "(",
+        ")",
+        "[",
+        "]",
+        ";",
+        ",",
+        ".",
+        "::",
+        "->",
+        "=>",
+        "=",
+        "!",
+        "#",
+        "&",
+        "|",
+        "<",
+        ">",
+        "?",
+        "//! doc\n",
+        "// line\n",
+        "/* block */",
+        "\n",
+    ]
+}
+
+/// Every `.rs` file in the workspace, loaded once.
+fn workspace_sources() -> &'static [(PathBuf, String)] {
+    use std::sync::OnceLock;
+    static SOURCES: OnceLock<Vec<(PathBuf, String)>> = OnceLock::new();
+    SOURCES.get_or_init(|| {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+        let mut out = Vec::new();
+        modelcheck::walk_by(&root, &mut |path: &Path| {
+            if path.extension().is_some_and(|e| e == "rs") {
+                if let Ok(text) = fs::read_to_string(path) {
+                    out.push((path.to_path_buf(), text));
+                }
+            }
+        });
+        assert!(out.len() > 50, "walked only {} files", out.len());
+        out
+    })
+}
+
+/// Applies `muts` — `(op, offset, byte)` triples, offsets taken modulo
+/// the current length — and re-validates as UTF-8, replacing broken
+/// sequences (the scanner only ever sees `&str`).
+fn mutate(text: &str, muts: &[(usize, usize, u8)]) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    for &(op, at, byte) in muts {
+        if bytes.is_empty() {
+            break;
+        }
+        match op % 3 {
+            0 => {
+                let i = at % bytes.len();
+                bytes[i] = byte;
+            }
+            1 => {
+                let i = at % (bytes.len() + 1);
+                bytes.insert(i, byte);
+            }
+            _ => {
+                let i = at % bytes.len();
+                bytes.remove(i);
+            }
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary token soup neither panics the lexer nor the parser.
+    fn token_soup_never_panics(
+        frags in prop::collection::vec(prop::sample::select(fragment_pool()), 0..120),
+    ) {
+        let mut text = String::new();
+        for f in &frags {
+            text.push_str(f);
+            text.push(' ');
+        }
+        frontend_holds(&text);
+    }
+
+    /// Workspace sources with up to 8 byte-level edits neither panic
+    /// the lexer nor the parser. Every case mutates a fresh
+    /// pseudo-random file, so the whole tree is covered across cases.
+    fn mutated_workspace_sources_never_panic(
+        file_idx in 0usize..1_000_000,
+        muts in prop::collection::vec((0usize..3, 0usize..1_000_000, 0u8..=255u8), 1..8),
+    ) {
+        let sources = workspace_sources();
+        let (_, text) = &sources[file_idx % sources.len()];
+        frontend_holds(&mutate(text, &muts));
+    }
+}
+
+/// The unmutated tree, exhaustively: every file must round-trip the
+/// full frontend with in-bounds spans — not sampled, so a file the
+/// random cases never land on still gets checked.
+#[test]
+fn every_workspace_source_holds_unmutated() {
+    for (path, text) in workspace_sources() {
+        let held = std::panic::catch_unwind(|| frontend_holds(text));
+        assert!(held.is_ok(), "frontend invariants broke on {}", path.display());
+    }
+}
+
+/// Byte mutations of every file at fixed offsets: a deterministic
+/// sweep (delete, overwrite-with-`{`, overwrite-with-`"`) across the
+/// whole tree, independent of what the random cases draw.
+#[test]
+fn deterministic_mutation_sweep_never_panics() {
+    for (path, text) in workspace_sources() {
+        for (op, byte) in [(2usize, 0u8), (0, b'{'), (0, b'"')] {
+            let step = (text.len() / 7).max(1);
+            let muts: Vec<(usize, usize, u8)> = (0..7).map(|k| (op, k * step, byte)).collect();
+            let mutated = mutate(text, &muts);
+            let held = std::panic::catch_unwind(|| frontend_holds(&mutated));
+            assert!(held.is_ok(), "frontend panicked on mutated {}", path.display());
+        }
+    }
+}

@@ -103,6 +103,10 @@ impl Client {
                     let reader = BufReader::new(stream.try_clone()?);
                     let mut client =
                         Client { reader, writer: BufWriter::new(stream), binary: true };
+                    // modelcheck-allow: event-loop — connect is already a
+                    // blocking, timeout-bounded call; the 4-byte preamble
+                    // shares the socket's write timeout. The gateway's
+                    // backend fan-out is synchronous by design.
                     client.writer.write_all(&binproto::PREAMBLE)?;
                     return Ok(client);
                 }

@@ -23,7 +23,7 @@
 //! Two binaries ship with the crate: `predictd` (the daemon) and
 //! `predictctl` (a thin command-line client used by tests and CI).
 //!
-//! modelcheck: no-panic, lossy-cast, missing-docs, lock-discipline, atomics, float-env, wire-taint, event-loop
+//! modelcheck: no-panic, lossy-cast, missing-docs, lock-discipline, atomics, float-env, wire-taint, event-loop, lock-order
 
 #![warn(missing_docs)]
 

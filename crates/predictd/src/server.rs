@@ -117,16 +117,16 @@ pub fn serve_pool(listener: &TcpListener, service: &Service, cfg: &ServerConfig)
                 // Hold the receiver lock only to pull one connection.
                 let conn = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                 let Ok(conn) = conn else { return };
-                // modelcheck-allow: atomics — shutdown handshake: the
-                // store below must be visible to every worker before
-                // the self-connect wake lands, so all three sides use
-                // the same SeqCst fence.
-                if shutdown.load(Ordering::SeqCst) {
+                // One-way shutdown latch: release on the store,
+                // acquire on every load. The self-connect wake lands
+                // after the store through the kernel, so an acquire
+                // load that sees `true` also sees everything the
+                // storing worker published — no total order needed.
+                if shutdown.load(Ordering::Acquire) {
                     return;
                 }
                 if serve_conn(conn, service, cfg) {
-                    // modelcheck-allow: atomics — see the load above.
-                    shutdown.store(true, Ordering::SeqCst);
+                    shutdown.store(true, Ordering::Release);
                     // Unblock the accept loop so it can observe the flag.
                     let _ = TcpStream::connect(local);
                     return;
@@ -134,9 +134,9 @@ pub fn serve_pool(listener: &TcpListener, service: &Service, cfg: &ServerConfig)
             });
         }
         for stream in listener.incoming() {
-            // modelcheck-allow: atomics — accept loop must observe the
-            // workers' shutdown store before handling the wake conn.
-            if shutdown.load(Ordering::SeqCst) {
+            // Acquire pairs with the workers' release store; the wake
+            // conn only arrives after that store.
+            if shutdown.load(Ordering::Acquire) {
                 break;
             }
             match stream {

@@ -274,7 +274,6 @@ impl Service {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         // The shard count is a small usize; the modulus fits it.
-        // modelcheck-allow: lossy-cast — reduced mod len, which fits usize
         (h % self.shards.len() as u64) as usize
     }
 
@@ -426,6 +425,9 @@ impl Service {
             }
         };
         let cfg = self.cfg.monitor;
+        // modelcheck-allow: event-loop — load reports are the rare
+        // control-plane write; the shard write lock is core-partitioned
+        // and the critical section is a few map updates.
         let mut shard = write_lock(&self.shards[self.shard_of(&r.machine)]);
         shard.load_reports += 1;
         let state =
@@ -507,6 +509,9 @@ impl Service {
         }
         // Slow path: the shape moved or the cache is cold. Re-resolve
         // under the write lock and fill the cache.
+        // modelcheck-allow: event-loop — cold-cache slow path only; the
+        // write lock covers one re-resolve + cache fill and the hot path
+        // above never takes it.
         let mut guard = write_lock(shard);
         let shard_ref = &mut *guard;
         let Some(state) = shard_ref.machines.get_mut(machine) else {

@@ -195,6 +195,9 @@ impl Gateway {
     /// holding it (which the no-panic discipline already forbids) must
     /// not take the whole gateway down with it.
     fn seq_lock(&self) -> MutexGuard<'_, Option<Journal>> {
+        // modelcheck-allow: event-loop — the sequencing mutex is the
+        // designed serialization point for journal writes; critical
+        // sections are bounded (one append + broadcast).
         self.seq.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
@@ -220,12 +223,18 @@ impl Gateway {
     fn on_load_report(&self, report: &LoadReport, lanes: &mut Lanes) -> Response {
         let mut guard = self.seq_lock();
         if let Some(j) = guard.as_mut() {
+            // modelcheck-allow: lock-order — journal-then-broadcast under
+            // the sequencing lock IS the gateway's ordering contract: the
+            // journal and the fleet must observe reports in one order.
             if let Err(e) = j.append_report(report) {
                 // Refuse what we cannot journal: accepting it would let
                 // the fleet and the journal disagree.
                 return Response::error(format!("journal append failed: {e}"));
             }
             if let Some(horizon) = self.cfg.journal_horizon_secs {
+                // modelcheck-allow: lock-order — truncation must see a
+                // quiescent journal; it runs at the size horizon, not
+                // per report.
                 maybe_truncate(j, report.at, horizon, &self.backends);
             }
         }
@@ -236,6 +245,9 @@ impl Gateway {
                 continue;
             }
             let Some(conn) = lanes.conn(i) else { continue };
+            // modelcheck-allow: lock-order — the broadcast must stay
+            // inside the sequencing critical section (see above); I/O is
+            // bounded by the per-connection timeouts.
             match conn.request(&req) {
                 Ok(resp) => {
                     b.advance_cursor(1);
@@ -245,6 +257,8 @@ impl Gateway {
                 Err(e) => {
                     // Not a failover (nothing is re-sent — the journal
                     // replay owns catch-up), but worth a marker.
+                    // modelcheck-allow: event-loop — backend-failure marker on the
+                    // error path only; the journal replay owns recovery.
                     eprintln!(
                         "predictgw: broadcast to backend {} failed ({e}); journal will catch it up",
                         b.addr()
@@ -275,6 +289,8 @@ impl Gateway {
                 }
                 Err(e) => {
                     self.metrics.failover(i);
+                    // modelcheck-allow: event-loop — failover marker on the error
+                    // path only, rate-bounded by backend failures.
                     eprintln!(
                         "predictgw: failover: {} for {machine} re-sent past backend {} ({e})",
                         req.kind(),
@@ -342,6 +358,8 @@ impl Gateway {
                 Some(Ok(other)) => {
                     // An error (or surprise) response from one chunk:
                     // the batch answer must stay whole, so fall back.
+                    // modelcheck-allow: event-loop — fallback marker on the error
+                    // path only; the re-route below is the real handling.
                     eprintln!(
                         "predictgw: decide_batch chunk on backend {backend} answered {}; falling back to single-backend routing",
                         other.kind()
@@ -350,6 +368,8 @@ impl Gateway {
                     return self.route_query(&q.machine, req, lanes);
                 }
                 Some(Err(e)) => {
+                    // modelcheck-allow: event-loop — failover marker on the error
+                    // path only, rate-bounded by backend failures.
                     eprintln!(
                         "predictgw: failover: decide_batch chunk failed on backend {backend} ({e}); re-routing whole batch"
                     );
@@ -608,8 +628,12 @@ fn maybe_truncate(j: &mut Journal, newest_at: f64, horizon: f64, backends: &[Bac
                 let adjusted = b.cursor().saturating_sub(dropped).min(j.reports());
                 b.set_cursor(adjusted);
             }
+            // modelcheck-allow: event-loop — compaction notice; truncation
+            // runs at the journal size horizon, not per request.
             eprintln!("predictgw: journal compacted, {dropped} reports past the horizon dropped");
         }
+        // modelcheck-allow: event-loop — truncation-failure marker on
+        // the error path only.
         Err(e) => eprintln!("predictgw: journal truncation failed: {e}"),
     }
 }

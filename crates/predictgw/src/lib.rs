@@ -26,7 +26,7 @@
 //! and partial-I/O state machines, and relaxed-atomic gateway metrics
 //! ([`metrics`]) behind the `gw_stats` wire kind.
 //!
-//! modelcheck: no-panic, lossy-cast, missing-docs, lock-discipline, atomics, float-env, wire-taint, event-loop
+//! modelcheck: no-panic, lossy-cast, missing-docs, lock-discipline, atomics, float-env, wire-taint, event-loop, lock-order
 
 #![warn(missing_docs)]
 

@@ -180,7 +180,6 @@ fn event_loop(
     // This worker's private connections to every backend. Forwarding
     // through them blocks (bounded by the backend I/O timeout); see the
     // module docs for why that is the chosen trade.
-    // modelcheck-allow: event-loop — backend forwarding is deliberately bounded-blocking
     let mut lanes = gateway.lanes();
     // After `stop`, linger briefly to flush pending responses (most
     // importantly the `ok` reply to the shutdown request itself).

@@ -45,12 +45,12 @@ pub fn f64_approx_from_nanos(n: u64) -> f64 {
 /// to 0, values at or beyond 2⁶⁴ clamp to `u64::MAX`. Callers choose
 /// the rounding (`.ceil()`, `.round().max(1.0)`) before converting.
 pub fn sat_u64_from_f64(x: f64) -> u64 {
-    x as u64 // modelcheck-allow: lossy-cast — named saturating conversion (float→int `as` saturates and maps NaN to 0)
+    x as u64
 }
 
 /// [`sat_u64_from_f64`] for `usize` results (plot columns, indices).
 pub fn sat_usize_from_f64(x: f64) -> usize {
-    x as usize // modelcheck-allow: lossy-cast — named saturating conversion (float→int `as` saturates and maps NaN to 0)
+    x as usize
 }
 
 #[cfg(test)]
